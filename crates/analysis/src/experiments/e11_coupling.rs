@@ -1,0 +1,111 @@
+//! **E11 — the coupled inequalities of Lemmas 9 and 10.** Running the
+//! three-process pull coupling exposes, for every node `v`, the informing
+//! round `r_v` in `ppx`, `r'_v` in `ppy`, and time `t_v` in `pp-a`. The
+//! lemmas state that with high probability
+//!
+//! ```text
+//! max_v (r'_v − 2·r_v)  = O(log n)      (Lemma 9)
+//! max_v (t_v − 4·r'_v)  = O(log n)      (Lemma 10)
+//! ```
+//!
+//! We report the observed maxima normalized by `ln n`, plus the push
+//! coupling's `mean(t_v − r_v)` (≤ 0 in expectation, §3).
+
+use rumor_core::coupling::pull::run_pull_coupling;
+use rumor_core::coupling::push::run_push_coupling;
+use rumor_core::runner::run_trials_parallel;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, standard_suite, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE11;
+
+/// Runs E11 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E11 / Lemmas 9 & 10: coupled excesses, normalized by ln n",
+        &["graph", "n", "max L9 excess/ln n", "max L10 excess/ln n", "push: mean(t-r)"],
+    );
+    let n = if cfg.full_scale { 128 } else { 48 };
+    // Coupled runs are heavier than plain runs; quarter the trial count.
+    let runs = (cfg.trials / 4).max(10);
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x6B7);
+    let mut worst9: f64 = f64::NEG_INFINITY;
+    let mut worst10: f64 = f64::NEG_INFINITY;
+    for entry in standard_suite(n, &mut graph_rng) {
+        let ln_n = (entry.graph.node_count() as f64).ln();
+        let excesses = run_trials_parallel(
+            runs,
+            mix_seed(cfg, SALT),
+            cfg.threads,
+            |_, rng| {
+                let seed = rng.next_u64();
+                let out = run_pull_coupling(&entry.graph, entry.source, seed, 10_000_000);
+                assert!(out.completed, "pull coupling must complete");
+                (out.lemma9_excess(), out.lemma10_excess())
+            },
+        );
+        let max9 = excesses.iter().map(|e| e.0).fold(f64::NEG_INFINITY, f64::max) / ln_n;
+        let max10 = excesses.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max) / ln_n;
+        worst9 = worst9.max(max9);
+        worst10 = worst10.max(max10);
+        let push_means: OnlineStats = run_trials_parallel(
+            runs,
+            mix_seed(cfg, SALT + 1),
+            cfg.threads,
+            |_, rng| {
+                let seed = rng.next_u64();
+                let out = run_push_coupling(&entry.graph, entry.source, seed, 10_000_000);
+                assert!(out.completed, "push coupling must complete");
+                out.mean_time_minus_round()
+            },
+        )
+        .into_iter()
+        .collect();
+        table.add_row(vec![
+            entry.name.to_owned(),
+            entry.graph.node_count().to_string(),
+            fmt_f(max9, 3),
+            fmt_f(max10, 3),
+            fmt_f(push_means.mean(), 3),
+        ]);
+    }
+    table.add_note(&format!(
+        "Lemmas 9/10 predict O(1) columns; worst observed L9 = {}, L10 = {}",
+        fmt_f(worst9, 3),
+        fmt_f(worst10, 3)
+    ));
+    table.add_note("push column: E[t_v] <= E[r_v] along rumor paths, so means sit at or below 0");
+    table
+}
+
+/// Largest normalized Lemma 9 excess in the table (test hook).
+pub fn worst_l9(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 2).unwrap().parse::<f64>().unwrap())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Largest normalized Lemma 10 excess in the table (test hook).
+pub fn worst_l10(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 3).unwrap().parse::<f64>().unwrap())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coupled_excesses_are_logarithmic() {
+        let cfg = ExperimentConfig::quick().with_trials(60);
+        let table = run(&cfg);
+        // "O(log n)" with a generous constant: the excess/ln n columns
+        // stay below ~25 across all families.
+        assert!(worst_l9(&table) < 25.0, "L9 excess: {}", worst_l9(&table));
+        assert!(worst_l10(&table) < 25.0, "L10 excess: {}", worst_l10(&table));
+    }
+}

@@ -1,0 +1,89 @@
+//! **E12 — the block decomposition (§5).** Verifies Lemma 13's subset
+//! invariant (`I_k(pp-a) ⊆ I_k(pp)` after every block) and Lemma 14's
+//! accounting (`E[ρ_τ] = O(E[τ]/√n + √n)`), and breaks the blocks down by
+//! closing condition.
+
+use rumor_core::coupling::blocks::run_block_coupling;
+use rumor_core::runner::run_trials_parallel;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, standard_suite, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE12;
+
+/// Runs E12 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E12 / block decomposition: Lemma 13 invariant and Lemma 14 accounting",
+        &[
+            "graph",
+            "n",
+            "E[steps]",
+            "E[rounds]",
+            "rounds/budget",
+            "E[special]",
+            "invariant",
+        ],
+    );
+    let n = if cfg.full_scale { 256 } else { 48 };
+    let runs = (cfg.trials / 4).max(10);
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x6C7);
+    let mut worst_ratio: f64 = 0.0;
+    for entry in standard_suite(n, &mut graph_rng) {
+        let n_actual = entry.graph.node_count();
+        let stats = run_trials_parallel(runs, mix_seed(cfg, SALT), cfg.threads, |_, rng| {
+            let seed = rng.next_u64();
+            run_block_coupling(&entry.graph, entry.source, seed, 500_000_000)
+        });
+        let invariant_all = stats.iter().all(|s| s.completed && s.subset_invariant_held);
+        let steps: OnlineStats = stats.iter().map(|s| s.steps as f64).collect();
+        let rounds: OnlineStats = stats.iter().map(|s| s.rounds as f64).collect();
+        let ratio: OnlineStats = stats
+            .iter()
+            .map(|s| s.rounds as f64 / s.lemma14_budget(n_actual))
+            .collect();
+        let special: OnlineStats = stats.iter().map(|s| s.special_blocks as f64).collect();
+        worst_ratio = worst_ratio.max(ratio.mean());
+        table.add_row(vec![
+            entry.name.to_owned(),
+            n_actual.to_string(),
+            fmt_f(steps.mean(), 0),
+            fmt_f(rounds.mean(), 1),
+            fmt_f(ratio.mean(), 3),
+            fmt_f(special.mean(), 2),
+            if invariant_all { "held".into() } else { "VIOLATED".into() },
+        ]);
+    }
+    table.add_note("budget = steps/sqrt(n) + sqrt(n); Lemma 14 predicts rounds/budget = O(1)");
+    table.add_note(&format!("worst mean rounds/budget = {}", fmt_f(worst_ratio, 3)));
+    table.add_note("invariant = Lemma 13 subset check after every block of every run");
+    table
+}
+
+/// Whether the invariant column reads "held" on every row (test hook).
+pub fn invariant_held_everywhere(table: &Table) -> bool {
+    (0..table.row_count()).all(|r| table.cell(r, 6) == Some("held"))
+}
+
+/// Largest mean rounds/budget ratio (test hook).
+pub fn worst_budget_ratio(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 4).unwrap().parse::<f64>().unwrap())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_holds_and_accounting_is_constant() {
+        let cfg = ExperimentConfig::quick().with_trials(40);
+        let table = run(&cfg);
+        assert!(invariant_held_everywhere(&table), "Lemma 13 failed");
+        let worst = worst_budget_ratio(&table);
+        assert!(worst < 10.0, "Lemma 14 ratio {worst} too large");
+    }
+}

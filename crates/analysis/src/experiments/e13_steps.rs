@@ -1,0 +1,80 @@
+//! **E13 — footnote 3.** The asynchronous spreading time can also be
+//! measured in *steps*; the expected number of steps divided by `n`
+//! equals the expected time in time units (each step takes `Exp(n)` time,
+//! independent of the process history).
+//!
+//! We estimate both sides from the same trials and report the relative
+//! difference, which should vanish as trials grow.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::runner::{default_max_steps, run_trials_parallel};
+use rumor_core::{run_async, Mode};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, standard_suite, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE13;
+
+/// Runs E13 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E13 / footnote 3: E[steps]/n equals E[T] in time units",
+        &["graph", "n", "E[T]", "E[steps]/n", "rel diff"],
+    );
+    let n = if cfg.full_scale { 256 } else { 48 };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x6D7);
+    let mut worst: f64 = 0.0;
+    for entry in standard_suite(n, &mut graph_rng) {
+        let n_actual = entry.graph.node_count() as f64;
+        let budget = default_max_steps(&entry.graph);
+        let rows = run_trials_parallel(cfg.trials, mix_seed(cfg, SALT), cfg.threads, |_, rng| {
+            let out = run_async(
+                &entry.graph,
+                entry.source,
+                Mode::PushPull,
+                AsyncView::GlobalClock,
+                rng,
+                budget,
+            );
+            (out.time, out.steps as f64)
+        });
+        let time: OnlineStats = rows.iter().map(|r| r.0).collect();
+        let steps: OnlineStats = rows.iter().map(|r| r.1 / n_actual).collect();
+        let rel = (time.mean() - steps.mean()).abs() / time.mean();
+        worst = worst.max(rel);
+        table.add_row(vec![
+            entry.name.to_owned(),
+            entry.graph.node_count().to_string(),
+            fmt_f(time.mean(), 3),
+            fmt_f(steps.mean(), 3),
+            fmt_f(rel, 4),
+        ]);
+    }
+    table.add_note(&format!(
+        "equality holds in expectation; worst relative difference = {}",
+        fmt_f(worst, 4)
+    ));
+    table
+}
+
+/// Largest relative difference (test hook).
+pub fn worst_rel_diff(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 4).unwrap().parse::<f64>().unwrap())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_over_n_equals_time() {
+        let cfg = ExperimentConfig::quick().with_trials(150);
+        let table = run(&cfg);
+        let worst = worst_rel_diff(&table);
+        assert!(worst < 0.1, "steps/n deviates from time by {worst}");
+    }
+}

@@ -1,0 +1,84 @@
+//! **E14 — the Richardson / first-passage-percolation correspondence.**
+//! On a `d`-regular graph, asynchronous push–pull is exactly FPP with
+//! i.i.d. `Exp(2/d)` edge weights (Poisson thinning; §1 cites the
+//! hypercube case as Richardson's model). We compare the spreading-time
+//! samples of the event-driven engine and the Dijkstra-based FPP
+//! realization on hypercubes of growing dimension.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::fpp::async_pushpull_as_fpp;
+use rumor_core::runner::{default_max_steps, run_trials_parallel};
+use rumor_core::{run_async, Mode};
+use rumor_graph::generators;
+use rumor_sim::stats::{ks_statistic, OnlineStats};
+
+use crate::experiments::common::{mix_seed, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE14;
+
+/// Hypercube dimensions for the sweep.
+pub fn dimensions(cfg: &ExperimentConfig) -> Vec<u32> {
+    if cfg.full_scale {
+        vec![4, 5, 6, 7, 8]
+    } else {
+        vec![4, 5]
+    }
+}
+
+/// Runs E14 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E14 / hypercube: event-driven pp-a vs first-passage percolation",
+        &["dim", "n", "E[T_pp-a]", "E[T_fpp]", "ratio", "KS distance"],
+    );
+    for dim in dimensions(cfg) {
+        let g = generators::hypercube(dim);
+        let budget = default_max_steps(&g);
+        let ppa: Vec<f64> =
+            run_trials_parallel(cfg.trials, mix_seed(cfg, SALT), cfg.threads, |_, rng| {
+                run_async(&g, 0, Mode::PushPull, AsyncView::EdgeClocks, rng, budget).time
+            });
+        let fpp: Vec<f64> = run_trials_parallel(
+            cfg.trials,
+            mix_seed(cfg, SALT + 1),
+            cfg.threads,
+            |_, rng| async_pushpull_as_fpp(&g, 0, rng).makespan,
+        );
+        let sa: OnlineStats = ppa.iter().copied().collect();
+        let sf: OnlineStats = fpp.iter().copied().collect();
+        table.add_row(vec![
+            dim.to_string(),
+            g.node_count().to_string(),
+            fmt_f(sa.mean(), 3),
+            fmt_f(sf.mean(), 3),
+            fmt_f(sa.mean() / sf.mean(), 3),
+            fmt_f(ks_statistic(&ppa, &fpp), 3),
+        ]);
+    }
+    table.add_note("the correspondence is exact: ratio -> 1, KS distance is sampling noise");
+    table
+}
+
+/// Worst |ratio − 1| across dimensions (test hook).
+pub fn worst_ratio_error(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| {
+            let ratio: f64 = table.cell(r, 4).unwrap().parse().unwrap();
+            (ratio - 1.0).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpp_matches_event_driven_async() {
+        let cfg = ExperimentConfig::quick().with_trials(150);
+        let table = run(&cfg);
+        let err = worst_ratio_error(&table);
+        assert!(err < 0.12, "FPP/pp-a mean ratio off by {err}");
+    }
+}

@@ -1,0 +1,79 @@
+//! **E2 — Theorem 2.** `E[T(pp-a)] = Ω(E[T(pp)] / √n)`, equivalently
+//! `E[T(pp)] = O(√n · E[T(pp-a)] + √n)`.
+//!
+//! For every family and size, estimate both expectations and report
+//! `Ê[T_sync] / (√n · Ê[T_async] + √n)`. Theorem 2 bounds this by a
+//! universal constant. On most graphs the bound is far from tight (the
+//! ratio is tiny); the diamond family is the known near-extremal case.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::Mode;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{
+    mix_seed, sample_async, sample_sync, standard_suite, sweep_sizes, ExperimentConfig,
+};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE2;
+
+/// Runs E2 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E2 / Theorem 2: E[T_sync] vs sqrt(n)*E[T_async] + sqrt(n) (push-pull)",
+        &["graph", "n", "E[T_sync]", "E[T_async]", "sqrt(n)", "ratio"],
+    );
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x627);
+    let mut worst: f64 = 0.0;
+    for n in sweep_sizes(cfg) {
+        for entry in standard_suite(n, &mut graph_rng) {
+            let n_actual = entry.graph.node_count();
+            let sync: OnlineStats =
+                sample_sync(&entry, Mode::PushPull, cfg, SALT).into_iter().collect();
+            let asy: OnlineStats =
+                sample_async(&entry, Mode::PushPull, AsyncView::GlobalClock, cfg, SALT + 1)
+                    .into_iter()
+                    .collect();
+            let sqrt_n = (n_actual as f64).sqrt();
+            let ratio = sync.mean() / (sqrt_n * asy.mean() + sqrt_n);
+            worst = worst.max(ratio);
+            table.add_row(vec![
+                entry.name.to_owned(),
+                n_actual.to_string(),
+                fmt_f(sync.mean(), 2),
+                fmt_f(asy.mean(), 3),
+                fmt_f(sqrt_n, 1),
+                fmt_f(ratio, 4),
+            ]);
+        }
+    }
+    table.add_note(&format!(
+        "Theorem 2 predicts ratio = O(1); worst observed = {} (diamonds is the near-extremal family)",
+        fmt_f(worst, 4)
+    ));
+    table
+}
+
+/// The largest ratio in a finished E2 table (test hook).
+pub fn worst_ratio(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 5).expect("ratio column").parse::<f64>().expect("numeric"))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_bounds_ratio() {
+        let cfg = ExperimentConfig::quick().with_trials(40);
+        let table = run(&cfg);
+        assert!(table.row_count() >= 10);
+        let worst = worst_ratio(&table);
+        // The constant in Theorem 2 is modest; 3 is already generous.
+        assert!(worst < 3.0, "ratio {worst} exceeds plausibility");
+        assert!(worst > 0.0);
+    }
+}

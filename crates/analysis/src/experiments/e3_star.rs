@@ -1,0 +1,90 @@
+//! **E3 — the star example (§1).** Synchronous push–pull informs an
+//! `n`-star within 2 rounds; the asynchronous protocol needs `Θ(log n)`
+//! time. This is the paper's witness that Theorem 1's additive `O(log n)`
+//! term cannot be removed.
+//!
+//! The series sweeps doubling star sizes, reports both times, and fits
+//! `T_async(n) ≈ a·ln n + b` — the fit quality (`r²`) certifies the
+//! logarithmic shape.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::runner::high_probability_time;
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::fit::log_fit;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{sample_async, sample_sync, ExperimentConfig, SuiteEntry};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE3;
+
+/// Star sizes for the sweep.
+pub fn sizes(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.full_scale {
+        vec![64, 256, 1024, 4096, 16384]
+    } else {
+        vec![32, 128, 512]
+    }
+}
+
+/// Runs E3 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E3 / star graph: sync <= 2 rounds vs async Theta(log n)",
+        &["n", "T_sync_hp", "E[T_async]", "T_async_hp", "ln n"],
+    );
+    let mut ns = Vec::new();
+    let mut means = Vec::new();
+    for n in sizes(cfg) {
+        // Source is a leaf: the configuration the paper discusses.
+        let entry = SuiteEntry { name: "star", graph: generators::star(n), source: 1 };
+        let sync = sample_sync(&entry, Mode::PushPull, cfg, SALT);
+        let asy = sample_async(&entry, Mode::PushPull, AsyncView::GlobalClock, cfg, SALT + 1);
+        let t_sync = high_probability_time(&sync, n);
+        let asy_stats: OnlineStats = asy.iter().copied().collect();
+        let t_async = high_probability_time(&asy, n);
+        ns.push(n as f64);
+        means.push(asy_stats.mean());
+        table.add_row(vec![
+            n.to_string(),
+            fmt_f(t_sync, 1),
+            fmt_f(asy_stats.mean(), 2),
+            fmt_f(t_async, 2),
+            fmt_f((n as f64).ln(), 2),
+        ]);
+    }
+    let fit = log_fit(&ns, &means);
+    table.add_note(&format!(
+        "log fit: E[T_async] ~ {}*ln n + {} (r^2 = {})",
+        fmt_f(fit.slope, 2),
+        fmt_f(fit.intercept, 2),
+        fmt_f(fit.r2, 4),
+    ));
+    table.add_note("sync hp time must be <= 2 for every n (intro example)");
+    table
+}
+
+/// Parses the sync column and returns its maximum (test hook).
+pub fn max_sync_rounds(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 1).expect("sync column").parse::<f64>().expect("numeric"))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_is_at_most_two_and_async_grows() {
+        let cfg = ExperimentConfig::quick().with_trials(50);
+        let table = run(&cfg);
+        assert!(max_sync_rounds(&table) <= 2.0);
+        // Async time grows monotonically with n (log shape).
+        let first: f64 = table.cell(0, 2).unwrap().parse().unwrap();
+        let last: f64 =
+            table.cell(table.row_count() - 1, 2).unwrap().parse().unwrap();
+        assert!(last > first, "async time should grow with n ({first} -> {last})");
+    }
+}

@@ -1,0 +1,106 @@
+//! **E4 — Corollary 3.** On regular graphs, synchronous push alone is
+//! `Θ(synchronous push–pull)`: `T_p,1/n = Θ(T_pp,1/n)`.
+//!
+//! For each regular family and size, estimate both high-probability times
+//! and report their ratio, which must stay in a constant band as `n`
+//! grows. (On *non*-regular graphs the ratio explodes — the double-star
+//! row demonstrates the contrast.)
+
+use rumor_core::runner::high_probability_time;
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::experiments::common::{
+    mix_seed, regular_suite, sample_sync, sweep_sizes, ExperimentConfig, SuiteEntry,
+};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE4;
+
+/// Runs E4 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E4 / Corollary 3: sync push vs sync push-pull on regular graphs",
+        &["graph", "n", "T_push_hp", "T_pushpull_hp", "ratio"],
+    );
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x647);
+    let mut worst_regular: f64 = 0.0;
+    for n in sweep_sizes(cfg) {
+        for entry in regular_suite(n, &mut graph_rng) {
+            let n_actual = entry.graph.node_count();
+            let push = sample_sync(&entry, Mode::Push, cfg, SALT);
+            let pp = sample_sync(&entry, Mode::PushPull, cfg, SALT + 1);
+            let tp = high_probability_time(&push, n_actual);
+            let tpp = high_probability_time(&pp, n_actual);
+            let ratio = tp / tpp.max(1.0);
+            worst_regular = worst_regular.max(ratio);
+            table.add_row(vec![
+                entry.name.to_owned(),
+                n_actual.to_string(),
+                fmt_f(tp, 1),
+                fmt_f(tpp, 1),
+                fmt_f(ratio, 3),
+            ]);
+        }
+    }
+    // Contrast row: a non-regular family where push is Θ(k log k) but
+    // push-pull is O(1) — Corollary 3 genuinely needs regularity.
+    let contrast_n = *sweep_sizes(cfg).last().expect("non-empty sizes");
+    let entry = SuiteEntry {
+        name: "double-star (NOT regular)",
+        graph: generators::double_star(contrast_n / 2 - 1, contrast_n - contrast_n / 2 - 1),
+        source: 2,
+    };
+    let push = sample_sync(&entry, Mode::Push, cfg, SALT + 2);
+    let pp = sample_sync(&entry, Mode::PushPull, cfg, SALT + 3);
+    let tp = high_probability_time(&push, contrast_n);
+    let tpp = high_probability_time(&pp, contrast_n);
+    table.add_row(vec![
+        entry.name.to_owned(),
+        contrast_n.to_string(),
+        fmt_f(tp, 1),
+        fmt_f(tpp, 1),
+        fmt_f(tp / tpp.max(1.0), 3),
+    ]);
+    table.add_note(&format!(
+        "Corollary 3 predicts a constant ratio on regular graphs; worst regular ratio = {}",
+        fmt_f(worst_regular, 3)
+    ));
+    table.add_note("the final (non-regular) row shows the ratio Corollary 3 rules out");
+    table
+}
+
+/// Max ratio among regular rows (all but the last row; test hook).
+pub fn worst_regular_ratio(table: &Table) -> f64 {
+    (0..table.row_count().saturating_sub(1))
+        .map(|r| table.cell(r, 4).expect("ratio column").parse::<f64>().expect("numeric"))
+        .fold(0.0, f64::max)
+}
+
+/// Ratio of the contrast (non-regular) row (test hook).
+pub fn contrast_ratio(table: &Table) -> f64 {
+    let r = table.row_count() - 1;
+    table.cell(r, 4).expect("ratio column").parse().expect("numeric")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_ratios_are_constant_and_contrast_is_not() {
+        let cfg = ExperimentConfig::quick().with_trials(40);
+        let table = run(&cfg);
+        let worst = worst_regular_ratio(&table);
+        assert!(worst < 6.0, "regular push/push-pull ratio {worst} too large");
+        assert!(worst >= 1.0 - 0.35, "push cannot beat push-pull by much: {worst}");
+        // The double star should show a dramatically larger ratio.
+        assert!(
+            contrast_ratio(&table) > worst,
+            "contrast {} should exceed regular worst {}",
+            contrast_ratio(&table),
+            worst
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! **E5 — observation (2) of §1.** On regular graphs, the asynchronous
+//! push-only spreading time has the same distribution as **twice** the
+//! asynchronous push–pull time.
+//!
+//! Intuition: on a `d`-regular graph every directed contact `(v, w)`
+//! happens at rate `1/d`; push-only can use only the informed→uninformed
+//! direction, push–pull uses both, so the transmission clock across every
+//! edge runs exactly twice as fast. We verify by comparing the sample of
+//! `T_push-a` against an independent sample of `2·T_pp-a`: means and the
+//! Kolmogorov–Smirnov distance.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::Mode;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::{ks_statistic, OnlineStats};
+
+use crate::experiments::common::{
+    mix_seed, regular_suite, sample_async, ExperimentConfig,
+};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE5;
+
+/// Runs E5 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E5 / regular graphs: async push ~ 2 x async push-pull (distribution)",
+        &["graph", "n", "E[T_push-a]", "2*E[T_pp-a]", "mean ratio", "KS distance"],
+    );
+    let n = if cfg.full_scale { 256 } else { 64 };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x657);
+    for entry in regular_suite(n, &mut graph_rng) {
+        let push: Vec<f64> =
+            sample_async(&entry, Mode::Push, AsyncView::GlobalClock, cfg, SALT);
+        let pp_doubled: Vec<f64> =
+            sample_async(&entry, Mode::PushPull, AsyncView::GlobalClock, cfg, SALT + 1)
+                .into_iter()
+                .map(|t| 2.0 * t)
+                .collect();
+        let sp: OnlineStats = push.iter().copied().collect();
+        let sd: OnlineStats = pp_doubled.iter().copied().collect();
+        let ks = ks_statistic(&push, &pp_doubled);
+        table.add_row(vec![
+            entry.name.to_owned(),
+            entry.graph.node_count().to_string(),
+            fmt_f(sp.mean(), 3),
+            fmt_f(sd.mean(), 3),
+            fmt_f(sp.mean() / sd.mean(), 3),
+            fmt_f(ks, 3),
+        ]);
+    }
+    table.add_note("claim: T_push-a and 2*T_pp-a are equal in distribution on regular graphs");
+    table.add_note("KS distance shrinks as trials grow; mean ratio should be ~1.0");
+    table
+}
+
+/// Worst |mean ratio − 1| across rows (test hook).
+pub fn worst_mean_ratio_error(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| {
+            let ratio: f64 =
+                table.cell(r, 4).expect("ratio column").parse().expect("numeric");
+            (ratio - 1.0).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_is_twice_pushpull_on_regular_graphs() {
+        let cfg = ExperimentConfig::quick().with_trials(150);
+        let table = run(&cfg);
+        let err = worst_mean_ratio_error(&table);
+        assert!(err < 0.2, "mean ratio deviates from 1 by {err}");
+    }
+}

@@ -1,0 +1,110 @@
+//! **E6 — the Acan et al. separation.** On the string-of-diamonds graph
+//! with `k = n^{1/3}` diamonds of width `m = n^{2/3}`, synchronous
+//! push–pull needs `Θ(n^{1/3})` rounds while asynchronous push–pull
+//! finishes in polylogarithmic time. The paper cites this construction to
+//! show its Theorem 2 lower bound is within `Θ(n^{1/6})` of the best
+//! possible.
+//!
+//! The series sweeps sizes, fits `T_sync(n) ≈ a·n^b` (expect `b ≈ 1/3`),
+//! and shows the measured sync/async ratio growing polynomially.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::fit::power_law_fit;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{sample_async, sample_sync, ExperimentConfig, SuiteEntry};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE6;
+
+/// Target sizes for the sweep.
+pub fn sizes(cfg: &ExperimentConfig) -> Vec<usize> {
+    if cfg.full_scale {
+        vec![256, 1024, 4096, 16384]
+    } else {
+        vec![128, 512]
+    }
+}
+
+/// Runs E6 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E6 / string of diamonds: sync Theta(n^{1/3}) vs async polylog",
+        &["n", "k", "m", "E[T_sync]", "E[T_async]", "sync/async"],
+    );
+    let mut ns = Vec::new();
+    let mut sync_means = Vec::new();
+    for target in sizes(cfg) {
+        let (k, m) = generators::diamond_parameters(target);
+        let entry = SuiteEntry {
+            name: "diamonds",
+            graph: generators::string_of_diamonds(k, m),
+            source: 0,
+        };
+        let n_actual = entry.graph.node_count();
+        let sync: OnlineStats =
+            sample_sync(&entry, Mode::PushPull, cfg, SALT).into_iter().collect();
+        let asy: OnlineStats =
+            sample_async(&entry, Mode::PushPull, AsyncView::GlobalClock, cfg, SALT + 1)
+                .into_iter()
+                .collect();
+        ns.push(n_actual as f64);
+        sync_means.push(sync.mean());
+        table.add_row(vec![
+            n_actual.to_string(),
+            k.to_string(),
+            m.to_string(),
+            fmt_f(sync.mean(), 1),
+            fmt_f(asy.mean(), 2),
+            fmt_f(sync.mean() / asy.mean(), 1),
+        ]);
+    }
+    let fit = power_law_fit(&ns, &sync_means);
+    table.add_note(&format!(
+        "power-law fit: E[T_sync] ~ {}*n^{} (r^2 = {}); theory predicts exponent 1/3",
+        fmt_f(fit.a, 2),
+        fmt_f(fit.b, 3),
+        fmt_f(fit.r2, 4),
+    ));
+    table.add_note("async stays polylogarithmic, so the sync/async ratio grows polynomially");
+    table
+}
+
+/// The fitted synchronous growth exponent (recomputed from the table's
+/// data columns; test hook).
+pub fn sync_exponent(table: &Table) -> f64 {
+    let ns: Vec<f64> = (0..table.row_count())
+        .map(|r| table.cell(r, 0).unwrap().parse().unwrap())
+        .collect();
+    let ts: Vec<f64> = (0..table.row_count())
+        .map(|r| table.cell(r, 3).unwrap().parse().unwrap())
+        .collect();
+    power_law_fit(&ns, &ts).b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_grows_polynomially_and_async_wins() {
+        let cfg = ExperimentConfig::quick().with_trials(40);
+        let table = run(&cfg);
+        // At quick sizes the exponent estimate is rough; require a clear
+        // polynomial signal.
+        let b = sync_exponent(&table);
+        assert!(b > 0.15, "sync exponent {b} too flat");
+        // Async must beat sync at the largest size, and the gap must widen
+        // with n (the separation is asymptotic).
+        let last = table.row_count() - 1;
+        let first_ratio: f64 = table.cell(0, 5).unwrap().parse().unwrap();
+        let last_ratio: f64 = table.cell(last, 5).unwrap().parse().unwrap();
+        assert!(last_ratio > 1.4, "sync/async ratio {last_ratio} should exceed 1.4");
+        assert!(
+            last_ratio > first_ratio,
+            "separation should widen: {first_ratio} -> {last_ratio}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! **E7 — classical graphs (§1).** On the hypercube, random graphs,
+//! random regular graphs, and the complete graph, synchronous and
+//! asynchronous push–pull have the same spreading time up to constant
+//! factors ([2, 14, 21, 23] in the paper).
+//!
+//! For each family the async/sync ratio of mean spreading times is
+//! reported across doubling sizes; a constant-factor relationship shows
+//! as a flat column.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, sample_async, sample_sync, ExperimentConfig, SuiteEntry};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE7;
+
+/// Runs E7 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E7 / classical graphs: async/sync ratio is Theta(1)",
+        &["graph", "n", "E[T_sync]", "E[T_async]", "async/sync"],
+    );
+    let sizes: Vec<usize> =
+        if cfg.full_scale { vec![64, 256, 1024] } else { vec![32, 128] };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x677);
+    for &n in &sizes {
+        let dim = (n as f64).log2().round() as u32;
+        let p_conn = 2.0 * (n as f64).ln() / n as f64;
+        let entries = vec![
+            SuiteEntry { name: "hypercube", graph: generators::hypercube(dim), source: 0 },
+            SuiteEntry { name: "complete", graph: generators::complete(n), source: 0 },
+            SuiteEntry {
+                name: "gnp",
+                graph: generators::gnp_connected(n, p_conn, &mut graph_rng, 200),
+                source: 0,
+            },
+            SuiteEntry {
+                name: "random-regular-3",
+                graph: generators::random_regular_connected(n, 3, &mut graph_rng, 500),
+                source: 0,
+            },
+        ];
+        for entry in entries {
+            let sync: OnlineStats =
+                sample_sync(&entry, Mode::PushPull, cfg, SALT).into_iter().collect();
+            let asy: OnlineStats =
+                sample_async(&entry, Mode::PushPull, AsyncView::GlobalClock, cfg, SALT + 1)
+                    .into_iter()
+                    .collect();
+            table.add_row(vec![
+                entry.name.to_owned(),
+                entry.graph.node_count().to_string(),
+                fmt_f(sync.mean(), 2),
+                fmt_f(asy.mean(), 2),
+                fmt_f(asy.mean() / sync.mean(), 3),
+            ]);
+        }
+    }
+    table.add_note("per family, the ratio column should be flat in n (constant factor)");
+    table
+}
+
+/// For each family, the spread (max/min) of its ratio column across sizes
+/// (test hook). A constant-factor law keeps these spreads small.
+pub fn ratio_spreads(table: &Table) -> Vec<(String, f64)> {
+    use std::collections::BTreeMap;
+    let mut per_family: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for r in 0..table.row_count() {
+        let name = table.cell(r, 0).unwrap().to_owned();
+        let ratio: f64 = table.cell(r, 4).unwrap().parse().unwrap();
+        per_family.entry(name).or_default().push(ratio);
+    }
+    per_family
+        .into_iter()
+        .map(|(name, rs)| {
+            let max = rs.iter().cloned().fold(f64::MIN, f64::max);
+            let min = rs.iter().cloned().fold(f64::MAX, f64::min);
+            (name, max / min)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_stay_in_a_constant_band() {
+        let cfg = ExperimentConfig::quick().with_trials(60);
+        let table = run(&cfg);
+        for (family, spread) in ratio_spreads(&table) {
+            assert!(
+                spread < 2.5,
+                "family {family} ratio spread {spread} not constant-like"
+            );
+        }
+    }
+}

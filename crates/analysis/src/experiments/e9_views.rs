@@ -1,0 +1,103 @@
+//! **E9 — the three asynchronous formulations (§2).** Per-node rate-1
+//! clocks, one global rate-`n` clock, and per-directed-edge clocks with
+//! rate `1/deg(v)` describe the *same* process (superposition and
+//! thinning of Poisson processes). We verify by sampling the spreading
+//! time under each view and comparing all pairs: means and
+//! Kolmogorov–Smirnov distances.
+
+use rumor_core::asynchronous::AsyncView;
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::{ks_statistic, OnlineStats};
+
+use crate::experiments::common::{mix_seed, sample_async, ExperimentConfig, SuiteEntry};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE9;
+
+/// Runs E9 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E9 / equivalence of async formulations (push-pull spreading time)",
+        &["graph", "n", "mean(global)", "mean(node)", "mean(edge)", "max KS"],
+    );
+    let n = if cfg.full_scale { 128 } else { 48 };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x697);
+    let entries = vec![
+        SuiteEntry { name: "star", graph: generators::star(n), source: 1 },
+        SuiteEntry { name: "cycle", graph: generators::cycle(n), source: 0 },
+        SuiteEntry {
+            name: "hypercube",
+            graph: generators::hypercube((n as f64).log2().round() as u32),
+            source: 0,
+        },
+        SuiteEntry {
+            name: "gnp",
+            graph: generators::gnp_connected(
+                n,
+                2.0 * (n as f64).ln() / n as f64,
+                &mut graph_rng,
+                200,
+            ),
+            source: 0,
+        },
+    ];
+    for entry in &entries {
+        let samples: Vec<Vec<f64>> = AsyncView::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &view)| sample_async(entry, Mode::PushPull, view, cfg, SALT + i as u64))
+            .collect();
+        let means: Vec<f64> = samples
+            .iter()
+            .map(|s| s.iter().copied().collect::<OnlineStats>().mean())
+            .collect();
+        let mut max_ks: f64 = 0.0;
+        for i in 0..samples.len() {
+            for j in (i + 1)..samples.len() {
+                max_ks = max_ks.max(ks_statistic(&samples[i], &samples[j]));
+            }
+        }
+        table.add_row(vec![
+            entry.name.to_owned(),
+            entry.graph.node_count().to_string(),
+            fmt_f(means[0], 3),
+            fmt_f(means[1], 3),
+            fmt_f(means[2], 3),
+            fmt_f(max_ks, 3),
+        ]);
+    }
+    table.add_note("all three views sample one process: KS distances are pure Monte-Carlo noise");
+    table
+}
+
+/// Largest pairwise KS distance in the table (test hook).
+pub fn worst_ks(table: &Table) -> f64 {
+    (0..table.row_count())
+        .map(|r| table.cell(r, 5).unwrap().parse::<f64>().unwrap())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_are_statistically_indistinguishable() {
+        let cfg = ExperimentConfig::quick().with_trials(150);
+        let table = run(&cfg);
+        // Critical KS value at alpha=0.001 for 150-vs-150 samples ~ 0.225.
+        let worst = worst_ks(&table);
+        assert!(worst < 0.23, "views differ: max KS {worst}");
+        // Means should agree within 15 %.
+        for r in 0..table.row_count() {
+            let m: Vec<f64> = (2..=4)
+                .map(|c| table.cell(r, c).unwrap().parse::<f64>().unwrap())
+                .collect();
+            let max = m.iter().cloned().fold(f64::MIN, f64::max);
+            let min = m.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(max / min < 1.15, "means differ: {m:?}");
+        }
+    }
+}

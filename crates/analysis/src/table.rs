@@ -1,0 +1,199 @@
+//! Aligned text tables and CSV emission for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned table with a title and footnotes.
+///
+/// # Example
+///
+/// ```
+/// use rumor_analysis::Table;
+/// let mut t = Table::new("demo", &["graph", "n", "ratio"]);
+/// t.add_row(vec!["star".into(), "64".into(), "1.52".into()]);
+/// t.add_note("ratios should be O(1)");
+/// let text = t.to_text();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("star"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("graph,n,ratio"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "table needs at least one column");
+        Self {
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn add_row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote shown under the table.
+    pub fn add_note(&mut self, note: &str) -> &mut Self {
+        self.notes.push(note.to_owned());
+        self
+    }
+
+    /// Cell accessor (row, column), if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders the aligned plain-text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows; notes become trailing `#` comments).
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Formats a float with `prec` decimals (shorthand for table cells).
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_content() {
+        let mut t = Table::new("t", &["a", "bbbb"]);
+        t.add_row(vec!["xxx".into(), "1".into()]);
+        let text = t.to_text();
+        assert!(text.contains("== t =="));
+        // Each data line has both cells.
+        assert!(text.lines().any(|l| l.contains("xxx") && l.contains('1')));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("t", &["a,b", "c"]);
+        t.add_row(vec!["x\"y".into(), "plain".into()]);
+        t.add_note("hello");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("\"x\"\"y\",plain"));
+        assert!(csv.contains("# hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_arity_checked() {
+        Table::new("t", &["a"]).add_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn cell_accessor() {
+        let mut t = Table::new("t", &["a"]);
+        t.add_row(vec!["v".into()]);
+        assert_eq!(t.cell(0, 0), Some("v"));
+        assert_eq!(t.cell(1, 0), None);
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn fmt_f_precision() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(2.0, 0), "2");
+    }
+}

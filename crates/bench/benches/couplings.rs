@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the coupling machinery (the paper's proof
+//! constructions, §§3–5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_core::coupling::blocks::run_block_coupling;
+use rumor_core::coupling::pull::run_pull_coupling;
+use rumor_core::coupling::push::run_push_coupling;
+use rumor_graph::generators;
+
+fn bench_couplings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("couplings_hypercube_64");
+    group.sample_size(30);
+    let g = generators::hypercube(6);
+    let mut seed = 0u64;
+    group.bench_function("push_coupling", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_push_coupling(&g, 0, seed, 1_000_000)
+        })
+    });
+    group.bench_function("pull_coupling", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_pull_coupling(&g, 0, seed, 1_000_000)
+        })
+    });
+    group.bench_function("block_coupling", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_block_coupling(&g, 0, seed, 100_000_000)
+        })
+    });
+    group.finish();
+}
+
+fn bench_block_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_coupling_scaling");
+    group.sample_size(15);
+    for n in [64usize, 256] {
+        let g = generators::cycle(n);
+        let mut seed = 0u64;
+        group.bench_function(format!("cycle-{n}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                run_block_coupling(&g, 0, seed, 500_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_couplings, bench_block_scaling);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the protocol engines: one synchronous
+//! run and one asynchronous run per view, across representative graphs.
+//! These measure simulator throughput (runs/second), complementing the
+//! experiment binaries that measure protocol behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumor_core::{run_async, run_sync, AsyncView, Mode};
+use rumor_graph::{generators, Graph};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+fn bench_graphs() -> Vec<(&'static str, Graph)> {
+    let mut rng = Xoshiro256PlusPlus::seed_from(42);
+    vec![
+        ("hypercube-256", generators::hypercube(8)),
+        ("gnp-256", generators::gnp_connected(256, 0.05, &mut rng, 200)),
+        ("star-256", generators::star(256)),
+        ("cycle-256", generators::cycle(256)),
+    ]
+}
+
+fn bench_sync_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_pushpull");
+    for (name, g) in bench_graphs() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| run_sync(g, 0, Mode::PushPull, &mut rng, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sync_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_modes_hypercube_256");
+    let g = generators::hypercube(8);
+    for mode in Mode::ALL {
+        let mut rng = Xoshiro256PlusPlus::seed_from(8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.to_string()),
+            &mode,
+            |b, &mode| b.iter(|| run_sync(&g, 0, mode, &mut rng, 1_000_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_async_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_views_hypercube_256");
+    let g = generators::hypercube(8);
+    for view in AsyncView::ALL {
+        let mut rng = Xoshiro256PlusPlus::seed_from(9);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(view.to_string()),
+            &view,
+            |b, &view| {
+                b.iter(|| run_async(&g, 0, Mode::PushPull, view, &mut rng, 100_000_000))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_async_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_global_clock_scaling");
+    group.sample_size(20);
+    for dim in [6u32, 8, 10] {
+        let g = generators::hypercube(dim);
+        let mut rng = Xoshiro256PlusPlus::seed_from(10);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={}", g.node_count())),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    run_async(g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 100_000_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_engine,
+    bench_sync_modes,
+    bench_async_views,
+    bench_async_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the graph generators at n ≈ 1024.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+fn bench_deterministic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_deterministic_1024");
+    group.bench_function("star", |b| b.iter(|| generators::star(1024)));
+    group.bench_function("cycle", |b| b.iter(|| generators::cycle(1024)));
+    group.bench_function("hypercube-10", |b| b.iter(|| generators::hypercube(10)));
+    group.bench_function("torus-32x32", |b| b.iter(|| generators::torus(32, 32)));
+    group.bench_function("complete-1024", |b| b.iter(|| generators::complete(1024)));
+    group.bench_function("diamonds-10x102", |b| {
+        b.iter(|| generators::string_of_diamonds(10, 102))
+    });
+    group.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_random_1024");
+    group.sample_size(20);
+    group.bench_function("gnp-0.01", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from(1);
+        b.iter(|| generators::gnp(1024, 0.01, &mut rng))
+    });
+    group.bench_function("random-regular-6", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from(2);
+        b.iter(|| generators::random_regular(1024, 6, &mut rng, 1000))
+    });
+    group.bench_function("chung-lu-2.5", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from(3);
+        b.iter(|| generators::chung_lu(1024, 2.5, 8.0, &mut rng))
+    });
+    group.bench_function("pref-attach-2", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from(4);
+        b.iter(|| generators::preferential_attachment(1024, 2, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deterministic, bench_random);
+criterion_main!(benches);

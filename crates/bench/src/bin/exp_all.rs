@@ -1,0 +1,5 @@
+//! Regenerates every experiment table in sequence (EXPERIMENTS.md).
+//! Flags: --quick --trials N --seed S --csv.
+fn main() {
+    rumor_bench::run_all_and_print();
+}

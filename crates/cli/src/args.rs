@@ -1,0 +1,113 @@
+//! Minimal flag parsing: positionals plus `--key value` options.
+
+use std::collections::HashMap;
+
+use crate::error::CliError;
+
+/// Parsed command-line arguments for one subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Splits `tokens` into positionals and `--key value` options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for an option without a value.
+    pub fn parse(tokens: &[String]) -> Result<Self, CliError> {
+        let mut args = Args::default();
+        let mut iter = tokens.iter();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
+                args.options.insert(key.to_owned(), value.clone());
+            } else {
+                args.positional.push(tok.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// The `index`-th positional, or a usage error naming it.
+    pub fn require(&self, index: usize, name: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing <{name}> argument")))
+    }
+
+    /// The `index`-th positional parsed as `T`.
+    pub fn require_parsed<T: std::str::FromStr>(
+        &self,
+        index: usize,
+        name: &str,
+    ) -> Result<T, CliError> {
+        let raw = self.require(index, name)?;
+        raw.parse()
+            .map_err(|_| CliError::Usage(format!("cannot parse <{name}> from `{raw}`")))
+    }
+
+    /// An option value parsed as `T`, or `default` if absent.
+    pub fn opt_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse --{key} from `{raw}`"))),
+        }
+    }
+
+    /// An option value as a string, or `default` if absent.
+    pub fn opt_str(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let v: Vec<String> = tokens.iter().map(|s| (*s).to_string()).collect();
+        Args::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn splits_positionals_and_options() {
+        let a = parse(&["star", "10", "--seed", "7"]);
+        assert_eq!(a.positional(), &["star", "10"]);
+        assert_eq!(a.opt_parsed::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.opt_parsed::<u64>("missing", 3).unwrap(), 3);
+        assert_eq!(a.opt_str("model", "sync"), "sync");
+    }
+
+    #[test]
+    fn require_reports_names() {
+        let a = parse(&["star"]);
+        assert_eq!(a.require(0, "family").unwrap(), "star");
+        let err = a.require(1, "n").unwrap_err();
+        assert!(err.to_string().contains("<n>"));
+        let err = a.require_parsed::<usize>(0, "n").unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
+    }
+
+    #[test]
+    fn option_without_value_is_error() {
+        let v = vec!["--seed".to_string()];
+        assert!(Args::parse(&v).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! `rumor gen` — emit a benchmark graph as edge-list text.
+
+use rumor_graph::{generators, io, Graph};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// Runs the `gen` subcommand.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(tokens)?;
+    let family = args.require(0, "family")?.to_owned();
+    let seed: u64 = args.opt_parsed("seed", 42)?;
+    let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+
+    let graph = build(&family, &args, &mut rng)?;
+    Ok(io::to_edge_list(&graph))
+}
+
+fn build(
+    family: &str,
+    args: &Args,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Graph, CliError> {
+    let g = match family {
+        "star" => generators::star(args.require_parsed(1, "n")?),
+        "path" => generators::path(args.require_parsed(1, "n")?),
+        "cycle" => generators::cycle(args.require_parsed(1, "n")?),
+        "complete" => generators::complete(args.require_parsed(1, "n")?),
+        "hypercube" => generators::hypercube(args.require_parsed(1, "d")?),
+        "grid" => generators::grid(
+            args.require_parsed(1, "rows")?,
+            args.require_parsed(2, "cols")?,
+        ),
+        "torus" => generators::torus(
+            args.require_parsed(1, "rows")?,
+            args.require_parsed(2, "cols")?,
+        ),
+        "tree" => generators::complete_binary_tree(args.require_parsed(1, "n")?),
+        "caterpillar" => generators::caterpillar(
+            args.require_parsed(1, "spine")?,
+            args.require_parsed(2, "legs")?,
+        ),
+        "doublestar" => generators::double_star(
+            args.require_parsed(1, "left")?,
+            args.require_parsed(2, "right")?,
+        ),
+        "diamonds" => generators::string_of_diamonds(
+            args.require_parsed(1, "k")?,
+            args.require_parsed(2, "m")?,
+        ),
+        "necklace" => generators::necklace_of_cliques(
+            args.require_parsed(1, "k")?,
+            args.require_parsed(2, "s")?,
+        ),
+        "gnp" => generators::gnp(
+            args.require_parsed(1, "n")?,
+            args.require_parsed(2, "p")?,
+            rng,
+        ),
+        "regular" => generators::random_regular(
+            args.require_parsed(1, "n")?,
+            args.require_parsed(2, "d")?,
+            rng,
+            10_000,
+        ),
+        "chunglu" => generators::chung_lu(
+            args.require_parsed(1, "n")?,
+            args.require_parsed(2, "beta")?,
+            args.require_parsed(3, "avg")?,
+            rng,
+        ),
+        "pa" => generators::preferential_attachment(
+            args.require_parsed(1, "n")?,
+            args.require_parsed(2, "m")?,
+            rng,
+        ),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown family `{other}`; see `rumor help`"
+            )))
+        }
+    };
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(tokens: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = tokens.iter().map(|s| (*s).to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn deterministic_families() {
+        let star = gen(&["star", "5"]).unwrap();
+        assert!(star.starts_with("5 4\n"));
+        let q3 = gen(&["hypercube", "3"]).unwrap();
+        assert!(q3.starts_with("8 12\n"));
+        let grid = gen(&["grid", "2", "3"]).unwrap();
+        assert!(grid.starts_with("6 7\n"));
+    }
+
+    #[test]
+    fn random_families_respect_seed() {
+        let a = gen(&["gnp", "30", "0.2", "--seed", "9"]).unwrap();
+        let b = gen(&["gnp", "30", "0.2", "--seed", "9"]).unwrap();
+        let c = gen(&["gnp", "30", "0.2", "--seed", "10"]).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_round_trips() {
+        for fam in [
+            vec!["cycle", "7"],
+            vec!["pa", "20", "2"],
+            vec!["regular", "12", "3"],
+            vec!["diamonds", "2", "3"],
+        ] {
+            let text = gen(&fam).unwrap();
+            let g = rumor_graph::io::from_edge_list(&text).unwrap();
+            assert!(g.node_count() > 0, "{fam:?}");
+        }
+    }
+
+    #[test]
+    fn errors_are_usage_errors() {
+        assert!(gen(&[]).is_err());
+        assert!(gen(&["nosuch", "5"]).is_err());
+        assert!(gen(&["star"]).is_err());
+        assert!(gen(&["star", "xx"]).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Subcommand implementations.
+
+pub mod gen;
+pub mod run;
+pub mod stats;
+
+use crate::error::CliError;
+use rumor_graph::{io, Graph};
+
+/// Reads a graph from a file path, or stdin when the path is `-`.
+pub(crate) fn read_graph(path: &str) -> Result<Graph, CliError> {
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        std::fs::read_to_string(path)?
+    };
+    Ok(io::from_edge_list(&text)?)
+}

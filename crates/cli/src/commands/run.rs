@@ -1,0 +1,155 @@
+//! `rumor run` — Monte-Carlo spreading-time measurement on a graph file.
+
+use rumor_core::runner::{default_max_steps, run_trials};
+use rumor_core::spread::{run_async_config, run_sync_config, SpreadConfig};
+use rumor_core::Mode;
+use rumor_graph::props;
+use rumor_sim::stats::{quantile, Summary};
+
+use crate::args::Args;
+use crate::commands::read_graph;
+use crate::error::CliError;
+
+/// Runs the `run` subcommand.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(tokens)?;
+    let path = args.require(0, "file")?;
+    if args.positional().len() > 1 {
+        return Err(CliError::Usage("run takes exactly one <file> argument".into()));
+    }
+    let g = read_graph(path)?;
+    if !props::is_connected(&g) {
+        return Err(CliError::Usage(
+            "graph is disconnected; the rumor cannot reach every node".into(),
+        ));
+    }
+
+    let model = args.opt_str("model", "sync");
+    let mode = match args.opt_str("mode", "pushpull").as_str() {
+        "push" => Mode::Push,
+        "pull" => Mode::Pull,
+        "pushpull" | "push-pull" => Mode::PushPull,
+        other => return Err(CliError::Usage(format!("unknown --mode `{other}`"))),
+    };
+    let source: u32 = args.opt_parsed("source", 0)?;
+    if source as usize >= g.node_count() {
+        return Err(CliError::Usage(format!(
+            "--source {source} out of range for {} nodes",
+            g.node_count()
+        )));
+    }
+    let trials: usize = args.opt_parsed("trials", 100)?;
+    if trials == 0 {
+        return Err(CliError::Usage("--trials must be positive".into()));
+    }
+    let seed: u64 = args.opt_parsed("seed", 42)?;
+    let loss: f64 = args.opt_parsed("loss", 0.0)?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(CliError::Usage("--loss must be in [0, 1)".into()));
+    }
+    let q: f64 = args.opt_parsed("quantile", 0.9)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(CliError::Usage("--quantile must be in [0, 1]".into()));
+    }
+
+    let config = SpreadConfig::new(source).with_mode(mode).with_loss_probability(loss);
+    let samples: Vec<f64> = match model.as_str() {
+        "sync" => {
+            let budget = 1_000 * g.node_count() as u64 + 10_000;
+            run_trials(trials, seed, |_, rng| {
+                run_sync_config(&g, &config, rng, budget).rounds as f64
+            })
+        }
+        "async" => {
+            let budget = default_max_steps(&g).saturating_mul(4);
+            run_trials(trials, seed, |_, rng| run_async_config(&g, &config, rng, budget).time)
+        }
+        other => return Err(CliError::Usage(format!("unknown --model `{other}`"))),
+    };
+
+    let unit = if model == "sync" { "rounds" } else { "time units" };
+    let s = Summary::from_slice(&samples);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{model} {mode} from node {source} on {} nodes, {trials} trials (seed {seed}",
+        g.node_count()
+    ));
+    if loss > 0.0 {
+        out.push_str(&format!(", loss {loss}"));
+    }
+    out.push_str(")\n");
+    out.push_str(&format!("  mean:   {:>10.3} {unit}\n", s.mean));
+    out.push_str(&format!("  median: {:>10.3}\n", s.median));
+    out.push_str(&format!("  stddev: {:>10.3}\n", s.stddev));
+    out.push_str(&format!("  min:    {:>10.3}\n", s.min));
+    out.push_str(&format!("  q{:<5}: {:>10.3}\n", q, quantile(&samples, q)));
+    out.push_str(&format!("  max:    {:>10.3}\n", s.max));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_graph(edge_list: &str, extra: &[&str]) -> Result<String, CliError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "rumor_run_test_{}_{}.txt",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&path, edge_list).unwrap();
+        let mut tokens = vec![path.to_str().unwrap().to_string()];
+        tokens.extend(extra.iter().map(|s| (*s).to_string()));
+        let out = run(&tokens);
+        std::fs::remove_file(&path).ok();
+        out
+    }
+
+    const TRIANGLE: &str = "3 3\n0 1\n1 2\n0 2\n";
+
+    #[test]
+    fn sync_run_reports_statistics() {
+        let out = with_graph(TRIANGLE, &["--trials", "30"]).unwrap();
+        assert!(out.contains("sync push-pull"));
+        assert!(out.contains("mean"));
+        assert!(out.contains("rounds"));
+    }
+
+    #[test]
+    fn async_run_reports_time_units() {
+        let out =
+            with_graph(TRIANGLE, &["--model", "async", "--trials", "30"]).unwrap();
+        assert!(out.contains("time units"));
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let a = with_graph(TRIANGLE, &["--trials", "20", "--seed", "5"]).unwrap();
+        let b = with_graph(TRIANGLE, &["--trials", "20", "--seed", "5"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validates_options() {
+        assert!(with_graph(TRIANGLE, &["--mode", "zigzag"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--model", "psychic"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--source", "9"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--loss", "1.0"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--trials", "0"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--quantile", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let err = with_graph("4 2\n0 1\n2 3\n", &[]).unwrap_err();
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn loss_flag_is_reflected_in_output() {
+        let out = with_graph(TRIANGLE, &["--loss", "0.5", "--trials", "20"]).unwrap();
+        assert!(out.contains("loss 0.5"));
+    }
+}

@@ -1,0 +1,91 @@
+//! `rumor stats` — structural properties of an edge-list graph.
+
+use rumor_graph::props;
+
+use crate::args::Args;
+use crate::commands::read_graph;
+use crate::error::CliError;
+
+/// Diameter computation is O(n·m); skip it beyond this size.
+const DIAMETER_LIMIT: usize = 20_000;
+
+/// Runs the `stats` subcommand.
+pub fn run(tokens: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(tokens)?;
+    let path = args.require(0, "file")?;
+    if args.positional().len() > 1 {
+        return Err(CliError::Usage("stats takes exactly one <file> argument".into()));
+    }
+    let g = read_graph(path)?;
+
+    let deg = props::degree_stats(&g);
+    let mut out = String::new();
+    out.push_str(&format!("nodes: {}\n", g.node_count()));
+    out.push_str(&format!("edges: {}\n", g.edge_count()));
+    out.push_str(&format!(
+        "degree: min {} / avg {:.2} / max {}\n",
+        deg.min, deg.mean, deg.max
+    ));
+    match deg.regular {
+        Some(d) => out.push_str(&format!("regular: {d}\n")),
+        None => out.push_str("regular: no\n"),
+    }
+    let components = props::component_count(&g);
+    out.push_str(&format!("components: {components}\n"));
+    if components == 1 && g.node_count() <= DIAMETER_LIMIT {
+        if let Some(d) = props::diameter(&g) {
+            out.push_str(&format!("diameter: {d}\n"));
+        }
+    }
+    out.push_str(&format!("triangles: {}\n", props::triangle_count(&g)));
+    out.push_str(&format!("clustering: {:.4}\n", props::global_clustering(&g)));
+    if components == 1 && g.node_count() >= 2 {
+        out.push_str(&format!(
+            "sweep conductance (upper bound): {:.4}\n",
+            props::sweep_conductance_upper_bound(&g, 0)
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(edge_list: &str) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "rumor_stats_test_{}.txt",
+            std::process::id() as u64 + edge_list.len() as u64
+        ));
+        std::fs::write(&path, edge_list).unwrap();
+        let tokens = vec![path.to_str().unwrap().to_string()];
+        let out = run(&tokens).unwrap();
+        std::fs::remove_file(&path).ok();
+        out
+    }
+
+    #[test]
+    fn triangle_stats() {
+        let out = stats_of("3 3\n0 1\n1 2\n0 2\n");
+        assert!(out.contains("nodes: 3"));
+        assert!(out.contains("edges: 3"));
+        assert!(out.contains("regular: 2"));
+        assert!(out.contains("components: 1"));
+        assert!(out.contains("diameter: 1"));
+        assert!(out.contains("triangles: 1"));
+        assert!(out.contains("clustering: 1.0000"));
+    }
+
+    #[test]
+    fn disconnected_graph_reports_components() {
+        let out = stats_of("4 2\n0 1\n2 3\n");
+        assert!(out.contains("components: 2"));
+        assert!(!out.contains("diameter"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let tokens = vec!["/definitely/not/here.txt".to_string()];
+        assert!(matches!(run(&tokens).unwrap_err(), CliError::Io(_)));
+    }
+}

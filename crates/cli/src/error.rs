@@ -1,0 +1,70 @@
+//! CLI error type.
+
+use std::error::Error;
+use std::fmt;
+
+use rumor_graph::GraphError;
+
+/// Errors surfaced to the `rumor` user.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line was malformed.
+    Usage(String),
+    /// A graph failed to parse or validate.
+    Graph(GraphError),
+    /// Input could not be read.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Graph(e) => write!(f, "invalid graph: {e}"),
+            CliError::Io(e) => write!(f, "cannot read input: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Graph(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for CliError {
+    fn from(e: GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(CliError::Usage("bad flag".into()).to_string(), "bad flag");
+        let g: CliError = GraphError::EmptyGraph.into();
+        assert!(g.to_string().contains("invalid graph"));
+        let io: CliError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        assert!(io.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync>() {}
+        check::<CliError>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Command-line front end for the rumor-spreading workspace.
+//!
+//! Three subcommands:
+//!
+//! ```text
+//! rumor gen <family> <params…> [--seed S]        # emit an edge list
+//! rumor stats <file|->                           # structural properties
+//! rumor run <file|-> [--model sync|async] [--mode push|pull|pushpull]
+//!           [--source U] [--trials N] [--seed S] [--loss P] [--quantile Q]
+//! ```
+//!
+//! Graphs are exchanged as plain edge-list text (`n m` header, one `u v`
+//! pair per line, `#` comments), so the tool composes with shell
+//! pipelines:
+//!
+//! ```text
+//! rumor gen hypercube 8 | rumor run - --model async --trials 500
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use error::CliError;
+
+/// Executes a full command line (without the program name) and returns
+/// the text to print on stdout.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags, unreadable
+/// input, or invalid graphs.
+pub fn execute(argv: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        return Ok(usage());
+    };
+    match command.as_str() {
+        "gen" => commands::gen::run(rest),
+        "stats" => commands::stats::run(rest),
+        "run" => commands::run::run(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "\
+rumor — randomized rumor spreading toolkit (PODC 2016 reproduction)
+
+USAGE:
+    rumor gen <family> <params…> [--seed S]
+    rumor stats <file|->
+    rumor run <file|-> [options]
+    rumor help
+
+FAMILIES (rumor gen):
+    star N | path N | cycle N | complete N | hypercube D
+    grid R C | torus R C | tree N | caterpillar SPINE LEGS
+    doublestar LEFT RIGHT | diamonds K M | necklace K S
+    gnp N P | regular N D | chunglu N BETA AVG | pa N M
+
+RUN OPTIONS:
+    --model sync|async      protocol model            [default: sync]
+    --mode push|pull|pushpull                         [default: pushpull]
+    --source U              rumor source vertex       [default: 0]
+    --trials N              Monte-Carlo trials        [default: 100]
+    --seed S                master seed               [default: 42]
+    --loss P                per-contact loss in [0,1) [default: 0]
+    --quantile Q            report the Q-quantile     [default: 0.9]
+
+Graphs are edge-list text: a `n m` header line, then one `u v` edge per
+line; `#` starts a comment. `-` reads from stdin.
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec(tokens: &[&str]) -> Result<String, CliError> {
+        let argv: Vec<String> = tokens.iter().map(|s| (*s).to_string()).collect();
+        execute(&argv)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = exec(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(exec(&["help"]).unwrap().contains("FAMILIES"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = exec(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_stats_run_pipeline() {
+        // gen → write to temp file → stats → run.
+        let edge_list = exec(&["gen", "hypercube", "4"]).unwrap();
+        let path = std::env::temp_dir().join("rumor_cli_test_q4.txt");
+        std::fs::write(&path, &edge_list).unwrap();
+        let path_str = path.to_str().unwrap();
+
+        let stats = exec(&["stats", path_str]).unwrap();
+        assert!(stats.contains("nodes: 16"));
+        assert!(stats.contains("regular: 4"));
+
+        let run = exec(&["run", path_str, "--trials", "50", "--model", "async"]).unwrap();
+        assert!(run.contains("mean"), "{run}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,396 @@
+//! The asynchronous rumor spreading protocol (`pp-a`, `push-a`, `pull-a`).
+//!
+//! Each node has an independent Poisson clock with rate 1; whenever a
+//! node's clock ticks, it contacts a uniformly random neighbor and the
+//! rumor is exchanged according to the [`Mode`]. Section 2 of the paper
+//! gives three equivalent formulations, all implemented here so the
+//! equivalence itself is testable (experiment E9):
+//!
+//! * [`AsyncView::NodeClocks`] — the literal definition: `n` independent
+//!   rate-1 clocks, simulated with an event queue;
+//! * [`AsyncView::GlobalClock`] — one rate-`n` clock; at each tick a
+//!   uniformly random node takes a step (superposition property). This is
+//!   the fastest view and the default for experiments;
+//! * [`AsyncView::EdgeClocks`] — one clock per *ordered* adjacent pair
+//!   `(v, w)` with rate `1/deg(v)`; when it ticks, `v` contacts `w`
+//!   (Poisson thinning).
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::events::EventQueue;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::mode::Mode;
+use crate::outcome::AsyncOutcome;
+
+/// Which of the three equivalent formulations of the asynchronous model
+/// drives the simulation. All produce the same process in distribution;
+/// they differ only in bookkeeping cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsyncView {
+    /// One rate-`n` Poisson clock; each tick activates a uniform node.
+    GlobalClock,
+    /// `n` independent rate-1 Poisson clocks in an event queue.
+    NodeClocks,
+    /// `2m` independent per-directed-edge clocks with rate `1/deg(v)`.
+    EdgeClocks,
+}
+
+impl AsyncView {
+    /// All three views, for exhaustive sweeps.
+    pub const ALL: [AsyncView; 3] =
+        [AsyncView::GlobalClock, AsyncView::NodeClocks, AsyncView::EdgeClocks];
+}
+
+impl std::fmt::Display for AsyncView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AsyncView::GlobalClock => "global-clock",
+            AsyncView::NodeClocks => "node-clocks",
+            AsyncView::EdgeClocks => "edge-clocks",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runs the asynchronous protocol from `source` until every node is
+/// informed or `max_steps` steps have been taken.
+///
+/// A *step* is one node activation (one directed contact); the expected
+/// time between consecutive steps is `1/n`, which is how the paper's
+/// footnote 3 relates step counts to time units.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the graph has isolated nodes.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::{run_async, AsyncView, Mode};
+/// use rumor_graph::generators;
+/// use rumor_sim::rng::Xoshiro256PlusPlus;
+///
+/// let g = generators::star(64);
+/// let mut rng = Xoshiro256PlusPlus::seed_from(1);
+/// let out = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 1_000_000);
+/// assert!(out.completed);
+/// // On the star the asynchronous protocol needs Θ(log n) time units.
+/// assert!(out.time > 1.0);
+/// ```
+pub fn run_async(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    view: AsyncView,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> AsyncOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+
+    match view {
+        AsyncView::GlobalClock => run_global_clock(g, source, mode, rng, max_steps),
+        AsyncView::NodeClocks => run_node_clocks(g, source, mode, rng, max_steps),
+        AsyncView::EdgeClocks => run_edge_clocks(g, source, mode, rng, max_steps),
+    }
+}
+
+/// Shared exchange logic: node `v` contacts node `w` at time `t`.
+/// Returns `true` if a node was newly informed.
+#[inline]
+fn exchange(
+    mode: Mode,
+    informed_time: &mut [f64],
+    informed_count: &mut usize,
+    v: Node,
+    w: Node,
+    t: f64,
+) -> bool {
+    let vi = informed_time[v as usize].is_finite();
+    let wi = informed_time[w as usize].is_finite();
+    if vi && !wi && mode.includes_push() {
+        informed_time[w as usize] = t;
+        *informed_count += 1;
+        true
+    } else if !vi && wi && mode.includes_pull() {
+        informed_time[v as usize] = t;
+        *informed_count += 1;
+        true
+    } else {
+        false
+    }
+}
+
+fn run_global_clock(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> AsyncOutcome {
+    let n = g.node_count();
+    let mut informed_time = vec![f64::INFINITY; n];
+    informed_time[source as usize] = 0.0;
+    let mut informed_count = 1usize;
+    if n == 1 {
+        return AsyncOutcome { time: 0.0, steps: 0, completed: true, informed_time };
+    }
+
+    let rate = n as f64;
+    let mut t = 0.0;
+    let mut steps = 0u64;
+    while steps < max_steps {
+        t += rng.exp(rate);
+        steps += 1;
+        let v = rng.range_usize(n) as Node;
+        let w = g.random_neighbor(v, rng);
+        exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
+        if informed_count == n {
+            return AsyncOutcome { time: t, steps, completed: true, informed_time };
+        }
+    }
+    AsyncOutcome { time: t, steps, completed: false, informed_time }
+}
+
+fn run_node_clocks(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> AsyncOutcome {
+    let n = g.node_count();
+    let mut informed_time = vec![f64::INFINITY; n];
+    informed_time[source as usize] = 0.0;
+    let mut informed_count = 1usize;
+    if n == 1 {
+        return AsyncOutcome { time: 0.0, steps: 0, completed: true, informed_time };
+    }
+
+    let mut queue = EventQueue::with_capacity(n);
+    for v in 0..n as Node {
+        queue.push(rng.exp(1.0), v);
+    }
+    let mut steps = 0u64;
+    let mut t = 0.0;
+    while steps < max_steps {
+        let (tick, v) = queue.pop().expect("every pop reschedules, queue never empties");
+        t = tick;
+        steps += 1;
+        let w = g.random_neighbor(v, rng);
+        exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
+        if informed_count == n {
+            return AsyncOutcome { time: t, steps, completed: true, informed_time };
+        }
+        queue.push(t + rng.exp(1.0), v);
+    }
+    AsyncOutcome { time: t, steps, completed: false, informed_time }
+}
+
+fn run_edge_clocks(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> AsyncOutcome {
+    let n = g.node_count();
+    let mut informed_time = vec![f64::INFINITY; n];
+    informed_time[source as usize] = 0.0;
+    let mut informed_count = 1usize;
+    if n == 1 {
+        return AsyncOutcome { time: 0.0, steps: 0, completed: true, informed_time };
+    }
+
+    // One clock per ordered pair (v, w), rate 1/deg(v).
+    let mut queue = EventQueue::with_capacity(2 * g.edge_count());
+    for v in 0..n as Node {
+        let rate = 1.0 / g.degree(v) as f64;
+        for &w in g.neighbors(v) {
+            queue.push(rng.exp(rate), (v, w));
+        }
+    }
+    let mut steps = 0u64;
+    let mut t = 0.0;
+    while steps < max_steps {
+        let (tick, (v, w)) = queue.pop().expect("every pop reschedules, queue never empties");
+        t = tick;
+        steps += 1;
+        exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
+        if informed_count == n {
+            return AsyncOutcome { time: t, steps, completed: true, informed_time };
+        }
+        let rate = 1.0 / g.degree(v) as f64;
+        queue.push(t + rng.exp(rate), (v, w));
+    }
+    AsyncOutcome { time: t, steps, completed: false, informed_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+    use rumor_sim::stats::OnlineStats;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn k2_completes_quickly_in_all_views() {
+        let g = generators::complete(2);
+        for view in AsyncView::ALL {
+            let out = run_async(&g, 0, Mode::PushPull, view, &mut rng(1), 1_000);
+            assert!(out.completed, "view {view}");
+            assert_eq!(out.informed_time[0], 0.0);
+            assert!(out.informed_time[1] > 0.0);
+            assert!(out.informed_time[1].is_finite());
+        }
+    }
+
+    #[test]
+    fn informed_times_form_connected_growth() {
+        // Every informed node (except the source) must have a neighbor
+        // informed no later than itself: the rumor travels along edges.
+        let g = generators::gnp_connected(48, 0.15, &mut rng(2), 100);
+        for mode in Mode::ALL {
+            for view in AsyncView::ALL {
+                let out = run_async(&g, 0, mode, view, &mut rng(3), 2_000_000);
+                assert!(out.completed, "mode {mode} view {view}");
+                for v in g.nodes() {
+                    if v == 0 {
+                        continue;
+                    }
+                    let tv = out.informed_time[v as usize];
+                    let has_earlier_neighbor = g
+                        .neighbors(v)
+                        .iter()
+                        .any(|&w| out.informed_time[w as usize] <= tv);
+                    assert!(has_earlier_neighbor, "node {v} informed out of thin air");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn star_async_takes_logarithmic_time() {
+        let g = generators::star(512);
+        let mut stats = OnlineStats::new();
+        for seed in 0..20 {
+            let out =
+                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(seed), 10_000_000);
+            assert!(out.completed);
+            stats.push(out.time);
+        }
+        let ln_n = (512f64).ln(); // ≈ 6.24
+        // Coupon-collector-like: expect time in the ballpark of ln n.
+        assert!(
+            stats.mean() > 0.5 * ln_n && stats.mean() < 3.0 * ln_n,
+            "star async mean time {} vs ln n {}",
+            stats.mean(),
+            ln_n
+        );
+    }
+
+    #[test]
+    fn views_agree_in_expectation() {
+        // E9 in miniature: the three views must have the same spreading
+        // time distribution; compare means on a small cycle.
+        let g = generators::cycle(16);
+        let trials = 300;
+        let mut means = Vec::new();
+        for view in AsyncView::ALL {
+            let mut s = OnlineStats::new();
+            for seed in 0..trials {
+                let out =
+                    run_async(&g, 0, Mode::PushPull, view, &mut rng(1000 + seed), 10_000_000);
+                assert!(out.completed);
+                s.push(out.time);
+            }
+            means.push(s.mean());
+        }
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            (max - min) / min < 0.15,
+            "views disagree: {means:?}"
+        );
+    }
+
+    #[test]
+    fn expected_time_equals_steps_over_n() {
+        // Footnote 3: E[time] = E[steps]/n. With shared trials the two
+        // estimators should agree closely.
+        let g = generators::hypercube(5);
+        let n = g.node_count() as f64;
+        let mut time_stats = OnlineStats::new();
+        let mut step_stats = OnlineStats::new();
+        for seed in 0..400 {
+            let out =
+                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(seed), 10_000_000);
+            assert!(out.completed);
+            time_stats.push(out.time);
+            step_stats.push(out.steps as f64 / n);
+        }
+        let rel = (time_stats.mean() - step_stats.mean()).abs() / time_stats.mean();
+        assert!(rel < 0.05, "time {} vs steps/n {}", time_stats.mean(), step_stats.mean());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let g = generators::path(64);
+        let out = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(5), 10);
+        assert!(!out.completed);
+        assert_eq!(out.steps, 10);
+        assert!(out.informed_time.iter().any(|t| t.is_infinite()));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::hypercube(4);
+        for view in AsyncView::ALL {
+            let a = run_async(&g, 0, Mode::PushPull, view, &mut rng(9), 1_000_000);
+            let b = run_async(&g, 0, Mode::PushPull, view, &mut rng(9), 1_000_000);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pull_only_on_star_center_source() {
+        // From the center, every leaf pulls when its clock ticks and it
+        // contacts the center (its only neighbor): pure coupon collector,
+        // completes fine.
+        let g = generators::star(32);
+        let out = run_async(&g, 0, Mode::Pull, AsyncView::NodeClocks, &mut rng(11), 10_000_000);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn push_only_completes_on_regular_graph() {
+        let g = generators::cycle(32);
+        let out = run_async(&g, 0, Mode::Push, AsyncView::EdgeClocks, &mut rng(13), 10_000_000);
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn single_node_trivially_complete() {
+        let g = rumor_graph::GraphBuilder::new(1).build().unwrap();
+        let out = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(17), 10);
+        assert!(out.completed);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.time, 0.0);
+    }
+
+    #[test]
+    fn time_to_fraction_is_monotone_in_phi() {
+        let g = generators::gnp_connected(64, 0.2, &mut rng(19), 100);
+        let out = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(20), 10_000_000);
+        assert!(out.completed);
+        let half = out.time_to_fraction(0.5).unwrap();
+        let most = out.time_to_fraction(0.99).unwrap();
+        let all = out.time_to_fraction(1.0).unwrap();
+        assert!(half <= most && most <= all);
+        assert_eq!(all, out.time);
+    }
+}

@@ -1,0 +1,282 @@
+//! The auxiliary processes `ppx` (Definition 5) and `ppy` (Definition 7).
+//!
+//! Both are synchronous processes that differ from `pp` only in how an
+//! uninformed node pulls. If `v` is uninformed before round `r` and has
+//! `k ≥ 1` informed neighbors, then `v` pulls (from a uniformly random
+//! informed neighbor, hence always successfully) with probability
+//!
+//! * `ppx`: `1 − e^{−2k/deg(v)}` if `k < deg(v)/2`, and `1` otherwise;
+//! * `ppy`: `1 − e^{−2k/deg(v)}` always.
+//!
+//! They are analysis devices: the paper's upper-bound proof sandwiches
+//! `pp-a ≾ ppy ≾ ppx ≾ pp` (Lemmas 10, 9, 6). They assume a node knows
+//! which neighbors are informed, so they are not *implementable* rumor
+//! spreading algorithms — but they are perfectly *executable*, and
+//! experiment E10 checks the sandwich numerically.
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::outcome::{SyncOutcome, NEVER_ROUND};
+
+/// Which auxiliary pull rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuxKind {
+    /// Definition 5: certain pull once half the neighborhood is informed.
+    Ppx,
+    /// Definition 7: always the exponential pull probability.
+    Ppy,
+}
+
+impl std::fmt::Display for AuxKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AuxKind::Ppx => "ppx",
+            AuxKind::Ppy => "ppy",
+        })
+    }
+}
+
+/// Pull probability for an uninformed node with `k` informed neighbors out
+/// of `deg` total, under the given rule.
+pub fn pull_probability(kind: AuxKind, k: usize, deg: usize) -> f64 {
+    debug_assert!(k <= deg);
+    if k == 0 {
+        return 0.0;
+    }
+    match kind {
+        AuxKind::Ppx if 2 * k >= deg => 1.0,
+        _ => 1.0 - (-2.0 * k as f64 / deg as f64).exp(),
+    }
+}
+
+/// Runs `ppx` or `ppy` from `source` until every node is informed or
+/// `max_rounds` rounds have elapsed.
+///
+/// Pushes behave exactly as in [`crate::run_sync`]; pulls follow the
+/// auxiliary rule above, with the informed-neighbor count `k` taken as of
+/// the *end of the previous round* (the paper's “before round `r`”).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the graph has isolated nodes.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::aux::{run_aux, AuxKind};
+/// use rumor_graph::generators;
+/// use rumor_sim::rng::Xoshiro256PlusPlus;
+///
+/// let g = generators::complete(16);
+/// let mut rng = Xoshiro256PlusPlus::seed_from(2);
+/// let out = run_aux(&g, 0, AuxKind::Ppx, &mut rng, 1_000);
+/// assert!(out.completed);
+/// ```
+pub fn run_aux(
+    g: &Graph,
+    source: Node,
+    kind: AuxKind,
+    rng: &mut Xoshiro256PlusPlus,
+    max_rounds: u64,
+) -> SyncOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(!g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut informed_round = vec![NEVER_ROUND; n];
+    informed_round[source as usize] = 0;
+    let mut informed_count = 1usize;
+    let mut informed_by_round = Vec::with_capacity(64);
+    informed_by_round.push(1);
+    if n == 1 {
+        return SyncOutcome { rounds: 0, completed: true, informed_round, informed_by_round };
+    }
+
+    // informed_nbr_count[v] = neighbors of v informed before the current
+    // round; refreshed from `pending` (the previous round's converts) at
+    // the top of each round.
+    let mut informed_nbr_count = vec![0usize; n];
+    let mut pending: Vec<Node> = vec![source];
+
+    let mut rounds = 0u64;
+    let mut completed = false;
+    for r in 1..=max_rounds {
+        rounds = r;
+        for v in pending.drain(..) {
+            for &w in g.neighbors(v) {
+                informed_nbr_count[w as usize] += 1;
+            }
+        }
+        // Push phase: every node informed before round r pushes.
+        for v in 0..n as Node {
+            if informed_round[v as usize] < r {
+                let w = g.random_neighbor(v, rng);
+                if informed_round[w as usize] == NEVER_ROUND {
+                    informed_round[w as usize] = r;
+                    informed_count += 1;
+                    pending.push(w);
+                }
+            }
+        }
+        // Pull phase: uninformed nodes pull with the auxiliary
+        // probability. (Nodes informed by a push in this same round are
+        // already recorded at round r; deciding a pull for them would not
+        // change anything observable.)
+        for v in 0..n as Node {
+            if informed_round[v as usize] == NEVER_ROUND {
+                let k = informed_nbr_count[v as usize];
+                let p = pull_probability(kind, k, g.degree(v));
+                if p > 0.0 && rng.bernoulli(p) {
+                    informed_round[v as usize] = r;
+                    informed_count += 1;
+                    pending.push(v);
+                }
+            }
+        }
+        informed_by_round.push(informed_count);
+        if informed_count == n {
+            completed = true;
+            break;
+        }
+    }
+    SyncOutcome { rounds, completed, informed_round, informed_by_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_sync, Mode};
+    use rumor_graph::generators;
+    use rumor_sim::stats::OnlineStats;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn pull_probability_formulas() {
+        // k = 0: never pull.
+        assert_eq!(pull_probability(AuxKind::Ppx, 0, 10), 0.0);
+        assert_eq!(pull_probability(AuxKind::Ppy, 0, 10), 0.0);
+        // Below half: both rules agree.
+        let p = pull_probability(AuxKind::Ppx, 2, 10);
+        assert!((p - (1.0 - (-0.4f64).exp())).abs() < 1e-12);
+        assert_eq!(p, pull_probability(AuxKind::Ppy, 2, 10));
+        // At or above half: ppx pulls surely, ppy does not.
+        assert_eq!(pull_probability(AuxKind::Ppx, 5, 10), 1.0);
+        let py = pull_probability(AuxKind::Ppy, 5, 10);
+        assert!((py - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // Fully informed neighborhood.
+        assert_eq!(pull_probability(AuxKind::Ppx, 10, 10), 1.0);
+        assert!(pull_probability(AuxKind::Ppy, 10, 10) < 1.0);
+    }
+
+    #[test]
+    fn ppx_star_from_center_completes_in_one_round() {
+        // Leaves have degree 1 and one informed neighbor, so k >= deg/2
+        // and they pull with probability 1.
+        let g = generators::star(40);
+        let out = run_aux(&g, 0, AuxKind::Ppx, &mut rng(1), 10);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn ppy_star_from_center_is_geometric_per_leaf() {
+        // Each leaf pulls with probability 1 - e^{-2} per round; all
+        // leaves should be informed within a few dozen rounds whp.
+        let g = generators::star(40);
+        let out = run_aux(&g, 0, AuxKind::Ppy, &mut rng(2), 10_000);
+        assert!(out.completed);
+        assert!(out.rounds >= 1);
+    }
+
+    #[test]
+    fn both_complete_on_connected_graphs() {
+        let graphs = [
+            generators::path(32),
+            generators::cycle(32),
+            generators::hypercube(5),
+            generators::gnp_connected(64, 0.15, &mut rng(3), 100),
+        ];
+        for g in &graphs {
+            for kind in [AuxKind::Ppx, AuxKind::Ppy] {
+                let out = run_aux(g, 0, kind, &mut rng(4), 1_000_000);
+                assert!(out.completed, "{kind} on {} nodes", g.node_count());
+            }
+        }
+    }
+
+    /// Lemma 6 in miniature: T(ppx) ≼ T(pp). Stochastic domination implies
+    /// ordered means; check with a safety margin for Monte-Carlo noise.
+    #[test]
+    fn ppx_is_no_slower_than_pp_on_average() {
+        let graphs =
+            [generators::star(64), generators::hypercube(5), generators::cycle(24)];
+        for g in &graphs {
+            let trials = 300;
+            let mut ppx = OnlineStats::new();
+            let mut pp = OnlineStats::new();
+            for seed in 0..trials {
+                ppx.push(run_aux(g, 0, AuxKind::Ppx, &mut rng(100 + seed), 100_000).rounds as f64);
+                pp.push(
+                    run_sync(g, 0, Mode::PushPull, &mut rng(900_000 + seed), 100_000).rounds
+                        as f64,
+                );
+            }
+            assert!(
+                ppx.mean() <= pp.mean() + 3.0 * (ppx.sem() + pp.sem()) + 0.5,
+                "ppx mean {} vs pp mean {} on {} nodes",
+                ppx.mean(),
+                pp.mean(),
+                g.node_count()
+            );
+        }
+    }
+
+    /// Lemma 9 in miniature: ppy is at most a constant factor plus
+    /// O(log n) slower than ppx.
+    #[test]
+    fn ppy_within_lemma9_bound_of_ppx() {
+        let g = generators::hypercube(6);
+        let n = g.node_count() as f64;
+        let trials = 200;
+        let mut ppx = OnlineStats::new();
+        let mut ppy = OnlineStats::new();
+        for seed in 0..trials {
+            ppx.push(run_aux(&g, 0, AuxKind::Ppx, &mut rng(5000 + seed), 100_000).rounds as f64);
+            ppy.push(run_aux(&g, 0, AuxKind::Ppy, &mut rng(6000 + seed), 100_000).rounds as f64);
+        }
+        assert!(
+            ppy.mean() <= 2.0 * ppx.mean() + 8.0 * n.ln(),
+            "ppy mean {} vs bound from ppx mean {}",
+            ppy.mean(),
+            ppx.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::hypercube(4);
+        let a = run_aux(&g, 0, AuxKind::Ppx, &mut rng(7), 1_000);
+        let b = run_aux(&g, 0, AuxKind::Ppx, &mut rng(7), 1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let g = generators::path(128);
+        let out = run_aux(&g, 0, AuxKind::Ppy, &mut rng(8), 2);
+        assert!(!out.completed);
+        assert_eq!(out.rounds, 2);
+    }
+
+    #[test]
+    fn growth_curve_is_monotone() {
+        let g = generators::gnp_connected(48, 0.2, &mut rng(9), 100);
+        let out = run_aux(&g, 0, AuxKind::Ppx, &mut rng(10), 10_000);
+        assert!(out.informed_by_round.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*out.informed_by_round.last().unwrap(), 48);
+    }
+}

@@ -1,0 +1,462 @@
+//! The §5 block decomposition: coupling `pp-a` steps to `pp` rounds.
+//!
+//! The proof of Theorem 2 partitions the asynchronous step sequence
+//! `S_1, S_2, …` into *blocks* and maps each block to one or more
+//! synchronous rounds such that the informed set of `pp-a` after each
+//! block is contained in the informed set of `pp` after the corresponding
+//! rounds (Lemma 13). A **normal block** collects up to `⌊√n⌋` steps and
+//! closes early when the next candidate step is
+//!
+//! * **left-incompatible** — its contacting node already appears in the
+//!   block (a node cannot contact twice in one synchronous round), or
+//! * **right-incompatible** — its contacted node was informed *during*
+//!   the block (pulling from a node informed in the same round is
+//!   impossible synchronously).
+//!
+//! A left-incompatible candidate simply starts the next block. A
+//! right-incompatible candidate would correlate the next round with the
+//! past, so it is **discarded**: a *special block* follows, which draws
+//! complete fresh `pp` rounds until one contains a right-incompatible
+//! pair, and uses such a pair as the single `pp-a` step of the block.
+//!
+//! Lemma 14's accounting then shows the expected number of rounds is
+//! `O(E[τ]/√n + √n)` for `τ` asynchronous steps, which yields Theorem 2.
+//!
+//! ### Substitution note
+//!
+//! When several right-incompatible pairs occur in the same fresh round,
+//! the paper re-draws one according to a distribution `µ_{A|D}`
+//! constructed (in the full version) to make the marginal exactly the law
+//! of a random step conditioned on right-incompatibility. We substitute a
+//! *uniform* choice among the round's right-incompatible pairs. The block
+//! boundaries, the subset invariant, and the block accounting — the
+//! quantities this module exists to measure — are unaffected; only the
+//! fine-grained law of which node performs the special step is
+//! approximated. This is recorded in DESIGN.md.
+
+use std::collections::HashSet;
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::informed::InformedSet;
+use crate::mode::Mode;
+
+/// Maximum number of steps in a normal block: `⌊√n⌋`, at least 1.
+pub fn block_capacity(n: usize) -> usize {
+    ((n as f64).sqrt().floor() as usize).max(1)
+}
+
+/// Why a normal block ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// Condition (1): the block reached `⌊√n⌋` steps.
+    Full,
+    /// Condition (2): the candidate was left-incompatible.
+    Left,
+    /// Condition (3): the candidate was right-incompatible.
+    Right,
+    /// The run ended (pp-a finished or the step budget ran out).
+    End,
+}
+
+/// Statistics of one block-coupled execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStats {
+    /// Asynchronous steps executed (τ when `completed`).
+    pub steps: u64,
+    /// Total synchronous rounds the steps were mapped to (ρ_τ).
+    pub rounds: u64,
+    /// Normal blocks closed by reaching `⌊√n⌋` steps.
+    pub full_blocks: u64,
+    /// Normal blocks closed by a left-incompatible candidate.
+    pub left_blocks: u64,
+    /// Normal blocks closed by a right-incompatible candidate.
+    pub right_blocks: u64,
+    /// Special blocks executed (≤ `right_blocks`).
+    pub special_blocks: u64,
+    /// Rounds consumed by special blocks (each ≥ 1).
+    pub special_rounds: u64,
+    /// Whether `I_k(pp-a) ⊆ I_k(pp)` held after every block (Lemma 13).
+    pub subset_invariant_held: bool,
+    /// Whether `pp-a` informed every node within the step budget.
+    pub completed: bool,
+}
+
+impl BlockStats {
+    /// Lemma 14's bound skeleton: `steps/√n + √n`. The measured `rounds`
+    /// should be at most a constant multiple of this.
+    pub fn lemma14_budget(&self, n: usize) -> f64 {
+        let sqrt_n = (n as f64).sqrt();
+        self.steps as f64 / sqrt_n + sqrt_n
+    }
+}
+
+/// Applies one synchronous push–pull round consisting of the given
+/// contact pairs to `informed`, with proper simultaneous semantics
+/// (transmissions decided by the pre-round set). Nodes absent from
+/// `pairs` contact nobody, which can only slow `pp` down — exactly the
+/// concession the paper makes for normal blocks.
+fn apply_pp_round(informed: &mut InformedSet, pairs: &[(Node, Node)]) {
+    let mut newly: Vec<Node> = Vec::new();
+    for &(x, y) in pairs {
+        let xi = informed.contains(x);
+        let yi = informed.contains(y);
+        if xi && !yi {
+            newly.push(y);
+        } else if yi && !xi {
+            newly.push(x);
+        }
+    }
+    for v in newly {
+        informed.insert(v);
+    }
+}
+
+/// Applies one asynchronous push–pull step (`x` contacts `y`) to
+/// `informed`; returns the newly informed node, if any.
+fn apply_ppa_step(informed: &mut InformedSet, x: Node, y: Node) -> Option<Node> {
+    let xi = informed.contains(x);
+    let yi = informed.contains(y);
+    if xi && !yi {
+        informed.insert(y);
+        Some(y)
+    } else if yi && !xi {
+        informed.insert(x);
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// Runs the block coupling of §5 from `source` until `pp-a` informs all
+/// nodes or `max_steps` asynchronous steps have been spent.
+///
+/// The returned [`BlockStats`] exposes the quantities of Lemmas 13
+/// and 14. The coupling is defined for push–pull only (as in the paper);
+/// mode is fixed to [`Mode::PushPull`].
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the graph has isolated nodes.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::coupling::blocks::run_block_coupling;
+/// use rumor_graph::generators;
+///
+/// let g = generators::hypercube(4);
+/// let stats = run_block_coupling(&g, 0, 5, 10_000_000);
+/// assert!(stats.completed);
+/// assert!(stats.subset_invariant_held); // Lemma 13
+/// ```
+pub fn run_block_coupling(
+    g: &Graph,
+    source: Node,
+    master_seed: u64,
+    max_steps: u64,
+) -> BlockStats {
+    run_block_coupling_with_capacity(g, source, master_seed, max_steps, block_capacity(g.node_count()))
+}
+
+/// [`run_block_coupling`] with an explicit block capacity instead of the
+/// paper's `⌊√n⌋`.
+///
+/// Exposed for the capacity ablation (experiment E15): capacities far
+/// below `√n` waste rounds on tiny blocks, capacities far above it close
+/// almost every block early on an incompatibility, so `√n` is the sweet
+/// spot the paper's accounting relies on.
+///
+/// # Panics
+///
+/// As [`run_block_coupling`], plus if `capacity == 0`.
+pub fn run_block_coupling_with_capacity(
+    g: &Graph,
+    source: Node,
+    master_seed: u64,
+    max_steps: u64,
+    capacity: usize,
+) -> BlockStats {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+    assert!(capacity > 0, "block capacity must be positive");
+    let _ = Mode::PushPull; // fixed by the construction
+
+    let mut rng = Xoshiro256PlusPlus::seed_from(master_seed);
+    let cap = capacity;
+
+    let mut ppa = InformedSet::new(n, source);
+    let mut pp = InformedSet::new(n, source);
+
+    let mut stats = BlockStats {
+        steps: 0,
+        rounds: 0,
+        full_blocks: 0,
+        left_blocks: 0,
+        right_blocks: 0,
+        special_blocks: 0,
+        special_rounds: 0,
+        subset_invariant_held: true,
+        completed: n == 1,
+    };
+    if n == 1 {
+        return stats;
+    }
+
+    // A candidate step carried over from a left-incompatible close.
+    let mut carry: Option<(Node, Node)> = None;
+
+    'blocks: loop {
+        // ---- Build one normal block ----
+        let mut touched: HashSet<Node> = HashSet::with_capacity(2 * cap);
+        let mut during: HashSet<Node> = HashSet::new();
+        let mut pairs: Vec<(Node, Node)> = Vec::with_capacity(cap);
+        let reason;
+        loop {
+            if pairs.len() == cap {
+                reason = CloseReason::Full;
+                break;
+            }
+            if ppa.all_informed() || stats.steps >= max_steps {
+                reason = CloseReason::End;
+                break;
+            }
+            let (x, y) = carry.take().unwrap_or_else(|| {
+                let x = rng.range_usize(n) as Node;
+                let y = g.random_neighbor(x, &mut rng);
+                (x, y)
+            });
+            if touched.contains(&x) {
+                // Left-incompatible: starts the next block.
+                carry = Some((x, y));
+                reason = CloseReason::Left;
+                break;
+            }
+            if during.contains(&y) {
+                // Right-incompatible: discarded; a special block follows.
+                reason = CloseReason::Right;
+                break;
+            }
+            // Accept the step into the block and execute it in pp-a.
+            touched.insert(x);
+            touched.insert(y);
+            pairs.push((x, y));
+            stats.steps += 1;
+            if let Some(newly) = apply_ppa_step(&mut ppa, x, y) {
+                during.insert(newly);
+            }
+        }
+
+        // ---- Map the normal block to one pp round ----
+        if !pairs.is_empty() {
+            apply_pp_round(&mut pp, &pairs);
+            stats.rounds += 1;
+        }
+        match reason {
+            CloseReason::Full => stats.full_blocks += 1,
+            CloseReason::Left => stats.left_blocks += 1,
+            CloseReason::Right => stats.right_blocks += 1,
+            CloseReason::End => {}
+        }
+        if !ppa.is_subset_of(&pp) {
+            stats.subset_invariant_held = false;
+        }
+        if ppa.all_informed() {
+            stats.completed = true;
+            break 'blocks;
+        }
+        if stats.steps >= max_steps || reason == CloseReason::End {
+            break 'blocks;
+        }
+
+        // ---- Special block, if the close was right-incompatible ----
+        if reason == CloseReason::Right {
+            stats.special_blocks += 1;
+            // Right-incompatibility is judged against the just-closed
+            // block: contacting node untouched there, contacted node
+            // informed during it.
+            let mut round_contacts: Vec<Node> = vec![0; n];
+            let mut candidates: Vec<(Node, Node)> = Vec::new();
+            // qv ≥ 1 − e^{−nπ(v)} > 0, so this terminates quickly; the
+            // cap is a defensive bound, far beyond any plausible wait.
+            let mut drew = false;
+            for _ in 0..10_000_000u64 {
+                for v in 0..n as Node {
+                    round_contacts[v as usize] = g.random_neighbor(v, &mut rng);
+                }
+                stats.rounds += 1;
+                stats.special_rounds += 1;
+                candidates.clear();
+                for v in 0..n as Node {
+                    let z = round_contacts[v as usize];
+                    if !touched.contains(&v) && during.contains(&z) {
+                        candidates.push((v, z));
+                    }
+                }
+                // Every drawn round is a full pp round.
+                let full_round: Vec<(Node, Node)> = (0..n as Node)
+                    .map(|v| (v, round_contacts[v as usize]))
+                    .collect();
+                apply_pp_round(&mut pp, &full_round);
+                if !candidates.is_empty() {
+                    // Uniform substitute for the paper's µ distribution.
+                    let (a, b) = candidates[rng.range_usize(candidates.len())];
+                    apply_ppa_step(&mut ppa, a, b);
+                    stats.steps += 1;
+                    drew = true;
+                    break;
+                }
+            }
+            assert!(drew, "special block failed to find a right-incompatible pair");
+            if !ppa.is_subset_of(&pp) {
+                stats.subset_invariant_held = false;
+            }
+            if ppa.all_informed() {
+                stats.completed = true;
+                break 'blocks;
+            }
+            if stats.steps >= max_steps {
+                break 'blocks;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+    use rumor_sim::stats::OnlineStats;
+
+    #[test]
+    fn capacity_is_floor_sqrt() {
+        assert_eq!(block_capacity(1), 1);
+        assert_eq!(block_capacity(2), 1);
+        assert_eq!(block_capacity(4), 2);
+        assert_eq!(block_capacity(100), 10);
+        assert_eq!(block_capacity(101), 10);
+    }
+
+    #[test]
+    fn completes_and_invariant_holds_on_suite() {
+        let graphs = [
+            generators::path(16),
+            generators::star(32),
+            generators::cycle(32),
+            generators::hypercube(5),
+            generators::complete(16),
+            generators::gnp_connected(48, 0.2, &mut Xoshiro256PlusPlus::seed_from(4), 100),
+        ];
+        for g in &graphs {
+            for seed in 0..10 {
+                let stats = run_block_coupling(g, 0, seed, 50_000_000);
+                assert!(stats.completed, "{} nodes seed {seed}", g.node_count());
+                assert!(
+                    stats.subset_invariant_held,
+                    "Lemma 13 violated on {} nodes seed {seed}",
+                    g.node_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn steps_track_async_workload() {
+        // τ ≥ n − 1: every node needs an informing step.
+        let g = generators::cycle(40);
+        let stats = run_block_coupling(&g, 0, 1, 50_000_000);
+        assert!(stats.completed);
+        assert!(stats.steps >= 39, "steps {}", stats.steps);
+    }
+
+    /// Lemma 14's shape: E[ρ_τ] = O(E[τ]/√n + √n). Check on averages with
+    /// a generous constant.
+    #[test]
+    fn rounds_obey_lemma14_budget() {
+        for g in [
+            generators::cycle(64),
+            generators::hypercube(6),
+            generators::star(64),
+        ] {
+            let n = g.node_count();
+            let mut ratio = OnlineStats::new();
+            for seed in 0..25 {
+                let stats = run_block_coupling(&g, 0, seed, 100_000_000);
+                assert!(stats.completed);
+                ratio.push(stats.rounds as f64 / stats.lemma14_budget(n));
+            }
+            assert!(
+                ratio.mean() < 8.0,
+                "rounds/budget mean {} on {} nodes",
+                ratio.mean(),
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn special_blocks_do_not_exceed_right_closes() {
+        let g = generators::gnp_connected(64, 0.15, &mut Xoshiro256PlusPlus::seed_from(9), 100);
+        for seed in 0..10 {
+            let stats = run_block_coupling(&g, 0, seed, 100_000_000);
+            assert!(stats.special_blocks <= stats.right_blocks);
+            assert!(stats.special_rounds >= stats.special_blocks);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::hypercube(4);
+        let a = run_block_coupling(&g, 0, 77, 10_000_000);
+        let b = run_block_coupling(&g, 0, 77, 10_000_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let g = generators::path(64);
+        let stats = run_block_coupling(&g, 0, 3, 50);
+        assert!(!stats.completed);
+        assert!(stats.steps <= 50);
+    }
+
+    #[test]
+    fn single_node_trivial() {
+        let g = rumor_graph::GraphBuilder::new(1).build().unwrap();
+        let stats = run_block_coupling(&g, 0, 1, 10);
+        assert!(stats.completed);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn custom_capacity_still_sound() {
+        // The subset invariant is capacity-independent; only the round
+        // accounting changes.
+        let g = generators::hypercube(5);
+        for cap in [1usize, 2, 8, 64] {
+            let stats = run_block_coupling_with_capacity(&g, 0, 5, 100_000_000, cap);
+            assert!(stats.completed, "cap {cap}");
+            assert!(stats.subset_invariant_held, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn capacity_one_uses_one_round_per_step_at_least() {
+        let g = generators::cycle(32);
+        let stats = run_block_coupling_with_capacity(&g, 0, 6, 100_000_000, 1);
+        assert!(stats.completed);
+        // Every normal block holds exactly one step.
+        assert!(stats.rounds >= stats.steps);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let g = generators::cycle(8);
+        run_block_coupling_with_capacity(&g, 0, 7, 100, 0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The pull coupling — the paper's main technical contribution
+//! (Lemmas 9 and 10).
+//!
+//! Three processes run on one randomness source:
+//!
+//! * shared contact orders `X_{v,i} ~ Unif(Γ(v))` drive every push;
+//! * shared exponentials `Y_{v,w} ~ Exp(λ_v)`, `λ_v = 2/deg(v)`, one per
+//!   *ordered* adjacent pair, drive every pull:
+//!   - in `ppx` (Definition 5), an uninformed `v` pulls in round
+//!     `min_w {r_w + ⌈Y_{v,w}⌉}`, except that once half of `v`'s
+//!     neighborhood is informed (first such round `z`), `v` pulls at
+//!     `z + 1` with certainty;
+//!   - in `ppy` (Definition 7), `v` pulls in round
+//!     `min_w {r'_w + ⌈Y_{v,w}⌉}` with no half-neighborhood override;
+//!   - in `pp-a`, `v` pulls at time `min_w {t_w + 2·Y_{v,w}}` (the factor
+//!     2 turns `Exp(2/deg(v))` into the correct `Exp(1/deg(v))` per-edge
+//!     pull clock), and pushes happen at Poisson tick times.
+//!
+//! The paper proves each marginal is the correct process, and that along
+//! every rumor path the informing times satisfy (with high probability)
+//!
+//! ```text
+//! r'_v ≤ 2·r_v + O(log(n/δ))      (Lemma 9)
+//! t_v  ≤ 4·r'_v + O(log(n/δ))     (Lemma 10)
+//! ```
+//!
+//! [`run_pull_coupling`] executes all three and reports `(r_v, r'_v,
+//! t_v)` per node so the inequalities can be inspected directly.
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::events::EventQueue;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::coupling::derive_seed;
+use crate::coupling::push::ContactStreams;
+use crate::outcome::NEVER_ROUND;
+
+const TAG_CONTACT: u64 = 0x5943; // "YC": shared push contacts
+const TAG_Y: u64 = 0x5959; // "YY": shared pull exponentials
+const TAG_TICK: u64 = 0x5954; // "YT": pp-a tick times
+
+/// The shared exponentials `Y_{v,w}`, indexed by `v` and the position of
+/// `w` in `v`'s adjacency list.
+#[derive(Debug)]
+struct PullDelays {
+    y: Vec<Vec<f64>>,
+}
+
+impl PullDelays {
+    fn new(g: &Graph, master_seed: u64) -> Self {
+        let y = g
+            .nodes()
+            .map(|v| {
+                let mut rng =
+                    Xoshiro256PlusPlus::seed_from(derive_seed(master_seed, TAG_Y, v as u64));
+                let lambda = 2.0 / g.degree(v) as f64;
+                g.neighbors(v).iter().map(|_| rng.exp(lambda)).collect()
+            })
+            .collect();
+        Self { y }
+    }
+
+    /// `Y_{v, w}` where `w` is `v`'s `idx`-th neighbor.
+    #[inline]
+    fn get(&self, v: Node, idx: usize) -> f64 {
+        self.y[v as usize][idx]
+    }
+}
+
+/// Result of one coupled execution of `ppx`, `ppy`, and `pp-a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullCouplingOutcome {
+    /// Per node: informing round `r_v` in `ppx`.
+    pub ppx_round: Vec<u64>,
+    /// Per node: informing round `r'_v` in `ppy`.
+    pub ppy_round: Vec<u64>,
+    /// Per node: informing time `t_v` in `pp-a`.
+    pub ppa_time: Vec<f64>,
+    /// Whether all three processes finished within their budgets.
+    pub completed: bool,
+}
+
+impl PullCouplingOutcome {
+    /// `max_v (r'_v − 2·r_v)`: the additive excess of Lemma 9, which the
+    /// paper bounds by `O(log n)` with high probability.
+    pub fn lemma9_excess(&self) -> f64 {
+        self.ppx_round
+            .iter()
+            .zip(&self.ppy_round)
+            .map(|(&rx, &ry)| ry as f64 - 2.0 * rx as f64)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `max_v (t_v − 4·r'_v)`: the additive excess of Lemma 10, bounded
+    /// by `O(log n)` with high probability.
+    pub fn lemma10_excess(&self) -> f64 {
+        self.ppy_round
+            .iter()
+            .zip(&self.ppa_time)
+            .map(|(&ry, &t)| t - 4.0 * ry as f64)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Runs the three-process pull coupling from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the graph has isolated nodes.
+/// Runs that exceed `max_rounds` (or the induced async budget) report
+/// `completed == false` rather than panicking.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::coupling::pull::run_pull_coupling;
+/// use rumor_graph::generators;
+///
+/// let g = generators::hypercube(4);
+/// let out = run_pull_coupling(&g, 0, 11, 100_000);
+/// assert!(out.completed);
+/// let n = g.node_count() as f64;
+/// // Lemma 9's additive excess is O(log n); 20·ln n is a loose ceiling.
+/// assert!(out.lemma9_excess() <= 20.0 * n.ln());
+/// ```
+pub fn run_pull_coupling(
+    g: &Graph,
+    source: Node,
+    master_seed: u64,
+    max_rounds: u64,
+) -> PullCouplingOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let delays = PullDelays::new(g, master_seed);
+
+    let (ppx_round, ppx_ok) =
+        run_aux_coupled(g, source, master_seed, max_rounds, &delays, true);
+    let (ppy_round, ppy_ok) =
+        run_aux_coupled(g, source, master_seed, max_rounds, &delays, false);
+    let (ppa_time, ppa_ok) = run_ppa_coupled(g, source, master_seed, max_rounds, &delays);
+
+    PullCouplingOutcome {
+        ppx_round,
+        ppy_round,
+        ppa_time,
+        completed: ppx_ok && ppy_ok && ppa_ok,
+    }
+}
+
+/// The coupled synchronous auxiliary process: `ppx` when `half_override`
+/// is true (Definition 5 / coupling case (ii)), `ppy` otherwise.
+fn run_aux_coupled(
+    g: &Graph,
+    source: Node,
+    master_seed: u64,
+    max_rounds: u64,
+    delays: &PullDelays,
+    half_override: bool,
+) -> (Vec<u64>, bool) {
+    let n = g.node_count();
+    let mut informed_round = vec![NEVER_ROUND; n];
+    informed_round[source as usize] = 0;
+    let mut informed = 1usize;
+    if n == 1 {
+        return (informed_round, true);
+    }
+
+    let mut streams = ContactStreams::new(g, master_seed, TAG_CONTACT);
+    // informed_nbr_count[v] counts neighbors informed strictly before the
+    // current round; `half_round[v]` is z, the first round by whose end
+    // half of v's neighborhood was informed.
+    let mut informed_nbr_count = vec![0usize; n];
+    let mut half_round = vec![NEVER_ROUND; n];
+    let mut pending: Vec<Node> = vec![source];
+
+    for r in 1..=max_rounds {
+        // Account the nodes informed in round r-1.
+        for v in pending.drain(..) {
+            for &w in g.neighbors(v) {
+                informed_nbr_count[w as usize] += 1;
+            }
+        }
+        // Detect newly crossed half-neighborhood thresholds (z = r - 1).
+        for v in 0..n as Node {
+            if half_round[v as usize] == NEVER_ROUND
+                && 2 * informed_nbr_count[v as usize] >= g.degree(v)
+            {
+                half_round[v as usize] = r - 1;
+            }
+        }
+        // Push phase: informed node v pushes to X_{v, r - r_v}.
+        for v in 0..n as Node {
+            let rv = informed_round[v as usize];
+            if rv < r {
+                let w = streams.contact(g, v, r - rv);
+                if informed_round[w as usize] == NEVER_ROUND {
+                    informed_round[w as usize] = r;
+                    informed += 1;
+                    pending.push(w);
+                }
+            }
+        }
+        // Pull phase.
+        for v in 0..n as Node {
+            if informed_round[v as usize] != NEVER_ROUND {
+                continue;
+            }
+            let fires = if half_override && half_round[v as usize] != NEVER_ROUND {
+                // ppx case (ii): pull with certainty in round z + 1.
+                // (Case (i) pulls with t ≤ z fired in earlier rounds.)
+                r == half_round[v as usize] + 1
+            } else {
+                // Case (i) / ppy: pull in round min_w {r_w + ceil(Y_v,w)}.
+                // Only neighbors informed before round r can contribute
+                // the value r (Y > 0 forces r_w + ceil(Y) > r_w).
+                g.neighbors(v).iter().enumerate().any(|(idx, &w)| {
+                    let rw = informed_round[w as usize];
+                    rw < r && rw + delays.get(v, idx).ceil() as u64 == r
+                })
+            };
+            if fires {
+                informed_round[v as usize] = r;
+                informed += 1;
+                pending.push(v);
+            }
+        }
+        if informed == n {
+            return (informed_round, true);
+        }
+    }
+    (informed_round, false)
+}
+
+/// The coupled asynchronous process: pushes at Poisson ticks to the
+/// shared `X_{v,i}`, pulls at `t_w + 2·Y_{v,w}`.
+fn run_ppa_coupled(
+    g: &Graph,
+    source: Node,
+    master_seed: u64,
+    max_rounds: u64,
+    delays: &PullDelays,
+) -> (Vec<f64>, bool) {
+    let n = g.node_count();
+    let mut informed_time = vec![f64::INFINITY; n];
+    informed_time[source as usize] = 0.0;
+    let mut informed = 1usize;
+    if n == 1 {
+        return (informed_time, true);
+    }
+
+    let mut streams = ContactStreams::new(g, master_seed, TAG_CONTACT);
+    let mut tick_rngs: Vec<Xoshiro256PlusPlus> = (0..n)
+        .map(|v| Xoshiro256PlusPlus::seed_from(derive_seed(master_seed, TAG_TICK, v as u64)))
+        .collect();
+
+    #[derive(Debug, Clone, Copy)]
+    enum Ev {
+        /// Node v takes its i-th post-informing tick (push to X_{v,i}).
+        Tick(Node, u64),
+        /// Node v pulls (from the neighbor whose Y fired).
+        Pull(Node),
+    }
+
+    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(2 * n);
+    let inform = |v: Node,
+                      t: f64,
+                      informed_time: &mut Vec<f64>,
+                      informed: &mut usize,
+                      queue: &mut EventQueue<Ev>,
+                      tick_rngs: &mut Vec<Xoshiro256PlusPlus>| {
+        debug_assert!(informed_time[v as usize].is_infinite());
+        informed_time[v as usize] = t;
+        *informed += 1;
+        // Schedule v's pushes.
+        let first = t + tick_rngs[v as usize].exp(1.0);
+        queue.push(first, Ev::Tick(v, 1));
+        // Schedule pulls of v's still-uninformed neighbors.
+        for (idx_w, &w) in g.neighbors(v).iter().enumerate() {
+            if informed_time[w as usize].is_infinite() {
+                // Y is indexed from the PULLER's side: w pulls from v, so
+                // we need Y_{w,v} — find v's index in w's adjacency.
+                let idx_v = g
+                    .neighbors(w)
+                    .binary_search(&v)
+                    .expect("adjacency symmetric");
+                let _ = idx_w;
+                queue.push(t + 2.0 * delays.get(w, idx_v), Ev::Pull(w));
+            }
+        }
+    };
+
+    // Initialize the source at time 0.
+    {
+        let first = tick_rngs[source as usize].exp(1.0);
+        queue.push(first, Ev::Tick(source, 1));
+        for &w in g.neighbors(source) {
+            let idx_src = g
+                .neighbors(w)
+                .binary_search(&source)
+                .expect("adjacency symmetric");
+            queue.push(2.0 * delays.get(w, idx_src), Ev::Pull(w));
+        }
+    }
+
+    let max_events = max_rounds
+        .saturating_mul(n as u64)
+        .saturating_add(2 * g.edge_count() as u64 + 1_000);
+    let mut events = 0u64;
+    while let Some((t, ev)) = queue.pop() {
+        events += 1;
+        if events > max_events {
+            return (informed_time, false);
+        }
+        match ev {
+            Ev::Tick(v, i) => {
+                let w = streams.contact(g, v, i);
+                if informed_time[w as usize].is_infinite() {
+                    inform(w, t, &mut informed_time, &mut informed, &mut queue, &mut tick_rngs);
+                    if informed == n {
+                        return (informed_time, true);
+                    }
+                }
+                queue.push(t + tick_rngs[v as usize].exp(1.0), Ev::Tick(v, i + 1));
+            }
+            Ev::Pull(v) => {
+                if informed_time[v as usize].is_infinite() {
+                    inform(v, t, &mut informed_time, &mut informed, &mut queue, &mut tick_rngs);
+                    if informed == n {
+                        return (informed_time, true);
+                    }
+                }
+            }
+        }
+    }
+    (informed_time, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+    use rumor_sim::stats::OnlineStats;
+
+    #[test]
+    fn completes_on_connected_graphs() {
+        for g in [
+            generators::path(16),
+            generators::star(16),
+            generators::hypercube(4),
+            generators::gnp_connected(
+                32,
+                0.25,
+                &mut Xoshiro256PlusPlus::seed_from(1),
+                100,
+            ),
+        ] {
+            let out = run_pull_coupling(&g, 0, 3, 1_000_000);
+            assert!(out.completed, "{} nodes", g.node_count());
+            assert!(out.ppx_round.iter().all(|&r| r != NEVER_ROUND));
+            assert!(out.ppy_round.iter().all(|&r| r != NEVER_ROUND));
+            assert!(out.ppa_time.iter().all(|t| t.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sources_at_zero() {
+        let g = generators::cycle(12);
+        let out = run_pull_coupling(&g, 5, 9, 100_000);
+        assert_eq!(out.ppx_round[5], 0);
+        assert_eq!(out.ppy_round[5], 0);
+        assert_eq!(out.ppa_time[5], 0.0);
+    }
+
+    /// Lemma 9: r'_v ≤ 2·r_v + O(log n). Check the excess against a
+    /// generous multiple of ln n across many seeded runs.
+    #[test]
+    fn lemma9_excess_is_logarithmic() {
+        for g in [generators::star(64), generators::hypercube(5), generators::cycle(32)] {
+            let ln_n = (g.node_count() as f64).ln();
+            for seed in 0..50 {
+                let out = run_pull_coupling(&g, 0, seed, 1_000_000);
+                assert!(out.completed);
+                assert!(
+                    out.lemma9_excess() <= 25.0 * ln_n + 5.0,
+                    "excess {} on {} nodes (seed {seed})",
+                    out.lemma9_excess(),
+                    g.node_count()
+                );
+            }
+        }
+    }
+
+    /// Lemma 10: t_v ≤ 4·r'_v + O(log n).
+    #[test]
+    fn lemma10_excess_is_logarithmic() {
+        for g in [generators::star(64), generators::hypercube(5), generators::cycle(32)] {
+            let ln_n = (g.node_count() as f64).ln();
+            for seed in 0..50 {
+                let out = run_pull_coupling(&g, 0, seed, 1_000_000);
+                assert!(out.completed);
+                assert!(
+                    out.lemma10_excess() <= 25.0 * ln_n + 5.0,
+                    "excess {} on {} nodes (seed {seed})",
+                    out.lemma10_excess(),
+                    g.node_count()
+                );
+            }
+        }
+    }
+
+    /// The coupled ppx must have the same law as the direct Definition 5
+    /// implementation in `aux` — the paper's "the coupling is valid"
+    /// claim, checked on means.
+    #[test]
+    fn coupled_ppx_marginal_matches_direct_ppx() {
+        use crate::aux::{run_aux, AuxKind};
+        let g = generators::hypercube(5);
+        let trials = 300;
+        let mut coupled = OnlineStats::new();
+        let mut direct = OnlineStats::new();
+        for seed in 0..trials {
+            let out = run_pull_coupling(&g, 0, seed, 1_000_000);
+            let total = out.ppx_round.iter().max().copied().unwrap();
+            coupled.push(total as f64);
+            let mut rng = Xoshiro256PlusPlus::seed_from(700_000 + seed);
+            direct.push(run_aux(&g, 0, AuxKind::Ppx, &mut rng, 1_000_000).rounds as f64);
+        }
+        let diff = (coupled.mean() - direct.mean()).abs();
+        assert!(
+            diff < 4.0 * (coupled.sem() + direct.sem()) + 0.35,
+            "coupled {} vs direct {}",
+            coupled.mean(),
+            direct.mean()
+        );
+    }
+
+    /// Same validity check for the coupled pp-a against the event-driven
+    /// asynchronous engine.
+    #[test]
+    fn coupled_ppa_marginal_matches_plain_ppa() {
+        use crate::{run_async, AsyncView, Mode};
+        let g = generators::hypercube(4);
+        let trials = 400;
+        let mut coupled = OnlineStats::new();
+        let mut plain = OnlineStats::new();
+        for seed in 0..trials {
+            let out = run_pull_coupling(&g, 0, seed, 1_000_000);
+            let total = out.ppa_time.iter().cloned().fold(0.0f64, f64::max);
+            coupled.push(total);
+            let mut rng = Xoshiro256PlusPlus::seed_from(800_000 + seed);
+            plain.push(
+                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 10_000_000)
+                    .time,
+            );
+        }
+        let rel = (coupled.mean() - plain.mean()).abs() / plain.mean();
+        assert!(rel < 0.1, "coupled {} vs plain {}", coupled.mean(), plain.mean());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::hypercube(4);
+        let a = run_pull_coupling(&g, 0, 123, 100_000);
+        let b = run_pull_coupling(&g, 0, 123, 100_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ppx_star_from_center_one_round() {
+        // Leaves see half their (single-node) neighborhood informed at
+        // z = 0 and pull with certainty in round 1.
+        let g = generators::star(32);
+        let out = run_pull_coupling(&g, 0, 2, 1_000);
+        assert!(out.completed);
+        assert!(out.ppx_round.iter().skip(1).all(|&r| r == 1));
+    }
+}

@@ -1,0 +1,316 @@
+//! The push coupling (§3, following Sauerwald 2010).
+//!
+//! Once a node `v` gets informed, it contacts its neighbors in the exact
+//! same order `X_{v,1}, X_{v,2}, …` in both the synchronous and the
+//! asynchronous push protocol: in round `r_v + i` in `push`, and at the
+//! `i`-th tick of its Poisson clock after its informing time `t_v` in
+//! `push-a`. Along any rumor path `u = v_0, v_1, …, v_l = v` this yields
+//! `E[t_v] ≤ E[r_v]`, the engine of Sauerwald's observation (1) that
+//! synchronous push is at most a constant factor slower than asynchronous
+//! push — one of the three inequalities behind Corollary 3.
+//!
+//! [`run_push_coupling`] executes both protocols on shared contact
+//! streams and reports each node's informing round and time.
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::events::EventQueue;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::coupling::derive_seed;
+use crate::outcome::NEVER_ROUND;
+
+const TAG_CONTACT: u64 = 0x5043; // "PC": push contacts
+const TAG_TICK: u64 = 0x5054; // "PT": push tick times
+
+/// Lazily generated shared contact sequences `X_{v,i}`.
+///
+/// Each node draws from its own derived RNG, so both coupled processes
+/// observe identical sequences no matter in which order they consume
+/// them.
+#[derive(Debug)]
+pub(crate) struct ContactStreams {
+    rngs: Vec<Xoshiro256PlusPlus>,
+    contacts: Vec<Vec<Node>>,
+}
+
+impl ContactStreams {
+    pub(crate) fn new(g: &Graph, master_seed: u64, tag: u64) -> Self {
+        let n = g.node_count();
+        let rngs = (0..n)
+            .map(|v| Xoshiro256PlusPlus::seed_from(derive_seed(master_seed, tag, v as u64)))
+            .collect();
+        Self { rngs, contacts: vec![Vec::new(); n] }
+    }
+
+    /// The `i`-th (1-based) contact of node `v` after it gets informed.
+    pub(crate) fn contact(&mut self, g: &Graph, v: Node, i: u64) -> Node {
+        let list = &mut self.contacts[v as usize];
+        let rng = &mut self.rngs[v as usize];
+        while (list.len() as u64) < i {
+            list.push(g.random_neighbor(v, rng));
+        }
+        list[(i - 1) as usize]
+    }
+}
+
+/// Result of one coupled execution of `push` and `push-a`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushCouplingOutcome {
+    /// Per node: informing round `r_v` in synchronous push.
+    pub sync_round: Vec<u64>,
+    /// Per node: informing time `t_v` in asynchronous push.
+    pub async_time: Vec<f64>,
+    /// Total synchronous rounds until all informed.
+    pub sync_total: u64,
+    /// Total asynchronous time until all informed.
+    pub async_total: f64,
+    /// Whether both runs finished within their budgets.
+    pub completed: bool,
+}
+
+impl PushCouplingOutcome {
+    /// Mean over non-source nodes of `t_v − r_v`. The coupling argument
+    /// gives `E[t_v] ≤ E[r_v]`, so over many trials this averages ≤ 0.
+    pub fn mean_time_minus_round(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (r, t) in self.sync_round.iter().zip(&self.async_time) {
+            if *r == 0 {
+                continue; // source
+            }
+            sum += t - *r as f64;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// Runs synchronous and asynchronous push coupled through shared contact
+/// sequences, from the same source.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, the graph has isolated nodes, or
+/// either run exceeds its budget (`max_rounds` sync rounds / the induced
+/// tick budget async) — with connected graphs and generous budgets this
+/// indicates a bug, not bad luck.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::coupling::push::run_push_coupling;
+/// use rumor_graph::generators;
+///
+/// let g = generators::cycle(16);
+/// let out = run_push_coupling(&g, 0, 99, 100_000);
+/// assert!(out.completed);
+/// assert_eq!(out.sync_round[0], 0);
+/// assert_eq!(out.async_time[0], 0.0);
+/// ```
+pub fn run_push_coupling(
+    g: &Graph,
+    source: Node,
+    master_seed: u64,
+    max_rounds: u64,
+) -> PushCouplingOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut streams = ContactStreams::new(g, master_seed, TAG_CONTACT);
+
+    // --- Synchronous push on the shared streams ---
+    let mut sync_round = vec![NEVER_ROUND; n];
+    sync_round[source as usize] = 0;
+    let mut informed = 1usize;
+    let mut sync_total = 0u64;
+    let mut sync_completed = n == 1;
+    'sync: for r in 1..=max_rounds {
+        sync_total = r;
+        for v in 0..n as Node {
+            let rv = sync_round[v as usize];
+            if rv < r {
+                let w = streams.contact(g, v, r - rv);
+                if sync_round[w as usize] == NEVER_ROUND {
+                    sync_round[w as usize] = r;
+                    informed += 1;
+                    if informed == n {
+                        sync_completed = true;
+                        break 'sync;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Asynchronous push on the SAME contact streams ---
+    // Tick times come from independent per-node streams; only informed
+    // nodes' ticks matter in push (uninformed contacts transmit nothing),
+    // and by memorylessness restarting a node's clock at its informing
+    // time preserves the law.
+    let mut tick_rngs: Vec<Xoshiro256PlusPlus> = (0..n)
+        .map(|v| Xoshiro256PlusPlus::seed_from(derive_seed(master_seed, TAG_TICK, v as u64)))
+        .collect();
+    let mut streams_a = ContactStreams::new(g, master_seed, TAG_CONTACT);
+    let mut async_time = vec![f64::INFINITY; n];
+    async_time[source as usize] = 0.0;
+    let mut informed_a = 1usize;
+    let mut async_total = 0.0f64;
+    let mut async_completed = n == 1;
+    if !async_completed {
+        // Events: (time, (v, i)) = node v takes its i-th post-informing tick.
+        let mut queue = EventQueue::with_capacity(n);
+        let first = tick_rngs[source as usize].exp(1.0);
+        queue.push(first, (source, 1u64));
+        // Budget: ticks are cheap; cap generously relative to max_rounds.
+        let max_ticks = max_rounds.saturating_mul(n as u64).saturating_add(1_000);
+        let mut ticks = 0u64;
+        while let Some((t, (v, i))) = queue.pop() {
+            ticks += 1;
+            if ticks > max_ticks {
+                break;
+            }
+            let w = streams_a.contact(g, v, i);
+            if async_time[w as usize].is_infinite() {
+                async_time[w as usize] = t;
+                informed_a += 1;
+                if informed_a == n {
+                    async_total = t;
+                    async_completed = true;
+                    break;
+                }
+                let first_w = t + tick_rngs[w as usize].exp(1.0);
+                queue.push(first_w, (w, 1));
+            }
+            let next = t + tick_rngs[v as usize].exp(1.0);
+            queue.push(next, (v, i + 1));
+        }
+    }
+
+    PushCouplingOutcome {
+        sync_round,
+        async_time,
+        sync_total,
+        async_total,
+        completed: sync_completed && async_completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+    use rumor_sim::stats::OnlineStats;
+
+    #[test]
+    fn completes_on_connected_graphs() {
+        for g in [
+            generators::path(16),
+            generators::star(16),
+            generators::hypercube(4),
+            generators::complete(16),
+        ] {
+            let out = run_push_coupling(&g, 0, 1, 1_000_000);
+            assert!(out.completed, "{} nodes", g.node_count());
+            assert!(out.sync_round.iter().all(|&r| r != NEVER_ROUND));
+            assert!(out.async_time.iter().all(|t| t.is_finite()));
+        }
+    }
+
+    #[test]
+    fn source_is_informed_at_zero() {
+        let g = generators::cycle(8);
+        let out = run_push_coupling(&g, 3, 7, 100_000);
+        assert_eq!(out.sync_round[3], 0);
+        assert_eq!(out.async_time[3], 0.0);
+    }
+
+    /// The point of the coupling: E[t_v] ≤ E[r_v]. Average the per-node
+    /// difference over many trials; it should be clearly non-positive
+    /// (with Monte-Carlo slack).
+    #[test]
+    fn async_is_faster_in_expectation() {
+        for g in [generators::cycle(24), generators::hypercube(4), generators::star(24)] {
+            let mut stats = OnlineStats::new();
+            for seed in 0..300 {
+                let out = run_push_coupling(&g, 0, seed, 1_000_000);
+                assert!(out.completed);
+                stats.push(out.mean_time_minus_round());
+            }
+            assert!(
+                stats.mean() < 3.0 * stats.sem() + 0.05,
+                "mean(t_v - r_v) = {} on {} nodes",
+                stats.mean(),
+                g.node_count()
+            );
+        }
+    }
+
+    /// Both halves of the coupling must have the correct marginal law:
+    /// compare the coupled sync run against the plain engine.
+    #[test]
+    fn sync_marginal_matches_plain_push() {
+        use crate::{run_sync, Mode};
+        let g = generators::hypercube(5);
+        let trials = 300;
+        let mut coupled = OnlineStats::new();
+        let mut plain = OnlineStats::new();
+        for seed in 0..trials {
+            coupled.push(run_push_coupling(&g, 0, seed, 1_000_000).sync_total as f64);
+            let mut rng = Xoshiro256PlusPlus::seed_from(40_000 + seed);
+            plain.push(run_sync(&g, 0, Mode::Push, &mut rng, 1_000_000).rounds as f64);
+        }
+        let diff = (coupled.mean() - plain.mean()).abs();
+        assert!(
+            diff < 4.0 * (coupled.sem() + plain.sem()) + 0.3,
+            "coupled {} vs plain {}",
+            coupled.mean(),
+            plain.mean()
+        );
+    }
+
+    /// Same for the asynchronous half.
+    #[test]
+    fn async_marginal_matches_plain_push_a() {
+        use crate::{run_async, AsyncView, Mode};
+        let g = generators::hypercube(4);
+        let trials = 400;
+        let mut coupled = OnlineStats::new();
+        let mut plain = OnlineStats::new();
+        for seed in 0..trials {
+            coupled.push(run_push_coupling(&g, 0, seed, 1_000_000).async_total);
+            let mut rng = Xoshiro256PlusPlus::seed_from(80_000 + seed);
+            plain.push(
+                run_async(&g, 0, Mode::Push, AsyncView::GlobalClock, &mut rng, 10_000_000).time,
+            );
+        }
+        let rel = (coupled.mean() - plain.mean()).abs() / plain.mean();
+        assert!(rel < 0.1, "coupled {} vs plain {}", coupled.mean(), plain.mean());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::cycle(10);
+        let a = run_push_coupling(&g, 0, 42, 100_000);
+        let b = run_push_coupling(&g, 0, 42, 100_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn contact_streams_are_reproducible() {
+        let g = generators::complete(6);
+        let mut s1 = ContactStreams::new(&g, 5, TAG_CONTACT);
+        let mut s2 = ContactStreams::new(&g, 5, TAG_CONTACT);
+        // Consuming in different orders yields the same sequences.
+        let a: Vec<Node> = (1..=10u64).map(|i| s1.contact(&g, 2, i)).collect();
+        let mut b = vec![0 as Node; 10];
+        for i in (1..=10u64).rev() {
+            b[(i - 1) as usize] = s2.contact(&g, 2, i);
+        }
+        assert_eq!(a, b);
+    }
+}

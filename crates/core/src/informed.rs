@@ -1,0 +1,169 @@
+//! The informed-node set: the only state a rumor spreading process has.
+
+use rumor_graph::Node;
+
+/// A growing set of informed nodes.
+///
+/// Rumor spreading is monotone — nodes never forget — so the set only ever
+/// grows, and `count` tracks progress toward termination.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::InformedSet;
+/// let mut s = InformedSet::new(4, 0);
+/// assert!(s.contains(0));
+/// assert!(s.insert(2));
+/// assert!(!s.insert(2)); // already informed
+/// assert_eq!(s.count(), 2);
+/// assert!(!s.all_informed());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InformedSet {
+    informed: Vec<bool>,
+    count: usize,
+}
+
+impl InformedSet {
+    /// Creates a set over `n` nodes with only `source` informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `n == 0`.
+    pub fn new(n: usize, source: Node) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!((source as usize) < n, "source out of range");
+        let mut informed = vec![false; n];
+        informed[source as usize] = true;
+        Self { informed, count: 1 }
+    }
+
+    /// Whether `v` is informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn contains(&self, v: Node) -> bool {
+        self.informed[v as usize]
+    }
+
+    /// Marks `v` informed; returns `true` iff `v` was newly informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn insert(&mut self, v: Node) -> bool {
+        let slot = &mut self.informed[v as usize];
+        if *slot {
+            false
+        } else {
+            *slot = true;
+            self.count += 1;
+            true
+        }
+    }
+
+    /// Number of informed nodes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.informed.len()
+    }
+
+    /// Whether the set covers zero nodes (never: there is always a source).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every node is informed.
+    #[inline]
+    pub fn all_informed(&self) -> bool {
+        self.count == self.informed.len()
+    }
+
+    /// Iterator over the informed nodes in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Node> + '_ {
+        self.informed
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as Node)
+    }
+
+    /// Whether `self` is a subset of `other` (used to verify the paper's
+    /// Lemma 13 invariant `I_k(pp-a) ⊆ I_k(pp)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets cover different node counts.
+    pub fn is_subset_of(&self, other: &InformedSet) -> bool {
+        assert_eq!(self.len(), other.len(), "sets over different node counts");
+        self.informed
+            .iter()
+            .zip(&other.informed)
+            .all(|(&a, &b)| !a || b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_source_only() {
+        let s = InformedSet::new(5, 3);
+        assert_eq!(s.count(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = InformedSet::new(3, 0);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn all_informed_detection() {
+        let mut s = InformedSet::new(2, 0);
+        assert!(!s.all_informed());
+        s.insert(1);
+        assert!(s.all_informed());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut a = InformedSet::new(4, 0);
+        let mut b = InformedSet::new(4, 0);
+        a.insert(1);
+        b.insert(1);
+        b.insert(2);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.is_subset_of(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        InformedSet::new(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node counts")]
+    fn subset_requires_same_size() {
+        let a = InformedSet::new(2, 0);
+        let b = InformedSet::new(3, 0);
+        a.is_subset_of(&b);
+    }
+}

@@ -1,0 +1,65 @@
+//! Rumor spreading protocols and the PODC 2016 coupling machinery.
+//!
+//! This crate implements the primary contribution of *“How Asynchrony
+//! Affects Rumor Spreading Time”* (Giakkoupis, Nazari, Woelfel, PODC 2016):
+//!
+//! * the **synchronous** push / pull / push–pull protocols ([`sync`]),
+//!   exactly as defined in §2 of the paper (simultaneous rounds, exchanges
+//!   decided on the pre-round informed set);
+//! * the **asynchronous** variants ([`asynchronous`]) in all three
+//!   provably-equivalent views the paper describes — per-node rate-1
+//!   Poisson clocks, a single rate-`n` clock, and per-directed-edge clocks
+//!   with rate `1/deg(v)`;
+//! * the **auxiliary processes** `ppx` and `ppy` (Definitions 5 and 7)
+//!   that bridge the two models in the upper-bound proof ([`aux`]);
+//! * the **couplings** from both proofs ([`coupling`]): the shared-
+//!   randomness push coupling, the Lemma 9/10 pull coupling (three
+//!   processes driven by one randomness source, exposing the per-node
+//!   inequalities), and the §5 block decomposition with its subset
+//!   invariant and block accounting;
+//! * a **first-passage percolation** comparator ([`fpp`]) for the
+//!   Richardson-model correspondence on regular graphs;
+//! * a seeded, optionally parallel **Monte-Carlo runner** ([`runner`]) for
+//!   estimating spreading-time laws, expectations `E[T]` and
+//!   high-probability quantiles `T₁/ₙ`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rumor_core::{run_sync, run_async, AsyncView, Mode};
+//! use rumor_graph::generators;
+//! use rumor_sim::rng::Xoshiro256PlusPlus;
+//!
+//! let g = generators::hypercube(5);
+//! let mut rng = Xoshiro256PlusPlus::seed_from(7);
+//!
+//! let sync = run_sync(&g, 0, Mode::PushPull, &mut rng, 10_000);
+//! assert!(sync.completed);
+//!
+//! let asy = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 1_000_000);
+//! assert!(asy.completed);
+//! println!("sync: {} rounds, async: {:.2} time units", sync.rounds, asy.time);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asynchronous;
+pub mod aux;
+pub mod coupling;
+pub mod fpp;
+mod informed;
+mod mode;
+mod outcome;
+pub mod quasirandom;
+pub mod runner;
+pub mod spread;
+pub mod sync;
+pub mod trace;
+
+pub use asynchronous::{run_async, AsyncView};
+pub use informed::InformedSet;
+pub use mode::Mode;
+pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
+pub use spread::SpreadConfig;
+pub use sync::run_sync;

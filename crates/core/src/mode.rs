@@ -1,0 +1,75 @@
+//! Communication modes: push, pull, push–pull.
+
+use std::fmt;
+
+/// Which directions a contact may move the rumor in.
+///
+/// In every protocol a node `v` contacts a uniformly random neighbor `w`;
+/// the mode decides what the contact may accomplish:
+///
+/// * [`Push`](Mode::Push) — an informed caller informs its callee;
+/// * [`Pull`](Mode::Pull) — an uninformed caller learns from an informed
+///   callee;
+/// * [`PushPull`](Mode::PushPull) — both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Informed callers push the rumor to their callees.
+    Push,
+    /// Uninformed callers pull the rumor from informed callees.
+    Pull,
+    /// Both directions (the paper's default object of study).
+    PushPull,
+}
+
+impl Mode {
+    /// Whether this mode allows push transmissions.
+    pub fn includes_push(&self) -> bool {
+        matches!(self, Mode::Push | Mode::PushPull)
+    }
+
+    /// Whether this mode allows pull transmissions.
+    pub fn includes_pull(&self) -> bool {
+        matches!(self, Mode::Pull | Mode::PushPull)
+    }
+
+    /// All three modes, for exhaustive sweeps.
+    pub const ALL: [Mode; 3] = [Mode::Push, Mode::Pull, Mode::PushPull];
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mode::Push => "push",
+            Mode::Pull => "pull",
+            Mode::PushPull => "push-pull",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions() {
+        assert!(Mode::Push.includes_push() && !Mode::Push.includes_pull());
+        assert!(!Mode::Pull.includes_push() && Mode::Pull.includes_pull());
+        assert!(Mode::PushPull.includes_push() && Mode::PushPull.includes_pull());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Push.to_string(), "push");
+        assert_eq!(Mode::Pull.to_string(), "pull");
+        assert_eq!(Mode::PushPull.to_string(), "push-pull");
+    }
+
+    #[test]
+    fn all_contains_each_mode_once() {
+        assert_eq!(Mode::ALL.len(), 3);
+        assert!(Mode::ALL.contains(&Mode::Push));
+        assert!(Mode::ALL.contains(&Mode::Pull));
+        assert!(Mode::ALL.contains(&Mode::PushPull));
+    }
+}

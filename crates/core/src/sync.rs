@@ -1,0 +1,240 @@
+//! The synchronous rumor spreading protocol (§2 of the paper).
+//!
+//! Rounds are simultaneous: in round `r` every node `v` contacts a
+//! uniformly random neighbor `w_v`, and whether a contact transmits the
+//! rumor is decided by the informed set *before* the round. A node can be
+//! contacted by several callers in the same round (all communications
+//! proceed in parallel), and a node informed in round `r` starts spreading
+//! only in round `r + 1`.
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::mode::Mode;
+use crate::outcome::{SyncOutcome, NEVER_ROUND};
+
+/// Runs the synchronous protocol from `source` until every node is
+/// informed or `max_rounds` rounds have elapsed.
+///
+/// Semantics (matching the paper exactly):
+///
+/// * every node — informed or not — contacts one uniformly random
+///   neighbor per round;
+/// * `v` informed before the round, `w_v` not, mode allows push ⟹ `w_v`
+///   informed this round;
+/// * `v` not informed before the round, `w_v` informed, mode allows pull
+///   ⟹ `v` informed this round.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the graph has isolated nodes
+/// (every node must have a neighbor to contact).
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::{run_sync, Mode};
+/// use rumor_graph::generators;
+/// use rumor_sim::rng::Xoshiro256PlusPlus;
+///
+/// let g = generators::complete(32);
+/// let mut rng = Xoshiro256PlusPlus::seed_from(3);
+/// let out = run_sync(&g, 0, Mode::PushPull, &mut rng, 1_000);
+/// assert!(out.completed);
+/// assert!(out.rounds <= 20); // K_32 finishes in O(log n) rounds
+/// ```
+pub fn run_sync(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_rounds: u64,
+) -> SyncOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+
+    let mut informed_round = vec![NEVER_ROUND; n];
+    informed_round[source as usize] = 0;
+    let mut informed_count = 1usize;
+    let mut informed_by_round = Vec::with_capacity(64);
+    informed_by_round.push(1);
+
+    if n == 1 {
+        return SyncOutcome { rounds: 0, completed: true, informed_round, informed_by_round };
+    }
+    assert!(!g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut rounds = 0u64;
+    let mut completed = false;
+    for r in 1..=max_rounds {
+        rounds = r;
+        for v in 0..n as Node {
+            let w = g.random_neighbor(v, rng);
+            // "Informed before round r" means informed in a round < r.
+            let v_informed = informed_round[v as usize] < r;
+            let w_informed = informed_round[w as usize] < r;
+            if v_informed && !w_informed && mode.includes_push() {
+                // w may have been informed earlier this round; only record
+                // the first informing event.
+                if informed_round[w as usize] == NEVER_ROUND {
+                    informed_round[w as usize] = r;
+                    informed_count += 1;
+                }
+            } else if !v_informed && w_informed && mode.includes_pull()
+                && informed_round[v as usize] == NEVER_ROUND {
+                    informed_round[v as usize] = r;
+                    informed_count += 1;
+                }
+        }
+        informed_by_round.push(informed_count);
+        if informed_count == n {
+            completed = true;
+            break;
+        }
+    }
+    SyncOutcome { rounds, completed, informed_round, informed_by_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn single_edge_completes_in_one_round() {
+        let g = generators::path(2);
+        // Both push and pull inform the other node in round 1 with
+        // certainty (each node's only neighbor is the other).
+        for mode in Mode::ALL {
+            let out = run_sync(&g, 0, mode, &mut rng(1), 10);
+            assert!(out.completed, "mode {mode}");
+            assert_eq!(out.rounds, 1, "mode {mode}");
+            assert_eq!(out.informed_round, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn star_pushpull_completes_in_at_most_two_rounds() {
+        // The paper's intro example: at most 1 round for the center to be
+        // informed (push from a leaf source... or the center IS informed),
+        // and 1 more for all leaves to pull. From a leaf source: round 1
+        // the leaf pushes to the center AND every other leaf pulls from
+        // the center only if the center is informed (it is not), so round
+        // 1 informs the center; round 2 informs everyone by pull.
+        let g = generators::star(50);
+        for seed in 0..20 {
+            let out = run_sync(&g, 1, Mode::PushPull, &mut rng(seed), 10);
+            assert!(out.completed);
+            assert!(out.rounds <= 2, "took {} rounds", out.rounds);
+        }
+    }
+
+    #[test]
+    fn star_from_center_completes_in_one_round() {
+        // Every leaf contacts the center and pulls.
+        let g = generators::star(10);
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng(5), 10);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn star_pull_only_from_leaf_never_starts() {
+        // Pull-only from a leaf: the center can only pull from its callee,
+        // but the center calls a uniformly random leaf, and only one leaf
+        // is informed. Eventually it succeeds, but round 1 almost surely
+        // does not inform everyone; more to the point, leaves can never
+        // inform each other. Check monotone progress + correctness.
+        let g = generators::star(20);
+        let out = run_sync(&g, 1, Mode::Pull, &mut rng(3), 100_000);
+        assert!(out.completed);
+        // The center must be informed before any other leaf.
+        let center_round = out.informed_round[0];
+        for leaf in 2..20 {
+            assert!(out.informed_round[leaf] > center_round);
+        }
+    }
+
+    #[test]
+    fn push_only_on_path_respects_distance() {
+        // In push-only, the rumor travels at most one hop per round, so
+        // node v is informed no earlier than round dist(source, v).
+        let g = generators::path(10);
+        let out = run_sync(&g, 0, Mode::Push, &mut rng(7), 100_000);
+        assert!(out.completed);
+        for v in 0..10 {
+            assert!(out.informed_round[v] >= v as u64);
+        }
+    }
+
+    #[test]
+    fn pull_alone_equals_push_alone_on_k2() {
+        // Sanity: on K_2 all modes coincide.
+        let g = generators::complete(2);
+        let a = run_sync(&g, 0, Mode::Push, &mut rng(11), 10);
+        let b = run_sync(&g, 0, Mode::Pull, &mut rng(11), 10);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let g = generators::path(100);
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng(13), 3);
+        assert!(!out.completed);
+        assert_eq!(out.rounds, 3);
+        assert!(out.informed_round.contains(&NEVER_ROUND));
+    }
+
+    #[test]
+    fn informed_counts_are_monotone_and_consistent() {
+        let g = generators::gnp_connected(64, 0.2, &mut rng(17), 100);
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng(18), 1_000);
+        assert!(out.completed);
+        assert!(out.informed_by_round.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*out.informed_by_round.last().unwrap(), 64);
+        // Count nodes informed per round and cross-check the curve.
+        for (r, &count) in out.informed_by_round.iter().enumerate() {
+            let actual = out
+                .informed_round
+                .iter()
+                .filter(|&&ir| ir != NEVER_ROUND && ir <= r as u64)
+                .count();
+            assert_eq!(actual, count, "round {r}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_logarithmic() {
+        let g = generators::complete(256);
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng(19), 1_000);
+        assert!(out.completed);
+        assert!(out.rounds <= 25, "K_256 should finish fast, took {}", out.rounds);
+    }
+
+    #[test]
+    fn single_node_graph_trivially_complete() {
+        let g = rumor_graph::GraphBuilder::new(1).build().unwrap();
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng(23), 10);
+        assert!(out.completed);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        let g = generators::path(3);
+        run_sync(&g, 5, Mode::Push, &mut rng(29), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::hypercube(6);
+        let a = run_sync(&g, 0, Mode::PushPull, &mut rng(31), 1_000);
+        let b = run_sync(&g, 0, Mode::PushPull, &mut rng(31), 1_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,375 @@
+//! Transmission traces: the full causal history of a spreading run.
+//!
+//! The plain engines report *when* each node was informed; traced runs
+//! additionally record *who informed whom and how* (push or pull), which
+//! is what downstream analyses need — rumor paths (the `π_v` of the
+//! paper's proofs), informer fan-out, push/pull accounting.
+
+use rumor_graph::{Graph, Node};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::asynchronous::AsyncView;
+use crate::mode::Mode;
+use crate::outcome::NEVER_ROUND;
+
+/// How a node learned the rumor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transmission {
+    /// The informer called the learner (informer pushed).
+    Push,
+    /// The learner called the informer (learner pulled).
+    Pull,
+}
+
+impl std::fmt::Display for Transmission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Transmission::Push => "push",
+            Transmission::Pull => "pull",
+        })
+    }
+}
+
+/// One informing event: `learner` got the rumor from `informer`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The node that became informed.
+    pub learner: Node,
+    /// The already-informed node it learned from.
+    pub informer: Node,
+    /// Push or pull.
+    pub how: Transmission,
+    /// Round number (synchronous) or time (asynchronous) of the event.
+    pub at: f64,
+}
+
+/// The causal record of one spreading run.
+///
+/// Events are ordered by time; every node other than the source appears
+/// as `learner` exactly once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    source: Node,
+    node_count: usize,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    fn new(source: Node, node_count: usize) -> Self {
+        Self { source, node_count, events: Vec::with_capacity(node_count.saturating_sub(1)) }
+    }
+
+    /// The rumor's origin.
+    pub fn source(&self) -> Node {
+        self.source
+    }
+
+    /// Number of nodes in the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The informing events, in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether the run informed every node.
+    pub fn complete(&self) -> bool {
+        self.events.len() == self.node_count - 1
+    }
+
+    /// The number of events that were pushes.
+    pub fn push_count(&self) -> usize {
+        self.events.iter().filter(|e| e.how == Transmission::Push).count()
+    }
+
+    /// The number of events that were pulls.
+    pub fn pull_count(&self) -> usize {
+        self.events.iter().filter(|e| e.how == Transmission::Pull).count()
+    }
+
+    /// The rumor path `π_v = u, …, v` along which `v` was informed — the
+    /// object every proof in the paper inducts over. Returns `None` if
+    /// `v` was never informed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn rumor_path(&self, v: Node) -> Option<Vec<Node>> {
+        assert!((v as usize) < self.node_count, "node out of range");
+        let mut informer = vec![None; self.node_count];
+        for e in &self.events {
+            informer[e.learner as usize] = Some(e.informer);
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = informer[cur as usize]?;
+            path.push(cur);
+            if path.len() > self.node_count {
+                unreachable!("informer links form a tree rooted at the source");
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Fan-out of each node: how many others it directly informed.
+    pub fn informer_fanout(&self) -> Vec<usize> {
+        let mut fanout = vec![0usize; self.node_count];
+        for e in &self.events {
+            fanout[e.informer as usize] += 1;
+        }
+        fanout
+    }
+}
+
+/// Runs the synchronous protocol, recording the full transmission trace.
+///
+/// Semantics match [`crate::run_sync`] exactly; only the bookkeeping
+/// differs. The event `at` field carries the round number.
+///
+/// # Panics
+///
+/// As [`crate::run_sync`].
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::trace::run_sync_traced;
+/// use rumor_core::Mode;
+/// use rumor_graph::generators;
+/// use rumor_sim::rng::Xoshiro256PlusPlus;
+///
+/// let g = generators::complete(16);
+/// let mut rng = Xoshiro256PlusPlus::seed_from(4);
+/// let trace = run_sync_traced(&g, 0, Mode::PushPull, &mut rng, 1_000);
+/// assert!(trace.complete());
+/// let path = trace.rumor_path(7).expect("informed");
+/// assert_eq!(path[0], 0);
+/// assert_eq!(*path.last().unwrap(), 7);
+/// ```
+pub fn run_sync_traced(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_rounds: u64,
+) -> Trace {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    let mut trace = Trace::new(source, n);
+    if n == 1 {
+        return trace;
+    }
+    assert!(!g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut informed_round = vec![NEVER_ROUND; n];
+    informed_round[source as usize] = 0;
+    let mut informed = 1usize;
+    for r in 1..=max_rounds {
+        for v in 0..n as Node {
+            let w = g.random_neighbor(v, rng);
+            let vi = informed_round[v as usize] < r;
+            let wi = informed_round[w as usize] < r;
+            if vi && !wi && mode.includes_push() {
+                if informed_round[w as usize] == NEVER_ROUND {
+                    informed_round[w as usize] = r;
+                    informed += 1;
+                    trace.events.push(TraceEvent {
+                        learner: w,
+                        informer: v,
+                        how: Transmission::Push,
+                        at: r as f64,
+                    });
+                }
+            } else if !vi && wi && mode.includes_pull() && informed_round[v as usize] == NEVER_ROUND
+            {
+                informed_round[v as usize] = r;
+                informed += 1;
+                trace.events.push(TraceEvent {
+                    learner: v,
+                    informer: w,
+                    how: Transmission::Pull,
+                    at: r as f64,
+                });
+            }
+        }
+        if informed == n {
+            break;
+        }
+    }
+    trace
+}
+
+/// Runs the asynchronous protocol (global-clock view), recording the full
+/// transmission trace. The event `at` field carries the time.
+///
+/// # Panics
+///
+/// As [`crate::run_async`].
+pub fn run_async_traced(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> Trace {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    let mut trace = Trace::new(source, n);
+    if n == 1 {
+        return trace;
+    }
+    assert!(!g.has_isolated_nodes(), "graph has isolated nodes");
+    let _ = AsyncView::GlobalClock; // the view used by this recorder
+
+    let mut informed = vec![false; n];
+    informed[source as usize] = true;
+    let mut informed_count = 1usize;
+    let rate = n as f64;
+    let mut t = 0.0;
+    for _ in 0..max_steps {
+        t += rng.exp(rate);
+        let v = rng.range_usize(n) as Node;
+        let w = g.random_neighbor(v, rng);
+        let vi = informed[v as usize];
+        let wi = informed[w as usize];
+        if vi && !wi && mode.includes_push() {
+            informed[w as usize] = true;
+            informed_count += 1;
+            trace.events.push(TraceEvent { learner: w, informer: v, how: Transmission::Push, at: t });
+        } else if !vi && wi && mode.includes_pull() {
+            informed[v as usize] = true;
+            informed_count += 1;
+            trace.events.push(TraceEvent { learner: v, informer: w, how: Transmission::Pull, at: t });
+        }
+        if informed_count == n {
+            break;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn every_node_learns_exactly_once() {
+        let g = generators::gnp_connected(48, 0.2, &mut rng(1), 100);
+        let trace = run_sync_traced(&g, 0, Mode::PushPull, &mut rng(2), 100_000);
+        assert!(trace.complete());
+        let mut seen = [false; 48];
+        seen[0] = true;
+        for e in trace.events() {
+            assert!(!seen[e.learner as usize], "node {} informed twice", e.learner);
+            seen[e.learner as usize] = true;
+            assert!(g.has_edge(e.learner, e.informer), "transmission along a non-edge");
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn events_are_chronological_and_causal() {
+        let g = generators::hypercube(5);
+        for trace in [
+            run_sync_traced(&g, 0, Mode::PushPull, &mut rng(3), 100_000),
+            run_async_traced(&g, 0, Mode::PushPull, &mut rng(4), 10_000_000),
+        ] {
+            assert!(trace.complete());
+            let mut informed_at = vec![f64::INFINITY; trace.node_count()];
+            informed_at[0] = 0.0;
+            let mut last = 0.0;
+            for e in trace.events() {
+                assert!(e.at >= last, "events out of order");
+                last = e.at;
+                assert!(
+                    informed_at[e.informer as usize] < e.at
+                        || informed_at[e.informer as usize] <= e.at - 1.0 + 1.0,
+                    "informer {} not informed before {}",
+                    e.informer,
+                    e.at
+                );
+                informed_at[e.learner as usize] = e.at;
+            }
+        }
+    }
+
+    #[test]
+    fn rumor_paths_lead_back_to_source() {
+        let g = generators::cycle(16);
+        let trace = run_sync_traced(&g, 3, Mode::PushPull, &mut rng(5), 100_000);
+        assert!(trace.complete());
+        for v in g.nodes() {
+            let path = trace.rumor_path(v).expect("complete run");
+            assert_eq!(path[0], 3);
+            assert_eq!(*path.last().unwrap(), v);
+            // Consecutive path nodes are adjacent.
+            for pair in path.windows(2) {
+                assert!(g.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn push_only_trace_has_no_pulls() {
+        let g = generators::cycle(16);
+        let trace = run_sync_traced(&g, 0, Mode::Push, &mut rng(6), 1_000_000);
+        assert!(trace.complete());
+        assert_eq!(trace.pull_count(), 0);
+        assert_eq!(trace.push_count(), 15);
+    }
+
+    #[test]
+    fn pull_only_trace_has_no_pushes() {
+        let g = generators::complete(16);
+        let trace = run_async_traced(&g, 0, Mode::Pull, &mut rng(7), 10_000_000);
+        assert!(trace.complete());
+        assert_eq!(trace.push_count(), 0);
+        assert_eq!(trace.pull_count(), 15);
+    }
+
+    #[test]
+    fn fanout_sums_to_events() {
+        let g = generators::star(32);
+        let trace = run_sync_traced(&g, 1, Mode::PushPull, &mut rng(8), 1_000);
+        assert!(trace.complete());
+        let fanout = trace.informer_fanout();
+        assert_eq!(fanout.iter().sum::<usize>(), trace.events().len());
+        // On the star, the center informs almost everyone.
+        assert!(fanout[0] >= 29);
+    }
+
+    #[test]
+    fn traced_sync_matches_plain_engine_distribution() {
+        use crate::run_sync;
+        use rumor_sim::stats::OnlineStats;
+        let g = generators::hypercube(5);
+        let mut traced = OnlineStats::new();
+        let mut plain = OnlineStats::new();
+        for seed in 0..200 {
+            let t = run_sync_traced(&g, 0, Mode::PushPull, &mut rng(seed), 100_000);
+            traced.push(t.events().last().unwrap().at);
+            plain.push(
+                run_sync(&g, 0, Mode::PushPull, &mut rng(50_000 + seed), 100_000).rounds as f64,
+            );
+        }
+        let diff = (traced.mean() - plain.mean()).abs();
+        assert!(diff < 4.0 * (traced.sem() + plain.sem()) + 0.2);
+    }
+
+    #[test]
+    fn incomplete_trace_reports_incomplete() {
+        let g = generators::path(64);
+        let trace = run_sync_traced(&g, 0, Mode::PushPull, &mut rng(9), 2);
+        assert!(!trace.complete());
+        assert!(trace.rumor_path(63).is_none());
+    }
+}

@@ -1,0 +1,201 @@
+//! Incremental graph construction with validation.
+
+use crate::csr::{Graph, Node};
+use crate::error::GraphError;
+
+/// Accumulates edges and produces a validated [`Graph`].
+///
+/// Duplicate edges are tolerated and deduplicated at [`build`] time, so
+/// random generators can add edges freely. Self-loops and out-of-range
+/// endpoints are rejected immediately — those are programming errors in a
+/// generator, not data conditions.
+///
+/// [`build`]: GraphBuilder::build
+///
+/// # Example
+///
+/// ```
+/// use rumor_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, deduplicated at build time
+/// b.add_edge(2, 3);
+/// let g = b.build()?;
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), rumor_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(Node, Node)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `node_count` nodes (labeled
+    /// `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        Self { node_count, edges: Vec::new() }
+    }
+
+    /// Creates a builder expecting roughly `edge_hint` edges.
+    pub fn with_edge_capacity(node_count: usize, edge_hint: usize) -> Self {
+        Self { node_count, edges: Vec::with_capacity(edge_hint) }
+    }
+
+    /// Number of nodes the graph will have.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges added so far (duplicates included).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loop) or either endpoint is out of range.
+    /// Generators must never produce such edges; failing fast here keeps
+    /// the CSR invariants airtight.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> &mut Self {
+        assert!(u != v, "self-loop at node {u}");
+        assert!(
+            (u as usize) < self.node_count && (v as usize) < self.node_count,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count
+        );
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Like [`add_edge`](Self::add_edge) but returns an error instead of
+    /// panicking; used by the edge-list parser where endpoints come from
+    /// untrusted input.
+    pub fn try_add_edge(&mut self, u: u64, v: u64) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let nc = self.node_count as u64;
+        if u >= nc || v >= nc {
+            return Err(GraphError::NodeOutOfRange { node: u.max(v), node_count: nc });
+        }
+        Ok(self.add_edge(u as Node, v as Node))
+    }
+
+    /// Finalizes the graph: sorts adjacency, removes duplicate edges, and
+    /// produces the CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EmptyGraph`] if the builder was created with
+    /// zero nodes.
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        if self.node_count == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        // Deduplicate normalized (u < v) edge pairs.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.node_count;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degrees[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as Node; offsets[n]];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were sorted by (u, v), so each u's list is already sorted;
+        // v's lists receive u in increasing u order, also sorted. A debug
+        // check keeps us honest.
+        debug_assert!((0..n).all(|v| {
+            let s = &neighbors[offsets[v]..offsets[v + 1]];
+            s.windows(2).all(|w| w[0] < w[1])
+        }));
+        Ok(Graph::from_csr(offsets, neighbors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 0).add_edge(1, 2).add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn deduplicates_edges_in_both_orientations() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        GraphBuilder::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    fn try_add_edge_reports_errors() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.try_add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
+        assert_eq!(
+            b.try_add_edge(0, 7).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 7, node_count: 3 }
+        );
+        assert!(b.try_add_edge(0, 2).is_ok());
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_an_error() {
+        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), GraphError::EmptyGraph);
+    }
+
+    #[test]
+    fn single_node_no_edges_builds() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn edge_capacity_constructor() {
+        let b = GraphBuilder::with_edge_capacity(10, 100);
+        assert_eq!(b.node_count(), 10);
+        assert_eq!(b.edge_count(), 0);
+    }
+}

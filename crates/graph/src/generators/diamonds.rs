@@ -1,0 +1,151 @@
+//! Separation gadgets: the Acan et al. “string of diamonds” and necklaces
+//! of cliques.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+
+/// A string of `k` diamonds, each with `m` parallel length-2 paths.
+///
+/// Hubs `h_0, …, h_k` are chained through diamonds: diamond `i` joins
+/// `h_i` to `h_{i+1}` via `m` internal nodes, each adjacent to both hubs.
+/// Total nodes: `(k + 1) + k·m`. Node `0` is hub `h_0`; use it as the
+/// rumor source to force the rumor across all `k` diamonds.
+///
+/// This is the separation construction of Acan, Collevecchio, Mehrabian &
+/// Wormald (PODC 2015), cited by the paper as the witness that its
+/// Theorem 2 lower bound is within `Θ(n^{1/6})` of optimal: with
+/// `k = n^{1/3}` and `m = n^{2/3}` the synchronous push–pull time is
+/// `Θ(n^{1/3})` (each diamond costs at least one round), while the
+/// asynchronous time is polylogarithmic (the minimum over `m` parallel
+/// two-hop paths of a sum of two exponentials is `Θ(1/√m)`, and
+/// `k/√m = Θ(1)`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `m == 0`.
+pub fn string_of_diamonds(k: usize, m: usize) -> Graph {
+    assert!(k >= 1, "need at least one diamond");
+    assert!(m >= 1, "need at least one internal path per diamond");
+    let n = (k + 1) + k * m;
+    let mut b = GraphBuilder::with_edge_capacity(n, 2 * k * m);
+    // Hubs occupy 0..=k; internals follow.
+    let hub = |i: usize| i as Node;
+    let mut next = k + 1;
+    for i in 0..k {
+        for _ in 0..m {
+            let x = next as Node;
+            next += 1;
+            b.add_edge(hub(i), x);
+            b.add_edge(x, hub(i + 1));
+        }
+    }
+    b.build().expect("n >= 2")
+}
+
+/// Suggests `(k, m)` with `k ≈ n^{1/3}` and `m ≈ n^{2/3}` so that
+/// [`string_of_diamonds`] has close to `n` nodes — the parameterization
+/// that exhibits the `Θ(n^{1/3})`-vs-`O(log n)` separation.
+pub fn diamond_parameters(n: usize) -> (usize, usize) {
+    let k = (n as f64).powf(1.0 / 3.0).round().max(1.0) as usize;
+    let m = ((n as f64) / k as f64).round().max(1.0) as usize;
+    (k, m)
+}
+
+/// A necklace of `k` cliques of size `s`, consecutive cliques joined by a
+/// single bridge edge between designated port nodes.
+///
+/// Bridges are bottlenecks for both protocols; the family exercises
+/// low-conductance behaviour (spreading time `Θ(k·s)`-ish for both
+/// models), a useful contrast to the diamond gadget where asynchrony wins.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `s < 2`.
+pub fn necklace_of_cliques(k: usize, s: usize) -> Graph {
+    assert!(k >= 1, "need at least one clique");
+    assert!(s >= 2, "cliques need at least two nodes");
+    let n = k * s;
+    let mut b = GraphBuilder::with_edge_capacity(n, k * s * (s - 1) / 2 + k);
+    let base = |c: usize| (c * s) as Node;
+    for c in 0..k {
+        for i in 0..s {
+            for j in (i + 1)..s {
+                b.add_edge(base(c) + i as Node, base(c) + j as Node);
+            }
+        }
+        if c + 1 < k {
+            // Bridge: last node of clique c to first node of clique c+1.
+            b.add_edge(base(c) + (s - 1) as Node, base(c + 1));
+        }
+    }
+    b.build().expect("n >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn diamonds_shape() {
+        let (k, m) = (3, 4);
+        let g = string_of_diamonds(k, m);
+        assert_eq!(g.node_count(), (k + 1) + k * m);
+        assert_eq!(g.edge_count(), 2 * k * m);
+        // End hubs have degree m; middle hubs 2m; internals 2.
+        assert_eq!(g.degree(0), m);
+        assert_eq!(g.degree(1), 2 * m);
+        assert_eq!(g.degree(k as Node), m);
+        assert_eq!(g.degree((k + 1) as Node), 2);
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn diamonds_diameter_is_2k() {
+        let g = string_of_diamonds(5, 3);
+        assert_eq!(props::diameter(&g), Some(10));
+    }
+
+    #[test]
+    fn diamond_parameters_near_n() {
+        for n in [100usize, 1000, 10_000] {
+            let (k, m) = diamond_parameters(n);
+            let actual = (k + 1) + k * m;
+            assert!(
+                (actual as f64 - n as f64).abs() < n as f64 * 0.25,
+                "n={n} gave k={k}, m={m} => {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_diamond() {
+        let g = string_of_diamonds(1, 5);
+        assert_eq!(g.node_count(), 7);
+        assert!(!g.has_edge(0, 1), "hubs are only connected through internals");
+    }
+
+    #[test]
+    fn necklace_shape() {
+        let (k, s) = (4, 5);
+        let g = necklace_of_cliques(k, s);
+        assert_eq!(g.node_count(), k * s);
+        assert_eq!(g.edge_count(), k * s * (s - 1) / 2 + (k - 1));
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn necklace_single_clique_is_complete() {
+        let g = necklace_of_cliques(1, 4);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.regular_degree(), Some(3));
+    }
+
+    #[test]
+    fn necklace_bridges_in_place() {
+        let g = necklace_of_cliques(3, 3);
+        assert!(g.has_edge(2, 3), "bridge clique0 -> clique1");
+        assert!(g.has_edge(5, 6), "bridge clique1 -> clique2");
+        assert!(!g.has_edge(0, 3));
+    }
+}

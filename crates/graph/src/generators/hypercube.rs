@@ -1,0 +1,69 @@
+//! The `d`-dimensional hypercube.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+
+/// The hypercube `Q_d` on `2^d` nodes; nodes are adjacent iff their labels
+/// differ in exactly one bit. `d`-regular, diameter `d`.
+///
+/// On the hypercube the asynchronous push–pull protocol coincides with
+/// Richardson's growth model, the first-passage-percolation setting the
+/// paper cites (Fill & Pemantle 1993); experiment E14 compares the two.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `d > 24` (2²⁴ nodes is past any experiment here).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d >= 1, "hypercube needs d >= 1");
+    assert!(d <= 24, "hypercube of dimension {d} is too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::with_edge_capacity(n, n * d as usize / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v as Node, w as Node);
+            }
+        }
+    }
+    b.build().expect("n >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn q3_shape() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.regular_degree(), Some(3));
+        assert_eq!(props::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn q1_is_an_edge() {
+        let g = hypercube(1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_differ_in_one_bit() {
+        let g = hypercube(5);
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                assert_eq!((v ^ w).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_dimension() {
+        for d in 1..=6 {
+            assert_eq!(props::diameter(&hypercube(d)), Some(d as usize));
+        }
+    }
+}

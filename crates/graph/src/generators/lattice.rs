@@ -1,0 +1,96 @@
+//! Two-dimensional lattices: grid (with boundary) and torus (regular).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+
+/// The `rows × cols` grid graph with open boundary.
+///
+/// # Panics
+///
+/// Panics if `rows * cols < 2`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows * cols >= 2, "grid needs at least two nodes");
+    let id = |r: usize, c: usize| (r * cols + c) as Node;
+    let mut b = GraphBuilder::with_edge_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+/// The `rows × cols` torus (wrap-around grid). For `rows, cols ≥ 3` this is
+/// 4-regular, one of the regular families used by the Corollary 3
+/// experiments.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3` (smaller wraps create parallel
+/// edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs rows, cols >= 3");
+    let id = |r: usize, c: usize| (r * cols + c) as Node;
+    let mut b = GraphBuilder::with_edge_capacity(rows * cols, 2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            b.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    b.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8 = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(props::is_connected(&g));
+        assert_eq!(props::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert_eq!(g.edge_count(), 40);
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let g = torus(3, 3);
+        // Node 0 = (0,0) connects to (0,2) and (2,0) via wraparound.
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 6));
+    }
+
+    #[test]
+    fn grid_single_row_is_path() {
+        let g = grid(1, 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(props::diameter(&g), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows, cols >= 3")]
+    fn torus_rejects_degenerate() {
+        torus(2, 5);
+    }
+}

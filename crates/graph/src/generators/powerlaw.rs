@@ -1,0 +1,279 @@
+//! Heavy-tailed “social network” families: Chung–Lu and preferential
+//! attachment.
+//!
+//! Section 1 of the paper motivates asynchrony with exactly these
+//! topologies: on Chung–Lu power-law graphs (Fountoulakis–Panagiotou–
+//! Sauerwald 2012) and preferential-attachment graphs (Doerr–Fouz–
+//! Friedrich 2012), asynchronous push–pull informs a large fraction of the
+//! nodes significantly faster than the synchronous protocol.
+
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+use crate::props;
+
+/// Chung–Lu random graph with power-law expected degrees.
+///
+/// Node `i` gets weight `w_i = (avg_degree / c) · ((i + i₀)/n)^{−1/(β−1)}`
+/// (with `c` normalizing the mean weight to `avg_degree` and
+/// `i₀ = n^{1/(β−1)} · shift` keeping the maximum weight below the
+/// `√(W)` threshold), and each edge `{i, j}` appears independently with
+/// probability `min(w_i w_j / W, 1)`, `W = Σ w`.
+///
+/// Exponents `β ∈ (2, 3)` give the ultra-fast regime the paper cites.
+///
+/// The implementation enumerates all `O(n²)` pairs; intended for
+/// `n ≤ ~20 000`, which covers every experiment in this workspace.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `β ≤ 2`, or `avg_degree <= 0`.
+pub fn chung_lu(
+    n: usize,
+    beta: f64,
+    avg_degree: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Graph {
+    assert!(n >= 2, "chung_lu needs n >= 2");
+    assert!(beta > 2.0, "beta must exceed 2 for a finite mean");
+    assert!(avg_degree > 0.0, "avg_degree must be positive");
+    let gamma = 1.0 / (beta - 1.0);
+    // Raw weights ~ (n / (i + i0))^gamma with i0 damping the largest
+    // weights so max(w) = O(n^gamma).
+    let i0 = 1.0;
+    let raw: Vec<f64> = (0..n).map(|i| (n as f64 / (i as f64 + i0)).powf(gamma)).collect();
+    let raw_mean = raw.iter().sum::<f64>() / n as f64;
+    let scale = avg_degree / raw_mean;
+    let w: Vec<f64> = raw.iter().map(|r| r * scale).collect();
+    let total: f64 = w.iter().sum();
+
+    let mut b = GraphBuilder::with_edge_capacity(n, (avg_degree * n as f64 / 2.0) as usize + 16);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = (w[i] * w[j] / total).min(1.0);
+            if p > 0.0 && rng.f64_unit() < p {
+                b.add_edge(i as Node, j as Node);
+            }
+        }
+    }
+    b.build().expect("n >= 2")
+}
+
+/// Chung–Lu conditioned on connectivity; isolated low-weight vertices are
+/// common at small average degree, so this retries whole samples.
+///
+/// Beyond a few hundred nodes at moderate `avg_degree`, a fully connected
+/// sample is vanishingly unlikely (expect `Θ(n·e^{−w_min})` isolated
+/// vertices); use [`chung_lu_giant`] there, which is also what the
+/// literature the paper cites studies.
+///
+/// # Panics
+///
+/// As [`chung_lu`], or if no connected sample appears within `max_tries`.
+pub fn chung_lu_connected(
+    n: usize,
+    beta: f64,
+    avg_degree: f64,
+    rng: &mut Xoshiro256PlusPlus,
+    max_tries: usize,
+) -> Graph {
+    for _ in 0..max_tries {
+        let g = chung_lu(n, beta, avg_degree, rng);
+        if props::is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("no connected Chung-Lu(n={n}, beta={beta}, avg={avg_degree}) within {max_tries} tries");
+}
+
+/// The giant component of a Chung–Lu sample.
+///
+/// Samples [`chung_lu`] and extracts the largest connected component,
+/// retrying until it covers at least `min_fraction` of the `n` vertices.
+/// For `β ∈ (2, 3)` and `avg_degree ≳ 4` the giant component covers
+/// almost all vertices, so a single draw nearly always suffices.
+///
+/// # Panics
+///
+/// As [`chung_lu`]; if `min_fraction ∉ (0, 1]`; or if 100 draws fail to
+/// produce a big enough component (raise `avg_degree` in that case).
+pub fn chung_lu_giant(
+    n: usize,
+    beta: f64,
+    avg_degree: f64,
+    min_fraction: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Graph {
+    assert!(
+        min_fraction > 0.0 && min_fraction <= 1.0,
+        "min_fraction must be in (0, 1]"
+    );
+    for _ in 0..100 {
+        let g = chung_lu(n, beta, avg_degree, rng);
+        let (giant, _) = props::largest_component(&g);
+        if giant.node_count() as f64 >= min_fraction * n as f64 {
+            return giant;
+        }
+    }
+    panic!(
+        "no Chung-Lu(n={n}, beta={beta}, avg={avg_degree}) giant component covering {min_fraction} of the graph in 100 draws"
+    );
+}
+
+/// Barabási–Albert preferential attachment: starts from a star on `m + 1`
+/// nodes, then each arriving node attaches `m` edges to *distinct* existing
+/// nodes chosen with probability proportional to their degree.
+///
+/// Implemented with the repeated-endpoints list: sampling a uniform entry
+/// of the endpoint list is exactly degree-proportional sampling. The
+/// result is connected by construction and has `m·(n − m − 1) + m` edges
+/// (the initial star contributes `m`).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n ≤ m + 1`.
+pub fn preferential_attachment(
+    n: usize,
+    m: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Graph {
+    assert!(m >= 1, "attachment count m must be at least 1");
+    assert!(n > m + 1, "need n > m + 1 seed nodes");
+    let mut b = GraphBuilder::with_edge_capacity(n, m * n);
+    // Endpoint list: every edge contributes both endpoints, so uniform
+    // draws from it are degree-proportional.
+    let mut endpoints: Vec<Node> = Vec::with_capacity(2 * m * n);
+    // Seed: star on nodes 0..=m centred at 0 (connected, every node has
+    // positive degree so attachment probabilities are well defined).
+    for v in 1..=m {
+        b.add_edge(0, v as Node);
+        endpoints.push(0);
+        endpoints.push(v as Node);
+    }
+    let mut targets: Vec<Node> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        // Draw m distinct degree-proportional targets by rejection.
+        while targets.len() < m {
+            let t = endpoints[rng.range_usize(endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v as Node, t);
+            endpoints.push(v as Node);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("n >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn chung_lu_average_degree_close_to_target() {
+        let mut r = rng(1);
+        let n = 600;
+        let target = 8.0;
+        let mut sum = 0.0;
+        let reps = 5;
+        for _ in 0..reps {
+            sum += chung_lu(n, 2.5, target, &mut r).avg_degree();
+        }
+        let mean = sum / reps as f64;
+        assert!(
+            (mean - target).abs() < target * 0.25,
+            "avg degree {mean} too far from target {target}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_is_heavy_tailed() {
+        let mut r = rng(2);
+        let g = chung_lu(2000, 2.5, 6.0, &mut r);
+        // Max degree should far exceed the average (power-law hubs).
+        assert!(
+            g.max_degree() as f64 > 4.0 * g.avg_degree(),
+            "max {} vs avg {}",
+            g.max_degree(),
+            g.avg_degree()
+        );
+    }
+
+    #[test]
+    fn chung_lu_connected_works() {
+        let mut r = rng(3);
+        let g = chung_lu_connected(300, 2.5, 10.0, &mut r, 200);
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn chung_lu_giant_covers_most_nodes() {
+        let mut r = rng(31);
+        let n = 1500;
+        let g = chung_lu_giant(n, 2.5, 8.0, 0.8, &mut r);
+        assert!(g.node_count() >= (0.8 * n as f64) as usize);
+        assert!(props::is_connected(&g));
+        assert!(!g.has_isolated_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_fraction")]
+    fn chung_lu_giant_validates_fraction() {
+        chung_lu_giant(100, 2.5, 8.0, 0.0, &mut rng(32));
+    }
+
+    #[test]
+    fn pa_edge_count_and_connectivity() {
+        let mut r = rng(4);
+        let n = 500;
+        let m = 2;
+        let g = preferential_attachment(n, m, &mut r);
+        assert_eq!(g.node_count(), n);
+        // Initial star has m edges; each of the n - m - 1 arrivals adds m.
+        assert_eq!(g.edge_count(), m + m * (n - m - 1));
+        assert!(props::is_connected(&g));
+        assert!(g.min_degree() >= 1);
+    }
+
+    #[test]
+    fn pa_m1_is_a_tree() {
+        let mut r = rng(5);
+        let n = 200;
+        let g = preferential_attachment(n, 1, &mut r);
+        assert_eq!(g.edge_count(), n - 1);
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn pa_has_hubs() {
+        let mut r = rng(6);
+        let g = preferential_attachment(2000, 2, &mut r);
+        assert!(
+            g.max_degree() > 5 * g.avg_degree() as usize,
+            "expected hubs, max degree {}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn pa_deterministic_per_seed() {
+        let g1 = preferential_attachment(100, 3, &mut rng(7));
+        let g2 = preferential_attachment(100, 3, &mut rng(7));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m + 1")]
+    fn pa_rejects_tiny_n() {
+        preferential_attachment(3, 2, &mut rng(8));
+    }
+}

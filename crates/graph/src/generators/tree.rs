@@ -1,0 +1,89 @@
+//! Tree families: complete binary trees and caterpillars.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+
+/// The complete binary tree on `n` nodes (heap layout: node `v` has
+/// children `2v + 1` and `2v + 2`).
+///
+/// Logarithmic diameter with constant degree — a useful contrast to both
+/// the star (constant diameter, giant degree) and the path.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete_binary_tree(n: usize) -> Graph {
+    assert!(n >= 2, "tree needs n >= 2");
+    let mut b = GraphBuilder::with_edge_capacity(n, n - 1);
+    for v in 1..n {
+        b.add_edge(v as Node, ((v - 1) / 2) as Node);
+    }
+    b.build().expect("n >= 2")
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs`
+/// leaves (`n = spine · (1 + legs)`).
+///
+/// # Panics
+///
+/// Panics if `spine < 2` or if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 2, "caterpillar needs spine >= 2");
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_edge_capacity(n, n - 1);
+    for s in 0..spine - 1 {
+        b.add_edge(s as Node, (s + 1) as Node);
+    }
+    // Leaves are laid out after the spine.
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(s as Node, next as Node);
+            next += 1;
+        }
+    }
+    b.build().expect("n >= 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = complete_binary_tree(7);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(props::is_connected(&g));
+        assert_eq!(props::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn binary_tree_is_acyclic_sized() {
+        for n in [2usize, 3, 10, 31, 100] {
+            let g = complete_binary_tree(n);
+            assert_eq!(g.edge_count(), n - 1);
+            assert!(props::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(3, 2);
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(0), 1 + 2); // spine end: 1 spine + 2 legs
+        assert_eq!(g.degree(1), 2 + 2); // middle: 2 spine + 2 legs
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_no_legs_is_path() {
+        let g = caterpillar(5, 0);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(props::diameter(&g), Some(4));
+    }
+}

@@ -1,0 +1,42 @@
+//! Graph substrate for rumor spreading.
+//!
+//! Provides a compact CSR graph representation ([`Graph`]), a validating
+//! [`GraphBuilder`], generators for every graph family used by the
+//! PODC 2016 paper (see [`generators`]), structural properties
+//! ([`props`]), and plain-text edge-list I/O ([`io`]).
+//!
+//! The paper's protocols only ever ask two things of a graph: *“what is
+//! `deg(v)`?”* and *“give me a uniformly random neighbor of `v`”*. CSR
+//! adjacency answers both in O(1) with cache-friendly layout, which is why
+//! this crate does not pull in a general-purpose graph library.
+//!
+//! # Example
+//!
+//! ```
+//! use rumor_graph::{generators, props};
+//! use rumor_sim::rng::Xoshiro256PlusPlus;
+//!
+//! let g = generators::hypercube(4);
+//! assert_eq!(g.node_count(), 16);
+//! assert_eq!(g.degree(0), 4);
+//! assert!(props::is_connected(&g));
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from(1);
+//! let w = g.random_neighbor(3, &mut rng);
+//! assert!(g.neighbors(3).contains(&w));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+pub mod io;
+pub mod ops;
+pub mod props;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, Node};
+pub use error::GraphError;

@@ -1,0 +1,219 @@
+//! Graph operations: induced subgraphs, unions, bridges, and Cartesian
+//! products.
+//!
+//! These are the constructions used to assemble worst-case instances —
+//! the paper's gadget graphs are unions-with-bridges of simple pieces,
+//! and the hypercube is the d-fold Cartesian product of single edges
+//! (which the tests here verify).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+
+/// The subgraph induced by `nodes`, relabeled `0..k` in the order given.
+///
+/// Returns the subgraph and the mapping from new indices to original
+/// ones (`mapping[new] == old`).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty, contains duplicates, or contains an
+/// out-of-range node.
+///
+/// # Example
+///
+/// ```
+/// use rumor_graph::{generators, ops};
+/// let g = generators::cycle(6);
+/// let (sub, mapping) = ops::induced_subgraph(&g, &[0, 1, 2]);
+/// assert_eq!(sub.node_count(), 3);
+/// assert_eq!(sub.edge_count(), 2); // 0-1, 1-2; the wrap edge is cut
+/// assert_eq!(mapping, vec![0, 1, 2]);
+/// ```
+pub fn induced_subgraph(g: &Graph, nodes: &[Node]) -> (Graph, Vec<Node>) {
+    assert!(!nodes.is_empty(), "subgraph needs at least one node");
+    let n = g.node_count();
+    let mut new_id = vec![u32::MAX; n];
+    for (new, &old) in nodes.iter().enumerate() {
+        assert!((old as usize) < n, "node {old} out of range");
+        assert!(new_id[old as usize] == u32::MAX, "duplicate node {old}");
+        new_id[old as usize] = new as u32;
+    }
+    let mut b = GraphBuilder::new(nodes.len());
+    for &old in nodes {
+        for &w in g.neighbors(old) {
+            if new_id[w as usize] != u32::MAX && old < w {
+                b.add_edge(new_id[old as usize], new_id[w as usize]);
+            }
+        }
+    }
+    (b.build().expect("non-empty"), nodes.to_vec())
+}
+
+/// The disjoint union of two graphs; `b`'s nodes are shifted by
+/// `a.node_count()`.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let offset = a.node_count() as Node;
+    let mut builder =
+        GraphBuilder::with_edge_capacity(a.node_count() + b.node_count(), a.edge_count() + b.edge_count());
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v);
+    }
+    for (u, v) in b.edges() {
+        builder.add_edge(u + offset, v + offset);
+    }
+    builder.build().expect("non-empty")
+}
+
+/// The disjoint union of `a` and `b` joined by a single bridge edge from
+/// `a`'s node `u` to `b`'s node `v` (in `b`-local numbering).
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range for its graph.
+pub fn connect_with_bridge(a: &Graph, b: &Graph, u: Node, v: Node) -> Graph {
+    assert!((u as usize) < a.node_count(), "bridge endpoint u out of range");
+    assert!((v as usize) < b.node_count(), "bridge endpoint v out of range");
+    let offset = a.node_count() as Node;
+    let mut builder = GraphBuilder::with_edge_capacity(
+        a.node_count() + b.node_count(),
+        a.edge_count() + b.edge_count() + 1,
+    );
+    for (x, y) in a.edges() {
+        builder.add_edge(x, y);
+    }
+    for (x, y) in b.edges() {
+        builder.add_edge(x + offset, y + offset);
+    }
+    builder.add_edge(u, v + offset);
+    builder.build().expect("non-empty")
+}
+
+/// The Cartesian product `a □ b`: nodes are pairs `(i, j)` (encoded
+/// `i·|b| + j`); `(i, j) ~ (i', j)` when `i ~ i'` in `a`, and
+/// `(i, j) ~ (i, j')` when `j ~ j'` in `b`.
+///
+/// Degrees add: `deg(i, j) = deg_a(i) + deg_b(j)`; products of connected
+/// graphs are connected; the `d`-fold product of `K₂` is the hypercube.
+///
+/// # Panics
+///
+/// Panics if the product would exceed `u32` node indices.
+pub fn cartesian_product(a: &Graph, b: &Graph) -> Graph {
+    let (na, nb) = (a.node_count(), b.node_count());
+    let n = na.checked_mul(nb).expect("product size overflow");
+    assert!(n <= u32::MAX as usize, "product exceeds u32 node indices");
+    let id = |i: usize, j: usize| (i * nb + j) as Node;
+    let mut builder =
+        GraphBuilder::with_edge_capacity(n, a.edge_count() * nb + b.edge_count() * na);
+    for (u, v) in a.edges() {
+        for j in 0..nb {
+            builder.add_edge(id(u as usize, j), id(v as usize, j));
+        }
+    }
+    for (u, v) in b.edges() {
+        for i in 0..na {
+            builder.add_edge(id(i, u as usize), id(i, v as usize));
+        }
+    }
+    builder.build().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, props};
+
+    #[test]
+    fn subgraph_of_complete_is_complete() {
+        let g = generators::complete(6);
+        let (sub, mapping) = induced_subgraph(&g, &[1, 3, 5]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 3);
+        assert_eq!(mapping, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn subgraph_respects_ordering() {
+        let g = generators::path(5);
+        let (sub, _) = induced_subgraph(&g, &[4, 3, 0]);
+        // New labels: 4->0, 3->1, 0->2. Only edge 3-4 survives.
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn subgraph_rejects_duplicates() {
+        let g = generators::path(4);
+        induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn union_is_disconnected() {
+        let g = disjoint_union(&generators::cycle(4), &generators::cycle(3));
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(!props::is_connected(&g));
+        assert_eq!(props::component_count(&g), 2);
+    }
+
+    #[test]
+    fn bridge_connects_the_union() {
+        let g = connect_with_bridge(&generators::cycle(4), &generators::cycle(3), 2, 1);
+        assert!(props::is_connected(&g));
+        assert_eq!(g.edge_count(), 8);
+        assert!(g.has_edge(2, 4 + 1));
+    }
+
+    #[test]
+    fn product_of_paths_is_grid() {
+        let p3 = generators::path(3);
+        let p4 = generators::path(4);
+        let product = cartesian_product(&p3, &p4);
+        let grid = generators::grid(3, 4);
+        assert_eq!(product, grid);
+    }
+
+    #[test]
+    fn product_of_edges_is_hypercube() {
+        let k2 = generators::complete(2);
+        let mut g = k2.clone();
+        for _ in 0..3 {
+            g = cartesian_product(&g, &k2);
+        }
+        let q4 = generators::hypercube(4);
+        // Same node/edge counts, regular degree, and diameter; the node
+        // labelings coincide under bit-order, so the graphs are equal.
+        assert_eq!(g.node_count(), q4.node_count());
+        assert_eq!(g.edge_count(), q4.edge_count());
+        assert_eq!(g.regular_degree(), q4.regular_degree());
+        assert_eq!(props::diameter(&g), props::diameter(&q4));
+    }
+
+    #[test]
+    fn product_degrees_add() {
+        let a = generators::cycle(5);
+        let b = generators::star(4);
+        let g = cartesian_product(&a, &b);
+        assert_eq!(g.node_count(), 20);
+        for i in a.nodes() {
+            for j in b.nodes() {
+                let v = (i as usize * 4 + j as usize) as Node;
+                assert_eq!(g.degree(v), a.degree(i) + b.degree(j));
+            }
+        }
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn torus_is_product_of_cycles() {
+        let c4 = generators::cycle(4);
+        let c5 = generators::cycle(5);
+        let product = cartesian_product(&c4, &c5);
+        let torus = generators::torus(4, 5);
+        assert_eq!(product.node_count(), torus.node_count());
+        assert_eq!(product.edge_count(), torus.edge_count());
+        assert_eq!(product.regular_degree(), torus.regular_degree());
+        assert_eq!(props::diameter(&product), props::diameter(&torus));
+    }
+}

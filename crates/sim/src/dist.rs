@@ -1,0 +1,432 @@
+//! The distributions of the PODC 2016 analysis, as first-class values.
+//!
+//! Section 2 of the paper fixes notation for exactly four families —
+//! `Exp(λ)`, `Geom(p)`, `NegBin(k, p)`, and `Erl(k, λ)` — and the proofs
+//! lean on relations between them (e.g. `Erl(k, λ) ≼ NegBin(k, 1 − e^{−λ})`
+//! in Lemma 10, and the domination Lemma 15). Each type here offers
+//! `sample`, `mean`, `variance`, and `cdf`, so those relations can be
+//! checked numerically in tests and experiments.
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// Exponential distribution `Exp(rate)` with density `rate·e^{−rate·t}`.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::dist::Exponential;
+/// let d = Exponential::new(2.0);
+/// assert!((d.mean() - 0.5).abs() < 1e-12);
+/// assert!((d.cdf(0.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an `Exp(rate)` distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        Self { rate }
+    }
+
+    /// The rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        rng.exp(self.rate)
+    }
+
+    /// Expected value `1/λ`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Variance `1/λ²`.
+    pub fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    /// `P[X ≤ t]`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * t).exp()
+        }
+    }
+}
+
+/// Geometric distribution `Geom(p)` on `{1, 2, 3, …}`: the number of
+/// Bernoulli(p) trials up to and including the first success.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::dist::Geometric;
+/// let d = Geometric::new(0.5);
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!((d.cdf(1) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a `Geom(p)` distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+        Self { p }
+    }
+
+    /// The success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample by inversion: `⌈ln U / ln(1−p)⌉`.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u = rng.f64_open();
+        let v = (u.ln() / (1.0 - self.p).ln()).ceil();
+        // Guard against pathological rounding at the tail.
+        if v < 1.0 {
+            1
+        } else {
+            v as u64
+        }
+    }
+
+    /// Expected value `1/p`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Variance `(1−p)/p²`.
+    pub fn variance(&self) -> f64 {
+        (1.0 - self.p) / (self.p * self.p)
+    }
+
+    /// `P[X ≤ j] = 1 − (1−p)^j` for integer `j ≥ 0`.
+    pub fn cdf(&self, j: u64) -> f64 {
+        1.0 - (1.0 - self.p).powi(j.min(i32::MAX as u64) as i32)
+    }
+}
+
+/// Negative binomial `NegBin(k, p)`: the sum of `k` i.i.d. `Geom(p)`
+/// variables — the number of trials up to and including the `k`-th success.
+///
+/// This is the distribution that dominates `r'_v − r_v + l` in Lemma 9 and
+/// `t_v − 2 r_v` in Lemma 10 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::dist::NegativeBinomial;
+/// let d = NegativeBinomial::new(3, 0.5);
+/// assert!((d.mean() - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeBinomial {
+    k: u64,
+    p: f64,
+}
+
+impl NegativeBinomial {
+    /// Creates a `NegBin(k, p)` distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `p` is not in `(0, 1]`.
+    pub fn new(k: u64, p: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+        Self { k, p }
+    }
+
+    /// Number of successes `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample as a sum of `k` geometric samples.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        let g = Geometric::new(self.p);
+        (0..self.k).map(|_| g.sample(rng)).sum()
+    }
+
+    /// Expected value `k/p`.
+    pub fn mean(&self) -> f64 {
+        self.k as f64 / self.p
+    }
+
+    /// Variance `k(1−p)/p²`.
+    pub fn variance(&self) -> f64 {
+        self.k as f64 * (1.0 - self.p) / (self.p * self.p)
+    }
+}
+
+/// Erlang distribution `Erl(k, rate)`: the sum of `k` i.i.d. `Exp(rate)`
+/// variables. Governs the waiting time for the `k`-th tick of a Poisson
+/// clock, which is exactly how it appears in Lemma 10.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::dist::Erlang;
+/// let d = Erlang::new(4, 2.0);
+/// assert!((d.mean() - 2.0).abs() < 1e-12);
+/// assert!(d.cdf(1e9) > 0.999_999);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    k: u64,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an `Erl(k, rate)` distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rate` is not strictly positive and finite.
+    pub fn new(k: u64, rate: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        Self { k, rate }
+    }
+
+    /// Shape parameter `k`.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws one sample as a sum of `k` exponential samples.
+    pub fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        (0..self.k).map(|_| rng.exp(self.rate)).sum()
+    }
+
+    /// Expected value `k/λ`.
+    pub fn mean(&self) -> f64 {
+        self.k as f64 / self.rate
+    }
+
+    /// Variance `k/λ²`.
+    pub fn variance(&self) -> f64 {
+        self.k as f64 / (self.rate * self.rate)
+    }
+
+    /// `P[X ≤ t] = 1 − e^{−λt} Σ_{i<k} (λt)^i / i!`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let lt = self.rate * t;
+        let mut term = 1.0f64; // (λt)^i / i!, starting at i = 0
+        let mut sum = 1.0f64;
+        for i in 1..self.k {
+            term *= lt / i as f64;
+            sum += term;
+            if term < 1e-300 {
+                break;
+            }
+        }
+        let v: f64 = 1.0 - (-lt).exp() * sum;
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// Returns the minimum of `k` i.i.d. `Exp(rate)` samples, which by the
+/// superposition property is distributed as `Exp(k·rate)`.
+///
+/// Lemma 8 of the paper is precisely a statement about such minima; tests
+/// use this helper to verify the lemma's conclusion numerically.
+pub fn sample_min_of_exponentials(
+    rng: &mut Xoshiro256PlusPlus,
+    k: u64,
+    rate: f64,
+) -> f64 {
+    assert!(k > 0, "need at least one variable");
+    let d = Exponential::new(rate);
+    (0..k).map(|_| d.sample(rng)).fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn exponential_moments_match() {
+        let mut r = rng(1);
+        let d = Exponential::new(0.5);
+        let mut s = OnlineStats::new();
+        for _ in 0..200_000 {
+            s.push(d.sample(&mut r));
+        }
+        assert!((s.mean() - d.mean()).abs() < 0.03);
+        assert!((s.variance() - d.variance()).abs() < 0.2);
+    }
+
+    #[test]
+    fn exponential_cdf_sanity() {
+        let d = Exponential::new(1.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert!((d.cdf(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(d.cdf(100.0) > 0.999_999);
+    }
+
+    #[test]
+    fn geometric_moments_match() {
+        let mut r = rng(2);
+        let d = Geometric::new(0.3);
+        let mut s = OnlineStats::new();
+        for _ in 0..200_000 {
+            let x = d.sample(&mut r);
+            assert!(x >= 1);
+            s.push(x as f64);
+        }
+        assert!((s.mean() - d.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_one() {
+        let mut r = rng(3);
+        let d = Geometric::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn geometric_cdf_matches_formula() {
+        let d = Geometric::new(0.25);
+        assert!((d.cdf(0) - 0.0).abs() < 1e-12);
+        assert!((d.cdf(1) - 0.25).abs() < 1e-12);
+        assert!((d.cdf(2) - (1.0 - 0.75 * 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negbin_equals_sum_of_geometrics_in_mean() {
+        let mut r = rng(4);
+        let d = NegativeBinomial::new(5, 0.4);
+        let mut s = OnlineStats::new();
+        for _ in 0..100_000 {
+            s.push(d.sample(&mut r) as f64);
+        }
+        assert!((s.mean() - d.mean()).abs() < 0.1);
+        // Samples are at least k (each geometric is at least 1).
+        let mut r2 = rng(5);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r2) >= 5);
+        }
+    }
+
+    #[test]
+    fn erlang_moments_and_cdf() {
+        let mut r = rng(6);
+        let d = Erlang::new(3, 2.0);
+        let mut s = OnlineStats::new();
+        for _ in 0..200_000 {
+            s.push(d.sample(&mut r));
+        }
+        assert!((s.mean() - d.mean()).abs() < 0.02);
+        // CDF is monotone and matches simulation at a test point.
+        let t = 1.5;
+        let empirical = {
+            let mut r2 = rng(7);
+            let hits = (0..100_000).filter(|_| d.sample(&mut r2) <= t).count();
+            hits as f64 / 100_000.0
+        };
+        assert!((d.cdf(t) - empirical).abs() < 0.01);
+        assert!(d.cdf(0.5) < d.cdf(1.0));
+    }
+
+    #[test]
+    fn erlang_k1_is_exponential() {
+        let e = Erlang::new(1, 3.0);
+        let x = Exponential::new(3.0);
+        for i in 0..50 {
+            let t = i as f64 * 0.1;
+            assert!((e.cdf(t) - x.cdf(t)).abs() < 1e-12);
+        }
+    }
+
+    /// The superposition property behind Lemma 8: the minimum of k
+    /// independent Exp(λ) variables is Exp(kλ).
+    #[test]
+    fn min_of_exponentials_is_exponential_with_summed_rate() {
+        let mut r = rng(8);
+        let k = 6;
+        let rate = 0.5;
+        let mut s = OnlineStats::new();
+        for _ in 0..200_000 {
+            s.push(sample_min_of_exponentials(&mut r, k, rate));
+        }
+        let expected_mean = 1.0 / (k as f64 * rate);
+        assert!((s.mean() - expected_mean).abs() < 0.01);
+    }
+
+    /// Lemma 10 uses `Erl(k, λ) ≼ NegBin(k, 1 − e^{−λ})`. Check the means
+    /// and a tail point are ordered correctly.
+    #[test]
+    fn erlang_dominated_by_negbin() {
+        let k = 4;
+        let lambda = 1.0;
+        let erl = Erlang::new(k, lambda);
+        let nb = NegativeBinomial::new(k, 1.0 - (-lambda).exp());
+        assert!(erl.mean() <= nb.mean() + 1e-12);
+        // Empirical tail comparison at a few thresholds.
+        let mut r = rng(9);
+        let n = 100_000;
+        for threshold in [4.0, 6.0, 8.0] {
+            let erl_tail = (0..n).filter(|_| erl.sample(&mut r) > threshold).count();
+            let nb_tail = (0..n).filter(|_| (nb.sample(&mut r) as f64) > threshold).count();
+            assert!(
+                erl_tail <= nb_tail + (n / 50),
+                "Erlang tail {erl_tail} exceeds NegBin tail {nb_tail} at {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_bad_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn geometric_rejects_bad_p() {
+        Geometric::new(0.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Discrete-event scheduling: time-ordered queues and Poisson clocks.
+//!
+//! The asynchronous protocol of the paper is driven by `n` independent
+//! rate-1 Poisson clocks. [`EventQueue`] provides the classic
+//! next-event-time simulation loop; [`PoissonClock`] wraps the
+//! exponential inter-arrival logic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::Xoshiro256PlusPlus;
+
+/// A finite, non-NaN simulation timestamp with a total order.
+///
+/// Wrapping `f64` lets events live in a `BinaryHeap` without resorting to
+/// unsafe `Ord` shims. Construction rejects NaN, which is the only value
+/// that would break the order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeKey(f64);
+
+impl TimeKey {
+    /// Wraps a timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "event time must not be NaN");
+        Self(t)
+    }
+
+    /// Returns the wrapped time.
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0.partial_cmp(&other.0).expect("TimeKey is never NaN")
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: TimeKey,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops
+        // first, breaking time ties by insertion order (deterministic).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+///
+/// Ties in time are broken by insertion order, so a simulation driven by a
+/// seeded RNG replays identically.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::events::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(2.0, "later");
+/// q.push(1.0, "sooner");
+/// assert_eq!(q.pop(), Some((1.0, "sooner")));
+/// assert_eq!(q.pop(), Some((2.0, "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules `payload` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
+    pub fn push(&mut self, t: f64, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: TimeKey::new(t), seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time.get(), e.payload))
+    }
+
+    /// Returns the time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time.get())
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A Poisson clock: ticks separated by i.i.d. `Exp(rate)` intervals.
+///
+/// The asynchronous protocol equips each node with a rate-1 clock; the
+/// equivalent single-clock view uses one rate-`n` clock (superposition).
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::events::PoissonClock;
+/// use rumor_sim::rng::Xoshiro256PlusPlus;
+/// let mut rng = Xoshiro256PlusPlus::seed_from(1);
+/// let mut clock = PoissonClock::new(1.0);
+/// let t1 = clock.next_tick(&mut rng);
+/// let t2 = clock.next_tick(&mut rng);
+/// assert!(t2 > t1 && t1 > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonClock {
+    rate: f64,
+    now: f64,
+}
+
+impl PoissonClock {
+    /// Creates a clock with the given tick rate, starting at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        Self { rate, now: 0.0 }
+    }
+
+    /// The clock's rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The time of the most recent tick (0 before the first tick).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances to, and returns, the next tick time.
+    pub fn next_tick(&mut self, rng: &mut Xoshiro256PlusPlus) -> f64 {
+        self.now += rng.exp(self.rate);
+        self.now
+    }
+
+    /// Restarts the clock at time 0.
+    pub fn reset(&mut self) {
+        self.now = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(3.0, 'c');
+        q.push(1.0, 'a');
+        q.push(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn queue_breaks_ties_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(1.0, 3);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((1.0, 2)));
+        assert_eq!(q.pop(), Some((1.0, 3)));
+    }
+
+    #[test]
+    fn queue_peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(5.0, ());
+        q.push(4.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(4.0));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn queue_rejects_nan() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    fn poisson_clock_mean_interval() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(42);
+        let mut clock = PoissonClock::new(4.0);
+        let mut stats = OnlineStats::new();
+        let mut last = 0.0;
+        for _ in 0..100_000 {
+            let t = clock.next_tick(&mut rng);
+            stats.push(t - last);
+            last = t;
+        }
+        assert!((stats.mean() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn poisson_clock_reset() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(1);
+        let mut clock = PoissonClock::new(1.0);
+        clock.next_tick(&mut rng);
+        assert!(clock.now() > 0.0);
+        clock.reset();
+        assert_eq!(clock.now(), 0.0);
+    }
+
+    /// Superposition: merging the ticks of n rate-1 clocks in [0, T] looks
+    /// like one rate-n clock (compare counts).
+    #[test]
+    fn superposition_of_clocks() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        let n = 20;
+        let horizon = 50.0;
+        let mut merged_ticks = 0u64;
+        for _ in 0..n {
+            let mut c = PoissonClock::new(1.0);
+            while c.next_tick(&mut rng) <= horizon {
+                merged_ticks += 1;
+            }
+        }
+        let expected = n as f64 * horizon;
+        let got = merged_ticks as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 1.0,
+            "merged {got} vs expected {expected}"
+        );
+    }
+}

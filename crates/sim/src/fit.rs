@@ -1,0 +1,188 @@
+//! Least-squares fits used to verify the *shape* of asymptotic bounds.
+//!
+//! The experiments do not try to match the paper's constants (there are
+//! none); they verify growth shapes: the star's asynchronous time grows
+//! like `a·ln n`, the diamond graph's synchronous time grows like
+//! `a·n^{1/3}`, and so on. These fits extract the exponent or slope and a
+//! goodness-of-fit `r²` from measured series.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, contain fewer than two points,
+/// or all `x` values coincide.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::fit::linear_fit;
+/// let fit = linear_fit(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!(fit.r2 > 0.999_999);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have equal length");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    assert!(sxx > 0.0, "all x values coincide");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit { slope, intercept, r2 }
+}
+
+/// Result of a power-law fit `y ≈ a·x^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Multiplicative constant `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+    /// `r²` of the underlying log–log linear fit.
+    pub r2: f64,
+}
+
+impl PowerLawFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.a * x.powf(self.b)
+    }
+}
+
+/// Fits `y ≈ a·x^b` by linear regression in log–log space.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive (logarithms must exist) or fewer
+/// than two points are given.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::fit::power_law_fit;
+/// let xs = [8.0f64, 64.0, 512.0, 4096.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(1.0 / 3.0)).collect();
+/// let fit = power_law_fit(&xs, &ys);
+/// assert!((fit.b - 1.0 / 3.0).abs() < 1e-9);
+/// assert!((fit.a - 3.0).abs() < 1e-9);
+/// ```
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> PowerLawFit {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "power-law fit requires positive values"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let lin = linear_fit(&lx, &ly);
+    PowerLawFit { a: lin.intercept.exp(), b: lin.slope, r2: lin.r2 }
+}
+
+/// Fits `y ≈ a·ln(x) + b`.
+///
+/// Used for the star graph, where the asynchronous spreading time is
+/// `Θ(log n)` while the synchronous time is constant.
+///
+/// # Panics
+///
+/// Panics if any `x` is non-positive or fewer than two points are given.
+pub fn log_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert!(xs.iter().all(|&v| v > 0.0), "log fit requires positive x");
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    linear_fit(&lx, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let fit = linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_line_good_r2() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0 + (x * 12.9898).sin() * 0.5).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 0.05);
+        assert!(fit.r2 > 0.999);
+    }
+
+    #[test]
+    fn linear_fit_flat_data() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert!(fit.slope.abs() < 1e-12);
+        assert_eq!(fit.r2, 1.0); // syy == 0 means a constant fits perfectly
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn linear_fit_rejects_mismatched() {
+        linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x values coincide")]
+    fn linear_fit_rejects_degenerate_x() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn power_law_recovers_sqrt() {
+        let xs: Vec<f64> = (1..=20).map(|i| (i * i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x.sqrt()).collect();
+        let fit = power_law_fit(&xs, &ys);
+        assert!((fit.b - 0.5).abs() < 1e-9);
+        assert!((fit.a - 2.0).abs() < 1e-9);
+        assert!((fit.predict(100.0) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn power_law_rejects_nonpositive() {
+        power_law_fit(&[1.0, 0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn log_fit_recovers_logarithm() {
+        let xs: Vec<f64> = (1..=12).map(|i| (1u64 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.5 * x.ln() + 0.25).collect();
+        let fit = log_fit(&xs, &ys);
+        assert!((fit.slope - 1.5).abs() < 1e-9);
+        assert!((fit.intercept - 0.25).abs() < 1e-9);
+    }
+}

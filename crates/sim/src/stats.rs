@@ -1,0 +1,474 @@
+//! Statistics for Monte-Carlo experiments.
+//!
+//! Spreading times are random variables; every quantity the paper talks
+//! about — expectations (`E[T]`), high-probability quantiles (`T₁/ₙ`),
+//! stochastic domination (`X ≼ Y`) — is estimated here from samples.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; supports `merge` so partial
+/// accumulators from parallel workers can be combined exactly.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval for
+    /// the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.sem()
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// variance combination).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// A five-number-plus summary of a finished sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (type-7 quantile).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let stats: OnlineStats = values.iter().copied().collect();
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Self {
+            count: values.len(),
+            mean: stats.mean(),
+            stddev: stats.stddev(),
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Type-7 (linear interpolation) quantile of an **already sorted** sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "cannot take quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Convenience: sorts a copy of `values` and returns the `q`-quantile.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, contains NaN, or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile_sorted(&sorted, q)
+}
+
+/// An empirical cumulative distribution function.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::stats::Ecdf;
+/// let ecdf = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(ecdf.eval(0.0), 0.0);
+/// assert_eq!(ecdf.eval(2.0), 0.5);
+/// assert_eq!(ecdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn new(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot build ECDF from empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Self { sorted }
+    }
+
+    /// `F̂(t)` — the fraction of the sample that is `≤ t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        // partition_point returns the number of elements <= t.
+        let k = self.sorted.partition_point(|&x| x <= t);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted underlying sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true — construction requires a
+    /// non-empty sample).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Returns `true` if the variable underlying `self` is empirically
+    /// *stochastically dominated by* the one underlying `other`
+    /// (`X ≼ Y` with `self = X`), i.e. `F̂_self(t) + slack ≥ F̂_other(t)`
+    /// at every observed point — the smaller variable's CDF sits above.
+    pub fn dominated_by(&self, other: &Ecdf, slack: f64) -> bool {
+        // X ≼ Y  ⟺  F_X(t) ≥ F_Y(t) for all t. `self` is X.
+        let check = |t: f64| self.eval(t) + slack >= other.eval(t);
+        self.sorted.iter().chain(other.sorted.iter()).all(|&t| check(t))
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: `sup_t |F̂_a(t) − F̂_b(t)|`.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use rumor_sim::stats::ks_statistic;
+/// let a = [1.0, 2.0, 3.0];
+/// let d = ks_statistic(&a, &a);
+/// assert!(d.abs() < 1e-12);
+/// ```
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    let fa = Ecdf::new(a);
+    let fb = Ecdf::new(b);
+    let mut d: f64 = 0.0;
+    for &t in fa.values().iter().chain(fb.values()) {
+        d = d.max((fa.eval(t) - fb.eval(t)).abs());
+        // Also check just below t (left limits differ at atoms).
+        let eps = t.abs().max(1.0) * 1e-12;
+        d = d.max((fa.eval(t - eps) - fb.eval(t - eps)).abs());
+    }
+    d
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range clamping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Adds an observation, clamping out-of-range values to the edge bins.
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            ((f * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: OnlineStats = xs.iter().copied().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..37].iter().copied().collect();
+        let right: OnlineStats = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Single element.
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_slice(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.median - 2.0).abs() < 1e-12);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0, 5.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.5);
+        assert_eq!(e.eval(1.5), 0.5);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(5.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn ecdf_domination_detects_shift() {
+        // Y = X + 1 dominates X.
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
+        let fx = Ecdf::new(&x);
+        let fy = Ecdf::new(&y);
+        assert!(fx.dominated_by(&fy, 0.0));
+        assert!(!fy.dominated_by(&fx, 0.0));
+    }
+
+    #[test]
+    fn ks_of_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(ks_statistic(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn ks_of_disjoint_samples_is_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_detects_shift_magnitude() {
+        let a: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..1000).map(|i| i as f64 + 500.0).collect();
+        let d = ks_statistic(&a, &b);
+        assert!((d - 0.5).abs() < 0.01, "expected ~0.5, got {d}");
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(-1.0); // clamps to bin 0
+        h.push(0.5);
+        h.push(9.99);
+        h.push(100.0); // clamps to last bin
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[4], 2);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert!((h.bin_lo(1) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Corollary 3 live: on regular graphs, push-only is as good as
+//! push–pull (synchronously), and asynchronous push is exactly twice
+//! asynchronous push–pull.
+//!
+//! ```text
+//! cargo run --release --example regular_graphs
+//! ```
+
+use rumor_spreading::core::runner::{
+    async_spreading_times, high_probability_time, sync_spreading_times,
+};
+use rumor_spreading::core::{AsyncView, Mode};
+use rumor_spreading::graph::{generators, Graph};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+use rumor_spreading::sim::stats::OnlineStats;
+
+fn row(name: &str, g: &Graph, trials: usize) {
+    let n = g.node_count();
+    let push = sync_spreading_times(g, 0, Mode::Push, trials, 31, 1_000_000);
+    let pp = sync_spreading_times(g, 0, Mode::PushPull, trials, 32, 1_000_000);
+    let tp = high_probability_time(&push, n);
+    let tpp = high_probability_time(&pp, n);
+
+    let apush: OnlineStats =
+        async_spreading_times(g, 0, Mode::Push, AsyncView::GlobalClock, trials, 33, u64::MAX >> 1)
+            .into_iter()
+            .collect();
+    let app: OnlineStats = async_spreading_times(
+        g,
+        0,
+        Mode::PushPull,
+        AsyncView::GlobalClock,
+        trials,
+        34,
+        u64::MAX >> 1,
+    )
+    .into_iter()
+    .collect();
+
+    println!(
+        "{:>18}  {:>6}  {:>4}  {:>9.1}  {:>12.1}  {:>6.2}  {:>16.3}",
+        name,
+        n,
+        g.regular_degree().expect("regular"),
+        tp,
+        tpp,
+        tp / tpp.max(1.0),
+        apush.mean() / app.mean(),
+    );
+}
+
+fn main() {
+    let trials = 300;
+    println!("regular graphs, {trials} trials each\n");
+    println!(
+        "{:>18}  {:>6}  {:>4}  {:>9}  {:>12}  {:>6}  {:>16}",
+        "graph", "n", "d", "push hp", "push-pull hp", "ratio", "async push/pp"
+    );
+
+    let mut rng = Xoshiro256PlusPlus::seed_from(30);
+    row("cycle", &generators::cycle(256), trials);
+    row("torus 16x16", &generators::torus(16, 16), trials);
+    row("hypercube", &generators::hypercube(8), trials);
+    row("3-regular", &generators::random_regular_connected(256, 3, &mut rng, 500), trials);
+    row("8-regular", &generators::random_regular_connected(256, 8, &mut rng, 500), trials);
+    row("complete", &generators::complete(256), trials);
+
+    println!("\nCorollary 3: the sync push/push-pull ratio stays constant on");
+    println!("regular graphs. Last column: E[T_push-a] / E[T_pp-a] → 2, the");
+    println!("distributional doubling claimed in §1 (observation (2)).");
+}

@@ -1,0 +1,76 @@
+//! Social-network topologies: where asynchrony wins.
+//!
+//! On Chung–Lu power-law graphs and preferential-attachment graphs —
+//! the models the paper's introduction cites — the asynchronous protocol
+//! informs the bulk of the network faster than the synchronous one,
+//! because hot hubs fire their clocks often and don't wait for a round
+//! barrier.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use rumor_spreading::core::runner::{default_max_steps, run_trials};
+use rumor_spreading::core::{run_async, run_sync, AsyncView, Mode};
+use rumor_spreading::graph::{generators, Graph, Node};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+use rumor_spreading::sim::stats::OnlineStats;
+
+fn measure(g: &Graph, source: Node, trials: usize) {
+    println!(
+        "  n = {}, m = {}, max degree = {}, avg degree = {:.1}",
+        g.node_count(),
+        g.edge_count(),
+        g.max_degree(),
+        g.avg_degree()
+    );
+    let budget = default_max_steps(g);
+    let sync_rows = run_trials(trials, 21, |_, rng| {
+        let out = run_sync(g, source, Mode::PushPull, rng, 1_000_000);
+        (
+            out.rounds_to_fraction(0.5).unwrap() as f64,
+            out.rounds_to_fraction(0.99).unwrap() as f64,
+            out.rounds as f64,
+        )
+    });
+    let async_rows = run_trials(trials, 22, |_, rng| {
+        let out = run_async(g, source, Mode::PushPull, AsyncView::GlobalClock, rng, budget);
+        (
+            out.time_to_fraction(0.5).unwrap(),
+            out.time_to_fraction(0.99).unwrap(),
+            out.time,
+        )
+    });
+    let mean = |it: &[(f64, f64, f64)], f: fn(&(f64, f64, f64)) -> f64| {
+        it.iter().map(f).collect::<OnlineStats>().mean()
+    };
+    println!(
+        "    sync : t(50%) = {:>6.2}  t(99%) = {:>6.2}  t(100%) = {:>6.2}   (rounds)",
+        mean(&sync_rows, |r| r.0),
+        mean(&sync_rows, |r| r.1),
+        mean(&sync_rows, |r| r.2)
+    );
+    println!(
+        "    async: t(50%) = {:>6.2}  t(99%) = {:>6.2}  t(100%) = {:>6.2}   (time units)",
+        mean(&async_rows, |r| r.0),
+        mean(&async_rows, |r| r.1),
+        mean(&async_rows, |r| r.2)
+    );
+}
+
+fn main() {
+    let n = 2000;
+    let trials = 200;
+    let mut rng = Xoshiro256PlusPlus::seed_from(20);
+
+    println!("Chung–Lu power law (β = 2.5, target avg degree 8):");
+    let cl = generators::chung_lu_giant(n, 2.5, 8.0, 0.7, &mut rng);
+    measure(&cl, 0, trials);
+
+    println!("\npreferential attachment (m = 2), rumor from the last-added node:");
+    let pa = generators::preferential_attachment(n, 2, &mut rng);
+    measure(&pa, (n - 1) as Node, trials);
+
+    println!("\nthe async rows reach 50% and 99% faster — the effect that");
+    println!("motivated the asynchronous model in the first place (§1).");
+}

@@ -1,0 +1,45 @@
+//! # rumor-spreading
+//!
+//! A reproduction of *“How Asynchrony Affects Rumor Spreading Time”*
+//! (Giakkoupis, Nazari, Woelfel — PODC 2016) as a Rust workspace:
+//! protocols, the paper's coupling constructions, a graph/simulation
+//! substrate, and an experiment harness regenerating every quantitative
+//! claim.
+//!
+//! This facade crate re-exports the member crates under one roof:
+//!
+//! * [`graph`] — CSR graphs, generators for every family the paper
+//!   names, structural properties ([`rumor_graph`]);
+//! * [`sim`] — deterministic PRNGs, the paper's distributions, event
+//!   queues, statistics, least-squares fits ([`rumor_sim`]);
+//! * [`core`] — synchronous & asynchronous push/pull/push–pull engines,
+//!   the `ppx`/`ppy` auxiliary processes, the §3–§5 couplings, FPP, and
+//!   the Monte-Carlo runner ([`rumor_core`]);
+//! * [`analysis`] — experiments E1–E14 and table output
+//!   ([`rumor_analysis`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rumor_spreading::core::{run_async, run_sync, AsyncView, Mode};
+//! use rumor_spreading::graph::generators;
+//! use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+//!
+//! // The paper's star example: sync finishes in ≤ 2 rounds ...
+//! let g = generators::star(256);
+//! let mut rng = Xoshiro256PlusPlus::seed_from(1);
+//! let sync = run_sync(&g, 1, Mode::PushPull, &mut rng, 100);
+//! assert!(sync.rounds <= 2);
+//!
+//! // ... while async needs Θ(log n) time.
+//! let asy = run_async(&g, 1, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 10_000_000);
+//! assert!(asy.time > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rumor_analysis as analysis;
+pub use rumor_core as core;
+pub use rumor_graph as graph;
+pub use rumor_sim as sim;

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests of the coupling machinery: the paper's
+//! coupled inequalities and invariants must hold on every run across a
+//! matrix of graph families and seeds.
+
+use rumor_spreading::core::coupling::blocks::{block_capacity, run_block_coupling};
+use rumor_spreading::core::coupling::pull::run_pull_coupling;
+use rumor_spreading::core::coupling::push::run_push_coupling;
+use rumor_spreading::graph::{generators, Graph, Node};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+use rumor_spreading::sim::stats::OnlineStats;
+
+fn matrix() -> Vec<(&'static str, Graph, Node)> {
+    let mut rng = Xoshiro256PlusPlus::seed_from(5);
+    vec![
+        ("star", generators::star(40), 1),
+        ("path", generators::path(24), 0),
+        ("cycle", generators::cycle(24), 0),
+        ("hypercube", generators::hypercube(5), 0),
+        ("complete", generators::complete(24), 0),
+        ("gnp", generators::gnp_connected(40, 0.2, &mut rng, 200), 0),
+        ("caterpillar", generators::caterpillar(8, 3), 0),
+        ("necklace", generators::necklace_of_cliques(4, 6), 0),
+    ]
+}
+
+/// Lemma 13's subset invariant and Lemma 14's accounting, on every
+/// family and ten seeds each.
+#[test]
+fn block_coupling_invariants_hold_everywhere() {
+    for (name, g, source) in matrix() {
+        let n = g.node_count();
+        let mut ratio = OnlineStats::new();
+        for seed in 0..10 {
+            let stats = run_block_coupling(&g, source, seed, 500_000_000);
+            assert!(stats.completed, "{name} seed {seed} did not complete");
+            assert!(
+                stats.subset_invariant_held,
+                "{name} seed {seed}: Lemma 13 subset invariant violated"
+            );
+            assert!(stats.special_blocks <= stats.right_blocks);
+            assert!(stats.steps >= (n as u64) - 1);
+            ratio.push(stats.rounds as f64 / stats.lemma14_budget(n));
+        }
+        assert!(
+            ratio.mean() < 10.0,
+            "{name}: Lemma 14 rounds/budget = {}",
+            ratio.mean()
+        );
+    }
+}
+
+/// The pull coupling's Lemma 9/10 excesses stay logarithmic on every
+/// family; and every process of the coupling completes.
+#[test]
+fn pull_coupling_excesses_stay_logarithmic() {
+    for (name, g, source) in matrix() {
+        let ln_n = (g.node_count() as f64).ln();
+        for seed in 0..10 {
+            let out = run_pull_coupling(&g, source, seed, 10_000_000);
+            assert!(out.completed, "{name} seed {seed}");
+            assert!(
+                out.lemma9_excess() <= 30.0 * ln_n + 6.0,
+                "{name} seed {seed}: Lemma 9 excess {}",
+                out.lemma9_excess()
+            );
+            assert!(
+                out.lemma10_excess() <= 30.0 * ln_n + 6.0,
+                "{name} seed {seed}: Lemma 10 excess {}",
+                out.lemma10_excess()
+            );
+        }
+    }
+}
+
+/// The push coupling means: E[t_v] ≤ E[r_v] aggregated over nodes and
+/// trials, per family.
+#[test]
+fn push_coupling_async_no_slower_in_expectation() {
+    for (name, g, source) in matrix() {
+        let mut stats = OnlineStats::new();
+        for seed in 0..40 {
+            let out = run_push_coupling(&g, source, seed, 10_000_000);
+            assert!(out.completed, "{name} seed {seed}");
+            stats.push(out.mean_time_minus_round());
+        }
+        assert!(
+            stats.mean() < 4.0 * stats.sem() + 0.1,
+            "{name}: mean(t_v - r_v) = {} should be <= 0",
+            stats.mean()
+        );
+    }
+}
+
+/// Block capacity follows ⌊√n⌋ on the matrix graphs.
+#[test]
+fn block_capacity_matches_sqrt() {
+    for (_, g, _) in matrix() {
+        let n = g.node_count();
+        let cap = block_capacity(n);
+        assert!(cap * cap <= n);
+        assert!((cap + 1) * (cap + 1) > n);
+    }
+}
+
+/// Determinism: coupled runs replay exactly for a fixed master seed.
+#[test]
+fn couplings_are_deterministic() {
+    let g = generators::hypercube(4);
+    assert_eq!(
+        run_pull_coupling(&g, 0, 9, 1_000_000),
+        run_pull_coupling(&g, 0, 9, 1_000_000)
+    );
+    assert_eq!(
+        run_push_coupling(&g, 0, 9, 1_000_000),
+        run_push_coupling(&g, 0, 9, 1_000_000)
+    );
+    assert_eq!(
+        run_block_coupling(&g, 0, 9, 1_000_000),
+        run_block_coupling(&g, 0, 9, 1_000_000)
+    );
+}

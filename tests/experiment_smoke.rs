@@ -1,0 +1,49 @@
+//! Smoke test: every experiment in the registry runs end-to-end on a
+//! tiny configuration and produces a well-formed table.
+
+use rumor_spreading::analysis::report::{all_experiments, find_experiment};
+use rumor_spreading::analysis::ExperimentConfig;
+
+#[test]
+fn every_experiment_produces_a_table() {
+    let cfg = ExperimentConfig::quick().with_trials(16);
+    for exp in all_experiments() {
+        let table = (exp.run)(&cfg);
+        assert!(
+            table.row_count() >= 2,
+            "experiment {} produced only {} rows",
+            exp.id,
+            table.row_count()
+        );
+        let text = table.to_text();
+        assert!(text.contains("=="), "{}: missing title banner", exp.id);
+        let csv = table.to_csv();
+        assert!(csv.lines().count() > table.row_count());
+    }
+}
+
+#[test]
+fn registry_lookup_matches_ids() {
+    for exp in all_experiments() {
+        let found = find_experiment(exp.id).expect("id resolves");
+        assert_eq!(found.id, exp.id);
+        assert!(!found.claim.is_empty());
+    }
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let cfg = ExperimentConfig::quick().with_trials(12).with_seed(1234);
+    let e3 = find_experiment("e3").unwrap();
+    let a = (e3.run)(&cfg);
+    let b = (e3.run)(&cfg);
+    assert_eq!(a, b, "same config must produce identical tables");
+}
+
+#[test]
+fn different_seeds_change_results() {
+    let e3 = find_experiment("e3").unwrap();
+    let a = (e3.run)(&ExperimentConfig::quick().with_trials(12).with_seed(1));
+    let b = (e3.run)(&ExperimentConfig::quick().with_trials(12).with_seed(2));
+    assert_ne!(a, b, "different seeds should perturb the measurements");
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the protocol engines over arbitrary connected
+//! graphs: termination, locality (the rumor only travels along edges,
+//! one hop per round), and mode relationships.
+
+use proptest::prelude::*;
+use rumor_spreading::core::{run_async, run_sync, AsyncView, Mode};
+use rumor_spreading::graph::{props, Graph, GraphBuilder};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+
+/// Strategy: a connected graph on 2..=24 nodes — a random spanning tree
+/// (random parent for each node) plus arbitrary extra edges.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=24).prop_flat_map(|n| {
+        let parents = proptest::collection::vec(0usize..n.max(1), n - 1);
+        let extras = proptest::collection::vec((0usize..n, 0usize..n), 0..12);
+        (Just(n), parents, extras).prop_map(|(n, parents, extras)| {
+            let mut b = GraphBuilder::new(n);
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = p % child; // ensures parent < child: a tree
+                b.add_edge(child as u32, parent as u32);
+            }
+            for (u, v) in extras {
+                if u != v {
+                    b.add_edge(u as u32, v as u32);
+                }
+            }
+            b.build().expect("n >= 2")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_graphs_are_connected(g in connected_graph()) {
+        prop_assert!(props::is_connected(&g));
+        prop_assert!(!g.has_isolated_nodes());
+    }
+
+    /// Synchronous push–pull terminates on every connected graph and the
+    /// rumor respects graph distance: one hop per round at most.
+    #[test]
+    fn sync_terminates_and_respects_distance(g in connected_graph(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng, 1_000_000);
+        prop_assert!(out.completed);
+        let dist = props::bfs_distances(&g, 0);
+        for v in g.nodes() {
+            prop_assert!(
+                out.informed_round[v as usize] >= dist[v as usize] as u64,
+                "node {v} informed at round {} but distance is {}",
+                out.informed_round[v as usize],
+                dist[v as usize]
+            );
+        }
+        // Termination time is bounded by the trivial n-1 + coupon bound
+        // only probabilistically; but every node needs at least one round
+        // past its BFS distance, and the maximum round equals the total.
+        prop_assert_eq!(
+            out.rounds,
+            *out.informed_round.iter().max().unwrap()
+        );
+    }
+
+    /// Asynchronous push–pull (all three views) terminates and the rumor
+    /// only ever travels along edges.
+    #[test]
+    fn async_terminates_and_is_local(g in connected_graph(), seed in 0u64..1000) {
+        for view in AsyncView::ALL {
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_async(&g, 0, Mode::PushPull, view, &mut rng, 100_000_000);
+            prop_assert!(out.completed, "view {view}");
+            for v in g.nodes().skip(1) {
+                let tv = out.informed_time[v as usize];
+                prop_assert!(tv.is_finite() && tv > 0.0);
+                prop_assert!(
+                    g.neighbors(v).iter().any(|&w| out.informed_time[w as usize] <= tv),
+                    "node {v} was informed without an informed neighbor ({view})"
+                );
+            }
+        }
+    }
+
+    /// Push-only also terminates (pull is never required on connected
+    /// graphs) and sync push can never beat sync push–pull by definition
+    /// of the modes — checked in expectation over a few runs.
+    #[test]
+    fn push_only_terminates(g in connected_graph(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let out = run_sync(&g, 0, Mode::Push, &mut rng, 10_000_000);
+        prop_assert!(out.completed);
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let out = run_async(&g, 0, Mode::Push, AsyncView::GlobalClock, &mut rng, 100_000_000);
+        prop_assert!(out.completed);
+    }
+
+    /// The informed-by-round growth curve is consistent with the per-node
+    /// informing rounds.
+    #[test]
+    fn growth_curve_is_consistent(g in connected_graph(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let out = run_sync(&g, 0, Mode::PushPull, &mut rng, 1_000_000);
+        prop_assert!(out.completed);
+        prop_assert_eq!(out.informed_by_round[0], 1);
+        for (r, &count) in out.informed_by_round.iter().enumerate() {
+            let recount = out
+                .informed_round
+                .iter()
+                .filter(|&&ir| ir <= r as u64)
+                .count();
+            prop_assert_eq!(recount, count);
+        }
+        prop_assert_eq!(*out.informed_by_round.last().unwrap(), g.node_count());
+    }
+}
+
+/// Push–pull is at least as fast as push alone, in expectation (it can
+/// only do more per contact). A fixed statistical check on a graph where
+/// pull matters a lot.
+#[test]
+fn pushpull_no_slower_than_push_on_star() {
+    use rumor_spreading::sim::stats::OnlineStats;
+    let g = rumor_spreading::graph::generators::star(64);
+    let trials = 150;
+    let mut push = OnlineStats::new();
+    let mut pp = OnlineStats::new();
+    for seed in 0..trials {
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        push.push(run_sync(&g, 1, Mode::Push, &mut rng, 1_000_000).rounds as f64);
+        let mut rng = Xoshiro256PlusPlus::seed_from(10_000 + seed);
+        pp.push(run_sync(&g, 1, Mode::PushPull, &mut rng, 1_000_000).rounds as f64);
+    }
+    // On the star push needs Θ(n log n) rounds, push-pull at most 2.
+    assert!(
+        push.mean() > 10.0 * pp.mean(),
+        "push {} should be far slower than push-pull {}",
+        push.mean(),
+        pp.mean()
+    );
+}
