@@ -27,12 +27,7 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Full-scale configuration used to produce EXPERIMENTS.md.
     pub fn full() -> Self {
-        Self {
-            trials: 400,
-            master_seed: 0xC0FFEE,
-            threads: default_threads(),
-            full_scale: true,
-        }
+        Self { trials: 400, master_seed: 0xC0FFEE, threads: default_threads(), full_scale: true }
     }
 
     /// Reduced configuration for tests and smoke runs.
@@ -122,11 +117,7 @@ pub fn standard_suite(n: usize, rng: &mut Xoshiro256PlusPlus) -> Vec<SuiteEntry>
             graph: generators::double_star(n / 2 - 1, n - n / 2 - 1),
             source: 2,
         },
-        SuiteEntry {
-            name: "diamonds",
-            graph: generators::string_of_diamonds(k, m),
-            source: 0,
-        },
+        SuiteEntry { name: "diamonds", graph: generators::string_of_diamonds(k, m), source: 0 },
     ]
 }
 
@@ -166,9 +157,7 @@ pub fn sweep_sizes(cfg: &ExperimentConfig) -> Vec<usize> {
 /// different sampling passes within one experiment) read independent
 /// randomness from one user-facing seed.
 pub fn mix_seed(cfg: &ExperimentConfig, salt: u64) -> u64 {
-    cfg.master_seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .rotate_left(13)
+    cfg.master_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13)
         ^ salt.wrapping_mul(0xD134_2543_DE82_EF95)
 }
 
@@ -178,12 +167,7 @@ pub fn sync_round_budget(g: &Graph) -> u64 {
 }
 
 /// Samples `cfg.trials` synchronous spreading times on a suite entry.
-pub fn sample_sync(
-    entry: &SuiteEntry,
-    mode: Mode,
-    cfg: &ExperimentConfig,
-    salt: u64,
-) -> Vec<f64> {
+pub fn sample_sync(entry: &SuiteEntry, mode: Mode, cfg: &ExperimentConfig, salt: u64) -> Vec<f64> {
     runner::sync_spreading_times_parallel(
         &entry.graph,
         entry.source,
@@ -236,22 +220,14 @@ mod tests {
         let suite = standard_suite(64, &mut rng);
         assert!(suite.len() >= 10);
         for entry in &suite {
-            assert!(
-                props::is_connected(&entry.graph),
-                "{} disconnected",
-                entry.name
-            );
+            assert!(props::is_connected(&entry.graph), "{} disconnected", entry.name);
             assert!(
                 (entry.source as usize) < entry.graph.node_count(),
                 "{} source out of range",
                 entry.name
             );
             let n = entry.graph.node_count();
-            assert!(
-                (32..=128).contains(&n),
-                "{} size {n} too far from target 64",
-                entry.name
-            );
+            assert!((32..=128).contains(&n), "{} size {n} too far from target 64", entry.name);
         }
     }
 
@@ -259,19 +235,18 @@ mod tests {
     fn regular_suite_is_regular() {
         let mut rng = Xoshiro256PlusPlus::seed_from(2);
         for entry in regular_suite(64, &mut rng) {
-            assert!(
-                entry.graph.regular_degree().is_some(),
-                "{} is not regular",
-                entry.name
-            );
+            assert!(entry.graph.regular_degree().is_some(), "{} is not regular", entry.name);
             assert!(props::is_connected(&entry.graph), "{} disconnected", entry.name);
         }
     }
 
     #[test]
     fn sweep_sizes_scale_with_config() {
-        assert!(sweep_sizes(&ExperimentConfig::quick()).len() < sweep_sizes(&ExperimentConfig::full()).len()
-            || sweep_sizes(&ExperimentConfig::quick()).iter().max()
-                < sweep_sizes(&ExperimentConfig::full()).iter().max());
+        assert!(
+            sweep_sizes(&ExperimentConfig::quick()).len()
+                < sweep_sizes(&ExperimentConfig::full()).len()
+                || sweep_sizes(&ExperimentConfig::quick()).iter().max()
+                    < sweep_sizes(&ExperimentConfig::full()).iter().max()
+        );
     }
 }

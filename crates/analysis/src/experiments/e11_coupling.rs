@@ -36,34 +36,25 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     let mut worst10: f64 = f64::NEG_INFINITY;
     for entry in standard_suite(n, &mut graph_rng) {
         let ln_n = (entry.graph.node_count() as f64).ln();
-        let excesses = run_trials_parallel(
-            runs,
-            mix_seed(cfg, SALT),
-            cfg.threads,
-            |_, rng| {
-                let seed = rng.next_u64();
-                let out = run_pull_coupling(&entry.graph, entry.source, seed, 10_000_000);
-                assert!(out.completed, "pull coupling must complete");
-                (out.lemma9_excess(), out.lemma10_excess())
-            },
-        );
+        let excesses = run_trials_parallel(runs, mix_seed(cfg, SALT), cfg.threads, |_, rng| {
+            let seed = rng.next_u64();
+            let out = run_pull_coupling(&entry.graph, entry.source, seed, 10_000_000);
+            assert!(out.completed, "pull coupling must complete");
+            (out.lemma9_excess(), out.lemma10_excess())
+        });
         let max9 = excesses.iter().map(|e| e.0).fold(f64::NEG_INFINITY, f64::max) / ln_n;
         let max10 = excesses.iter().map(|e| e.1).fold(f64::NEG_INFINITY, f64::max) / ln_n;
         worst9 = worst9.max(max9);
         worst10 = worst10.max(max10);
-        let push_means: OnlineStats = run_trials_parallel(
-            runs,
-            mix_seed(cfg, SALT + 1),
-            cfg.threads,
-            |_, rng| {
+        let push_means: OnlineStats =
+            run_trials_parallel(runs, mix_seed(cfg, SALT + 1), cfg.threads, |_, rng| {
                 let seed = rng.next_u64();
                 let out = run_push_coupling(&entry.graph, entry.source, seed, 10_000_000);
                 assert!(out.completed, "push coupling must complete");
                 out.mean_time_minus_round()
-            },
-        )
-        .into_iter()
-        .collect();
+            })
+            .into_iter()
+            .collect();
         table.add_row(vec![
             entry.name.to_owned(),
             entry.graph.node_count().to_string(),

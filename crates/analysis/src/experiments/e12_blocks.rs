@@ -17,15 +17,7 @@ const SALT: u64 = 0xE12;
 pub fn run(cfg: &ExperimentConfig) -> Table {
     let mut table = Table::new(
         "E12 / block decomposition: Lemma 13 invariant and Lemma 14 accounting",
-        &[
-            "graph",
-            "n",
-            "E[steps]",
-            "E[rounds]",
-            "rounds/budget",
-            "E[special]",
-            "invariant",
-        ],
+        &["graph", "n", "E[steps]", "E[rounds]", "rounds/budget", "E[special]", "invariant"],
     );
     let n = if cfg.full_scale { 256 } else { 48 };
     let runs = (cfg.trials / 4).max(10);
@@ -40,10 +32,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         let invariant_all = stats.iter().all(|s| s.completed && s.subset_invariant_held);
         let steps: OnlineStats = stats.iter().map(|s| s.steps as f64).collect();
         let rounds: OnlineStats = stats.iter().map(|s| s.rounds as f64).collect();
-        let ratio: OnlineStats = stats
-            .iter()
-            .map(|s| s.rounds as f64 / s.lemma14_budget(n_actual))
-            .collect();
+        let ratio: OnlineStats =
+            stats.iter().map(|s| s.rounds as f64 / s.lemma14_budget(n_actual)).collect();
         let special: OnlineStats = stats.iter().map(|s| s.special_blocks as f64).collect();
         worst_ratio = worst_ratio.max(ratio.mean());
         table.add_row(vec![

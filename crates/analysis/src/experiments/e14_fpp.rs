@@ -39,12 +39,10 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
             run_trials_parallel(cfg.trials, mix_seed(cfg, SALT), cfg.threads, |_, rng| {
                 run_async(&g, 0, Mode::PushPull, AsyncView::EdgeClocks, rng, budget).time
             });
-        let fpp: Vec<f64> = run_trials_parallel(
-            cfg.trials,
-            mix_seed(cfg, SALT + 1),
-            cfg.threads,
-            |_, rng| async_pushpull_as_fpp(&g, 0, rng).makespan,
-        );
+        let fpp: Vec<f64> =
+            run_trials_parallel(cfg.trials, mix_seed(cfg, SALT + 1), cfg.threads, |_, rng| {
+                async_pushpull_as_fpp(&g, 0, rng).makespan
+            });
         let sa: OnlineStats = ppa.iter().copied().collect();
         let sf: OnlineStats = fpp.iter().copied().collect();
         table.add_row(vec![

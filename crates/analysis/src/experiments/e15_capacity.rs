@@ -28,7 +28,11 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     let n = if cfg.full_scale { 256 } else { 64 };
     let runs = (cfg.trials / 4).max(10);
     let entries = vec![
-        SuiteEntry { name: "hypercube", graph: generators::hypercube((n as f64).log2() as u32), source: 0 },
+        SuiteEntry {
+            name: "hypercube",
+            graph: generators::hypercube((n as f64).log2() as u32),
+            source: 0,
+        },
         SuiteEntry { name: "complete", graph: generators::complete(n), source: 0 },
         SuiteEntry { name: "cycle", graph: generators::cycle(n), source: 0 },
     ];
@@ -38,11 +42,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         let mut cells = vec![entry.name.to_owned(), n_actual.to_string()];
         for (i, &mult) in MULTIPLIERS.iter().enumerate() {
             let cap = ((base as f64 * mult).round() as usize).max(1);
-            let rounds: OnlineStats = run_trials_parallel(
-                runs,
-                mix_seed(cfg, SALT + i as u64),
-                cfg.threads,
-                |_, rng| {
+            let rounds: OnlineStats =
+                run_trials_parallel(runs, mix_seed(cfg, SALT + i as u64), cfg.threads, |_, rng| {
                     let stats = run_block_coupling_with_capacity(
                         &entry.graph,
                         entry.source,
@@ -52,10 +53,9 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
                     );
                     assert!(stats.completed && stats.subset_invariant_held);
                     stats.rounds as f64
-                },
-            )
-            .into_iter()
-            .collect();
+                })
+                .into_iter()
+                .collect();
             cells.push(fmt_f(rounds.mean(), 1));
         }
         table.add_row(cells);
@@ -67,9 +67,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
 
 /// Mean rounds per multiplier column for a row (test hook).
 pub fn row_rounds(table: &Table, row: usize) -> Vec<f64> {
-    (2..2 + MULTIPLIERS.len())
-        .map(|c| table.cell(row, c).unwrap().parse().unwrap())
-        .collect()
+    (2..2 + MULTIPLIERS.len()).map(|c| table.cell(row, c).unwrap().parse().unwrap()).collect()
 }
 
 #[cfg(test)]
@@ -89,10 +87,7 @@ mod tests {
                 "row {row}: paper choice {at_paper} vs best {best} ({rounds:?})"
             );
             // Degenerate capacities must be clearly worse than the best.
-            assert!(
-                rounds[0] > best,
-                "row {row}: tiny capacity should cost rounds ({rounds:?})"
-            );
+            assert!(rounds[0] > best, "row {row}: tiny capacity should cost rounds ({rounds:?})");
         }
     }
 }

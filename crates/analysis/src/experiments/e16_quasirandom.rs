@@ -12,9 +12,7 @@ use rumor_core::{run_sync, Mode};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 use rumor_sim::stats::OnlineStats;
 
-use crate::experiments::common::{
-    mix_seed, standard_suite, sync_round_budget, ExperimentConfig,
-};
+use crate::experiments::common::{mix_seed, standard_suite, sync_round_budget, ExperimentConfig};
 use crate::table::{fmt_f, Table};
 
 const SALT: u64 = 0xE16;
@@ -37,8 +35,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
             .collect();
         let quasi: OnlineStats =
             run_trials_parallel(cfg.trials, mix_seed(cfg, SALT + 1), cfg.threads, |_, rng| {
-                run_quasirandom_sync(&entry.graph, entry.source, Mode::PushPull, rng, budget)
-                    .rounds as f64
+                run_quasirandom_sync(&entry.graph, entry.source, Mode::PushPull, rng, budget).rounds
+                    as f64
             })
             .into_iter()
             .collect();
@@ -56,9 +54,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
 
 /// The ratio column (test hook).
 pub fn ratios(table: &Table) -> Vec<f64> {
-    (0..table.row_count())
-        .map(|r| table.cell(r, 4).unwrap().parse().unwrap())
-        .collect()
+    (0..table.row_count()).map(|r| table.cell(r, 4).unwrap().parse().unwrap()).collect()
 }
 
 #[cfg(test)]

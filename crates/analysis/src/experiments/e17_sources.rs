@@ -89,7 +89,9 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
             ]);
         }
     }
-    table.add_note("vertex-transitive rows (hypercube) are source-independent; hub placement helps elsewhere");
+    table.add_note(
+        "vertex-transitive rows (hypercube) are source-independent; hub placement helps elsewhere",
+    );
     table
 }
 
@@ -111,15 +113,9 @@ mod tests {
         let table = run(&cfg);
         let hc = case_pair(&table, "hypercube", 3);
         assert_eq!(hc.len(), 2);
-        assert!(
-            (hc[0] - hc[1]).abs() / hc[0] < 0.15,
-            "hypercube sources should agree: {hc:?}"
-        );
+        assert!((hc[0] - hc[1]).abs() / hc[0] < 0.15, "hypercube sources should agree: {hc:?}");
         let di = case_pair(&table, "diamonds", 3);
         // End hub must be slower than the middle hub (twice the distance).
-        assert!(
-            di[1] > 1.2 * di[0],
-            "diamond end-hub {di:?} should clearly exceed mid-hub"
-        );
+        assert!(di[1] > 1.2 * di[0], "diamond end-hub {di:?} should clearly exceed mid-hub");
     }
 }

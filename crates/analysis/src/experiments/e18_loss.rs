@@ -81,9 +81,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
 
 /// The `T(0.5)/T(0)` column (test hook).
 pub fn degradation_ratios(table: &Table) -> Vec<f64> {
-    (0..table.row_count())
-        .map(|r| table.cell(r, 7).unwrap().parse().unwrap())
-        .collect()
+    (0..table.row_count()).map(|r| table.cell(r, 7).unwrap().parse().unwrap()).collect()
 }
 
 #[cfg(test)]
@@ -107,8 +105,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_trials(40);
         let table = run(&cfg);
         for r in 0..table.row_count() {
-            let ts: Vec<f64> =
-                (3..7).map(|c| table.cell(r, c).unwrap().parse().unwrap()).collect();
+            let ts: Vec<f64> = (3..7).map(|c| table.cell(r, c).unwrap().parse().unwrap()).collect();
             assert!(
                 ts.windows(2).all(|w| w[0] < w[1]),
                 "row {r}: times not increasing in loss: {ts:?}"

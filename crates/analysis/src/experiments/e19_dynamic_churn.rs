@@ -1,0 +1,127 @@
+//! **E19 — dynamic networks: spreading time vs. edge churn.** On a
+//! sparse connected `G(n, p)`, the asynchronous push–pull protocol runs
+//! under edge-Markov churn in the failure/recovery regime: each live
+//! edge *fails* at rate ν and failed edges *recover* at fixed rate 1,
+//! so the stationary live-edge fraction is `1/(1 + ν)`. Two claims are
+//! checked:
+//!
+//! * **convergence to the static baseline** — at ν = 0 the dynamic
+//!   engine replays the static asynchronous process *seed-for-seed*
+//!   (the E7 regime), so the first row's ratio is exactly 1;
+//! * **monotone slowdown** — raising ν strictly thins the live edge
+//!   set (recovery is held fixed), so `E[T]` grows monotonically in ν
+//!   on sparse graphs (Pourmiri–Mans, dynamic-gossip regime).
+//!
+//! Symmetric churn (off- and on-rates both ν) is deliberately *not*
+//! used here: scaling both rates together is non-monotone — slow
+//! symmetric churn freezes bottlenecks in place while fast symmetric
+//! churn resamples the graph every few ticks, which can even beat the
+//! static baseline. The failure/recovery parameterization isolates the
+//! density effect the sweep is after.
+
+use rumor_core::dynamic::{DynamicModel, EdgeMarkov};
+use rumor_core::runner;
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE19;
+
+/// Churn rates swept, in units of the per-node protocol clock rate.
+pub const CHURN_RATES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 4.0];
+
+/// Runs E19 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E19 / dynamic churn: E[T] grows with edge-Markov churn rate; nu = 0 is the static E7 baseline",
+        &["n", "churn nu", "E[T_dynamic]", "E[T_static]", "dynamic/static"],
+    );
+    let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256] } else { vec![48] };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x19D);
+    for &n in &sizes {
+        let p = 2.0 * (n as f64).ln() / n as f64;
+        let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
+        let max_steps = runner::default_max_steps(&g).saturating_mul(8);
+        let static_times = runner::dynamic_spreading_times_parallel(
+            &g,
+            0,
+            Mode::PushPull,
+            &DynamicModel::Static,
+            cfg.trials,
+            mix_seed(cfg, SALT),
+            max_steps,
+            cfg.threads,
+        );
+        let static_mean: f64 = static_times.iter().copied().collect::<OnlineStats>().mean();
+        for nu in CHURN_RATES {
+            let model = DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: nu, on_rate: 1.0 });
+            // Same master seed as the baseline: at nu = 0 the trials are
+            // bit-identical to the static ones, so the ratio is exactly 1.
+            let times = runner::dynamic_spreading_times_parallel(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                cfg.trials,
+                mix_seed(cfg, SALT),
+                max_steps,
+                cfg.threads,
+            );
+            let mean: f64 = times.iter().copied().collect::<OnlineStats>().mean();
+            table.add_row(vec![
+                n.to_string(),
+                fmt_f(nu, 2),
+                fmt_f(mean, 3),
+                fmt_f(static_mean, 3),
+                fmt_f(mean / static_mean, 3),
+            ]);
+        }
+    }
+    table.add_note(
+        "edges fail at rate nu and recover at rate 1: stationary live fraction 1/(1 + nu)",
+    );
+    table.add_note(
+        "nu = 0 ratio is exactly 1.000: the dynamic engine replays the static run seed-for-seed",
+    );
+    table.add_note(
+        "the ratio column should increase monotonically in nu (churn thins the live edge set)",
+    );
+    table
+}
+
+/// Per size, the dynamic/static ratio column in churn-rate order (test
+/// hook for the monotonicity claim).
+pub fn ratio_columns(table: &Table) -> Vec<Vec<f64>> {
+    let k = CHURN_RATES.len();
+    (0..table.row_count())
+        .step_by(k)
+        .map(|start| {
+            (start..start + k).map(|r| table.cell(r, 4).unwrap().parse().unwrap()).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_churn_matches_static_and_churn_slows_spreading() {
+        let cfg = ExperimentConfig::quick().with_trials(40);
+        let table = run(&cfg);
+        for column in ratio_columns(&table) {
+            assert_eq!(column.len(), CHURN_RATES.len());
+            assert!(
+                (column[0] - 1.0).abs() < 1e-9,
+                "nu = 0 must replay the static baseline exactly, got ratio {}",
+                column[0]
+            );
+            let last = *column.last().unwrap();
+            assert!(last > 1.05, "heaviest churn should slow spreading, got ratio {last}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! **E20 — the sync-vs-async gap under rewiring.** The paper's central
+//! question — how asynchrony changes spreading time — transplanted to
+//! dynamic topologies: both models run on a `G(n, p)` whose topology is
+//! replaced by a fresh snapshot every `k` units (rounds for the
+//! synchronous protocol, time units for the asynchronous one; the two
+//! scales correspond via footnote 3).
+//!
+//! On static classical graphs the two models agree up to constant
+//! factors (E7). Rewiring only helps mixing, so the async/sync ratio
+//! should remain Θ(1) across rewiring periods — the constant-factor
+//! relationship survives topology churn.
+
+use rumor_core::dynamic::{run_sync_rewire, DynamicModel, Rewire, SnapshotFamily};
+use rumor_core::runner;
+use rumor_core::{run_sync, Mode};
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE20;
+
+/// Rewiring periods swept (`None` = never rewire, the static row).
+pub const PERIODS: [Option<u64>; 4] = [None, Some(16), Some(4), Some(1)];
+
+/// Runs E20 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E20 / rewiring: the sync-vs-async gap stays Theta(1) on dynamic topologies",
+        &["n", "period", "E[rounds_sync]", "E[T_async]", "async/sync"],
+    );
+    let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256] } else { vec![48] };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x20D);
+    for &n in &sizes {
+        let p = 2.0 * (n as f64).ln() / n as f64;
+        let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
+        let family = SnapshotFamily::Gnp { p };
+        let max_steps = runner::default_max_steps(&g).saturating_mul(8);
+        let max_rounds = 1_000 * n as u64 + 10_000;
+        for period in PERIODS {
+            let sync_times = runner::run_trials_parallel(
+                cfg.trials,
+                mix_seed(cfg, SALT),
+                cfg.threads,
+                |_, rng| match period {
+                    Some(k) => {
+                        run_sync_rewire(&g, 0, Mode::PushPull, k, family, rng, max_rounds).rounds
+                            as f64
+                    }
+                    None => run_sync(&g, 0, Mode::PushPull, rng, max_rounds).rounds as f64,
+                },
+            );
+            let model = match period {
+                Some(k) => DynamicModel::Rewire(Rewire::new(k as f64, family)),
+                None => DynamicModel::Static,
+            };
+            let async_times = runner::dynamic_spreading_times_parallel(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                cfg.trials,
+                mix_seed(cfg, SALT + 1),
+                max_steps,
+                cfg.threads,
+            );
+            let sync_mean: f64 = sync_times.iter().copied().collect::<OnlineStats>().mean();
+            let async_mean: f64 = async_times.iter().copied().collect::<OnlineStats>().mean();
+            table.add_row(vec![
+                n.to_string(),
+                period.map_or("static".to_owned(), |k| k.to_string()),
+                fmt_f(sync_mean, 3),
+                fmt_f(async_mean, 3),
+                fmt_f(async_mean / sync_mean, 3),
+            ]);
+        }
+    }
+    table.add_note("1 synchronous round corresponds to 1 asynchronous time unit (footnote 3)");
+    table.add_note("the async/sync ratio should stay in a constant band across periods");
+    table
+}
+
+/// The async/sync ratio column (test hook).
+pub fn ratios(table: &Table) -> Vec<f64> {
+    (0..table.row_count()).map(|r| table.cell(r, 4).unwrap().parse().unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_stays_in_a_constant_band_under_rewiring() {
+        let cfg = ExperimentConfig::quick().with_trials(40);
+        let table = run(&cfg);
+        let rs = ratios(&table);
+        assert_eq!(rs.len(), PERIODS.len());
+        let max = rs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 3.0,
+            "async/sync gap should stay constant-factor under rewiring: {rs:?}"
+        );
+        assert!(rs.iter().all(|&r| r > 0.2 && r < 10.0), "implausible gap: {rs:?}");
+    }
+}

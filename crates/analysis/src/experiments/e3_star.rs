@@ -83,8 +83,7 @@ mod tests {
         assert!(max_sync_rounds(&table) <= 2.0);
         // Async time grows monotonically with n (log shape).
         let first: f64 = table.cell(0, 2).unwrap().parse().unwrap();
-        let last: f64 =
-            table.cell(table.row_count() - 1, 2).unwrap().parse().unwrap();
+        let last: f64 = table.cell(table.row_count() - 1, 2).unwrap().parse().unwrap();
         assert!(last > first, "async time should grow with n ({first} -> {last})");
     }
 }

@@ -14,9 +14,7 @@ use rumor_core::Mode;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 use rumor_sim::stats::{ks_statistic, OnlineStats};
 
-use crate::experiments::common::{
-    mix_seed, regular_suite, sample_async, ExperimentConfig,
-};
+use crate::experiments::common::{mix_seed, regular_suite, sample_async, ExperimentConfig};
 use crate::table::{fmt_f, Table};
 
 const SALT: u64 = 0xE5;
@@ -30,8 +28,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     let n = if cfg.full_scale { 256 } else { 64 };
     let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x657);
     for entry in regular_suite(n, &mut graph_rng) {
-        let push: Vec<f64> =
-            sample_async(&entry, Mode::Push, AsyncView::GlobalClock, cfg, SALT);
+        let push: Vec<f64> = sample_async(&entry, Mode::Push, AsyncView::GlobalClock, cfg, SALT);
         let pp_doubled: Vec<f64> =
             sample_async(&entry, Mode::PushPull, AsyncView::GlobalClock, cfg, SALT + 1)
                 .into_iter()
@@ -58,8 +55,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
 pub fn worst_mean_ratio_error(table: &Table) -> f64 {
     (0..table.row_count())
         .map(|r| {
-            let ratio: f64 =
-                table.cell(r, 4).expect("ratio column").parse().expect("numeric");
+            let ratio: f64 = table.cell(r, 4).expect("ratio column").parse().expect("numeric");
             (ratio - 1.0).abs()
         })
         .fold(0.0, f64::max)

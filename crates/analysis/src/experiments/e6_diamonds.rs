@@ -38,11 +38,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     let mut sync_means = Vec::new();
     for target in sizes(cfg) {
         let (k, m) = generators::diamond_parameters(target);
-        let entry = SuiteEntry {
-            name: "diamonds",
-            graph: generators::string_of_diamonds(k, m),
-            source: 0,
-        };
+        let entry =
+            SuiteEntry { name: "diamonds", graph: generators::string_of_diamonds(k, m), source: 0 };
         let n_actual = entry.graph.node_count();
         let sync: OnlineStats =
             sample_sync(&entry, Mode::PushPull, cfg, SALT).into_iter().collect();
@@ -75,12 +72,10 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
 /// The fitted synchronous growth exponent (recomputed from the table's
 /// data columns; test hook).
 pub fn sync_exponent(table: &Table) -> f64 {
-    let ns: Vec<f64> = (0..table.row_count())
-        .map(|r| table.cell(r, 0).unwrap().parse().unwrap())
-        .collect();
-    let ts: Vec<f64> = (0..table.row_count())
-        .map(|r| table.cell(r, 3).unwrap().parse().unwrap())
-        .collect();
+    let ns: Vec<f64> =
+        (0..table.row_count()).map(|r| table.cell(r, 0).unwrap().parse().unwrap()).collect();
+    let ts: Vec<f64> =
+        (0..table.row_count()).map(|r| table.cell(r, 3).unwrap().parse().unwrap()).collect();
     power_law_fit(&ns, &ts).b
 }
 
@@ -102,9 +97,6 @@ mod tests {
         let first_ratio: f64 = table.cell(0, 5).unwrap().parse().unwrap();
         let last_ratio: f64 = table.cell(last, 5).unwrap().parse().unwrap();
         assert!(last_ratio > 1.4, "sync/async ratio {last_ratio} should exceed 1.4");
-        assert!(
-            last_ratio > first_ratio,
-            "separation should widen: {first_ratio} -> {last_ratio}"
-        );
+        assert!(last_ratio > first_ratio, "separation should widen: {first_ratio} -> {last_ratio}");
     }
 }

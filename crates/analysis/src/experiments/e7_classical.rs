@@ -13,7 +13,9 @@ use rumor_graph::generators;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 use rumor_sim::stats::OnlineStats;
 
-use crate::experiments::common::{mix_seed, sample_async, sample_sync, ExperimentConfig, SuiteEntry};
+use crate::experiments::common::{
+    mix_seed, sample_async, sample_sync, ExperimentConfig, SuiteEntry,
+};
 use crate::table::{fmt_f, Table};
 
 const SALT: u64 = 0xE7;
@@ -24,8 +26,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         "E7 / classical graphs: async/sync ratio is Theta(1)",
         &["graph", "n", "E[T_sync]", "E[T_async]", "async/sync"],
     );
-    let sizes: Vec<usize> =
-        if cfg.full_scale { vec![64, 256, 1024] } else { vec![32, 128] };
+    let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256, 1024] } else { vec![32, 128] };
     let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x677);
     for &n in &sizes {
         let dim = (n as f64).log2().round() as u32;
@@ -93,10 +94,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_trials(60);
         let table = run(&cfg);
         for (family, spread) in ratio_spreads(&table) {
-            assert!(
-                spread < 2.5,
-                "family {family} ratio spread {spread} not constant-like"
-            );
+            assert!(spread < 2.5, "family {family} ratio spread {spread} not constant-like");
         }
     }
 }

@@ -144,8 +144,7 @@ mod tests {
         let cfg = ExperimentConfig::quick().with_trials(50);
         let table = run(&cfg);
         for family in ["chung-lu-2.5", "pref-attach-2"] {
-            let (sync_most, async_most) =
-                model_pair(&table, family, 4).expect("rows present");
+            let (sync_most, async_most) = model_pair(&table, family, 4).expect("rows present");
             assert!(
                 async_most < sync_most * 1.1,
                 "{family}: async t(99%) = {async_most} not faster than sync {sync_most}"

@@ -49,10 +49,8 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
             .enumerate()
             .map(|(i, &view)| sample_async(entry, Mode::PushPull, view, cfg, SALT + i as u64))
             .collect();
-        let means: Vec<f64> = samples
-            .iter()
-            .map(|s| s.iter().copied().collect::<OnlineStats>().mean())
-            .collect();
+        let means: Vec<f64> =
+            samples.iter().map(|s| s.iter().copied().collect::<OnlineStats>().mean()).collect();
         let mut max_ks: f64 = 0.0;
         for i in 0..samples.len() {
             for j in (i + 1)..samples.len() {
@@ -92,9 +90,8 @@ mod tests {
         assert!(worst < 0.23, "views differ: max KS {worst}");
         // Means should agree within 15 %.
         for r in 0..table.row_count() {
-            let m: Vec<f64> = (2..=4)
-                .map(|c| table.cell(r, c).unwrap().parse::<f64>().unwrap())
-                .collect();
+            let m: Vec<f64> =
+                (2..=4).map(|c| table.cell(r, c).unwrap().parse::<f64>().unwrap()).collect();
             let max = m.iter().cloned().fold(f64::MIN, f64::max);
             let min = m.iter().cloned().fold(f64::MAX, f64::min);
             assert!(max / min < 1.15, "means differ: {m:?}");

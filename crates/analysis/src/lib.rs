@@ -28,6 +28,8 @@
 //! | [`experiments::e16_quasirandom`] | Extension: quasirandom protocol (paper ref. \[11\]) |
 //! | [`experiments::e17_sources`] | Extension: source placement sensitivity |
 //! | [`experiments::e18_loss`] | Extension: graceful degradation under loss |
+//! | [`experiments::e19_dynamic_churn`] | Dynamic networks: `E[T]` vs edge-Markov churn, static baseline at ν = 0 |
+//! | [`experiments::e20_rewire_gap`] | Dynamic networks: sync-vs-async gap under periodic rewiring |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

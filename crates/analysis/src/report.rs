@@ -77,11 +77,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             claim: "Lemmas 13/14: block subset invariant and accounting",
             run: e12_blocks::run,
         },
-        Experiment {
-            id: "e13",
-            claim: "footnote 3: E[steps]/n = E[T]",
-            run: e13_steps::run,
-        },
+        Experiment { id: "e13", claim: "footnote 3: E[steps]/n = E[T]", run: e13_steps::run },
         Experiment {
             id: "e14",
             claim: "hypercube pp-a = Richardson first-passage percolation",
@@ -107,6 +103,16 @@ pub fn all_experiments() -> Vec<Experiment> {
             claim: "extension: graceful degradation under message loss",
             run: e18_loss::run,
         },
+        Experiment {
+            id: "e19",
+            claim: "dynamic networks: E[T] grows with churn; nu = 0 is the static baseline",
+            run: e19_dynamic_churn::run,
+        },
+        Experiment {
+            id: "e20",
+            claim: "dynamic networks: sync-vs-async gap stays Theta(1) under rewiring",
+            run: e20_rewire_gap::run,
+        },
     ]
 }
 
@@ -127,17 +133,18 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 18);
+        assert_eq!(all.len(), 20);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "duplicate experiment ids");
+        assert_eq!(ids.len(), 20, "duplicate experiment ids");
     }
 
     #[test]
     fn find_experiment_works() {
         assert!(find_experiment("e1").is_some());
         assert!(find_experiment("e18").is_some());
+        assert!(find_experiment("e20").is_some());
         assert!(find_experiment("e99").is_none());
     }
 }

@@ -89,23 +89,16 @@ impl Table {
         }
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         out.push_str(&header.join("  "));
         out.push('\n');
         let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
         out.push_str(&"-".repeat(rule_len));
         out.push('\n');
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
             out.push_str(&line.join("  "));
             out.push('\n');
         }
@@ -125,9 +118,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
-        );
+        out.push_str(&self.columns.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the interleaved dynamic-network event engine:
+//! how much the merged topology/protocol event stream costs relative to
+//! the static engine, per evolution model and churn intensity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rumor_core::dynamic::{
+    run_dynamic, DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily,
+};
+use rumor_core::Mode;
+use rumor_graph::generators;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_models_gnp_256");
+    group.sample_size(30);
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(42);
+    let n = 256;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
+    let models = [
+        ("static", DynamicModel::Static),
+        ("edge-markov-1", DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))),
+        ("rewire-4", DynamicModel::Rewire(Rewire::new(4.0, SnapshotFamily::Gnp { p }))),
+        ("node-churn", DynamicModel::NodeChurn(NodeChurn::new(0.2, 1.0, 3))),
+    ];
+    for (name, model) in models {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            b.iter(|| run_dynamic(&g, 0, Mode::PushPull, model, &mut rng, 100_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_intensity(c: &mut Criterion) {
+    // Event-stream overhead as churn outpaces the protocol clock.
+    let mut group = c.benchmark_group("dynamic_churn_intensity_hypercube_256");
+    group.sample_size(20);
+    let g = generators::hypercube(8);
+    for nu in [0.0f64, 1.0, 4.0, 16.0] {
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(nu));
+        let mut rng = Xoshiro256PlusPlus::seed_from(9);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("nu={nu}")),
+            &model,
+            |b, model| b.iter(|| run_dynamic(&g, 0, Mode::PushPull, model, &mut rng, 100_000_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_edge_markov_scaling");
+    group.sample_size(15);
+    for dim in [6u32, 8, 10] {
+        let g = generators::hypercube(dim);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+        let mut rng = Xoshiro256PlusPlus::seed_from(11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={}", g.node_count())),
+            &model,
+            |b, model| b.iter(|| run_dynamic(&g, 0, Mode::PushPull, model, &mut rng, 100_000_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_churn_intensity, bench_scaling);
+criterion_main!(benches);

@@ -34,11 +34,9 @@ fn bench_sync_modes(c: &mut Criterion) {
     let g = generators::hypercube(8);
     for mode in Mode::ALL {
         let mut rng = Xoshiro256PlusPlus::seed_from(8);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.to_string()),
-            &mode,
-            |b, &mode| b.iter(|| run_sync(&g, 0, mode, &mut rng, 1_000_000)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(mode.to_string()), &mode, |b, &mode| {
+            b.iter(|| run_sync(&g, 0, mode, &mut rng, 1_000_000))
+        });
     }
     group.finish();
 }
@@ -48,13 +46,9 @@ fn bench_async_views(c: &mut Criterion) {
     let g = generators::hypercube(8);
     for view in AsyncView::ALL {
         let mut rng = Xoshiro256PlusPlus::seed_from(9);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(view.to_string()),
-            &view,
-            |b, &view| {
-                b.iter(|| run_async(&g, 0, Mode::PushPull, view, &mut rng, 100_000_000))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(view.to_string()), &view, |b, &view| {
+            b.iter(|| run_async(&g, 0, Mode::PushPull, view, &mut rng, 100_000_000))
+        });
     }
     group.finish();
 }

@@ -11,9 +11,7 @@ fn bench_deterministic(c: &mut Criterion) {
     group.bench_function("hypercube-10", |b| b.iter(|| generators::hypercube(10)));
     group.bench_function("torus-32x32", |b| b.iter(|| generators::torus(32, 32)));
     group.bench_function("complete-1024", |b| b.iter(|| generators::complete(1024)));
-    group.bench_function("diamonds-10x102", |b| {
-        b.iter(|| generators::string_of_diamonds(10, 102))
-    });
+    group.bench_function("diamonds-10x102", |b| b.iter(|| generators::string_of_diamonds(10, 102)));
     group.finish();
 }
 

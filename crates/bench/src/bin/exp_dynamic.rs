@@ -1,0 +1,8 @@
+//! Regenerates E19 (spreading time vs. churn rate) and E20 (sync-vs-async
+//! gap under rewiring); see EXPERIMENTS_DYNAMIC.md.
+
+fn main() {
+    rumor_bench::run_and_print("e19");
+    println!();
+    rumor_bench::run_and_print("e20");
+}

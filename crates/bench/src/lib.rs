@@ -53,22 +53,17 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I) -> CliOptions {
                 let _ = trials;
             }
             "--trials" => {
-                let value = args
-                    .next()
-                    .unwrap_or_else(|| panic!("--trials requires a number"));
+                let value = args.next().unwrap_or_else(|| panic!("--trials requires a number"));
                 config.trials =
                     value.parse().unwrap_or_else(|_| panic!("bad --trials value: {value}"));
             }
             "--seed" => {
-                let value =
-                    args.next().unwrap_or_else(|| panic!("--seed requires a number"));
+                let value = args.next().unwrap_or_else(|| panic!("--seed requires a number"));
                 config.master_seed =
                     value.parse().unwrap_or_else(|_| panic!("bad --seed value: {value}"));
             }
             "--csv" => csv = true,
-            other => panic!(
-                "unknown flag {other}; supported: --quick --trials N --seed S --csv"
-            ),
+            other => panic!("unknown flag {other}; supported: --quick --trials N --seed S --csv"),
         }
     }
     CliOptions { config, csv }

@@ -53,16 +53,11 @@ impl Args {
         name: &str,
     ) -> Result<T, CliError> {
         let raw = self.require(index, name)?;
-        raw.parse()
-            .map_err(|_| CliError::Usage(format!("cannot parse <{name}> from `{raw}`")))
+        raw.parse().map_err(|_| CliError::Usage(format!("cannot parse <{name}> from `{raw}`")))
     }
 
     /// An option value parsed as `T`, or `default` if absent.
-    pub fn opt_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, CliError> {
+    pub fn opt_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.options.get(key) {
             None => Ok(default),
             Some(raw) => raw

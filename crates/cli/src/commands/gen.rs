@@ -17,25 +17,19 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     Ok(io::to_edge_list(&graph))
 }
 
-fn build(
-    family: &str,
-    args: &Args,
-    rng: &mut Xoshiro256PlusPlus,
-) -> Result<Graph, CliError> {
+fn build(family: &str, args: &Args, rng: &mut Xoshiro256PlusPlus) -> Result<Graph, CliError> {
     let g = match family {
         "star" => generators::star(args.require_parsed(1, "n")?),
         "path" => generators::path(args.require_parsed(1, "n")?),
         "cycle" => generators::cycle(args.require_parsed(1, "n")?),
         "complete" => generators::complete(args.require_parsed(1, "n")?),
         "hypercube" => generators::hypercube(args.require_parsed(1, "d")?),
-        "grid" => generators::grid(
-            args.require_parsed(1, "rows")?,
-            args.require_parsed(2, "cols")?,
-        ),
-        "torus" => generators::torus(
-            args.require_parsed(1, "rows")?,
-            args.require_parsed(2, "cols")?,
-        ),
+        "grid" => {
+            generators::grid(args.require_parsed(1, "rows")?, args.require_parsed(2, "cols")?)
+        }
+        "torus" => {
+            generators::torus(args.require_parsed(1, "rows")?, args.require_parsed(2, "cols")?)
+        }
         "tree" => generators::complete_binary_tree(args.require_parsed(1, "n")?),
         "caterpillar" => generators::caterpillar(
             args.require_parsed(1, "spine")?,
@@ -53,11 +47,7 @@ fn build(
             args.require_parsed(1, "k")?,
             args.require_parsed(2, "s")?,
         ),
-        "gnp" => generators::gnp(
-            args.require_parsed(1, "n")?,
-            args.require_parsed(2, "p")?,
-            rng,
-        ),
+        "gnp" => generators::gnp(args.require_parsed(1, "n")?, args.require_parsed(2, "p")?, rng),
         "regular" => generators::random_regular(
             args.require_parsed(1, "n")?,
             args.require_parsed(2, "d")?,
@@ -76,9 +66,7 @@ fn build(
             rng,
         ),
         other => {
-            return Err(CliError::Usage(format!(
-                "unknown family `{other}`; see `rumor help`"
-            )))
+            return Err(CliError::Usage(format!("unknown family `{other}`; see `rumor help`")))
         }
     };
     Ok(g)

@@ -1,9 +1,12 @@
 //! `rumor run` — Monte-Carlo spreading-time measurement on a graph file.
 
+use rumor_core::dynamic::{
+    run_dynamic, run_sync_rewire, DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily,
+};
 use rumor_core::runner::{default_max_steps, run_trials};
 use rumor_core::spread::{run_async_config, run_sync_config, SpreadConfig};
 use rumor_core::Mode;
-use rumor_graph::props;
+use rumor_graph::{props, Graph};
 use rumor_sim::stats::{quantile, Summary};
 
 use crate::args::Args;
@@ -51,20 +54,60 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&q) {
         return Err(CliError::Usage("--quantile must be in [0, 1]".into()));
     }
+    let dynamic = args.opt_str("dynamic", "none");
+    if dynamic != "none" && loss > 0.0 {
+        return Err(CliError::Usage("--loss is not supported with --dynamic".into()));
+    }
 
     let config = SpreadConfig::new(source).with_mode(mode).with_loss_probability(loss);
-    let samples: Vec<f64> = match model.as_str() {
-        "sync" => {
+    // Dynamic models can make non-completion systematically reachable
+    // (e.g. node churn where everyone eventually leaves for good), so
+    // budget-exhausted trials are counted and reported.
+    let incomplete = std::cell::Cell::new(0usize);
+    let tally = |completed: bool| {
+        if !completed {
+            incomplete.set(incomplete.get() + 1);
+        }
+    };
+    let samples: Vec<f64> = match (model.as_str(), dynamic.as_str()) {
+        ("sync", "none") => {
             let budget = 1_000 * g.node_count() as u64 + 10_000;
             run_trials(trials, seed, |_, rng| {
                 run_sync_config(&g, &config, rng, budget).rounds as f64
             })
         }
-        "async" => {
+        ("async", "none") => {
             let budget = default_max_steps(&g).saturating_mul(4);
             run_trials(trials, seed, |_, rng| run_async_config(&g, &config, rng, budget).time)
         }
-        other => return Err(CliError::Usage(format!("unknown --model `{other}`"))),
+        ("sync", "rewire") => {
+            let period: u64 = args.opt_parsed("period", 4)?;
+            if period == 0 {
+                return Err(CliError::Usage("--period must be positive".into()));
+            }
+            let family = SnapshotFamily::matching_density(&g);
+            let budget = 1_000 * g.node_count() as u64 + 10_000;
+            run_trials(trials, seed, |_, rng| {
+                let out = run_sync_rewire(&g, source, mode, period, family, rng, budget);
+                tally(out.completed);
+                out.rounds as f64
+            })
+        }
+        ("sync", other) => {
+            return Err(CliError::Usage(format!(
+                "--dynamic {other} requires --model async (only rewire has a synchronous analogue)"
+            )))
+        }
+        ("async", _) => {
+            let dyn_model = parse_dynamic_model(&args, &dynamic, &g)?;
+            let budget = default_max_steps(&g).saturating_mul(8);
+            run_trials(trials, seed, |_, rng| {
+                let out = run_dynamic(&g, source, mode, &dyn_model, rng, budget);
+                tally(out.completed);
+                out.time
+            })
+        }
+        (other, _) => return Err(CliError::Usage(format!("unknown --model `{other}`"))),
     };
 
     let unit = if model == "sync" { "rounds" } else { "time units" };
@@ -77,6 +120,9 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if loss > 0.0 {
         out.push_str(&format!(", loss {loss}"));
     }
+    if dynamic != "none" {
+        out.push_str(&format!(", dynamic {dynamic}"));
+    }
     out.push_str(")\n");
     out.push_str(&format!("  mean:   {:>10.3} {unit}\n", s.mean));
     out.push_str(&format!("  median: {:>10.3}\n", s.median));
@@ -84,7 +130,49 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     out.push_str(&format!("  min:    {:>10.3}\n", s.min));
     out.push_str(&format!("  q{:<5}: {:>10.3}\n", q, quantile(&samples, q)));
     out.push_str(&format!("  max:    {:>10.3}\n", s.max));
+    if incomplete.get() > 0 {
+        out.push_str(&format!(
+            "  warning: {}/{trials} trials hit the step budget before informing every node;\n  \
+             the statistics above understate the true spreading time\n",
+            incomplete.get()
+        ));
+    }
     Ok(out)
+}
+
+/// Builds the topology-evolution model for `--dynamic` asynchronous runs.
+fn parse_dynamic_model(args: &Args, dynamic: &str, g: &Graph) -> Result<DynamicModel, CliError> {
+    match dynamic {
+        "edge-markov" => {
+            let nu: f64 = args.opt_parsed("churn", 1.0)?;
+            if !(nu >= 0.0 && nu.is_finite()) {
+                return Err(CliError::Usage("--churn must be finite and >= 0".into()));
+            }
+            Ok(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(nu)))
+        }
+        "rewire" => {
+            let period: f64 = args.opt_parsed("period", 4.0)?;
+            if period <= 0.0 || period.is_nan() {
+                return Err(CliError::Usage("--period must be positive".into()));
+            }
+            Ok(DynamicModel::Rewire(Rewire::new(period, SnapshotFamily::matching_density(g))))
+        }
+        "node-churn" => {
+            let leave: f64 = args.opt_parsed("leave", 0.1)?;
+            let join: f64 = args.opt_parsed("join", 1.0)?;
+            let attach: usize = args.opt_parsed("attach", 2)?;
+            if !(leave >= 0.0 && leave.is_finite() && join >= 0.0 && join.is_finite()) {
+                return Err(CliError::Usage("--leave/--join must be finite and >= 0".into()));
+            }
+            if attach == 0 {
+                return Err(CliError::Usage("--attach must be positive".into()));
+            }
+            Ok(DynamicModel::NodeChurn(NodeChurn::new(leave, join, attach)))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown --dynamic `{other}`; supported: edge-markov, rewire, node-churn"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -119,8 +207,7 @@ mod tests {
 
     #[test]
     fn async_run_reports_time_units() {
-        let out =
-            with_graph(TRIANGLE, &["--model", "async", "--trials", "30"]).unwrap();
+        let out = with_graph(TRIANGLE, &["--model", "async", "--trials", "30"]).unwrap();
         assert!(out.contains("time units"));
     }
 
@@ -151,5 +238,77 @@ mod tests {
     fn loss_flag_is_reflected_in_output() {
         let out = with_graph(TRIANGLE, &["--loss", "0.5", "--trials", "20"]).unwrap();
         assert!(out.contains("loss 0.5"));
+    }
+
+    #[test]
+    fn dynamic_models_run_under_async() {
+        for model in ["edge-markov", "rewire", "node-churn"] {
+            let out =
+                with_graph(TRIANGLE, &["--model", "async", "--dynamic", model, "--trials", "20"])
+                    .unwrap();
+            assert!(out.contains(&format!("dynamic {model}")), "{out}");
+            assert!(out.contains("time units"));
+        }
+    }
+
+    #[test]
+    fn dynamic_rewire_works_synchronously() {
+        let out = with_graph(TRIANGLE, &["--dynamic", "rewire", "--period", "2", "--trials", "20"])
+            .unwrap();
+        assert!(out.contains("dynamic rewire"));
+        assert!(out.contains("rounds"));
+    }
+
+    #[test]
+    fn validates_dynamic_options() {
+        assert!(with_graph(TRIANGLE, &["--dynamic", "warp"]).is_err());
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic", "edge-markov", "--churn", "-1"]
+        )
+        .is_err());
+        assert!(with_graph(TRIANGLE, &["--dynamic", "edge-markov"]).is_err(), "sync + churn");
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic", "rewire", "--loss", "0.5"]
+        )
+        .is_err());
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic", "node-churn", "--attach", "0"]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn incomplete_dynamic_trials_warn() {
+        // All three nodes leave almost immediately and never rejoin, so
+        // the rumor cannot finish; the CLI must say so.
+        let out = with_graph(
+            TRIANGLE,
+            &[
+                "--model",
+                "async",
+                "--dynamic",
+                "node-churn",
+                "--leave",
+                "50",
+                "--join",
+                "0",
+                "--trials",
+                "3",
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("warning: 3/3 trials"), "{out}");
+    }
+
+    #[test]
+    fn dynamic_run_is_deterministic_per_seed() {
+        let flags =
+            ["--model", "async", "--dynamic", "edge-markov", "--trials", "15", "--seed", "3"];
+        let a = with_graph(TRIANGLE, &flags).unwrap();
+        let b = with_graph(TRIANGLE, &flags).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -22,10 +22,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     out.push_str(&format!("nodes: {}\n", g.node_count()));
     out.push_str(&format!("edges: {}\n", g.edge_count()));
-    out.push_str(&format!(
-        "degree: min {} / avg {:.2} / max {}\n",
-        deg.min, deg.mean, deg.max
-    ));
+    out.push_str(&format!("degree: min {} / avg {:.2} / max {}\n", deg.min, deg.mean, deg.max));
     match deg.regular {
         Some(d) => out.push_str(&format!("regular: {d}\n")),
         None => out.push_str("regular: no\n"),

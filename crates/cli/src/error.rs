@@ -57,8 +57,7 @@ mod tests {
         assert_eq!(CliError::Usage("bad flag".into()).to_string(), "bad flag");
         let g: CliError = GraphError::EmptyGraph.into();
         assert!(g.to_string().contains("invalid graph"));
-        let io: CliError =
-            std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
+        let io: CliError = std::io::Error::new(std::io::ErrorKind::NotFound, "nope").into();
         assert!(io.to_string().contains("cannot read"));
     }
 

@@ -7,6 +7,8 @@
 //! rumor stats <file|->                           # structural properties
 //! rumor run <file|-> [--model sync|async] [--mode push|pull|pushpull]
 //!           [--source U] [--trials N] [--seed S] [--loss P] [--quantile Q]
+//!           [--dynamic edge-markov|rewire|node-churn] [--churn NU]
+//!           [--period T] [--leave R] [--join R] [--attach K]
 //! ```
 //!
 //! Graphs are exchanged as plain edge-list text (`n m` header, one `u v`
@@ -71,6 +73,13 @@ RUN OPTIONS:
     --seed S                master seed               [default: 42]
     --loss P                per-contact loss in [0,1) [default: 0]
     --quantile Q            report the Q-quantile     [default: 0.9]
+
+DYNAMIC NETWORKS (rumor run --dynamic …):
+    --dynamic edge-markov   per-edge on/off churn     (--churn NU, default 1)
+    --dynamic rewire        periodic fresh snapshots  (--period T, default 4)
+    --dynamic node-churn    node leave/join           (--leave R --join R --attach K)
+    edge-markov and node-churn need --model async; rewire supports both
+    models (snapshots are drawn at matching edge density).
 
 Graphs are edge-list text: a `n m` header line, then one `u v` edge per
 line; `#` starts a comment. `-` reads from stdin.

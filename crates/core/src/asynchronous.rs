@@ -97,9 +97,11 @@ pub fn run_async(
 }
 
 /// Shared exchange logic: node `v` contacts node `w` at time `t`.
-/// Returns `true` if a node was newly informed.
+/// Returns `true` if a node was newly informed. Also used by the
+/// dynamic engine, which must mirror this logic exactly to keep its
+/// churn-0 seed-for-seed replay guarantee.
 #[inline]
-fn exchange(
+pub(crate) fn exchange(
     mode: Mode,
     informed_time: &mut [f64],
     informed_count: &mut usize,
@@ -263,10 +265,8 @@ mod tests {
                         continue;
                     }
                     let tv = out.informed_time[v as usize];
-                    let has_earlier_neighbor = g
-                        .neighbors(v)
-                        .iter()
-                        .any(|&w| out.informed_time[w as usize] <= tv);
+                    let has_earlier_neighbor =
+                        g.neighbors(v).iter().any(|&w| out.informed_time[w as usize] <= tv);
                     assert!(has_earlier_neighbor, "node {v} informed out of thin air");
                 }
             }
@@ -278,13 +278,19 @@ mod tests {
         let g = generators::star(512);
         let mut stats = OnlineStats::new();
         for seed in 0..20 {
-            let out =
-                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(seed), 10_000_000);
+            let out = run_async(
+                &g,
+                0,
+                Mode::PushPull,
+                AsyncView::GlobalClock,
+                &mut rng(seed),
+                10_000_000,
+            );
             assert!(out.completed);
             stats.push(out.time);
         }
         let ln_n = (512f64).ln(); // ≈ 6.24
-        // Coupon-collector-like: expect time in the ballpark of ln n.
+                                  // Coupon-collector-like: expect time in the ballpark of ln n.
         assert!(
             stats.mean() > 0.5 * ln_n && stats.mean() < 3.0 * ln_n,
             "star async mean time {} vs ln n {}",
@@ -303,8 +309,7 @@ mod tests {
         for view in AsyncView::ALL {
             let mut s = OnlineStats::new();
             for seed in 0..trials {
-                let out =
-                    run_async(&g, 0, Mode::PushPull, view, &mut rng(1000 + seed), 10_000_000);
+                let out = run_async(&g, 0, Mode::PushPull, view, &mut rng(1000 + seed), 10_000_000);
                 assert!(out.completed);
                 s.push(out.time);
             }
@@ -312,10 +317,7 @@ mod tests {
         }
         let max = means.iter().cloned().fold(f64::MIN, f64::max);
         let min = means.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            (max - min) / min < 0.15,
-            "views disagree: {means:?}"
-        );
+        assert!((max - min) / min < 0.15, "views disagree: {means:?}");
     }
 
     #[test]
@@ -327,8 +329,14 @@ mod tests {
         let mut time_stats = OnlineStats::new();
         let mut step_stats = OnlineStats::new();
         for seed in 0..400 {
-            let out =
-                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(seed), 10_000_000);
+            let out = run_async(
+                &g,
+                0,
+                Mode::PushPull,
+                AsyncView::GlobalClock,
+                &mut rng(seed),
+                10_000_000,
+            );
             assert!(out.completed);
             time_stats.push(out.time);
             step_stats.push(out.steps as f64 / n);
@@ -385,7 +393,8 @@ mod tests {
     #[test]
     fn time_to_fraction_is_monotone_in_phi() {
         let g = generators::gnp_connected(64, 0.2, &mut rng(19), 100);
-        let out = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(20), 10_000_000);
+        let out =
+            run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(20), 10_000_000);
         assert!(out.completed);
         let half = out.time_to_fraction(0.5).unwrap();
         let most = out.time_to_fraction(0.99).unwrap();

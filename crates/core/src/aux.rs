@@ -212,8 +212,7 @@ mod tests {
     /// ordered means; check with a safety margin for Monte-Carlo noise.
     #[test]
     fn ppx_is_no_slower_than_pp_on_average() {
-        let graphs =
-            [generators::star(64), generators::hypercube(5), generators::cycle(24)];
+        let graphs = [generators::star(64), generators::hypercube(5), generators::cycle(24)];
         for g in &graphs {
             let trials = 300;
             let mut ppx = OnlineStats::new();
@@ -221,8 +220,7 @@ mod tests {
             for seed in 0..trials {
                 ppx.push(run_aux(g, 0, AuxKind::Ppx, &mut rng(100 + seed), 100_000).rounds as f64);
                 pp.push(
-                    run_sync(g, 0, Mode::PushPull, &mut rng(900_000 + seed), 100_000).rounds
-                        as f64,
+                    run_sync(g, 0, Mode::PushPull, &mut rng(900_000 + seed), 100_000).rounds as f64,
                 );
             }
             assert!(

@@ -151,13 +151,14 @@ fn apply_ppa_step(informed: &mut InformedSet, x: Node, y: Node) -> Option<Node> 
 /// assert!(stats.completed);
 /// assert!(stats.subset_invariant_held); // Lemma 13
 /// ```
-pub fn run_block_coupling(
-    g: &Graph,
-    source: Node,
-    master_seed: u64,
-    max_steps: u64,
-) -> BlockStats {
-    run_block_coupling_with_capacity(g, source, master_seed, max_steps, block_capacity(g.node_count()))
+pub fn run_block_coupling(g: &Graph, source: Node, master_seed: u64, max_steps: u64) -> BlockStats {
+    run_block_coupling_with_capacity(
+        g,
+        source,
+        master_seed,
+        max_steps,
+        block_capacity(g.node_count()),
+    )
 }
 
 /// [`run_block_coupling`] with an explicit block capacity instead of the
@@ -296,9 +297,8 @@ pub fn run_block_coupling_with_capacity(
                     }
                 }
                 // Every drawn round is a full pp round.
-                let full_round: Vec<(Node, Node)> = (0..n as Node)
-                    .map(|v| (v, round_contacts[v as usize]))
-                    .collect();
+                let full_round: Vec<(Node, Node)> =
+                    (0..n as Node).map(|v| (v, round_contacts[v as usize])).collect();
                 apply_pp_round(&mut pp, &full_round);
                 if !candidates.is_empty() {
                     // Uniform substitute for the paper's µ distribution.
@@ -376,11 +376,7 @@ mod tests {
     /// a generous constant.
     #[test]
     fn rounds_obey_lemma14_budget() {
-        for g in [
-            generators::cycle(64),
-            generators::hypercube(6),
-            generators::star(64),
-        ] {
+        for g in [generators::cycle(64), generators::hypercube(6), generators::star(64)] {
             let n = g.node_count();
             let mut ratio = OnlineStats::new();
             for seed in 0..25 {
@@ -388,12 +384,7 @@ mod tests {
                 assert!(stats.completed);
                 ratio.push(stats.rounds as f64 / stats.lemma14_budget(n));
             }
-            assert!(
-                ratio.mean() < 8.0,
-                "rounds/budget mean {} on {} nodes",
-                ratio.mean(),
-                n
-            );
+            assert!(ratio.mean() < 8.0, "rounds/budget mean {} on {} nodes", ratio.mean(), n);
         }
     }
 

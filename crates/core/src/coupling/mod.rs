@@ -28,9 +28,8 @@ use rumor_sim::rng::SplitMix64;
 /// Derives a per-(node, purpose) seed from a master seed, so that every
 /// process sharing the coupling reads identical randomness streams.
 pub(crate) fn derive_seed(master: u64, tag: u64, v: u64) -> u64 {
-    let mut sm = SplitMix64::new(
-        master ^ tag.rotate_left(17) ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut sm =
+        SplitMix64::new(master ^ tag.rotate_left(17) ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     sm.next_u64()
 }
 

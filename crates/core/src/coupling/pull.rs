@@ -135,18 +135,11 @@ pub fn run_pull_coupling(
 
     let delays = PullDelays::new(g, master_seed);
 
-    let (ppx_round, ppx_ok) =
-        run_aux_coupled(g, source, master_seed, max_rounds, &delays, true);
-    let (ppy_round, ppy_ok) =
-        run_aux_coupled(g, source, master_seed, max_rounds, &delays, false);
+    let (ppx_round, ppx_ok) = run_aux_coupled(g, source, master_seed, max_rounds, &delays, true);
+    let (ppy_round, ppy_ok) = run_aux_coupled(g, source, master_seed, max_rounds, &delays, false);
     let (ppa_time, ppa_ok) = run_ppa_coupled(g, source, master_seed, max_rounds, &delays);
 
-    PullCouplingOutcome {
-        ppx_round,
-        ppy_round,
-        ppa_time,
-        completed: ppx_ok && ppy_ok && ppa_ok,
-    }
+    PullCouplingOutcome { ppx_round, ppy_round, ppa_time, completed: ppx_ok && ppy_ok && ppa_ok }
 }
 
 /// The coupled synchronous auxiliary process: `ppx` when `half_override`
@@ -265,11 +258,11 @@ fn run_ppa_coupled(
 
     let mut queue: EventQueue<Ev> = EventQueue::with_capacity(2 * n);
     let inform = |v: Node,
-                      t: f64,
-                      informed_time: &mut Vec<f64>,
-                      informed: &mut usize,
-                      queue: &mut EventQueue<Ev>,
-                      tick_rngs: &mut Vec<Xoshiro256PlusPlus>| {
+                  t: f64,
+                  informed_time: &mut Vec<f64>,
+                  informed: &mut usize,
+                  queue: &mut EventQueue<Ev>,
+                  tick_rngs: &mut Vec<Xoshiro256PlusPlus>| {
         debug_assert!(informed_time[v as usize].is_infinite());
         informed_time[v as usize] = t;
         *informed += 1;
@@ -281,10 +274,7 @@ fn run_ppa_coupled(
             if informed_time[w as usize].is_infinite() {
                 // Y is indexed from the PULLER's side: w pulls from v, so
                 // we need Y_{w,v} — find v's index in w's adjacency.
-                let idx_v = g
-                    .neighbors(w)
-                    .binary_search(&v)
-                    .expect("adjacency symmetric");
+                let idx_v = g.neighbors(w).binary_search(&v).expect("adjacency symmetric");
                 let _ = idx_w;
                 queue.push(t + 2.0 * delays.get(w, idx_v), Ev::Pull(w));
             }
@@ -296,17 +286,13 @@ fn run_ppa_coupled(
         let first = tick_rngs[source as usize].exp(1.0);
         queue.push(first, Ev::Tick(source, 1));
         for &w in g.neighbors(source) {
-            let idx_src = g
-                .neighbors(w)
-                .binary_search(&source)
-                .expect("adjacency symmetric");
+            let idx_src = g.neighbors(w).binary_search(&source).expect("adjacency symmetric");
             queue.push(2.0 * delays.get(w, idx_src), Ev::Pull(w));
         }
     }
 
-    let max_events = max_rounds
-        .saturating_mul(n as u64)
-        .saturating_add(2 * g.edge_count() as u64 + 1_000);
+    let max_events =
+        max_rounds.saturating_mul(n as u64).saturating_add(2 * g.edge_count() as u64 + 1_000);
     let mut events = 0u64;
     while let Some((t, ev)) = queue.pop() {
         events += 1;
@@ -349,12 +335,7 @@ mod tests {
             generators::path(16),
             generators::star(16),
             generators::hypercube(4),
-            generators::gnp_connected(
-                32,
-                0.25,
-                &mut Xoshiro256PlusPlus::seed_from(1),
-                100,
-            ),
+            generators::gnp_connected(32, 0.25, &mut Xoshiro256PlusPlus::seed_from(1), 100),
         ] {
             let out = run_pull_coupling(&g, 0, 3, 1_000_000);
             assert!(out.completed, "{} nodes", g.node_count());
@@ -451,8 +432,7 @@ mod tests {
             coupled.push(total);
             let mut rng = Xoshiro256PlusPlus::seed_from(800_000 + seed);
             plain.push(
-                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 10_000_000)
-                    .time,
+                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 10_000_000).time,
             );
         }
         let rel = (coupled.mean() - plain.mean()).abs() / plain.mean();

@@ -1,0 +1,792 @@
+//! Asynchronous rumor spreading on **dynamic networks**: temporal graphs
+//! whose topology changes while the rumor spreads.
+//!
+//! The static asynchronous engine ([`crate::run_async`]) assumes a fixed
+//! graph. Following Pourmiri & Mans ("Tight Analysis of Asynchronous
+//! Rumor Spreading in Dynamic Networks") and Panagiotou & Speidel's
+//! `G(n,p)` baselines, this module interleaves **topology events** with
+//! **protocol clock ticks** in one time-ordered event stream, so the
+//! spreading process on the evolving graph is exact — every contact sees
+//! the topology as it is at that instant, not a per-round snapshot
+//! approximation.
+//!
+//! Three evolution models are provided (see [`DynamicModel`]):
+//!
+//! * [`EdgeMarkov`] — every edge of the base graph flips off/on with
+//!   independent Poisson rates (an edge-Markovian evolving graph). With
+//!   both rates 0 the process **is** the static one: [`run_dynamic`]
+//!   replays [`crate::run_async`] with [`AsyncView::GlobalClock`]
+//!   seed-for-seed.
+//! * [`Rewire`] — the whole topology is replaced every `period` time
+//!   units by a fresh snapshot from a random-graph family, the
+//!   "sequence of independent snapshots" regime of the dynamic
+//!   gossip literature.
+//! * [`NodeChurn`] — nodes leave and rejoin with Poisson rates; a node
+//!   retains the rumor while away (rumor retention) and reattaches to
+//!   random active nodes when it returns.
+//!
+//! [`AsyncView`]: crate::AsyncView
+//!
+//! # Example
+//!
+//! ```
+//! use rumor_core::dynamic::{run_dynamic, DynamicModel, EdgeMarkov};
+//! use rumor_core::Mode;
+//! use rumor_graph::generators;
+//! use rumor_sim::rng::Xoshiro256PlusPlus;
+//!
+//! let g = generators::hypercube(5);
+//! let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.5));
+//! let mut rng = Xoshiro256PlusPlus::seed_from(7);
+//! let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng, 10_000_000);
+//! assert!(out.completed);
+//! assert!(out.topology_events > 0);
+//! ```
+
+use rumor_graph::dynamic::MutableGraph;
+use rumor_graph::{generators, Graph, Node};
+use rumor_sim::events::EventQueue;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::mode::Mode;
+use crate::outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
+
+/// Random-graph family used for full-rewiring snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnapshotFamily {
+    /// Erdős–Rényi `G(n, p)` snapshots.
+    Gnp {
+        /// Edge probability of each snapshot.
+        p: f64,
+    },
+    /// Random `d`-regular snapshots.
+    RandomRegular {
+        /// Degree of each snapshot.
+        d: usize,
+    },
+}
+
+impl SnapshotFamily {
+    /// Draws one snapshot on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family parameters are invalid for `n` (e.g. a
+    /// regular degree with `n·d` odd).
+    pub fn draw(&self, n: usize, rng: &mut Xoshiro256PlusPlus) -> Graph {
+        match *self {
+            SnapshotFamily::Gnp { p } => generators::gnp(n, p, rng),
+            SnapshotFamily::RandomRegular { d } => generators::random_regular(n, d, rng, 1_000),
+        }
+    }
+
+    /// A `G(n, p)` family matching the edge density of `g`, so rewiring
+    /// preserves the expected edge count of the starting topology.
+    pub fn matching_density(g: &Graph) -> Self {
+        let n = g.node_count();
+        let possible = (n * (n - 1) / 2).max(1);
+        SnapshotFamily::Gnp { p: g.edge_count() as f64 / possible as f64 }
+    }
+}
+
+/// Edge-Markovian churn: each edge of the base graph carries an
+/// independent two-state Markov chain (present/absent) in continuous
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeMarkov {
+    /// Rate at which a present edge disappears.
+    pub off_rate: f64,
+    /// Rate at which an absent edge reappears.
+    pub on_rate: f64,
+}
+
+impl EdgeMarkov {
+    /// Symmetric churn at rate `nu`: both transitions happen at rate
+    /// `nu`, so each edge is present half the time in stationarity and
+    /// `nu = 0` freezes the base graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` is negative or not finite.
+    pub fn symmetric(nu: f64) -> Self {
+        assert!(nu >= 0.0 && nu.is_finite(), "churn rate must be finite and >= 0");
+        Self { off_rate: nu, on_rate: nu }
+    }
+}
+
+/// Periodic full rewiring: every `period` time units the topology is
+/// replaced by a fresh [`SnapshotFamily`] sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rewire {
+    /// Time between snapshots; `f64::INFINITY` disables rewiring.
+    pub period: f64,
+    /// Family the snapshots are drawn from.
+    pub family: SnapshotFamily,
+}
+
+impl Rewire {
+    /// A rewiring model with the given period and family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not strictly positive.
+    pub fn new(period: f64, family: SnapshotFamily) -> Self {
+        assert!(period > 0.0, "rewire period must be positive");
+        Self { period, family }
+    }
+}
+
+/// Node churn: active nodes leave at `leave_rate`, absent nodes rejoin
+/// at `join_rate`, reattaching to `attach_degree` random active nodes.
+/// Nodes retain the rumor while away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeChurn {
+    /// Per-node Poisson rate of leaving while active.
+    pub leave_rate: f64,
+    /// Per-node Poisson rate of rejoining while away.
+    pub join_rate: f64,
+    /// Number of random active nodes a rejoining node attaches to.
+    pub attach_degree: usize,
+}
+
+impl NodeChurn {
+    /// A node-churn model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative/non-finite or
+    /// `attach_degree == 0` (a returning node must be reachable).
+    pub fn new(leave_rate: f64, join_rate: f64, attach_degree: usize) -> Self {
+        assert!(leave_rate >= 0.0 && leave_rate.is_finite(), "leave rate must be finite and >= 0");
+        assert!(join_rate >= 0.0 && join_rate.is_finite(), "join rate must be finite and >= 0");
+        assert!(attach_degree > 0, "attach degree must be positive");
+        Self { leave_rate, join_rate, attach_degree }
+    }
+}
+
+/// How the topology evolves during a dynamic run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynamicModel {
+    /// No topology events: the dynamic engine degenerates to the static
+    /// asynchronous process (and replays it seed-for-seed).
+    Static,
+    /// Independent per-edge on/off flips.
+    EdgeMarkov(EdgeMarkov),
+    /// Periodic full rewiring from a snapshot family.
+    Rewire(Rewire),
+    /// Poisson node leave/join with rumor retention.
+    NodeChurn(NodeChurn),
+}
+
+impl DynamicModel {
+    /// Whether this model can ever schedule a topology event.
+    pub fn is_static(&self) -> bool {
+        match *self {
+            DynamicModel::Static => true,
+            DynamicModel::EdgeMarkov(m) => m.off_rate == 0.0,
+            DynamicModel::Rewire(m) => !m.period.is_finite(),
+            DynamicModel::NodeChurn(m) => m.leave_rate == 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for DynamicModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicModel::Static => write!(f, "static"),
+            DynamicModel::EdgeMarkov(m) => {
+                write!(f, "edge-markov(off={}, on={})", m.off_rate, m.on_rate)
+            }
+            DynamicModel::Rewire(m) => write!(f, "rewire(period={})", m.period),
+            DynamicModel::NodeChurn(m) => {
+                write!(f, "node-churn(leave={}, join={})", m.leave_rate, m.join_rate)
+            }
+        }
+    }
+}
+
+/// Result of a dynamic-network run; the dynamic counterpart of
+/// [`AsyncOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicOutcome {
+    /// Time at which the last node was informed (or of the last step
+    /// taken, if `completed` is false).
+    pub time: f64,
+    /// Protocol steps (node activations) taken.
+    pub steps: u64,
+    /// Topology events processed (edge flips, snapshots, joins/leaves).
+    pub topology_events: u64,
+    /// Whether all nodes were informed within the step budget.
+    pub completed: bool,
+    /// Per node: the time at which it was informed (source: 0.0; never:
+    /// `f64::INFINITY`).
+    pub informed_time: Vec<f64>,
+}
+
+impl DynamicOutcome {
+    /// Number of nodes in the underlying graph.
+    pub fn node_count(&self) -> usize {
+        self.informed_time.len()
+    }
+
+    /// Projects onto the static outcome type (dropping the topology
+    /// event count), for field-by-field comparison with
+    /// [`crate::run_async`] and reuse of its accessors.
+    pub fn to_async(&self) -> AsyncOutcome {
+        AsyncOutcome {
+            time: self.time,
+            steps: self.steps,
+            completed: self.completed,
+            informed_time: self.informed_time.clone(),
+        }
+    }
+
+    /// The earliest time by which at least `ceil(phi · n)` nodes are
+    /// informed, or `None` if the run never reached that fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is outside `(0, 1]`.
+    pub fn time_to_fraction(&self, phi: f64) -> Option<f64> {
+        self.to_async().time_to_fraction(phi)
+    }
+}
+
+/// One processed engine event, for the execution-order trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// What happened.
+    pub kind: EngineEventKind,
+}
+
+/// Discriminates trace entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEventKind {
+    /// A protocol clock tick (one node activation).
+    Tick,
+    /// A topology event (edge flip, snapshot, node join/leave).
+    Topology,
+}
+
+/// Pending topology events in the interleaved stream.
+#[derive(Debug, Clone, Copy)]
+enum TopoEvent {
+    /// Flip base-edge `i` (index into the edge-Markov base edge list).
+    Flip(u32),
+    /// Replace the topology with a fresh snapshot.
+    Snapshot,
+    /// Toggle node participation (leave if active, join if away).
+    Toggle(Node),
+}
+
+/// Per-model mutable state carried through a run.
+enum ModelState {
+    Static,
+    EdgeMarkov { base: Vec<(Node, Node)>, present: Vec<bool>, off: f64, on: f64 },
+    Rewire { period: f64, family: SnapshotFamily },
+    NodeChurn { leave: f64, join: f64, attach: usize },
+}
+
+impl ModelState {
+    /// Builds run state and schedules each model's initial events.
+    ///
+    /// Zero-rate models schedule nothing and consume **no randomness**,
+    /// which is what makes the churn-0 run identical to the static one.
+    fn init(
+        model: &DynamicModel,
+        g: &Graph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Self {
+        match *model {
+            DynamicModel::Static => ModelState::Static,
+            DynamicModel::EdgeMarkov(m) => {
+                let base: Vec<(Node, Node)> = g.edges().collect();
+                if m.off_rate > 0.0 {
+                    for i in 0..base.len() {
+                        queue.push(rng.exp(m.off_rate), TopoEvent::Flip(i as u32));
+                    }
+                }
+                ModelState::EdgeMarkov {
+                    present: vec![true; base.len()],
+                    base,
+                    off: m.off_rate,
+                    on: m.on_rate,
+                }
+            }
+            DynamicModel::Rewire(m) => {
+                if m.period.is_finite() {
+                    queue.push(m.period, TopoEvent::Snapshot);
+                }
+                ModelState::Rewire { period: m.period, family: m.family }
+            }
+            DynamicModel::NodeChurn(m) => {
+                if m.leave_rate > 0.0 {
+                    for v in 0..g.node_count() as Node {
+                        queue.push(rng.exp(m.leave_rate), TopoEvent::Toggle(v));
+                    }
+                }
+                ModelState::NodeChurn {
+                    leave: m.leave_rate,
+                    join: m.join_rate,
+                    attach: m.attach_degree,
+                }
+            }
+        }
+    }
+
+    /// Applies one topology event at time `t` and schedules its
+    /// successor.
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) {
+        match (self, event) {
+            (ModelState::EdgeMarkov { base, present, off, on }, TopoEvent::Flip(i)) => {
+                let i = i as usize;
+                let (u, v) = base[i];
+                if present[i] {
+                    net.remove_edge(u, v);
+                    present[i] = false;
+                    if *on > 0.0 {
+                        queue.push(t + rng.exp(*on), TopoEvent::Flip(i as u32));
+                    }
+                } else {
+                    net.add_edge(u, v);
+                    present[i] = true;
+                    if *off > 0.0 {
+                        queue.push(t + rng.exp(*off), TopoEvent::Flip(i as u32));
+                    }
+                }
+            }
+            (ModelState::Rewire { period, family }, TopoEvent::Snapshot) => {
+                let snapshot = family.draw(net.node_count(), rng);
+                net.replace_edges_with(&snapshot);
+                queue.push(t + *period, TopoEvent::Snapshot);
+            }
+            (ModelState::NodeChurn { leave, join, attach }, TopoEvent::Toggle(v)) => {
+                if net.is_active(v) {
+                    net.deactivate(v);
+                    if *join > 0.0 {
+                        queue.push(t + rng.exp(*join), TopoEvent::Toggle(v));
+                    }
+                } else {
+                    net.activate(v);
+                    attach_node(net, v, *attach, rng);
+                    if *leave > 0.0 {
+                        queue.push(t + rng.exp(*leave), TopoEvent::Toggle(v));
+                    }
+                }
+            }
+            _ => unreachable!("event kind does not match model"),
+        }
+    }
+}
+
+/// Wires a (re)joining node to up to `attach` distinct random active
+/// nodes, by rejection sampling over node indices.
+fn attach_node(net: &mut MutableGraph, v: Node, attach: usize, rng: &mut Xoshiro256PlusPlus) {
+    let n = net.node_count();
+    let candidates = net.active_count().saturating_sub(1);
+    let want = attach.min(candidates);
+    let mut added = 0;
+    // Each accepted candidate succeeds with probability >= 1/n per draw,
+    // so 64·n draws fail with negligible probability; give up rather
+    // than loop forever when almost everyone is away.
+    let mut budget = 64usize.saturating_mul(n);
+    while added < want && budget > 0 {
+        budget -= 1;
+        let u = rng.range_usize(n) as Node;
+        if u != v && net.is_active(u) && net.add_edge(v, u) {
+            added += 1;
+        }
+    }
+}
+
+/// Runs the asynchronous push/pull/push–pull protocol on a dynamic
+/// network, from `source`, until every node is informed or `max_steps`
+/// protocol steps have been taken.
+///
+/// Protocol ticks follow the global-clock view (one rate-`n` Poisson
+/// clock; each tick activates a uniformly random node) and are merged
+/// with the model's topology events in one time-ordered stream. A tick
+/// of a currently isolated or departed node is wasted — time passes, no
+/// contact happens — exactly as in the dynamic gossip literature.
+///
+/// With a model for which [`DynamicModel::is_static`] holds, the run
+/// replays [`crate::run_async`] with [`crate::AsyncView::GlobalClock`]
+/// seed-for-seed: identical RNG consumption, identical outcome.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the starting graph has
+/// isolated nodes.
+pub fn run_dynamic(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> DynamicOutcome {
+    run_dynamic_inner(g, source, mode, model, rng, max_steps, None)
+}
+
+/// Like [`run_dynamic`], additionally returning the full execution-order
+/// trace (every tick and topology event, in processing order). Intended
+/// for tests and debugging; the trace grows with the step budget.
+pub fn run_dynamic_traced(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> (DynamicOutcome, Vec<EngineEvent>) {
+    let mut trace = Vec::new();
+    let out = run_dynamic_inner(g, source, mode, model, rng, max_steps, Some(&mut trace));
+    (out, trace)
+}
+
+fn run_dynamic_inner(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    mut trace: Option<&mut Vec<EngineEvent>>,
+) -> DynamicOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut informed_time = vec![f64::INFINITY; n];
+    informed_time[source as usize] = 0.0;
+    let mut informed_count = 1usize;
+    if n == 1 {
+        return DynamicOutcome {
+            time: 0.0,
+            steps: 0,
+            topology_events: 0,
+            completed: true,
+            informed_time,
+        };
+    }
+
+    let mut queue = EventQueue::new();
+    let mut state = ModelState::init(model, g, &mut queue, rng);
+    let mut net = MutableGraph::from_graph(g);
+
+    let rate = n as f64;
+    let mut tick_clock = 0.0; // time of the last protocol tick
+    let mut pending_tick: Option<f64> = None;
+    let mut t = 0.0;
+    let mut steps = 0u64;
+    let mut topology_events = 0u64;
+
+    while steps < max_steps {
+        // Draw the next tick lazily, exactly one exp(rate) draw per tick,
+        // in the same position of the RNG stream as the static engine.
+        let next_tick = *pending_tick.get_or_insert_with(|| tick_clock + rng.exp(rate));
+
+        // Process every topology event due before the tick.
+        if let Some(te) = queue.peek_time() {
+            if te <= next_tick {
+                let (te, event) = queue.pop().expect("peeked event exists");
+                t = te;
+                topology_events += 1;
+                state.apply(event, te, &mut net, &mut queue, rng);
+                if let Some(trace) = trace.as_deref_mut() {
+                    trace.push(EngineEvent { time: te, kind: EngineEventKind::Topology });
+                }
+                continue;
+            }
+        }
+
+        // Protocol tick.
+        pending_tick = None;
+        tick_clock = next_tick;
+        t = next_tick;
+        steps += 1;
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(EngineEvent { time: t, kind: EngineEventKind::Tick });
+        }
+        let v = rng.range_usize(n) as Node;
+        if net.is_active(v) && net.degree(v) > 0 {
+            let w = net.random_neighbor(v, rng);
+            crate::asynchronous::exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
+        }
+        if informed_count == n {
+            return DynamicOutcome {
+                time: t,
+                steps,
+                topology_events,
+                completed: true,
+                informed_time,
+            };
+        }
+    }
+    DynamicOutcome { time: t, steps, topology_events, completed: false, informed_time }
+}
+
+/// Synchronous push/pull/push–pull on a periodically rewired topology:
+/// the round structure of [`crate::run_sync`], with the graph replaced
+/// by a fresh [`SnapshotFamily`] sample every `rewire_rounds` rounds.
+///
+/// This is the synchronous comparator for experiment E20 (the paper's
+/// sync-vs-async question transplanted to dynamic topologies): one
+/// synchronous round corresponds to one asynchronous time unit, so a
+/// rewire period of `k` rounds matches a continuous period of `k`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, `rewire_rounds == 0`, or the
+/// starting graph has isolated nodes.
+pub fn run_sync_rewire(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    rewire_rounds: u64,
+    family: SnapshotFamily,
+    rng: &mut Xoshiro256PlusPlus,
+    max_rounds: u64,
+) -> SyncOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(rewire_rounds > 0, "rewire_rounds must be positive");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut informed_round = vec![NEVER_ROUND; n];
+    informed_round[source as usize] = 0;
+    let mut informed_count = 1usize;
+    let mut informed_by_round = vec![1usize];
+    if informed_count == n {
+        return SyncOutcome { rounds: 0, completed: true, informed_round, informed_by_round };
+    }
+
+    let mut current: Graph = g.clone();
+    let mut rounds = 0;
+    let mut completed = false;
+    for r in 1..=max_rounds {
+        rounds = r;
+        if (r - 1) % rewire_rounds == 0 && r > 1 {
+            current = family.draw(n, rng);
+        }
+        for v in 0..n as Node {
+            if current.degree(v) == 0 {
+                continue; // isolated this snapshot: no contact this round
+            }
+            let w = current.random_neighbor(v, rng);
+            let v_informed = informed_round[v as usize] < r;
+            let w_informed = informed_round[w as usize] < r;
+            if v_informed && !w_informed && mode.includes_push() {
+                if informed_round[w as usize] == NEVER_ROUND {
+                    informed_round[w as usize] = r;
+                    informed_count += 1;
+                }
+            } else if !v_informed
+                && w_informed
+                && mode.includes_pull()
+                && informed_round[v as usize] == NEVER_ROUND
+            {
+                informed_round[v as usize] = r;
+                informed_count += 1;
+            }
+        }
+        informed_by_round.push(informed_count);
+        if informed_count == n {
+            completed = true;
+            break;
+        }
+    }
+    SyncOutcome { rounds, completed, informed_round, informed_by_round }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asynchronous::{run_async, AsyncView};
+    use rumor_sim::stats::OnlineStats;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn static_model_replays_run_async_seed_for_seed() {
+        let g = generators::hypercube(5);
+        for model in [
+            DynamicModel::Static,
+            DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.0)),
+            DynamicModel::Rewire(Rewire {
+                period: f64::INFINITY,
+                family: SnapshotFamily::Gnp { p: 0.1 },
+            }),
+        ] {
+            assert!(model.is_static());
+            let stat =
+                run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng(3), 1_000_000);
+            let dynamic = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(3), 1_000_000);
+            assert_eq!(dynamic.to_async(), stat, "model {model}");
+            assert_eq!(dynamic.topology_events, 0);
+        }
+    }
+
+    #[test]
+    fn churn_completes_and_counts_topology_events() {
+        let g = generators::gnp_connected(48, 0.15, &mut rng(1), 100);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+        let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(2), 10_000_000);
+        assert!(out.completed);
+        assert!(out.topology_events > 0);
+        assert!(out.informed_time.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn rewiring_heals_a_bottleneck() {
+        // On a path, rewiring to G(n,p) snapshots must be much faster
+        // than the static path (diameter collapses after one snapshot).
+        let g = generators::path(64);
+        let family = SnapshotFamily::Gnp { p: 0.2 };
+        let mut static_stats = OnlineStats::new();
+        let mut rewired_stats = OnlineStats::new();
+        for seed in 0..20 {
+            let s = run_dynamic(
+                &g,
+                0,
+                Mode::PushPull,
+                &DynamicModel::Static,
+                &mut rng(100 + seed),
+                100_000_000,
+            );
+            assert!(s.completed);
+            static_stats.push(s.time);
+            let r = run_dynamic(
+                &g,
+                0,
+                Mode::PushPull,
+                &DynamicModel::Rewire(Rewire::new(2.0, family)),
+                &mut rng(100 + seed),
+                100_000_000,
+            );
+            assert!(r.completed);
+            rewired_stats.push(r.time);
+        }
+        assert!(
+            rewired_stats.mean() < 0.5 * static_stats.mean(),
+            "rewiring should beat the static path: {} vs {}",
+            rewired_stats.mean(),
+            static_stats.mean()
+        );
+    }
+
+    #[test]
+    fn node_churn_retains_rumor_across_absence() {
+        let g = generators::complete(16);
+        let model = DynamicModel::NodeChurn(NodeChurn::new(0.5, 2.0, 3));
+        let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(5), 10_000_000);
+        assert!(out.completed);
+        assert!(out.topology_events > 0);
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_complete() {
+        let g = generators::gnp_connected(32, 0.2, &mut rng(6), 100);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(2.0));
+        let (out, trace) = run_dynamic_traced(&g, 0, Mode::PushPull, &model, &mut rng(7), 500_000);
+        assert!(out.completed);
+        assert!(trace.windows(2).all(|w| w[0].time <= w[1].time), "out-of-order trace");
+        let ticks = trace.iter().filter(|e| e.kind == EngineEventKind::Tick).count() as u64;
+        let topo = trace.iter().filter(|e| e.kind == EngineEventKind::Topology).count() as u64;
+        assert_eq!(ticks, out.steps);
+        assert_eq!(topo, out.topology_events);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::hypercube(4);
+        for model in [
+            DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
+            DynamicModel::Rewire(Rewire::new(1.0, SnapshotFamily::Gnp { p: 0.3 })),
+            DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.0, 2)),
+        ] {
+            let a = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(9), 1_000_000);
+            let b = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(9), 1_000_000);
+            assert_eq!(a, b, "model {model}");
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let g = generators::path(64);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.1));
+        let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(11), 10);
+        assert!(!out.completed);
+        assert_eq!(out.steps, 10);
+    }
+
+    #[test]
+    fn single_node_trivially_complete() {
+        let g = rumor_graph::GraphBuilder::new(1).build().unwrap();
+        let out = run_dynamic(
+            &g,
+            0,
+            Mode::PushPull,
+            &DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
+            &mut rng(13),
+            10,
+        );
+        assert!(out.completed);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn sync_rewire_completes_and_respects_round_structure() {
+        let g = generators::gnp_connected(48, 0.15, &mut rng(15), 100);
+        let out = run_sync_rewire(
+            &g,
+            0,
+            Mode::PushPull,
+            3,
+            SnapshotFamily::Gnp { p: 0.15 },
+            &mut rng(16),
+            100_000,
+        );
+        assert!(out.completed);
+        assert_eq!(out.informed_by_round[0], 1);
+        assert_eq!(*out.informed_by_round.last().unwrap(), g.node_count());
+        assert_eq!(out.rounds, *out.informed_round.iter().max().unwrap());
+    }
+
+    #[test]
+    fn heavier_churn_on_sparse_gnp_slows_spreading() {
+        // Symmetric churn thins the live edge set toward half the base
+        // edges; on a sparse G(n,p) that slows the spread measurably.
+        let g = generators::gnp_connected(64, 0.08, &mut rng(20), 200);
+        let mut means = Vec::new();
+        for nu in [0.0, 4.0] {
+            let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(nu));
+            let mut s = OnlineStats::new();
+            for seed in 0..30 {
+                let out =
+                    run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(300 + seed), 50_000_000);
+                assert!(out.completed, "nu {nu}");
+                s.push(out.time);
+            }
+            means.push(s.mean());
+        }
+        assert!(
+            means[1] > means[0],
+            "churn 4.0 ({}) should be slower than churn 0 ({})",
+            means[1],
+            means[0]
+        );
+    }
+}

@@ -85,10 +85,7 @@ pub fn first_passage_times(
         }
     }
     let makespan = dist.iter().cloned().fold(0.0f64, f64::max);
-    assert!(
-        makespan.is_finite(),
-        "graph is disconnected; first-passage times are infinite"
-    );
+    assert!(makespan.is_finite(), "graph is disconnected; first-passage times are infinite");
     FppOutcome { times: dist, makespan }
 }
 
@@ -99,14 +96,8 @@ pub fn first_passage_times(
 ///
 /// Panics if the graph is not regular (the exact correspondence requires
 /// all contact rates equal), plus the panics of [`first_passage_times`].
-pub fn async_pushpull_as_fpp(
-    g: &Graph,
-    source: Node,
-    rng: &mut Xoshiro256PlusPlus,
-) -> FppOutcome {
-    let d = g
-        .regular_degree()
-        .expect("FPP correspondence requires a regular graph");
+pub fn async_pushpull_as_fpp(g: &Graph, source: Node, rng: &mut Xoshiro256PlusPlus) -> FppOutcome {
+    let d = g.regular_degree().expect("FPP correspondence requires a regular graph");
     first_passage_times(g, source, 2.0 / d as f64, rng)
 }
 
@@ -151,10 +142,8 @@ mod tests {
         // reached "through thin air": every node except the source has a
         // strictly earlier neighbor.
         for v in g.nodes().skip(1) {
-            let has_earlier = g
-                .neighbors(v)
-                .iter()
-                .any(|&w| out.times[w as usize] < out.times[v as usize]);
+            let has_earlier =
+                g.neighbors(v).iter().any(|&w| out.times[w as usize] < out.times[v as usize]);
             assert!(has_earlier, "node {v}");
         }
     }
@@ -179,17 +168,19 @@ mod tests {
         for seed in 0..trials {
             fpp.push(async_pushpull_as_fpp(&g, 0, &mut rng(100 + seed)).makespan);
             ppa.push(
-                run_async(&g, 0, Mode::PushPull, AsyncView::EdgeClocks, &mut rng(9000 + seed), 10_000_000)
-                    .time,
+                run_async(
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    AsyncView::EdgeClocks,
+                    &mut rng(9000 + seed),
+                    10_000_000,
+                )
+                .time,
             );
         }
         let rel = (fpp.mean() - ppa.mean()).abs() / ppa.mean();
-        assert!(
-            rel < 0.1,
-            "FPP mean {} vs pp-a mean {} (rel {rel})",
-            fpp.mean(),
-            ppa.mean()
-        );
+        assert!(rel < 0.1, "FPP mean {} vs pp-a mean {} (rel {rel})", fpp.mean(), ppa.mean());
     }
 
     #[test]

@@ -89,11 +89,7 @@ impl InformedSet {
 
     /// Iterator over the informed nodes in index order.
     pub fn iter(&self) -> impl Iterator<Item = Node> + '_ {
-        self.informed
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| i as Node)
+        self.informed.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as Node)
     }
 
     /// Whether `self` is a subset of `other` (used to verify the paper's
@@ -104,10 +100,7 @@ impl InformedSet {
     /// Panics if the sets cover different node counts.
     pub fn is_subset_of(&self, other: &InformedSet) -> bool {
         assert_eq!(self.len(), other.len(), "sets over different node counts");
-        self.informed
-            .iter()
-            .zip(&other.informed)
-            .all(|(&a, &b)| !a || b)
+        self.informed.iter().zip(&other.informed).all(|(&a, &b)| !a || b)
     }
 }
 

@@ -19,6 +19,11 @@
 //!   invariant and block accounting;
 //! * a **first-passage percolation** comparator ([`fpp`]) for the
 //!   Richardson-model correspondence on regular graphs;
+//! * a **dynamic-network engine** ([`dynamic`]) that interleaves topology
+//!   events (edge-Markov churn, periodic rewiring, node join/leave) with
+//!   protocol clock ticks in one time-ordered event stream, extending the
+//!   asynchronous model to temporal graphs à la Pourmiri–Mans; with churn
+//!   rate 0 it replays the static process seed-for-seed;
 //! * a seeded, optionally parallel **Monte-Carlo runner** ([`runner`]) for
 //!   estimating spreading-time laws, expectations `E[T]` and
 //!   high-probability quantiles `T₁/ₙ`.
@@ -47,6 +52,7 @@
 pub mod asynchronous;
 pub mod aux;
 pub mod coupling;
+pub mod dynamic;
 pub mod fpp;
 mod informed;
 mod mode;
@@ -58,6 +64,7 @@ pub mod sync;
 pub mod trace;
 
 pub use asynchronous::{run_async, AsyncView};
+pub use dynamic::{run_dynamic, DynamicModel, DynamicOutcome};
 pub use informed::InformedSet;
 pub use mode::Mode;
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};

@@ -35,10 +35,7 @@ impl SyncOutcome {
     pub fn rounds_to_fraction(&self, phi: f64) -> Option<u64> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
         let target = (phi * self.node_count() as f64).ceil() as usize;
-        self.informed_by_round
-            .iter()
-            .position(|&c| c >= target)
-            .map(|r| r as u64)
+        self.informed_by_round.iter().position(|&c| c >= target).map(|r| r as u64)
     }
 }
 

@@ -12,6 +12,7 @@ use rumor_sim::rng::{SeedStream, Xoshiro256PlusPlus};
 use rumor_sim::stats::quantile;
 
 use crate::asynchronous::{run_async, AsyncView};
+use crate::dynamic::{run_dynamic, DynamicModel};
 use crate::mode::Mode;
 use crate::sync::run_sync;
 
@@ -52,12 +53,7 @@ where
 /// # Panics
 ///
 /// Panics if `threads == 0` or a worker thread panics.
-pub fn run_trials_parallel<T, F>(
-    trials: usize,
-    master_seed: u64,
-    threads: usize,
-    f: F,
-) -> Vec<T>
+pub fn run_trials_parallel<T, F>(trials: usize, master_seed: u64, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync,
@@ -71,11 +67,11 @@ where
     results.resize_with(trials, || None);
 
     let chunk = trials.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (c, out_chunk) in results.chunks_mut(chunk).enumerate() {
             let seeds = &seeds;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = c * chunk;
                 for (j, slot) in out_chunk.iter_mut().enumerate() {
                     let i = base + j;
@@ -84,13 +80,9 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
 /// Samples the synchronous spreading time (in rounds) over `trials`
@@ -137,9 +129,7 @@ pub fn async_spreading_times(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<f64> {
-    run_trials(trials, master_seed, |_, rng| {
-        run_async(g, source, mode, view, rng, max_steps).time
-    })
+    run_trials(trials, master_seed, |_, rng| run_async(g, source, mode, view, rng, max_steps).time)
 }
 
 /// Parallel version of [`async_spreading_times`].
@@ -158,6 +148,40 @@ pub fn async_spreading_times_parallel(
 ) -> Vec<f64> {
     run_trials_parallel(trials, master_seed, threads, |_, rng| {
         run_async(g, source, mode, view, rng, max_steps).time
+    })
+}
+
+/// Samples the dynamic-network spreading time (in time units) over
+/// `trials` independent runs of [`run_dynamic`].
+pub fn dynamic_spreading_times(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<f64> {
+    run_trials(trials, master_seed, |_, rng| {
+        run_dynamic(g, source, mode, model, rng, max_steps).time
+    })
+}
+
+/// Parallel version of [`dynamic_spreading_times`]; identical output for
+/// any thread count thanks to per-trial [`SeedStream`] seeding.
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_spreading_times_parallel(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+    threads: usize,
+) -> Vec<f64> {
+    run_trials_parallel(trials, master_seed, threads, |_, rng| {
+        run_dynamic(g, source, mode, model, rng, max_steps).time
     })
 }
 
@@ -195,19 +219,11 @@ mod tests {
     fn serial_and_parallel_agree_exactly() {
         let g = generators::hypercube(4);
         let serial = sync_spreading_times(&g, 0, Mode::PushPull, 40, 7, 10_000);
-        let parallel =
-            sync_spreading_times_parallel(&g, 0, Mode::PushPull, 40, 7, 10_000, 4);
+        let parallel = sync_spreading_times_parallel(&g, 0, Mode::PushPull, 40, 7, 10_000, 4);
         assert_eq!(serial, parallel);
 
-        let a_serial = async_spreading_times(
-            &g,
-            0,
-            Mode::PushPull,
-            AsyncView::GlobalClock,
-            40,
-            7,
-            1_000_000,
-        );
+        let a_serial =
+            async_spreading_times(&g, 0, Mode::PushPull, AsyncView::GlobalClock, 40, 7, 1_000_000);
         let a_parallel = async_spreading_times_parallel(
             &g,
             0,

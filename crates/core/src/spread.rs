@@ -142,11 +142,15 @@ pub fn run_sync_config(
                     informed_round[w as usize] = r;
                     informed_count += 1;
                 }
-            } else if !v_informed && w_informed && mode.includes_pull()
-                && informed_round[v as usize] == NEVER_ROUND && transmits(rng) {
-                    informed_round[v as usize] = r;
-                    informed_count += 1;
-                }
+            } else if !v_informed
+                && w_informed
+                && mode.includes_pull()
+                && informed_round[v as usize] == NEVER_ROUND
+                && transmits(rng)
+            {
+                informed_round[v as usize] = r;
+                informed_count += 1;
+            }
         }
         informed_by_round.push(informed_count);
         if informed_count == n {

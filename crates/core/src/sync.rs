@@ -80,11 +80,14 @@ pub fn run_sync(
                     informed_round[w as usize] = r;
                     informed_count += 1;
                 }
-            } else if !v_informed && w_informed && mode.includes_pull()
-                && informed_round[v as usize] == NEVER_ROUND {
-                    informed_round[v as usize] = r;
-                    informed_count += 1;
-                }
+            } else if !v_informed
+                && w_informed
+                && mode.includes_pull()
+                && informed_round[v as usize] == NEVER_ROUND
+            {
+                informed_round[v as usize] = r;
+                informed_count += 1;
+            }
         }
         informed_by_round.push(informed_count);
         if informed_count == n {

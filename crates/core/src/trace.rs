@@ -239,11 +239,21 @@ pub fn run_async_traced(
         if vi && !wi && mode.includes_push() {
             informed[w as usize] = true;
             informed_count += 1;
-            trace.events.push(TraceEvent { learner: w, informer: v, how: Transmission::Push, at: t });
+            trace.events.push(TraceEvent {
+                learner: w,
+                informer: v,
+                how: Transmission::Push,
+                at: t,
+            });
         } else if !vi && wi && mode.includes_pull() {
             informed[v as usize] = true;
             informed_count += 1;
-            trace.events.push(TraceEvent { learner: v, informer: w, how: Transmission::Pull, at: t });
+            trace.events.push(TraceEvent {
+                learner: v,
+                informer: w,
+                how: Transmission::Pull,
+                at: t,
+            });
         }
         if informed_count == n {
             break;

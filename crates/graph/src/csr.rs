@@ -161,11 +161,7 @@ impl Graph {
     /// `Σ_v π(v) = 1`; exposed for the block-accounting experiment.
     pub fn contact_probability(&self, v: Node) -> f64 {
         let n = self.node_count() as f64;
-        self.neighbors(v)
-            .iter()
-            .map(|&w| 1.0 / self.degree(w) as f64)
-            .sum::<f64>()
-            / n
+        self.neighbors(v).iter().map(|&w| 1.0 / self.degree(w) as f64).sum::<f64>() / n
     }
 }
 

@@ -1,0 +1,331 @@
+//! Mutable adjacency for dynamic-network simulation.
+//!
+//! The CSR [`Graph`](crate::Graph) is immutable by design; temporal-graph
+//! engines need edges that appear and disappear while a protocol runs.
+//! [`MutableGraph`] is the adapter between the two worlds: it is
+//! initialized from a CSR snapshot, supports O(deg) edge insertion and
+//! removal plus node activation flags (for join/leave churn), and keeps
+//! adjacency lists **sorted** so that, until the first mutation, its
+//! [`random_neighbor`](MutableGraph::random_neighbor) consumes the RNG
+//! exactly like [`Graph::random_neighbor`] — the property that lets a
+//! zero-churn dynamic run replay a static asynchronous run seed-for-seed.
+
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, Node};
+
+/// An undirected simple graph under edit: sorted adjacency lists plus
+/// per-node activation flags.
+///
+/// Inactive nodes keep their identity (indices are stable) but have all
+/// incident edges removed and never gain new ones until reactivated.
+///
+/// # Example
+///
+/// ```
+/// use rumor_graph::dynamic::MutableGraph;
+/// use rumor_graph::generators;
+///
+/// let mut net = MutableGraph::from_graph(&generators::cycle(4));
+/// assert_eq!(net.edge_count(), 4);
+/// assert!(net.remove_edge(0, 1));
+/// assert!(!net.has_edge(0, 1));
+/// assert!(net.add_edge(0, 2));
+/// assert_eq!(net.neighbors(0), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutableGraph {
+    adj: Vec<Vec<Node>>,
+    edge_count: usize,
+    active: Vec<bool>,
+    active_count: usize,
+}
+
+impl MutableGraph {
+    /// Copies a CSR snapshot into editable form; every node starts active.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let adj: Vec<Vec<Node>> = (0..n as Node).map(|v| g.neighbors(v).to_vec()).collect();
+        Self { adj, edge_count: g.edge_count(), active: vec![true; n], active_count: n }
+    }
+
+    /// An edgeless graph on `n` active nodes.
+    pub fn empty(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], edge_count: 0, active: vec![true; n], active_count: n }
+    }
+
+    /// Number of nodes (stable under all mutations).
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Current degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        &self.adj[v as usize]
+    }
+
+    /// A uniformly random current neighbor of `v`, drawn exactly like
+    /// [`Graph::random_neighbor`] (one `range_usize(deg)` call on a
+    /// sorted list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or currently isolated.
+    #[inline]
+    pub fn random_neighbor(&self, v: Node, rng: &mut Xoshiro256PlusPlus) -> Node {
+        let nbrs = self.neighbors(v);
+        assert!(!nbrs.is_empty(), "node {v} is isolated; protocols need degree >= 1");
+        nbrs[rng.range_usize(nbrs.len())]
+    }
+
+    /// Whether the undirected edge `{u, v}` is currently present.
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Inserts the undirected edge `{u, v}`; returns `false` if it was
+    /// already present (the graph is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or inactive
+    /// endpoints — topology models must not wire up departed nodes.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
+        assert!(u != v, "self-loop at node {u}");
+        assert!(
+            (u as usize) < self.node_count() && (v as usize) < self.node_count(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count()
+        );
+        assert!(
+            self.active[u as usize] && self.active[v as usize],
+            "edge ({u}, {v}) touches an inactive node"
+        );
+        let Err(pos_u) = self.adj[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.adj[u as usize].insert(pos_u, v);
+        let pos_v =
+            self.adj[v as usize].binary_search(&u).expect_err("adjacency must stay symmetric");
+        self.adj[v as usize].insert(pos_v, u);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}`; returns `false` if it was
+    /// not present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
+        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
+            return false;
+        };
+        self.adj[u as usize].remove(pos_u);
+        let pos_v = self.adj[v as usize].binary_search(&u).expect("adjacency must stay symmetric");
+        self.adj[v as usize].remove(pos_v);
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Whether `v` currently participates in the network.
+    #[inline]
+    pub fn is_active(&self, v: Node) -> bool {
+        self.active[v as usize]
+    }
+
+    /// Number of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active_count
+    }
+
+    /// Deactivates `v`, removing all its incident edges; returns the
+    /// number of edges removed. No-op (returning 0) if already inactive.
+    pub fn deactivate(&mut self, v: Node) -> usize {
+        if !self.active[v as usize] {
+            return 0;
+        }
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        for &w in &nbrs {
+            let pos =
+                self.adj[w as usize].binary_search(&v).expect("adjacency must stay symmetric");
+            self.adj[w as usize].remove(pos);
+        }
+        self.edge_count -= nbrs.len();
+        self.active[v as usize] = false;
+        self.active_count -= 1;
+        nbrs.len()
+    }
+
+    /// Reactivates `v` (with no edges; callers attach as their model
+    /// dictates). No-op if already active.
+    pub fn activate(&mut self, v: Node) {
+        if !self.active[v as usize] {
+            self.active[v as usize] = true;
+            self.active_count += 1;
+        }
+    }
+
+    /// Replaces the whole edge set with the edges of `snapshot`, keeping
+    /// activation flags: edges touching inactive nodes are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` has a different node count.
+    pub fn replace_edges_with(&mut self, snapshot: &Graph) {
+        assert_eq!(snapshot.node_count(), self.node_count(), "snapshot node count must match");
+        for list in &mut self.adj {
+            list.clear();
+        }
+        self.edge_count = 0;
+        for v in snapshot.nodes() {
+            if !self.active[v as usize] {
+                continue;
+            }
+            let list: Vec<Node> = snapshot
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| self.active[w as usize])
+                .collect();
+            self.edge_count += list.len();
+            self.adj[v as usize] = list;
+        }
+        // Each undirected edge was counted from both endpoints.
+        self.edge_count /= 2;
+    }
+
+    /// Freezes the current topology into an immutable CSR [`Graph`]
+    /// (inactive nodes appear as isolated).
+    pub fn to_graph(&self) -> Graph {
+        let mut b = GraphBuilder::with_edge_capacity(self.node_count(), self.edge_count);
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            for &w in nbrs {
+                if (v as Node) < w {
+                    b.add_edge(v as Node, w);
+                }
+            }
+        }
+        b.build().expect("mutable graph upholds CSR invariants")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn from_graph_round_trips() {
+        let g = generators::hypercube(4);
+        let net = MutableGraph::from_graph(&g);
+        assert_eq!(net.node_count(), g.node_count());
+        assert_eq!(net.edge_count(), g.edge_count());
+        assert_eq!(net.to_graph(), g);
+        for v in g.nodes() {
+            assert_eq!(net.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn untouched_adapter_samples_like_csr() {
+        // The parity property the dynamic engine's churn-0 guarantee
+        // rests on: identical draw sequence, identical neighbor choice.
+        let g = generators::gnp_connected(32, 0.2, &mut Xoshiro256PlusPlus::seed_from(5), 100);
+        let net = MutableGraph::from_graph(&g);
+        let mut a = Xoshiro256PlusPlus::seed_from(9);
+        let mut b = Xoshiro256PlusPlus::seed_from(9);
+        for v in g.nodes() {
+            for _ in 0..16 {
+                assert_eq!(g.random_neighbor(v, &mut a), net.random_neighbor(v, &mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_remove_maintain_invariants() {
+        let mut net = MutableGraph::from_graph(&generators::cycle(5));
+        assert!(net.remove_edge(0, 1));
+        assert!(!net.remove_edge(0, 1), "second removal is a no-op");
+        assert!(!net.has_edge(0, 1) && !net.has_edge(1, 0));
+        assert!(net.add_edge(0, 2));
+        assert!(!net.add_edge(2, 0), "duplicate insert is a no-op");
+        assert_eq!(net.edge_count(), 5);
+        for v in 0..5u32 {
+            let nbrs = net.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            for &w in nbrs {
+                assert!(net.has_edge(w, v), "asymmetry {v}-{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn deactivate_strips_edges_and_activate_restores_participation() {
+        let mut net = MutableGraph::from_graph(&generators::star(6));
+        assert_eq!(net.deactivate(0), 5, "center loses all spokes");
+        assert_eq!(net.edge_count(), 0);
+        assert!(!net.is_active(0));
+        assert_eq!(net.active_count(), 5);
+        assert_eq!(net.deactivate(0), 0, "repeat is a no-op");
+        net.activate(0);
+        assert!(net.is_active(0));
+        assert_eq!(net.degree(0), 0, "reactivation does not restore edges");
+        assert!(net.add_edge(0, 1));
+        assert_eq!(net.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inactive")]
+    fn wiring_an_inactive_node_panics() {
+        let mut net = MutableGraph::from_graph(&generators::path(3));
+        net.deactivate(2);
+        net.add_edge(1, 2);
+    }
+
+    #[test]
+    fn replace_edges_respects_activation() {
+        let mut net = MutableGraph::from_graph(&generators::cycle(6));
+        net.deactivate(3);
+        net.replace_edges_with(&generators::complete(6));
+        assert!(!net.is_active(3));
+        assert_eq!(net.degree(3), 0);
+        // K6 minus node 3: a K5 on the remaining nodes.
+        assert_eq!(net.edge_count(), 10);
+        for v in [0u32, 1, 2, 4, 5] {
+            assert_eq!(net.degree(v), 4);
+            assert!(!net.has_edge(v, 3));
+        }
+    }
+
+    #[test]
+    fn empty_graph_accumulates_edges() {
+        let mut net = MutableGraph::empty(4);
+        assert_eq!(net.edge_count(), 0);
+        assert!(net.add_edge(0, 1));
+        assert!(net.add_edge(2, 3));
+        assert_eq!(net.to_graph().edge_count(), 2);
+    }
+}

@@ -29,12 +29,7 @@ use crate::props;
 /// # Panics
 ///
 /// Panics if `n < 2`, `β ≤ 2`, or `avg_degree <= 0`.
-pub fn chung_lu(
-    n: usize,
-    beta: f64,
-    avg_degree: f64,
-    rng: &mut Xoshiro256PlusPlus,
-) -> Graph {
+pub fn chung_lu(n: usize, beta: f64, avg_degree: f64, rng: &mut Xoshiro256PlusPlus) -> Graph {
     assert!(n >= 2, "chung_lu needs n >= 2");
     assert!(beta > 2.0, "beta must exceed 2 for a finite mean");
     assert!(avg_degree > 0.0, "avg_degree must be positive");
@@ -105,10 +100,7 @@ pub fn chung_lu_giant(
     min_fraction: f64,
     rng: &mut Xoshiro256PlusPlus,
 ) -> Graph {
-    assert!(
-        min_fraction > 0.0 && min_fraction <= 1.0,
-        "min_fraction must be in (0, 1]"
-    );
+    assert!(min_fraction > 0.0 && min_fraction <= 1.0, "min_fraction must be in (0, 1]");
     for _ in 0..100 {
         let g = chung_lu(n, beta, avg_degree, rng);
         let (giant, _) = props::largest_component(&g);
@@ -133,11 +125,7 @@ pub fn chung_lu_giant(
 /// # Panics
 ///
 /// Panics if `m == 0` or `n ≤ m + 1`.
-pub fn preferential_attachment(
-    n: usize,
-    m: usize,
-    rng: &mut Xoshiro256PlusPlus,
-) -> Graph {
+pub fn preferential_attachment(n: usize, m: usize, rng: &mut Xoshiro256PlusPlus) -> Graph {
     assert!(m >= 1, "attachment count m must be at least 1");
     assert!(n > m + 1, "need n > m + 1 seed nodes");
     let mut b = GraphBuilder::with_edge_capacity(n, m * n);

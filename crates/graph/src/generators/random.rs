@@ -56,12 +56,7 @@ pub fn gnp(n: usize, p: f64, rng: &mut Xoshiro256PlusPlus) -> Graph {
 /// Panics if `n < 2`, `p ∉ [0, 1]`, or no connected sample is found within
 /// `max_tries` attempts (pick `p ≥ (1 + ε) ln n / n` to make success
 /// overwhelmingly likely).
-pub fn gnp_connected(
-    n: usize,
-    p: f64,
-    rng: &mut Xoshiro256PlusPlus,
-    max_tries: usize,
-) -> Graph {
+pub fn gnp_connected(n: usize, p: f64, rng: &mut Xoshiro256PlusPlus, max_tries: usize) -> Graph {
     for _ in 0..max_tries {
         let g = gnp(n, p, rng);
         if props::is_connected(&g) {
@@ -111,12 +106,7 @@ pub fn gnm(n: usize, m: usize, rng: &mut Xoshiro256PlusPlus) -> Graph {
 /// Panics if `n·d` is odd, `d == 0`, `d ≥ n`, or the process failed to
 /// complete within `max_tries` restarts (effectively impossible for the
 /// parameter ranges above).
-pub fn random_regular(
-    n: usize,
-    d: usize,
-    rng: &mut Xoshiro256PlusPlus,
-    max_tries: usize,
-) -> Graph {
+pub fn random_regular(n: usize, d: usize, rng: &mut Xoshiro256PlusPlus, max_tries: usize) -> Graph {
     assert!(d >= 1, "degree must be at least 1");
     assert!(d < n, "degree must be below n");
     assert!((n * d).is_multiple_of(2), "n * d must be even");
@@ -244,10 +234,7 @@ mod tests {
         }
         let mean = total as f64 / reps as f64;
         let expected = p * (n * (n - 1) / 2) as f64;
-        assert!(
-            (mean - expected).abs() < expected * 0.05,
-            "mean {mean} vs expected {expected}"
-        );
+        assert!((mean - expected).abs() < expected * 0.05, "mean {mean} vs expected {expected}");
     }
 
     #[test]

@@ -44,10 +44,9 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
         .map(|(i, l)| (i + 1, l.trim()))
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-    let (line_no, header) = lines.next().ok_or(GraphError::ParseEdgeList {
-        line: 1,
-        message: "missing header line".into(),
-    })?;
+    let (line_no, header) = lines
+        .next()
+        .ok_or(GraphError::ParseEdgeList { line: 1, message: "missing header line".into() })?;
     let mut parts = header.split_whitespace();
     let parse_num = |tok: Option<&str>, line: usize| -> Result<u64, GraphError> {
         tok.ok_or(GraphError::ParseEdgeList { line, message: "expected two integers".into() })?
@@ -113,10 +112,7 @@ mod tests {
 
     #[test]
     fn missing_header_is_error() {
-        assert!(matches!(
-            from_edge_list("").unwrap_err(),
-            GraphError::ParseEdgeList { .. }
-        ));
+        assert!(matches!(from_edge_list("").unwrap_err(), GraphError::ParseEdgeList { .. }));
     }
 
     #[test]
@@ -135,10 +131,7 @@ mod tests {
 
     #[test]
     fn self_loop_rejected() {
-        assert_eq!(
-            from_edge_list("3 1\n1 1\n").unwrap_err(),
-            GraphError::SelfLoop { node: 1 }
-        );
+        assert_eq!(from_edge_list("3 1\n1 1\n").unwrap_err(), GraphError::SelfLoop { node: 1 });
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Provides a compact CSR graph representation ([`Graph`]), a validating
 //! [`GraphBuilder`], generators for every graph family used by the
 //! PODC 2016 paper (see [`generators`]), structural properties
-//! ([`props`]), and plain-text edge-list I/O ([`io`]).
+//! ([`props`]), plain-text edge-list I/O ([`io`]), and a mutable
+//! adjacency adapter for temporal-graph simulation ([`dynamic`]).
 //!
 //! The paper's protocols only ever ask two things of a graph: *“what is
 //! `deg(v)`?”* and *“give me a uniformly random neighbor of `v`”*. CSR
@@ -31,6 +32,7 @@
 
 mod builder;
 mod csr;
+pub mod dynamic;
 mod error;
 pub mod generators;
 pub mod io;

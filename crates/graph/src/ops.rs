@@ -53,8 +53,10 @@ pub fn induced_subgraph(g: &Graph, nodes: &[Node]) -> (Graph, Vec<Node>) {
 /// `a.node_count()`.
 pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
     let offset = a.node_count() as Node;
-    let mut builder =
-        GraphBuilder::with_edge_capacity(a.node_count() + b.node_count(), a.edge_count() + b.edge_count());
+    let mut builder = GraphBuilder::with_edge_capacity(
+        a.node_count() + b.node_count(),
+        a.edge_count() + b.edge_count(),
+    );
     for (u, v) in a.edges() {
         builder.add_edge(u, v);
     }

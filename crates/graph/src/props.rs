@@ -135,12 +135,8 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<Node>) {
         }
         sizes.push(size);
     }
-    let best = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &s)| s)
-        .map(|(i, _)| i)
-        .expect("graph has nodes");
+    let best =
+        sizes.iter().enumerate().max_by_key(|(_, &s)| s).map(|(i, _)| i).expect("graph has nodes");
     // Relabel the winning component's nodes in ascending order.
     let mut mapping = Vec::with_capacity(sizes[best]);
     let mut new_id = vec![u32::MAX; n];
@@ -254,10 +250,7 @@ pub fn cut_conductance(g: &Graph, mask: &[bool]) -> Option<f64> {
 /// Panics if `src` is out of range or the graph is disconnected.
 pub fn sweep_conductance_upper_bound(g: &Graph, src: Node) -> f64 {
     let dist = bfs_distances(g, src);
-    assert!(
-        dist.iter().all(|&d| d != UNREACHABLE),
-        "sweep conductance requires a connected graph"
-    );
+    assert!(dist.iter().all(|&d| d != UNREACHABLE), "sweep conductance requires a connected graph");
     let mut order: Vec<Node> = g.nodes().collect();
     order.sort_by_key(|&v| dist[v as usize]);
     let mut mask = vec![false; g.node_count()];

@@ -1,0 +1,180 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking crate
+//! this workspace uses. See `crates/shims/README.md`.
+//!
+//! Instead of Criterion's statistical pipeline, each benchmark is timed
+//! with a plain wall-clock loop: a short warm-up, then up to
+//! `sample_size` iterations (bounded by a per-benchmark time budget),
+//! reporting the mean, minimum, and maximum iteration time.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget; keeps full `cargo bench` runs bounded.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free argument (as passed by `cargo bench -- <filter>`)
+        // filters benchmarks by substring, like real criterion.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), sample_size: 100 }
+    }
+
+    /// Times a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        if self.matches(&label) {
+            run_one(&label, 100, &mut f);
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&label) {
+            run_one(&label, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Times a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        if self.criterion.matches(&label) {
+            run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+/// Handed to benchmark closures; its [`iter`](Bencher::iter) method does
+/// the timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    println!(
+        "{label:<50} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+        min,
+        mean,
+        max,
+        bencher.samples.len()
+    );
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}

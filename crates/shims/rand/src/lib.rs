@@ -1,0 +1,41 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses: the [`RngCore`] trait and its [`Error`] type. See
+//! `crates/shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced by the
+/// deterministic generators in this workspace).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Wraps a message into an RNG error.
+    pub fn new<E: fmt::Display>(err: E) -> Self {
+        Self { msg: err.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 pseudo-random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible version of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

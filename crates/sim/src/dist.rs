@@ -266,11 +266,7 @@ impl Erlang {
 ///
 /// Lemma 8 of the paper is precisely a statement about such minima; tests
 /// use this helper to verify the lemma's conclusion numerically.
-pub fn sample_min_of_exponentials(
-    rng: &mut Xoshiro256PlusPlus,
-    k: u64,
-    rate: f64,
-) -> f64 {
+pub fn sample_min_of_exponentials(rng: &mut Xoshiro256PlusPlus, k: u64, rate: f64) -> f64 {
     assert!(k > 0, "need at least one variable");
     let d = Exponential::new(rate);
     (0..k).map(|_| d.sample(rng)).fold(f64::INFINITY, f64::min)

@@ -96,10 +96,7 @@ impl PowerLawFit {
 /// assert!((fit.a - 3.0).abs() < 1e-9);
 /// ```
 pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> PowerLawFit {
-    assert!(
-        xs.iter().chain(ys).all(|&v| v > 0.0),
-        "power-law fit requires positive values"
-    );
+    assert!(xs.iter().chain(ys).all(|&v| v > 0.0), "power-law fit requires positive values");
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
     let lin = linear_fit(&lx, &ly);

@@ -120,10 +120,7 @@ impl Xoshiro256PlusPlus {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -414,10 +411,7 @@ mod tests {
     fn spawn_children_are_distinct() {
         let children = Xoshiro256PlusPlus::spawn_children(3, 4);
         assert_eq!(children.len(), 4);
-        let mut outputs: Vec<u64> = children
-            .into_iter()
-            .map(|mut c| c.next_u64())
-            .collect();
+        let mut outputs: Vec<u64> = children.into_iter().map(|mut c| c.next_u64()).collect();
         outputs.sort_unstable();
         outputs.dedup();
         assert_eq!(outputs.len(), 4, "child streams must differ");

@@ -1,0 +1,73 @@
+//! Dynamic networks live: the asynchronous push–pull protocol under the
+//! three topology-evolution models, on a sparse connected G(n, p).
+//!
+//! ```text
+//! cargo run --release --example dynamic_churn
+//! ```
+
+use rumor_spreading::core::dynamic::{DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily};
+use rumor_spreading::core::runner::{dynamic_spreading_times, high_probability_time};
+use rumor_spreading::core::Mode;
+use rumor_spreading::graph::{generators, Graph};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+use rumor_spreading::sim::stats::OnlineStats;
+
+fn row(name: &str, g: &Graph, model: &DynamicModel, trials: usize) {
+    let n = g.node_count();
+    let times = dynamic_spreading_times(g, 0, Mode::PushPull, model, trials, 41, u64::MAX >> 1);
+    let stats: OnlineStats = times.iter().copied().collect();
+    println!(
+        "{:>24}  {:>9.2}  {:>9.2}  {:>9.2}",
+        name,
+        stats.mean(),
+        stats.stddev(),
+        high_probability_time(&times, n),
+    );
+}
+
+fn main() {
+    let trials = 200;
+    let n = 256;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let mut rng = Xoshiro256PlusPlus::seed_from(40);
+    let g = generators::gnp_connected(n, p, &mut rng, 200);
+    println!("async push-pull on G({n}, 2 ln n / n), {trials} trials each\n");
+    println!("{:>24}  {:>9}  {:>9}  {:>9}", "model", "E[T]", "sd", "T_hp");
+
+    row("static", &g, &DynamicModel::Static, trials);
+    for nu in [0.5, 1.0, 2.0, 4.0] {
+        // Failure/recovery regime: edges fail at rate nu, recover at
+        // rate 1, so the live fraction settles at 1/(1 + nu).
+        row(
+            &format!("edge fail nu={nu}"),
+            &g,
+            &DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: nu, on_rate: 1.0 }),
+            trials,
+        );
+    }
+    for nu in [0.5, 4.0] {
+        row(
+            &format!("edge symmetric nu={nu}"),
+            &g,
+            &DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(nu)),
+            trials,
+        );
+    }
+    for period in [8.0, 2.0] {
+        row(
+            &format!("rewire period={period}"),
+            &g,
+            &DynamicModel::Rewire(Rewire::new(period, SnapshotFamily::Gnp { p })),
+            trials,
+        );
+    }
+    row("node-churn 0.2/1.0", &g, &DynamicModel::NodeChurn(NodeChurn::new(0.2, 1.0, 3)), trials);
+
+    println!("\nFailure churn (fail at nu, recover at 1) thins the live edge set to");
+    println!("a 1/(1 + nu) fraction, so E[T] rises monotonically in nu; at nu = 0");
+    println!("the engine replays the static asynchronous run seed-for-seed.");
+    println!("Symmetric churn is subtler: slow flips freeze bottlenecks (worst),");
+    println!("fast flips resample the graph every few ticks and can even help —");
+    println!("the dynamic-gossip effect Pourmiri & Mans analyze. Rewiring only");
+    println!("helps: fresh snapshots break bottlenecks before they bind.");
+}

@@ -28,10 +28,7 @@ fn main() {
     let sync = run_sync(&g, 0, Mode::PushPull, &mut rng, 10_000);
     println!("\nsingle synchronous push-pull run:  {} rounds", sync.rounds);
     let asy = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 100_000_000);
-    println!(
-        "single asynchronous push-pull run: {:.2} time units ({} steps)",
-        asy.time, asy.steps
-    );
+    println!("single asynchronous push-pull run: {:.2} time units ({} steps)", asy.time, asy.steps);
 
     // 3. Monte-Carlo estimates of the spreading-time laws.
     let trials = 500;

@@ -35,11 +35,7 @@ fn measure(g: &Graph, source: Node, trials: usize) {
     });
     let async_rows = run_trials(trials, 22, |_, rng| {
         let out = run_async(g, source, Mode::PushPull, AsyncView::GlobalClock, rng, budget);
-        (
-            out.time_to_fraction(0.5).unwrap(),
-            out.time_to_fraction(0.99).unwrap(),
-            out.time,
-        )
+        (out.time_to_fraction(0.5).unwrap(), out.time_to_fraction(0.99).unwrap(), out.time)
     });
     let mean = |it: &[(f64, f64, f64)], f: fn(&(f64, f64, f64)) -> f64| {
         it.iter().map(f).collect::<OnlineStats>().mean()

@@ -18,10 +18,7 @@ use rumor_spreading::sim::stats::Summary;
 
 fn main() {
     println!("star graph, rumor starts at a LEAF; 400 trials per size\n");
-    println!(
-        "{:>8}  {:>12}  {:>14}  {:>10}",
-        "n", "sync max", "async mean", "ln n"
-    );
+    println!("{:>8}  {:>12}  {:>14}  {:>10}", "n", "sync max", "async mean", "ln n");
 
     let trials = 400;
     let mut ns = Vec::new();
@@ -43,13 +40,7 @@ fn main() {
         let sa = Summary::from_slice(&asy);
         ns.push(n as f64);
         async_means.push(sa.mean);
-        println!(
-            "{:>8}  {:>12.0}  {:>14.2}  {:>10.2}",
-            n,
-            ss.max,
-            sa.mean,
-            (n as f64).ln()
-        );
+        println!("{:>8}  {:>12.0}  {:>14.2}  {:>10.2}", n, ss.max, sa.mean, (n as f64).ln());
     }
 
     let fit = log_fit(&ns, &async_means);

@@ -41,11 +41,7 @@ fn block_coupling_invariants_hold_everywhere() {
             assert!(stats.steps >= (n as u64) - 1);
             ratio.push(stats.rounds as f64 / stats.lemma14_budget(n));
         }
-        assert!(
-            ratio.mean() < 10.0,
-            "{name}: Lemma 14 rounds/budget = {}",
-            ratio.mean()
-        );
+        assert!(ratio.mean() < 10.0, "{name}: Lemma 14 rounds/budget = {}", ratio.mean());
     }
 }
 
@@ -106,16 +102,7 @@ fn block_capacity_matches_sqrt() {
 #[test]
 fn couplings_are_deterministic() {
     let g = generators::hypercube(4);
-    assert_eq!(
-        run_pull_coupling(&g, 0, 9, 1_000_000),
-        run_pull_coupling(&g, 0, 9, 1_000_000)
-    );
-    assert_eq!(
-        run_push_coupling(&g, 0, 9, 1_000_000),
-        run_push_coupling(&g, 0, 9, 1_000_000)
-    );
-    assert_eq!(
-        run_block_coupling(&g, 0, 9, 1_000_000),
-        run_block_coupling(&g, 0, 9, 1_000_000)
-    );
+    assert_eq!(run_pull_coupling(&g, 0, 9, 1_000_000), run_pull_coupling(&g, 0, 9, 1_000_000));
+    assert_eq!(run_push_coupling(&g, 0, 9, 1_000_000), run_push_coupling(&g, 0, 9, 1_000_000));
+    assert_eq!(run_block_coupling(&g, 0, 9, 1_000_000), run_block_coupling(&g, 0, 9, 1_000_000));
 }

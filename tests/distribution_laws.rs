@@ -33,20 +33,11 @@ fn lemma8_conditional_minimum_is_exponential() {
             continue;
         }
         // J = argmin of the raw Z_i.
-        let j = zs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let j = zs.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         if j != j_target {
             continue;
         }
-        let z = zs
-            .iter()
-            .zip(&alphas)
-            .map(|(z, a)| z - a)
-            .fold(f64::INFINITY, f64::min);
+        let z = zs.iter().zip(&alphas).map(|(z, a)| z - a).fold(f64::INFINITY, f64::min);
         accepted.push(z);
     }
     assert!(accepted.len() >= 10_000, "rejection sampling starved");
@@ -102,10 +93,7 @@ fn lemma15_dependent_sum_dominated_by_negbin() {
     // Domination: F_sum(t) ≥ F_negbin(t) − noise for all t.
     let f_sum = Ecdf::new(&sums);
     let f_nb = Ecdf::new(&nb_sample);
-    assert!(
-        f_sum.dominated_by(&f_nb, 0.02),
-        "Σ Z_i is not dominated by NegBin(k, 1-q)"
-    );
+    assert!(f_sum.dominated_by(&f_nb, 0.02), "Σ Z_i is not dominated by NegBin(k, 1-q)");
     // And the means are ordered.
     let ms: OnlineStats = sums.iter().copied().collect();
     assert!(ms.mean() <= nb.mean() + 0.05 * nb.mean());

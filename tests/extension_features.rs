@@ -27,10 +27,7 @@ fn trace_paths_respect_graph_distance() {
         assert!(trace.complete());
         for v in g.nodes() {
             let path = trace.rumor_path(v).expect("complete");
-            assert!(
-                path.len() as u32 > dist[v as usize],
-                "path to {v} shorter than BFS distance"
-            );
+            assert!(path.len() as u32 > dist[v as usize], "path to {v} shorter than BFS distance");
         }
     }
 }
@@ -65,9 +62,8 @@ fn theorem1_shape_survives_loss() {
     ] {
         let n = g.node_count();
         let cfg = SpreadConfig::new(source).with_loss_probability(0.3);
-        let sync: Vec<f64> = run_trials(trials, 5, |_, r| {
-            run_sync_config(&g, &cfg, r, 1_000_000).rounds as f64
-        });
+        let sync: Vec<f64> =
+            run_trials(trials, 5, |_, r| run_sync_config(&g, &cfg, r, 1_000_000).rounds as f64);
         let asy: Vec<f64> = run_trials(trials, 6, |_, r| {
             let out = run_async_config(&g, &cfg, r, 500_000_000);
             assert!(out.completed);
@@ -76,10 +72,7 @@ fn theorem1_shape_survives_loss() {
         let t_sync = quantile(&sync, 1.0 - 1.0 / n as f64);
         let t_async = quantile(&asy, 1.0 - 1.0 / n as f64);
         let bound = 7.0 * (t_sync + (n as f64).ln());
-        assert!(
-            t_async <= bound,
-            "{name} under loss: T_async_hp {t_async:.2} vs bound {bound:.2}"
-        );
+        assert!(t_async <= bound, "{name} under loss: T_async_hp {t_async:.2} vs bound {bound:.2}");
     }
 }
 
@@ -90,22 +83,15 @@ fn multi_source_speedup_under_loss() {
     let g = generators::cycle(96);
     let one = SpreadConfig::new(0).with_loss_probability(0.2);
     let three = SpreadConfig::new(0).with_sources(&[0, 32, 64]).with_loss_probability(0.2);
-    let m1: OnlineStats = run_trials(80, 7, |_, r| {
-        run_sync_config(&g, &one, r, 1_000_000).rounds as f64
-    })
-    .into_iter()
-    .collect();
-    let m3: OnlineStats = run_trials(80, 8, |_, r| {
-        run_sync_config(&g, &three, r, 1_000_000).rounds as f64
-    })
-    .into_iter()
-    .collect();
-    assert!(
-        m3.mean() < m1.mean() / 1.8,
-        "three sources {} vs one {}",
-        m3.mean(),
-        m1.mean()
-    );
+    let m1: OnlineStats =
+        run_trials(80, 7, |_, r| run_sync_config(&g, &one, r, 1_000_000).rounds as f64)
+            .into_iter()
+            .collect();
+    let m3: OnlineStats =
+        run_trials(80, 8, |_, r| run_sync_config(&g, &three, r, 1_000_000).rounds as f64)
+            .into_iter()
+            .collect();
+    assert!(m3.mean() < m1.mean() / 1.8, "three sources {} vs one {}", m3.mean(), m1.mean());
 }
 
 /// The quasirandom protocol stays within constants of the fully random
@@ -133,11 +119,10 @@ fn configured_engines_match_plain_in_distribution() {
     use rumor_spreading::core::{run_async, AsyncView};
     let g = generators::hypercube(5);
     let cfg = SpreadConfig::new(0);
-    let a: OnlineStats = run_trials(200, 10, |_, r| {
-        run_async_config(&g, &cfg, r, 100_000_000).time
-    })
-    .into_iter()
-    .collect();
+    let a: OnlineStats =
+        run_trials(200, 10, |_, r| run_async_config(&g, &cfg, r, 100_000_000).time)
+            .into_iter()
+            .collect();
     let b: OnlineStats = run_trials(200, 11, |_, r| {
         run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, r, 100_000_000).time
     })

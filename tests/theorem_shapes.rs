@@ -38,8 +38,15 @@ fn theorem1_upper_bound_shape() {
     let trials = 150;
     for (name, g, source) in suite() {
         let n = g.node_count();
-        let sync =
-            sync_spreading_times_parallel(&g, source, Mode::PushPull, trials, 1, 100_000, threads());
+        let sync = sync_spreading_times_parallel(
+            &g,
+            source,
+            Mode::PushPull,
+            trials,
+            1,
+            100_000,
+            threads(),
+        );
         let asy = async_spreading_times_parallel(
             &g,
             source,
@@ -67,10 +74,17 @@ fn theorem2_lower_bound_shape() {
     let trials = 150;
     for (name, g, source) in suite() {
         let n = g.node_count() as f64;
-        let sync: OnlineStats =
-            sync_spreading_times_parallel(&g, source, Mode::PushPull, trials, 3, 100_000, threads())
-                .into_iter()
-                .collect();
+        let sync: OnlineStats = sync_spreading_times_parallel(
+            &g,
+            source,
+            Mode::PushPull,
+            trials,
+            3,
+            100_000,
+            threads(),
+        )
+        .into_iter()
+        .collect();
         let asy: OnlineStats = async_spreading_times_parallel(
             &g,
             source,
@@ -101,8 +115,7 @@ fn star_separation() {
     let mut means = Vec::new();
     for n in [64usize, 256, 1024] {
         let g = generators::star(n);
-        let sync =
-            sync_spreading_times_parallel(&g, 1, Mode::PushPull, trials, 5, 100, threads());
+        let sync = sync_spreading_times_parallel(&g, 1, Mode::PushPull, trials, 5, 100, threads());
         assert!(sync.iter().all(|&r| r <= 2.0), "sync star exceeded 2 rounds at n={n}");
         let asy = async_spreading_times_parallel(
             &g,
@@ -156,9 +169,6 @@ fn diamond_separation_widens() {
         .collect();
         ratios.push(sync.mean() / asy.mean());
     }
-    assert!(
-        ratios[1] > ratios[0],
-        "sync/async gap should widen with size: {ratios:?}"
-    );
+    assert!(ratios[1] > ratios[0], "sync/async gap should widen with size: {ratios:?}");
     assert!(ratios[1] > 1.5, "async should clearly win on diamonds: {ratios:?}");
 }
