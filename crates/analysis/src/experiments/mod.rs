@@ -13,6 +13,7 @@ pub mod e18_loss;
 pub mod e19_dynamic_churn;
 pub mod e1_upper;
 pub mod e20_rewire_gap;
+pub mod e21_engines;
 pub mod e2_lower;
 pub mod e3_star;
 pub mod e4_regular;

@@ -113,6 +113,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             claim: "dynamic networks: sync-vs-async gap stays Theta(1) under rewiring",
             run: e20_rewire_gap::run,
         },
+        Experiment {
+            id: "e21",
+            claim: "engines: sharded PDES replays K=1 seed-for-seed; lazy clocks are O(touched)",
+            run: e21_engines::run,
+        },
     ]
 }
 
@@ -133,18 +138,18 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 20);
+        assert_eq!(all.len(), 21);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20, "duplicate experiment ids");
+        assert_eq!(ids.len(), 21, "duplicate experiment ids");
     }
 
     #[test]
     fn find_experiment_works() {
         assert!(find_experiment("e1").is_some());
         assert!(find_experiment("e18").is_some());
-        assert!(find_experiment("e20").is_some());
+        assert!(find_experiment("e21").is_some());
         assert!(find_experiment("e99").is_none());
     }
 }

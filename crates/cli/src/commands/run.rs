@@ -3,7 +3,8 @@
 use rumor_core::dynamic::{
     run_dynamic, run_sync_rewire, DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily,
 };
-use rumor_core::runner::{default_max_steps, run_trials};
+use rumor_core::engine::run_dynamic_sharded;
+use rumor_core::runner::{default_max_steps, run_trials_parallel};
 use rumor_core::spread::{run_async_config, run_sync_config, SpreadConfig};
 use rumor_core::Mode;
 use rumor_graph::{props, Graph};
@@ -58,27 +59,53 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if dynamic != "none" && loss > 0.0 {
         return Err(CliError::Usage("--loss is not supported with --dynamic".into()));
     }
+    // --threads fans trials out over worker threads (identical output
+    // for any thread count); --shards routes every trial through the
+    // sharded within-trial engine (even K = 1, which replays the
+    // sequential engine seed-for-seed). They compose: trials × shards
+    // threads run at peak.
+    let threads: usize = args.opt_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be positive".into()));
+    }
+    let sharded = !args.opt_str("shards", "").is_empty();
+    let shards: usize = args.opt_parsed("shards", 1)?;
+    if sharded {
+        if shards == 0 {
+            return Err(CliError::Usage("--shards must be positive".into()));
+        }
+        if shards > g.node_count() {
+            return Err(CliError::Usage(format!(
+                "--shards {shards} exceeds the node count {}",
+                g.node_count()
+            )));
+        }
+        if model != "async" {
+            return Err(CliError::Usage("--shards requires --model async".into()));
+        }
+        if loss > 0.0 {
+            return Err(CliError::Usage("--loss is not supported with --shards".into()));
+        }
+    }
 
     let config = SpreadConfig::new(source).with_mode(mode).with_loss_probability(loss);
     // Dynamic models can make non-completion systematically reachable
     // (e.g. node churn where everyone eventually leaves for good), so
-    // budget-exhausted trials are counted and reported.
-    let incomplete = std::cell::Cell::new(0usize);
-    let tally = |completed: bool| {
-        if !completed {
-            incomplete.set(incomplete.get() + 1);
-        }
-    };
-    let samples: Vec<f64> = match (model.as_str(), dynamic.as_str()) {
+    // budget-exhausted trials are reported alongside the statistics.
+    let results: Vec<(f64, bool)> = match (model.as_str(), dynamic.as_str()) {
         ("sync", "none") => {
             let budget = 1_000 * g.node_count() as u64 + 10_000;
-            run_trials(trials, seed, |_, rng| {
-                run_sync_config(&g, &config, rng, budget).rounds as f64
+            run_trials_parallel(trials, seed, threads, |_, rng| {
+                let out = run_sync_config(&g, &config, rng, budget);
+                (out.rounds as f64, out.completed)
             })
         }
-        ("async", "none") => {
+        ("async", "none") if !sharded => {
             let budget = default_max_steps(&g).saturating_mul(4);
-            run_trials(trials, seed, |_, rng| run_async_config(&g, &config, rng, budget).time)
+            run_trials_parallel(trials, seed, threads, |_, rng| {
+                let out = run_async_config(&g, &config, rng, budget);
+                (out.time, out.completed)
+            })
         }
         ("sync", "rewire") => {
             let period: u64 = args.opt_parsed("period", 4)?;
@@ -87,10 +114,9 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             }
             let family = SnapshotFamily::matching_density(&g);
             let budget = 1_000 * g.node_count() as u64 + 10_000;
-            run_trials(trials, seed, |_, rng| {
+            run_trials_parallel(trials, seed, threads, |_, rng| {
                 let out = run_sync_rewire(&g, source, mode, period, family, rng, budget);
-                tally(out.completed);
-                out.rounds as f64
+                (out.rounds as f64, out.completed)
             })
         }
         ("sync", other) => {
@@ -99,16 +125,29 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             )))
         }
         ("async", _) => {
-            let dyn_model = parse_dynamic_model(&args, &dynamic, &g)?;
+            let dyn_model = if dynamic == "none" {
+                DynamicModel::Static
+            } else {
+                parse_dynamic_model(&args, &dynamic, &g)?
+            };
             let budget = default_max_steps(&g).saturating_mul(8);
-            run_trials(trials, seed, |_, rng| {
-                let out = run_dynamic(&g, source, mode, &dyn_model, rng, budget);
-                tally(out.completed);
-                out.time
-            })
+            if sharded {
+                run_trials_parallel(trials, seed, threads, |_, rng| {
+                    let out =
+                        run_dynamic_sharded(&g, source, mode, &dyn_model, shards, rng, budget);
+                    (out.outcome.time, out.outcome.completed)
+                })
+            } else {
+                run_trials_parallel(trials, seed, threads, |_, rng| {
+                    let out = run_dynamic(&g, source, mode, &dyn_model, rng, budget);
+                    (out.time, out.completed)
+                })
+            }
         }
         (other, _) => return Err(CliError::Usage(format!("unknown --model `{other}`"))),
     };
+    let samples: Vec<f64> = results.iter().map(|&(x, _)| x).collect();
+    let incomplete = results.iter().filter(|&&(_, completed)| !completed).count();
 
     let unit = if model == "sync" { "rounds" } else { "time units" };
     let s = Summary::from_slice(&samples);
@@ -123,6 +162,12 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if dynamic != "none" {
         out.push_str(&format!(", dynamic {dynamic}"));
     }
+    if sharded {
+        out.push_str(&format!(", shards {shards}"));
+    }
+    if threads > 1 {
+        out.push_str(&format!(", threads {threads}"));
+    }
     out.push_str(")\n");
     out.push_str(&format!("  mean:   {:>10.3} {unit}\n", s.mean));
     out.push_str(&format!("  median: {:>10.3}\n", s.median));
@@ -130,11 +175,10 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     out.push_str(&format!("  min:    {:>10.3}\n", s.min));
     out.push_str(&format!("  q{:<5}: {:>10.3}\n", q, quantile(&samples, q)));
     out.push_str(&format!("  max:    {:>10.3}\n", s.max));
-    if incomplete.get() > 0 {
+    if incomplete > 0 {
         out.push_str(&format!(
-            "  warning: {}/{trials} trials hit the step budget before informing every node;\n  \
-             the statistics above understate the true spreading time\n",
-            incomplete.get()
+            "  warning: {incomplete}/{trials} trials hit the step budget before informing every \
+             node;\n  the statistics above understate the true spreading time\n"
         ));
     }
     Ok(out)
@@ -301,6 +345,47 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("warning: 3/3 trials"), "{out}");
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let a = with_graph(TRIANGLE, &["--trials", "24", "--seed", "9"]).unwrap();
+        let b = with_graph(TRIANGLE, &["--trials", "24", "--seed", "9", "--threads", "4"]).unwrap();
+        // Identical statistics; the header differs by the threads note.
+        assert_eq!(a.lines().skip(1).collect::<Vec<_>>(), b.lines().skip(1).collect::<Vec<_>>());
+        assert!(b.contains("threads 4"));
+    }
+
+    #[test]
+    fn one_shard_matches_the_sequential_engine() {
+        // `--shards 1` routes through run_dynamic_sharded, a genuinely
+        // different engine that replays the plain async run
+        // seed-for-seed — so every statistic agrees exactly; only the
+        // header line (which records the flag) differs.
+        let base = ["--model", "async", "--trials", "20", "--seed", "4"];
+        let a = with_graph(TRIANGLE, &base).unwrap();
+        let mut sharded = base.to_vec();
+        sharded.extend(["--shards", "1"]);
+        let b = with_graph(TRIANGLE, &sharded).unwrap();
+        assert_ne!(a, b, "header must record the shards flag");
+        assert!(b.contains("shards 1"));
+        assert_eq!(a.lines().skip(1).collect::<Vec<_>>(), b.lines().skip(1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_run_reports_and_validates() {
+        let out =
+            with_graph(TRIANGLE, &["--model", "async", "--shards", "3", "--trials", "10"]).unwrap();
+        assert!(out.contains("shards 3"), "{out}");
+        assert!(out.contains("time units"));
+        // shards > nodes, shards 0, sync + shards, loss + shards.
+        assert!(with_graph(TRIANGLE, &["--model", "async", "--shards", "4"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--model", "async", "--shards", "0"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--shards", "2"]).is_err());
+        assert!(
+            with_graph(TRIANGLE, &["--model", "async", "--shards", "2", "--loss", "0.1"]).is_err()
+        );
+        assert!(with_graph(TRIANGLE, &["--threads", "0"]).is_err());
     }
 
     #[test]

@@ -16,9 +16,9 @@
 //!   (Poisson thinning).
 
 use rumor_graph::{Graph, Node};
-use rumor_sim::events::EventQueue;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
+use crate::engine::{drive, Control, QueueSource, TickSource};
 use crate::mode::Mode;
 use crate::outcome::AsyncOutcome;
 
@@ -124,6 +124,39 @@ pub(crate) fn exchange(
     }
 }
 
+/// Shared per-run bookkeeping for the three views: informed times, the
+/// running clock, and the stop conditions the engine loop checks.
+struct RunState {
+    informed_time: Vec<f64>,
+    informed_count: usize,
+    time: f64,
+    steps: u64,
+    completed: bool,
+}
+
+impl RunState {
+    fn new(n: usize, source: Node) -> Self {
+        let mut informed_time = vec![f64::INFINITY; n];
+        informed_time[source as usize] = 0.0;
+        Self { informed_time, informed_count: 1, time: 0.0, steps: 0, completed: false }
+    }
+
+    /// The trivial cases both of which consume no randomness: a solo
+    /// node is informed at time 0; a zero budget takes no steps.
+    fn trivial(&self, n: usize, max_steps: u64) -> bool {
+        n == 1 || max_steps == 0
+    }
+
+    fn into_outcome(self) -> AsyncOutcome {
+        AsyncOutcome {
+            time: self.time,
+            steps: self.steps,
+            completed: self.completed,
+            informed_time: self.informed_time,
+        }
+    }
+}
+
 fn run_global_clock(
     g: &Graph,
     source: Node,
@@ -132,27 +165,29 @@ fn run_global_clock(
     max_steps: u64,
 ) -> AsyncOutcome {
     let n = g.node_count();
-    let mut informed_time = vec![f64::INFINITY; n];
-    informed_time[source as usize] = 0.0;
-    let mut informed_count = 1usize;
-    if n == 1 {
-        return AsyncOutcome { time: 0.0, steps: 0, completed: true, informed_time };
+    let mut st = RunState::new(n, source);
+    if st.trivial(n, max_steps) {
+        st.completed = n == 1;
+        return st.into_outcome();
     }
 
-    let rate = n as f64;
-    let mut t = 0.0;
-    let mut steps = 0u64;
-    while steps < max_steps {
-        t += rng.exp(rate);
-        steps += 1;
+    let mut src = TickSource::new(n as f64);
+    drive(&mut src, rng, |_, rng, t, ()| {
+        st.time = t;
+        st.steps += 1;
         let v = rng.range_usize(n) as Node;
         let w = g.random_neighbor(v, rng);
-        exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
-        if informed_count == n {
-            return AsyncOutcome { time: t, steps, completed: true, informed_time };
+        exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if st.informed_count == n {
+            st.completed = true;
+            return Control::Stop;
         }
-    }
-    AsyncOutcome { time: t, steps, completed: false, informed_time }
+        if st.steps >= max_steps {
+            return Control::Stop;
+        }
+        Control::Continue
+    });
+    st.into_outcome()
 }
 
 fn run_node_clocks(
@@ -163,31 +198,32 @@ fn run_node_clocks(
     max_steps: u64,
 ) -> AsyncOutcome {
     let n = g.node_count();
-    let mut informed_time = vec![f64::INFINITY; n];
-    informed_time[source as usize] = 0.0;
-    let mut informed_count = 1usize;
-    if n == 1 {
-        return AsyncOutcome { time: 0.0, steps: 0, completed: true, informed_time };
+    let mut st = RunState::new(n, source);
+    if st.trivial(n, max_steps) {
+        st.completed = n == 1;
+        return st.into_outcome();
     }
 
-    let mut queue = EventQueue::with_capacity(n);
+    let mut src = QueueSource::with_capacity(n);
     for v in 0..n as Node {
-        queue.push(rng.exp(1.0), v);
+        src.queue.push(rng.exp(1.0), v);
     }
-    let mut steps = 0u64;
-    let mut t = 0.0;
-    while steps < max_steps {
-        let (tick, v) = queue.pop().expect("every pop reschedules, queue never empties");
-        t = tick;
-        steps += 1;
+    drive(&mut src, rng, |src, rng, t, v| {
+        st.time = t;
+        st.steps += 1;
         let w = g.random_neighbor(v, rng);
-        exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
-        if informed_count == n {
-            return AsyncOutcome { time: t, steps, completed: true, informed_time };
+        exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if st.informed_count == n {
+            st.completed = true;
+            return Control::Stop;
         }
-        queue.push(t + rng.exp(1.0), v);
-    }
-    AsyncOutcome { time: t, steps, completed: false, informed_time }
+        src.queue.push(t + rng.exp(1.0), v);
+        if st.steps >= max_steps {
+            return Control::Stop;
+        }
+        Control::Continue
+    });
+    st.into_outcome()
 }
 
 fn run_edge_clocks(
@@ -198,35 +234,36 @@ fn run_edge_clocks(
     max_steps: u64,
 ) -> AsyncOutcome {
     let n = g.node_count();
-    let mut informed_time = vec![f64::INFINITY; n];
-    informed_time[source as usize] = 0.0;
-    let mut informed_count = 1usize;
-    if n == 1 {
-        return AsyncOutcome { time: 0.0, steps: 0, completed: true, informed_time };
+    let mut st = RunState::new(n, source);
+    if st.trivial(n, max_steps) {
+        st.completed = n == 1;
+        return st.into_outcome();
     }
 
     // One clock per ordered pair (v, w), rate 1/deg(v).
-    let mut queue = EventQueue::with_capacity(2 * g.edge_count());
+    let mut src = QueueSource::with_capacity(2 * g.edge_count());
     for v in 0..n as Node {
         let rate = 1.0 / g.degree(v) as f64;
         for &w in g.neighbors(v) {
-            queue.push(rng.exp(rate), (v, w));
+            src.queue.push(rng.exp(rate), (v, w));
         }
     }
-    let mut steps = 0u64;
-    let mut t = 0.0;
-    while steps < max_steps {
-        let (tick, (v, w)) = queue.pop().expect("every pop reschedules, queue never empties");
-        t = tick;
-        steps += 1;
-        exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
-        if informed_count == n {
-            return AsyncOutcome { time: t, steps, completed: true, informed_time };
+    drive(&mut src, rng, |src, rng, t, (v, w)| {
+        st.time = t;
+        st.steps += 1;
+        exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if st.informed_count == n {
+            st.completed = true;
+            return Control::Stop;
         }
         let rate = 1.0 / g.degree(v) as f64;
-        queue.push(t + rng.exp(rate), (v, w));
-    }
-    AsyncOutcome { time: t, steps, completed: false, informed_time }
+        src.queue.push(t + rng.exp(rate), (v, w));
+        if st.steps >= max_steps {
+            return Control::Stop;
+        }
+        Control::Continue
+    });
+    st.into_outcome()
 }
 
 #[cfg(test)]

@@ -45,9 +45,10 @@
 
 use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::{generators, Graph, Node};
-use rumor_sim::events::EventQueue;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
+use crate::engine::topology::ModelState;
+use crate::engine::{drive, Control, Either, Merged, QueueSource, TickSource};
 use crate::mode::Mode;
 use crate::outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
 
@@ -270,145 +271,6 @@ pub enum EngineEventKind {
     Topology,
 }
 
-/// Pending topology events in the interleaved stream.
-#[derive(Debug, Clone, Copy)]
-enum TopoEvent {
-    /// Flip base-edge `i` (index into the edge-Markov base edge list).
-    Flip(u32),
-    /// Replace the topology with a fresh snapshot.
-    Snapshot,
-    /// Toggle node participation (leave if active, join if away).
-    Toggle(Node),
-}
-
-/// Per-model mutable state carried through a run.
-enum ModelState {
-    Static,
-    EdgeMarkov { base: Vec<(Node, Node)>, present: Vec<bool>, off: f64, on: f64 },
-    Rewire { period: f64, family: SnapshotFamily },
-    NodeChurn { leave: f64, join: f64, attach: usize },
-}
-
-impl ModelState {
-    /// Builds run state and schedules each model's initial events.
-    ///
-    /// Zero-rate models schedule nothing and consume **no randomness**,
-    /// which is what makes the churn-0 run identical to the static one.
-    fn init(
-        model: &DynamicModel,
-        g: &Graph,
-        queue: &mut EventQueue<TopoEvent>,
-        rng: &mut Xoshiro256PlusPlus,
-    ) -> Self {
-        match *model {
-            DynamicModel::Static => ModelState::Static,
-            DynamicModel::EdgeMarkov(m) => {
-                let base: Vec<(Node, Node)> = g.edges().collect();
-                if m.off_rate > 0.0 {
-                    for i in 0..base.len() {
-                        queue.push(rng.exp(m.off_rate), TopoEvent::Flip(i as u32));
-                    }
-                }
-                ModelState::EdgeMarkov {
-                    present: vec![true; base.len()],
-                    base,
-                    off: m.off_rate,
-                    on: m.on_rate,
-                }
-            }
-            DynamicModel::Rewire(m) => {
-                if m.period.is_finite() {
-                    queue.push(m.period, TopoEvent::Snapshot);
-                }
-                ModelState::Rewire { period: m.period, family: m.family }
-            }
-            DynamicModel::NodeChurn(m) => {
-                if m.leave_rate > 0.0 {
-                    for v in 0..g.node_count() as Node {
-                        queue.push(rng.exp(m.leave_rate), TopoEvent::Toggle(v));
-                    }
-                }
-                ModelState::NodeChurn {
-                    leave: m.leave_rate,
-                    join: m.join_rate,
-                    attach: m.attach_degree,
-                }
-            }
-        }
-    }
-
-    /// Applies one topology event at time `t` and schedules its
-    /// successor.
-    fn apply(
-        &mut self,
-        event: TopoEvent,
-        t: f64,
-        net: &mut MutableGraph,
-        queue: &mut EventQueue<TopoEvent>,
-        rng: &mut Xoshiro256PlusPlus,
-    ) {
-        match (self, event) {
-            (ModelState::EdgeMarkov { base, present, off, on }, TopoEvent::Flip(i)) => {
-                let i = i as usize;
-                let (u, v) = base[i];
-                if present[i] {
-                    net.remove_edge(u, v);
-                    present[i] = false;
-                    if *on > 0.0 {
-                        queue.push(t + rng.exp(*on), TopoEvent::Flip(i as u32));
-                    }
-                } else {
-                    net.add_edge(u, v);
-                    present[i] = true;
-                    if *off > 0.0 {
-                        queue.push(t + rng.exp(*off), TopoEvent::Flip(i as u32));
-                    }
-                }
-            }
-            (ModelState::Rewire { period, family }, TopoEvent::Snapshot) => {
-                let snapshot = family.draw(net.node_count(), rng);
-                net.replace_edges_with(&snapshot);
-                queue.push(t + *period, TopoEvent::Snapshot);
-            }
-            (ModelState::NodeChurn { leave, join, attach }, TopoEvent::Toggle(v)) => {
-                if net.is_active(v) {
-                    net.deactivate(v);
-                    if *join > 0.0 {
-                        queue.push(t + rng.exp(*join), TopoEvent::Toggle(v));
-                    }
-                } else {
-                    net.activate(v);
-                    attach_node(net, v, *attach, rng);
-                    if *leave > 0.0 {
-                        queue.push(t + rng.exp(*leave), TopoEvent::Toggle(v));
-                    }
-                }
-            }
-            _ => unreachable!("event kind does not match model"),
-        }
-    }
-}
-
-/// Wires a (re)joining node to up to `attach` distinct random active
-/// nodes, by rejection sampling over node indices.
-fn attach_node(net: &mut MutableGraph, v: Node, attach: usize, rng: &mut Xoshiro256PlusPlus) {
-    let n = net.node_count();
-    let candidates = net.active_count().saturating_sub(1);
-    let want = attach.min(candidates);
-    let mut added = 0;
-    // Each accepted candidate succeeds with probability >= 1/n per draw,
-    // so 64·n draws fail with negligible probability; give up rather
-    // than loop forever when almost everyone is away.
-    let mut budget = 64usize.saturating_mul(n);
-    while added < want && budget > 0 {
-        budget -= 1;
-        let u = rng.range_usize(n) as Node;
-        if u != v && net.is_active(u) && net.add_edge(v, u) {
-            added += 1;
-        }
-    }
-}
-
 /// Runs the asynchronous push/pull/push–pull protocol on a dynamic
 /// network, from `source`, until every node is informed or `max_steps`
 /// protocol steps have been taken.
@@ -480,60 +342,61 @@ fn run_dynamic_inner(
         };
     }
 
-    let mut queue = EventQueue::new();
-    let mut state = ModelState::init(model, g, &mut queue, rng);
+    // Topology events merged with the rate-n protocol clock, topology
+    // winning ties; `Merged` retains a drawn-but-unconsumed tick, so the
+    // stream costs exactly one exp(rate) draw per tick — the same RNG
+    // positions as the static engine, which is the replay guarantee.
+    let mut src = Merged::new(QueueSource::new(), TickSource::new(n as f64));
+    let mut state = ModelState::init(model, g, &mut src.first.queue, rng);
     let mut net = MutableGraph::from_graph(g);
 
-    let rate = n as f64;
-    let mut tick_clock = 0.0; // time of the last protocol tick
-    let mut pending_tick: Option<f64> = None;
     let mut t = 0.0;
     let mut steps = 0u64;
     let mut topology_events = 0u64;
+    let mut completed = false;
 
-    while steps < max_steps {
-        // Draw the next tick lazily, exactly one exp(rate) draw per tick,
-        // in the same position of the RNG stream as the static engine.
-        let next_tick = *pending_tick.get_or_insert_with(|| tick_clock + rng.exp(rate));
-
-        // Process every topology event due before the tick.
-        if let Some(te) = queue.peek_time() {
-            if te <= next_tick {
-                let (te, event) = queue.pop().expect("peeked event exists");
-                t = te;
-                topology_events += 1;
-                state.apply(event, te, &mut net, &mut queue, rng);
-                if let Some(trace) = trace.as_deref_mut() {
-                    trace.push(EngineEvent { time: te, kind: EngineEventKind::Topology });
+    if max_steps > 0 {
+        drive(&mut src, rng, |src, rng, te, event| {
+            t = te;
+            match event {
+                Either::First(topo) => {
+                    topology_events += 1;
+                    state.apply(topo, te, &mut net, &mut src.first.queue, rng);
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.push(EngineEvent { time: te, kind: EngineEventKind::Topology });
+                    }
+                    Control::Continue
                 }
-                continue;
+                Either::Second(()) => {
+                    steps += 1;
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.push(EngineEvent { time: te, kind: EngineEventKind::Tick });
+                    }
+                    let v = rng.range_usize(n) as Node;
+                    if net.is_active(v) && net.degree(v) > 0 {
+                        let w = net.random_neighbor(v, rng);
+                        crate::asynchronous::exchange(
+                            mode,
+                            &mut informed_time,
+                            &mut informed_count,
+                            v,
+                            w,
+                            te,
+                        );
+                    }
+                    if informed_count == n {
+                        completed = true;
+                        return Control::Stop;
+                    }
+                    if steps >= max_steps {
+                        return Control::Stop;
+                    }
+                    Control::Continue
+                }
             }
-        }
-
-        // Protocol tick.
-        pending_tick = None;
-        tick_clock = next_tick;
-        t = next_tick;
-        steps += 1;
-        if let Some(trace) = trace.as_deref_mut() {
-            trace.push(EngineEvent { time: t, kind: EngineEventKind::Tick });
-        }
-        let v = rng.range_usize(n) as Node;
-        if net.is_active(v) && net.degree(v) > 0 {
-            let w = net.random_neighbor(v, rng);
-            crate::asynchronous::exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
-        }
-        if informed_count == n {
-            return DynamicOutcome {
-                time: t,
-                steps,
-                topology_events,
-                completed: true,
-                informed_time,
-            };
-        }
+        });
     }
-    DynamicOutcome { time: t, steps, topology_events, completed: false, informed_time }
+    DynamicOutcome { time: t, steps, topology_events, completed, informed_time }
 }
 
 /// Synchronous push/pull/push–pull on a periodically rewired topology:

@@ -1,0 +1,35 @@
+//! The simulation engine layer: one event loop, many event sources,
+//! three execution strategies.
+//!
+//! PR 1 left this crate with two hand-written event loops — the static
+//! asynchronous engine ([`crate::run_async`]) and the dynamic engine
+//! ([`crate::run_dynamic`]) — that differed only in where their events
+//! came from. This module factors that shape out and builds on it:
+//!
+//! * [`source`] — the [`EventSource`] abstraction ([`TickSource`],
+//!   [`QueueSource`], [`Merged`]) and the [`drive`] loop. Both
+//!   sequential engines are now written over it, with RNG consumption
+//!   preserved draw-for-draw (the seed-for-seed replay guarantees of
+//!   PR 1 still hold and are still property-tested).
+//! * [`topology`] — the topology-evolution state machine (edge-Markov
+//!   flips, periodic rewiring, node churn) shared by the sequential
+//!   dynamic engine and the sharded engine.
+//! * [`lazy`] — an edge-Markov engine with **lazy per-edge clocks**:
+//!   no pending-flip queue at all, each edge's on/off chain resolved
+//!   only when a contact touches it. Memory for topology bookkeeping is
+//!   O(touched edges), which is what makes n ≥ 10⁶ runs feasible.
+//! * [`sharded`] — a conservative-lookahead parallel engine: nodes are
+//!   partitioned into shards with per-shard Poisson streams and RNGs,
+//!   every shard advances in lockstep windows up to a horizon derived
+//!   from the next cross-shard or topology event, and workers exchange
+//!   window commands/reports over bounded channels. With one shard it
+//!   replays the sequential dynamic engine seed-for-seed.
+
+pub mod lazy;
+pub mod sharded;
+pub mod source;
+pub mod topology;
+
+pub use lazy::{run_edge_markov_lazy, LazyOutcome};
+pub use sharded::{run_dynamic_sharded, run_dynamic_sharded_with, ShardedOutcome};
+pub use source::{drive, Control, Either, EventSource, Merged, QueueSource, TickSource};

@@ -1,0 +1,326 @@
+//! The [`EventSource`] abstraction: where simulation events come from.
+//!
+//! Every engine in this crate — static asynchronous, dynamic, lazy,
+//! sharded — is the same loop: *pop the earliest event, apply it,
+//! decide whether to go on*. What differs is the **source** of events:
+//! a single lazily-drawn Poisson clock, a pending-event queue, or a
+//! time-ordered merge of both. [`drive`] is that loop, written once;
+//! the sources below cover the three shapes.
+//!
+//! RNG discipline: a source draws from the RNG only when it actually
+//! needs a new arrival time, and a drawn-but-unconsumed arrival is
+//! retained (never redrawn). This is what makes engines built on
+//! different sources replay each other **seed-for-seed** when they
+//! describe the same process — the property the dynamic engine's
+//! churn-0 invariant and the sharded engine's K = 1 invariant rest on.
+
+use rumor_sim::events::EventQueue;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+/// Whether [`drive`] keeps pumping events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Pop the next event.
+    Continue,
+    /// Stop the loop (completion, budget exhaustion, …).
+    Stop,
+}
+
+/// A time-ordered stream of simulation events.
+///
+/// `peek` and `pop` may draw from the RNG (lazy arrival sampling), but
+/// an arrival drawn by `peek` must be the one later returned by `pop` —
+/// sources never discard randomness.
+pub trait EventSource {
+    /// Payload describing what happened.
+    type Event;
+
+    /// Time of the next event without consuming it, or `None` if the
+    /// stream is exhausted.
+    fn peek(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<f64>;
+
+    /// Removes and returns the next event.
+    fn pop(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<(f64, Self::Event)>;
+}
+
+/// The engine loop: pop events in time order and hand them to
+/// `on_event` (which receives the source back, so it can reschedule)
+/// until the source dries up or the callback stops the run.
+///
+/// # Example
+///
+/// ```
+/// use rumor_core::engine::{drive, Control, QueueSource};
+/// use rumor_sim::rng::Xoshiro256PlusPlus;
+///
+/// let mut src = QueueSource::new();
+/// src.queue.push(1.0, "a");
+/// src.queue.push(2.0, "b");
+/// let mut rng = Xoshiro256PlusPlus::seed_from(1);
+/// let mut seen = Vec::new();
+/// drive(&mut src, &mut rng, |_, _, t, ev| {
+///     seen.push((t, ev));
+///     Control::Continue
+/// });
+/// assert_eq!(seen, vec![(1.0, "a"), (2.0, "b")]);
+/// ```
+pub fn drive<S, F>(source: &mut S, rng: &mut Xoshiro256PlusPlus, mut on_event: F)
+where
+    S: EventSource,
+    F: FnMut(&mut S, &mut Xoshiro256PlusPlus, f64, S::Event) -> Control,
+{
+    while let Some((t, event)) = source.pop(rng) {
+        if on_event(source, rng, t, event) == Control::Stop {
+            break;
+        }
+    }
+}
+
+/// An endless Poisson clock of the given rate: the global-clock view of
+/// the asynchronous protocol (one rate-`n` clock, superposition of the
+/// `n` per-node clocks).
+///
+/// The next arrival is drawn lazily on first `peek`/`pop` and then
+/// retained until consumed, so interleaving this source with others
+/// costs exactly one `Exp(rate)` draw per tick — in the same position
+/// of the RNG stream as a hand-written `t += rng.exp(rate)` loop.
+#[derive(Debug, Clone)]
+pub struct TickSource {
+    rate: f64,
+    /// Time of the last consumed tick.
+    clock: f64,
+    /// Drawn-but-unconsumed next tick.
+    pending: Option<f64>,
+}
+
+impl TickSource {
+    /// A clock with the given tick rate, starting at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "tick rate must be positive and finite");
+        Self { rate, clock: 0.0, pending: None }
+    }
+
+    /// The time of the last consumed tick (0 before the first).
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+}
+
+impl EventSource for TickSource {
+    type Event = ();
+
+    fn peek(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        let rate = self.rate;
+        let clock = self.clock;
+        Some(*self.pending.get_or_insert_with(|| clock + rng.exp(rate)))
+    }
+
+    fn pop(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<(f64, ())> {
+        let t = self.peek(rng).expect("tick stream is endless");
+        self.pending = None;
+        self.clock = t;
+        Some((t, ()))
+    }
+}
+
+/// An [`EventQueue`] as an event source: the node-clocks and edge-clocks
+/// views of the asynchronous protocol, and the topology stream of the
+/// dynamic engine. The public `queue` field lets `on_event` callbacks
+/// schedule successor events.
+#[derive(Debug)]
+pub struct QueueSource<T> {
+    /// The underlying pending-event queue.
+    pub queue: EventQueue<T>,
+}
+
+impl<T> QueueSource<T> {
+    /// An empty queue source.
+    pub fn new() -> Self {
+        Self { queue: EventQueue::new() }
+    }
+
+    /// An empty queue source with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { queue: EventQueue::with_capacity(capacity) }
+    }
+}
+
+impl<T> Default for QueueSource<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventSource for QueueSource<T> {
+    type Event = T;
+
+    fn peek(&mut self, _rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        self.queue.peek_time()
+    }
+
+    fn pop(&mut self, _rng: &mut Xoshiro256PlusPlus) -> Option<(f64, T)> {
+        self.queue.pop()
+    }
+}
+
+/// An event from one of [`Merged`]'s two inner sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// From the first (tie-winning) source.
+    First(A),
+    /// From the second source.
+    Second(B),
+}
+
+/// Two sources merged in time order; on equal times the **first** wins.
+///
+/// The dynamic engine is `Merged<QueueSource<TopoEvent>, TickSource>`:
+/// topology events interleave with protocol ticks in one stream, and a
+/// topology event at exactly a tick's time is applied before the tick —
+/// the same tie rule as the hand-written PR 1 loop.
+#[derive(Debug)]
+pub struct Merged<A, B> {
+    /// Tie-winning inner source.
+    pub first: A,
+    /// Second inner source.
+    pub second: B,
+}
+
+impl<A, B> Merged<A, B> {
+    /// Merges two sources.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second }
+    }
+}
+
+impl<A: EventSource, B: EventSource> EventSource for Merged<A, B> {
+    type Event = Either<A::Event, B::Event>;
+
+    fn peek(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        // Draw the second stream's arrival even when the first is due
+        // earlier: engines that draw ticks eagerly at the top of their
+        // loop (the PR 1 dynamic engine) consume the RNG in exactly
+        // this order, and retention makes the draw reusable.
+        let b = self.second.peek(rng);
+        let a = self.first.peek(rng);
+        match (a, b) {
+            (Some(ta), Some(tb)) => Some(if ta <= tb { ta } else { tb }),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn pop(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<(f64, Self::Event)> {
+        let b = self.second.peek(rng);
+        let a = self.first.peek(rng);
+        match (a, b) {
+            (Some(ta), Some(tb)) if ta <= tb => {
+                self.first.pop(rng).map(|(t, e)| (t, Either::First(e)))
+            }
+            (Some(_), None) => self.first.pop(rng).map(|(t, e)| (t, Either::First(e))),
+            (_, Some(_)) => self.second.pop(rng).map(|(t, e)| (t, Either::Second(e))),
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from(seed)
+    }
+
+    #[test]
+    fn tick_source_matches_manual_loop() {
+        // The source must consume the RNG exactly like `t += exp(rate)`.
+        let mut manual = rng(5);
+        let mut driven = rng(5);
+        let mut src = TickSource::new(8.0);
+        let mut t = 0.0;
+        for _ in 0..100 {
+            t += manual.exp(8.0);
+            let (ts, ()) = src.pop(&mut driven).unwrap();
+            assert_eq!(t, ts);
+        }
+        assert_eq!(manual.next_u64(), driven.next_u64());
+    }
+
+    #[test]
+    fn tick_peek_retains_the_draw() {
+        let mut r = rng(7);
+        let mut src = TickSource::new(1.0);
+        let peeked = src.peek(&mut r).unwrap();
+        let again = src.peek(&mut r).unwrap();
+        let (popped, ()) = src.pop(&mut r).unwrap();
+        assert_eq!(peeked, again);
+        assert_eq!(peeked, popped);
+        assert_eq!(src.now(), popped);
+    }
+
+    #[test]
+    fn merged_orders_and_breaks_ties_first_wins() {
+        let mut r = rng(1);
+        let mut q1: QueueSource<&str> = QueueSource::new();
+        let mut q2: QueueSource<&str> = QueueSource::new();
+        q1.queue.push(2.0, "first@2");
+        q1.queue.push(5.0, "first@5");
+        q2.queue.push(1.0, "second@1");
+        q2.queue.push(2.0, "second@2");
+        let mut merged = Merged::new(q1, q2);
+        let mut order = Vec::new();
+        drive(&mut merged, &mut r, |_, _, t, ev| {
+            order.push((
+                t,
+                match ev {
+                    Either::First(s) | Either::Second(s) => s,
+                },
+            ));
+            Control::Continue
+        });
+        assert_eq!(
+            order,
+            vec![(1.0, "second@1"), (2.0, "first@2"), (2.0, "second@2"), (5.0, "first@5")]
+        );
+    }
+
+    #[test]
+    fn drive_stops_on_request() {
+        let mut r = rng(2);
+        let mut src: QueueSource<u32> = QueueSource::new();
+        for i in 0..10 {
+            src.queue.push(i as f64, i);
+        }
+        let mut count = 0;
+        drive(&mut src, &mut r, |_, _, _, _| {
+            count += 1;
+            if count == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(count, 3);
+        assert_eq!(src.queue.len(), 7);
+    }
+
+    #[test]
+    fn callbacks_can_reschedule() {
+        let mut r = rng(3);
+        let mut src: QueueSource<u32> = QueueSource::new();
+        src.queue.push(0.0, 0);
+        let mut hops = 0;
+        drive(&mut src, &mut r, |s, _, t, k| {
+            hops += 1;
+            if k < 4 {
+                s.queue.push(t + 1.0, k + 1);
+            }
+            Control::Continue
+        });
+        assert_eq!(hops, 5);
+    }
+}

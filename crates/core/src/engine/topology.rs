@@ -1,0 +1,168 @@
+//! The topology-evolution state machine shared by every dynamic engine.
+//!
+//! [`ModelState`] turns a [`DynamicModel`](crate::dynamic::DynamicModel)
+//! into scheduled [`TopoEvent`]s and applies them to a
+//! [`MutableGraph`], rescheduling successors as it goes. The sequential
+//! engine ([`crate::run_dynamic`]) merges these events with protocol
+//! ticks in one stream; the sharded engine processes them at its
+//! window barriers. Both reuse this module so the two agree event for
+//! event — the foundation of the K = 1 replay invariant.
+
+use rumor_graph::dynamic::MutableGraph;
+use rumor_graph::{Graph, Node};
+use rumor_sim::events::EventQueue;
+use rumor_sim::rng::Xoshiro256PlusPlus;
+
+use crate::dynamic::DynamicModel;
+
+/// Pending topology events in the interleaved stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TopoEvent {
+    /// Flip base-edge `i` (index into the edge-Markov base edge list).
+    Flip(u32),
+    /// Replace the topology with a fresh snapshot.
+    Snapshot,
+    /// Toggle node participation (leave if active, join if away).
+    Toggle(Node),
+}
+
+impl TopoEvent {
+    /// The nodes whose incident edges the event rewires, or `None` when
+    /// it can touch the whole graph (snapshot) or a node's entire
+    /// neighborhood (toggle). The sharded engine uses this to decide
+    /// between an incremental and a full rate recomputation.
+    pub(crate) fn touched_endpoints(&self, state: &ModelState) -> Option<(Node, Node)> {
+        match (self, state) {
+            (TopoEvent::Flip(i), ModelState::EdgeMarkov { base, .. }) => Some(base[*i as usize]),
+            _ => None,
+        }
+    }
+}
+
+/// Per-model mutable state carried through a run.
+pub(crate) enum ModelState {
+    Static,
+    EdgeMarkov { base: Vec<(Node, Node)>, present: Vec<bool>, off: f64, on: f64 },
+    Rewire { period: f64, family: crate::dynamic::SnapshotFamily },
+    NodeChurn { leave: f64, join: f64, attach: usize },
+}
+
+impl ModelState {
+    /// Builds run state and schedules each model's initial events.
+    ///
+    /// Zero-rate models schedule nothing and consume **no randomness**,
+    /// which is what makes the churn-0 run identical to the static one.
+    pub(crate) fn init(
+        model: &DynamicModel,
+        g: &Graph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Self {
+        match *model {
+            DynamicModel::Static => ModelState::Static,
+            DynamicModel::EdgeMarkov(m) => {
+                let base: Vec<(Node, Node)> = g.edges().collect();
+                if m.off_rate > 0.0 {
+                    for i in 0..base.len() {
+                        queue.push(rng.exp(m.off_rate), TopoEvent::Flip(i as u32));
+                    }
+                }
+                ModelState::EdgeMarkov {
+                    present: vec![true; base.len()],
+                    base,
+                    off: m.off_rate,
+                    on: m.on_rate,
+                }
+            }
+            DynamicModel::Rewire(m) => {
+                if m.period.is_finite() {
+                    queue.push(m.period, TopoEvent::Snapshot);
+                }
+                ModelState::Rewire { period: m.period, family: m.family }
+            }
+            DynamicModel::NodeChurn(m) => {
+                if m.leave_rate > 0.0 {
+                    for v in 0..g.node_count() as Node {
+                        queue.push(rng.exp(m.leave_rate), TopoEvent::Toggle(v));
+                    }
+                }
+                ModelState::NodeChurn {
+                    leave: m.leave_rate,
+                    join: m.join_rate,
+                    attach: m.attach_degree,
+                }
+            }
+        }
+    }
+
+    /// Applies one topology event at time `t` and schedules its
+    /// successor.
+    pub(crate) fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) {
+        match (self, event) {
+            (ModelState::EdgeMarkov { base, present, off, on }, TopoEvent::Flip(i)) => {
+                let i = i as usize;
+                let (u, v) = base[i];
+                if present[i] {
+                    net.remove_edge(u, v);
+                    present[i] = false;
+                    if *on > 0.0 {
+                        queue.push(t + rng.exp(*on), TopoEvent::Flip(i as u32));
+                    }
+                } else {
+                    net.add_edge(u, v);
+                    present[i] = true;
+                    if *off > 0.0 {
+                        queue.push(t + rng.exp(*off), TopoEvent::Flip(i as u32));
+                    }
+                }
+            }
+            (ModelState::Rewire { period, family }, TopoEvent::Snapshot) => {
+                let snapshot = family.draw(net.node_count(), rng);
+                net.replace_edges_with(&snapshot);
+                queue.push(t + *period, TopoEvent::Snapshot);
+            }
+            (ModelState::NodeChurn { leave, join, attach }, TopoEvent::Toggle(v)) => {
+                if net.is_active(v) {
+                    net.deactivate(v);
+                    if *join > 0.0 {
+                        queue.push(t + rng.exp(*join), TopoEvent::Toggle(v));
+                    }
+                } else {
+                    net.activate(v);
+                    attach_node(net, v, *attach, rng);
+                    if *leave > 0.0 {
+                        queue.push(t + rng.exp(*leave), TopoEvent::Toggle(v));
+                    }
+                }
+            }
+            _ => unreachable!("event kind does not match model"),
+        }
+    }
+}
+
+/// Wires a (re)joining node to up to `attach` distinct random active
+/// nodes, by rejection sampling over node indices.
+fn attach_node(net: &mut MutableGraph, v: Node, attach: usize, rng: &mut Xoshiro256PlusPlus) {
+    let n = net.node_count();
+    let candidates = net.active_count().saturating_sub(1);
+    let want = attach.min(candidates);
+    let mut added = 0;
+    // Each accepted candidate succeeds with probability >= 1/n per draw,
+    // so 64·n draws fail with negligible probability; give up rather
+    // than loop forever when almost everyone is away.
+    let mut budget = 64usize.saturating_mul(n);
+    while added < want && budget > 0 {
+        budget -= 1;
+        let u = rng.range_usize(n) as Node;
+        if u != v && net.is_active(u) && net.add_edge(v, u) {
+            added += 1;
+        }
+    }
+}

@@ -24,6 +24,13 @@
 //!   protocol clock ticks in one time-ordered event stream, extending the
 //!   asynchronous model to temporal graphs à la Pourmiri–Mans; with churn
 //!   rate 0 it replays the static process seed-for-seed;
+//! * the **engine layer** ([`engine`]): the [`engine::EventSource`]
+//!   abstraction both sequential engines are written over, a
+//!   **sharded conservative-lookahead parallel engine**
+//!   ([`engine::sharded`]; one shard replays [`run_dynamic`]
+//!   seed-for-seed, more shards parallelize a single trial), and a
+//!   **lazy per-edge-clock** edge-Markov engine ([`engine::lazy`])
+//!   whose topology bookkeeping is O(touched edges), for `n ≥ 10⁶`;
 //! * a seeded, optionally parallel **Monte-Carlo runner** ([`runner`]) for
 //!   estimating spreading-time laws, expectations `E[T]` and
 //!   high-probability quantiles `T₁/ₙ`.
@@ -53,6 +60,7 @@ pub mod asynchronous;
 pub mod aux;
 pub mod coupling;
 pub mod dynamic;
+pub mod engine;
 pub mod fpp;
 mod informed;
 mod mode;
@@ -65,6 +73,7 @@ pub mod trace;
 
 pub use asynchronous::{run_async, AsyncView};
 pub use dynamic::{run_dynamic, DynamicModel, DynamicOutcome};
+pub use engine::{run_dynamic_sharded, run_edge_markov_lazy, LazyOutcome, ShardedOutcome};
 pub use informed::InformedSet;
 pub use mode::Mode;
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};

@@ -12,7 +12,8 @@ use rumor_sim::rng::{SeedStream, Xoshiro256PlusPlus};
 use rumor_sim::stats::quantile;
 
 use crate::asynchronous::{run_async, AsyncView};
-use crate::dynamic::{run_dynamic, DynamicModel};
+use crate::dynamic::{run_dynamic, DynamicModel, EdgeMarkov};
+use crate::engine::{run_dynamic_sharded, run_edge_markov_lazy};
 use crate::mode::Mode;
 use crate::sync::run_sync;
 
@@ -185,6 +186,46 @@ pub fn dynamic_spreading_times_parallel(
     })
 }
 
+/// Samples spreading times from the **sharded** dynamic engine
+/// ([`run_dynamic_sharded`]) over `trials` independent runs.
+///
+/// Trials run serially: each trial already spreads one run across
+/// `shards` worker threads (within-trial parallelism), which composes
+/// poorly with trial-level thread fan-out. With `shards == 1` every
+/// trial is bit-identical to [`dynamic_spreading_times`]'s — the K = 1
+/// replay invariant lifted to the trial level.
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_spreading_times_sharded(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    shards: usize,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<f64> {
+    run_trials(trials, master_seed, |_, rng| {
+        run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps).outcome.time
+    })
+}
+
+/// Samples spreading times from the **lazy per-edge-clock** edge-Markov
+/// engine ([`run_edge_markov_lazy`]) over `trials` independent runs.
+pub fn lazy_spreading_times(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: EdgeMarkov,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<f64> {
+    run_trials(trials, master_seed, |_, rng| {
+        run_edge_markov_lazy(g, source, mode, model, rng, max_steps).time
+    })
+}
+
 /// A generous default step budget for asynchronous runs: enough for any
 /// graph whose spreading time is polynomial in `n` at the scales used in
 /// this workspace.
@@ -245,6 +286,41 @@ mod tests {
         assert_eq!(out, vec![0]);
         let out = run_trials_parallel(0, 1, 2, |i, _| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sharded_one_shard_trials_match_sequential() {
+        let g = generators::gnp_connected(32, 0.2, &mut Xoshiro256PlusPlus::seed_from(1), 100);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.5));
+        let sequential = dynamic_spreading_times(&g, 0, Mode::PushPull, &model, 20, 5, 10_000_000);
+        let sharded =
+            dynamic_spreading_times_sharded(&g, 0, Mode::PushPull, &model, 1, 20, 5, 10_000_000);
+        assert_eq!(sequential, sharded);
+    }
+
+    #[test]
+    fn lazy_trials_are_reproducible() {
+        let g = generators::hypercube(4);
+        let a = lazy_spreading_times(
+            &g,
+            0,
+            Mode::PushPull,
+            EdgeMarkov::symmetric(1.0),
+            10,
+            3,
+            1_000_000,
+        );
+        let b = lazy_spreading_times(
+            &g,
+            0,
+            Mode::PushPull,
+            EdgeMarkov::symmetric(1.0),
+            10,
+            3,
+            1_000_000,
+        );
+        assert_eq!(a, b);
+        assert!(a.iter().all(|t| t.is_finite() && *t > 0.0));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Provides a compact CSR graph representation ([`Graph`]), a validating
 //! [`GraphBuilder`], generators for every graph family used by the
 //! PODC 2016 paper (see [`generators`]), structural properties
-//! ([`props`]), plain-text edge-list I/O ([`io`]), and a mutable
-//! adjacency adapter for temporal-graph simulation ([`dynamic`]).
+//! ([`props`]), plain-text edge-list I/O ([`io`]), a mutable
+//! adjacency adapter for temporal-graph simulation ([`dynamic`]), and
+//! shard partitions for parallel simulation engines ([`partition`]).
 //!
 //! The paper's protocols only ever ask two things of a graph: *“what is
 //! `deg(v)`?”* and *“give me a uniformly random neighbor of `v`”*. CSR
@@ -37,8 +38,10 @@ mod error;
 pub mod generators;
 pub mod io;
 pub mod ops;
+pub mod partition;
 pub mod props;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, Node};
 pub use error::GraphError;
+pub use partition::{Partition, ShardId};

@@ -1,0 +1,297 @@
+//! Node partitions: the shard-aware view a parallel simulation engine
+//! needs over a (mutable) graph.
+//!
+//! A [`Partition`] splits the node set into `k` disjoint shards and
+//! answers, in O(1), *which shard owns node `v`* and *what is `v`'s
+//! index within its shard*. On top of that it computes the quantities a
+//! conservative parallel-discrete-event engine derives its lookahead
+//! from: per-node and per-shard **cross rates** — the rate at which a
+//! node's uniform-random contacts leave its shard, `extdeg(v)/deg(v)`
+//! summed over the shard — against the *current* topology of a
+//! [`MutableGraph`].
+//!
+//! The partition itself is immutable; topology churn changes the rates,
+//! not the node assignment, which is why the rate helpers take the graph
+//! as an argument instead of caching it.
+
+use crate::csr::Node;
+use crate::dynamic::MutableGraph;
+
+/// Shard identifier; shards are numbered `0..k`.
+pub type ShardId = u32;
+
+/// A disjoint assignment of nodes to `k` non-empty shards.
+///
+/// # Example
+///
+/// ```
+/// use rumor_graph::partition::Partition;
+///
+/// let part = Partition::contiguous(10, 3);
+/// assert_eq!(part.shard_count(), 3);
+/// assert_eq!(part.shard_of(0), 0);
+/// assert_eq!(part.shard_of(9), 2);
+/// let total: usize = (0..3).map(|s| part.nodes(s).len()).sum();
+/// assert_eq!(total, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Per node: owning shard.
+    shard: Vec<ShardId>,
+    /// Per node: index within `nodes(shard_of(v))`.
+    local: Vec<u32>,
+    /// Per shard: the nodes it owns, in ascending order.
+    members: Vec<Vec<Node>>,
+}
+
+impl Partition {
+    /// Splits `0..n` into `k` contiguous index blocks of near-equal
+    /// size (the first `n % k` shards get one extra node).
+    ///
+    /// Contiguous blocks are the partition of choice for graphs whose
+    /// community structure follows node numbering (necklaces of
+    /// cliques, lattices built row-major, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        assert!(k > 0, "need at least one shard");
+        assert!(k <= n, "more shards ({k}) than nodes ({n})");
+        let base = n / k;
+        let extra = n % k;
+        let mut assignment = Vec::with_capacity(n);
+        for s in 0..k {
+            let size = base + usize::from(s < extra);
+            assignment.extend(std::iter::repeat_n(s as ShardId, size));
+        }
+        Self::from_assignment(assignment)
+    }
+
+    /// Builds a partition from an explicit node→shard map. Shard ids
+    /// must form the dense range `0..k` with every shard non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is empty or any shard in `0..=max` has no
+    /// members.
+    pub fn from_assignment(assignment: Vec<ShardId>) -> Self {
+        assert!(!assignment.is_empty(), "partition of an empty node set");
+        let k = assignment.iter().copied().max().expect("non-empty") as usize + 1;
+        let mut members: Vec<Vec<Node>> = vec![Vec::new(); k];
+        let mut local = vec![0u32; assignment.len()];
+        for (v, &s) in assignment.iter().enumerate() {
+            local[v] = members[s as usize].len() as u32;
+            members[s as usize].push(v as Node);
+        }
+        for (s, m) in members.iter().enumerate() {
+            assert!(!m.is_empty(), "shard {s} has no nodes");
+        }
+        Self { shard: assignment, local, members }
+    }
+
+    /// Number of shards `k`.
+    pub fn shard_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of nodes across all shards.
+    pub fn node_count(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// The shard owning `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn shard_of(&self, v: Node) -> ShardId {
+        self.shard[v as usize]
+    }
+
+    /// `v`'s index within [`nodes`](Self::nodes) of its shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn local_index(&self, v: Node) -> u32 {
+        self.local[v as usize]
+    }
+
+    /// The nodes of shard `s`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn nodes(&self, s: ShardId) -> &[Node] {
+        &self.members[s as usize]
+    }
+
+    /// Whether `v` and `w` live in the same shard.
+    #[inline]
+    pub fn is_internal(&self, v: Node, w: Node) -> bool {
+        self.shard[v as usize] == self.shard[w as usize]
+    }
+
+    /// The rate at which `v`'s uniform-random contacts cross its shard
+    /// boundary under the current topology: `extdeg(v)/deg(v)` for an
+    /// active node with neighbors, 0 otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `net`.
+    pub fn node_cross_rate(&self, net: &MutableGraph, v: Node) -> f64 {
+        if !net.is_active(v) {
+            return 0.0;
+        }
+        let deg = net.degree(v);
+        if deg == 0 {
+            return 0.0;
+        }
+        let ext = net.neighbors(v).iter().filter(|&&w| !self.is_internal(v, w)).count();
+        ext as f64 / deg as f64
+    }
+
+    /// Per-shard *local* event rates and the total cross rate, under
+    /// the current topology.
+    ///
+    /// Shard `i`'s node clocks tick at total rate `|shard i|`; a tick
+    /// of `v` produces a cross-shard contact with probability
+    /// `extdeg(v)/deg(v)`. The returned `local[i]` is the shard's rate
+    /// of *non-crossing* events (internal contacts plus wasted ticks of
+    /// isolated or departed nodes); the second component is the summed
+    /// rate of crossing contacts over all shards — the event rate a
+    /// conservative engine's lookahead horizon is derived from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has a different node count.
+    pub fn shard_rates(&self, net: &MutableGraph) -> (Vec<f64>, f64) {
+        assert_eq!(net.node_count(), self.node_count(), "partition/graph node count mismatch");
+        let mut local: Vec<f64> = self.members.iter().map(|m| m.len() as f64).collect();
+        let mut cross_total = 0.0;
+        for v in 0..self.shard.len() as Node {
+            let r = self.node_cross_rate(net, v);
+            if r > 0.0 {
+                local[self.shard[v as usize] as usize] -= r;
+                cross_total += r;
+            }
+        }
+        for l in &mut local {
+            *l = l.max(0.0); // guard float rounding
+        }
+        (local, cross_total)
+    }
+
+    /// Number of undirected edges whose endpoints lie in different
+    /// shards (the cut size).
+    pub fn cut_edges(&self, net: &MutableGraph) -> usize {
+        (0..self.shard.len() as Node)
+            .map(|v| net.neighbors(v).iter().filter(|&&w| v < w && !self.is_internal(v, w)).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn contiguous_blocks_cover_all_nodes() {
+        let part = Partition::contiguous(11, 4);
+        assert_eq!(part.shard_count(), 4);
+        assert_eq!(part.node_count(), 11);
+        // 11 = 3 + 3 + 3 + 2.
+        assert_eq!(part.nodes(0).len(), 3);
+        assert_eq!(part.nodes(3).len(), 2);
+        for v in 0..11u32 {
+            let s = part.shard_of(v);
+            let idx = part.local_index(v) as usize;
+            assert_eq!(part.nodes(s)[idx], v);
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let part = Partition::contiguous(5, 1);
+        assert_eq!(part.nodes(0), &[0, 1, 2, 3, 4]);
+        let net = MutableGraph::from_graph(&generators::cycle(5));
+        let (local, cross) = part.shard_rates(&net);
+        assert_eq!(local, vec![5.0]);
+        assert_eq!(cross, 0.0);
+        assert_eq!(part.cut_edges(&net), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn rejects_more_shards_than_nodes() {
+        Partition::contiguous(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no nodes")]
+    fn rejects_empty_shards() {
+        Partition::from_assignment(vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn cross_rates_on_a_split_cycle() {
+        // Cycle 0-1-2-3-0 split in half: nodes 0 and 3, 1 and 2 are the
+        // boundary; every node has one internal and one external
+        // neighbor, so each contributes cross rate 1/2.
+        let net = MutableGraph::from_graph(&generators::cycle(4));
+        let part = Partition::contiguous(4, 2);
+        let (local, cross) = part.shard_rates(&net);
+        assert_eq!(cross, 2.0);
+        assert_eq!(local, vec![1.0, 1.0]);
+        assert_eq!(part.cut_edges(&net), 2);
+        for v in 0..4u32 {
+            assert_eq!(part.node_cross_rate(&net, v), 0.5);
+        }
+    }
+
+    #[test]
+    fn rates_follow_topology_changes() {
+        let mut net = MutableGraph::from_graph(&generators::cycle(4));
+        let part = Partition::contiguous(4, 2);
+        // Remove one of the two cut edges: only 0-3 remains crossing.
+        assert!(net.remove_edge(1, 2));
+        let (local, cross) = part.shard_rates(&net);
+        assert_eq!(part.cut_edges(&net), 1);
+        // Node 1 now has degree 1, all internal; node 2 likewise.
+        assert_eq!(part.node_cross_rate(&net, 1), 0.0);
+        assert_eq!(part.node_cross_rate(&net, 0), 0.5);
+        // Only 0 and 3 still have the crossing edge, 1/2 each.
+        assert!((cross - 1.0).abs() < 1e-12, "got {cross}");
+        assert!((local[0] - 1.5).abs() < 1e-12 && (local[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_nodes_contribute_no_cross_rate() {
+        let mut net = MutableGraph::from_graph(&generators::complete(4));
+        let part = Partition::contiguous(4, 2);
+        net.deactivate(0);
+        assert_eq!(part.node_cross_rate(&net, 0), 0.0);
+        let (local, _) = part.shard_rates(&net);
+        // Shard 0 still ticks at rate 2 (wasted ticks count as local).
+        assert!(local[0] > 0.0 && local[0] <= 2.0);
+    }
+
+    #[test]
+    fn necklace_partition_has_tiny_cut() {
+        // 4 cliques of 8 in a chain, one bridge between consecutive
+        // cliques: a 4-shard contiguous partition cuts exactly the 3
+        // bridges.
+        let g = generators::necklace_of_cliques(4, 8);
+        let net = MutableGraph::from_graph(&g);
+        let part = Partition::contiguous(32, 4);
+        assert_eq!(part.cut_edges(&net), 3);
+        let (_, cross) = part.shard_rates(&net);
+        // Each bridge endpoint has degree 8, one external neighbor.
+        assert!((cross - 6.0 / 8.0).abs() < 1e-12, "cross {cross}");
+    }
+}

@@ -4,11 +4,18 @@
 //! Instead of Criterion's statistical pipeline, each benchmark is timed
 //! with a plain wall-clock loop: a short warm-up, then up to
 //! `sample_size` iterations (bounded by a per-benchmark time budget),
-//! reporting the mean, minimum, and maximum iteration time.
+//! reporting the median, mean, minimum, and maximum iteration time.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`{"label", "median_ns", "mean_ns", "min_ns", "max_ns",
+//! "samples"}`) to that file — the hook the committed `BENCH_PR*.json`
+//! baselines are produced with.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -145,15 +152,61 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     }
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
-    let min = bencher.samples.iter().min().expect("non-empty");
-    let max = bencher.samples.iter().max().expect("non-empty");
+    let min = *bencher.samples.iter().min().expect("non-empty");
+    let max = *bencher.samples.iter().max().expect("non-empty");
+    let median = {
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_unstable();
+        let mid = sorted.len() / 2;
+        if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2
+        } else {
+            sorted[mid]
+        }
+    };
     println!(
-        "{label:<50} time: [{:>12?} {:>12?} {:>12?}]  ({} samples)",
+        "{label:<50} time: [{:>12?} {:>12?} {:>12?} {:>12?}]  ({} samples, min med mean max)",
         min,
+        median,
         mean,
         max,
         bencher.samples.len()
     );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, label, median, mean, min, max, bencher.samples.len());
+        }
+    }
+}
+
+/// Appends one benchmark record to the `CRITERION_JSON` file; hand-rolled
+/// JSON (the label set is shim-internal: quotes never occur in labels).
+fn append_json_line(
+    path: &str,
+    label: &str,
+    median: Duration,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+) {
+    let line = format!(
+        "{{\"label\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}\n",
+        label.replace('"', "'"),
+        median.as_nanos(),
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+        samples
+    );
+    let written = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("CRITERION_JSON: could not append to {path}: {e}");
+    }
 }
 
 /// Collects benchmark functions into a runnable group, mirroring

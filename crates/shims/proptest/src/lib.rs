@@ -169,6 +169,19 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
+// Floating-point ranges sample uniformly over the interval (the real
+// proptest biases toward edge cases; a uniform draw is enough for the
+// simulation parameters this workspace sweeps).
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident),+)),+ $(,)?) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
