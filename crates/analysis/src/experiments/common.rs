@@ -59,6 +59,70 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
+/// Censoring-aware trial aggregation (PR 3 satellite).
+///
+/// A budget-exhausted (`completed == false`) trial reports the time of
+/// its *last step*, which is a **lower bound** on the true spreading
+/// time — averaging it as if complete silently biases `E[T]` downward,
+/// worst exactly where the dynamics are most hostile (heavy churn,
+/// adversarial cuts). `CensoredSamples` separates the two populations:
+/// statistics come from completed trials only, and the censored count
+/// is carried alongside so tables can disclose it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensoredSamples {
+    /// Spreading times of the trials that informed every node.
+    pub completed: Vec<f64>,
+    /// Number of trials that exhausted their budget first.
+    pub censored: usize,
+}
+
+impl CensoredSamples {
+    /// Splits `(time, completed)` trial outcomes (as produced by
+    /// `rumor_core::runner::dynamic_spreading_outcomes`) into completed
+    /// samples and a censored count.
+    pub fn from_outcomes(outcomes: &[(f64, bool)]) -> Self {
+        let completed =
+            outcomes.iter().filter(|&&(_, done)| done).map(|&(t, _)| t).collect::<Vec<_>>();
+        let censored = outcomes.len() - completed.len();
+        Self { completed, censored }
+    }
+
+    /// Total trials observed.
+    pub fn trials(&self) -> usize {
+        self.completed.len() + self.censored
+    }
+
+    /// Mean spreading time over **completed** trials, or `None` when
+    /// every trial was censored (there is no unbiased estimate to
+    /// report).
+    pub fn mean_completed(&self) -> Option<f64> {
+        if self.completed.is_empty() {
+            return None;
+        }
+        Some(self.completed.iter().copied().collect::<rumor_sim::stats::OnlineStats>().mean())
+    }
+
+    /// The mean formatted for a table cell: the completed-trials mean,
+    /// or `"-"` when all trials censored.
+    pub fn mean_cell(&self, decimals: usize) -> String {
+        match self.mean_completed() {
+            Some(m) => crate::table::fmt_f(m, decimals),
+            None => "-".to_owned(),
+        }
+    }
+}
+
+/// A ratio cell between two (possibly missing) censoring-aware means:
+/// `"-"` when either side has no completed trials, following the same
+/// disclosed-censoring convention as [`CensoredSamples::mean_cell`]
+/// (never a literal `NaN` in the table).
+pub fn ratio_cell(numerator: Option<f64>, denominator: Option<f64>, decimals: usize) -> String {
+    match (numerator, denominator) {
+        (Some(n), Some(d)) => crate::table::fmt_f(n / d, decimals),
+        _ => "-".to_owned(),
+    }
+}
+
 /// A named graph instance with a designated rumor source.
 #[derive(Debug, Clone)]
 pub struct SuiteEntry {
@@ -203,6 +267,42 @@ pub fn sample_async(
 mod tests {
     use super::*;
     use rumor_graph::props;
+
+    /// The PR 3 censoring regression: with a tiny budget every trial is
+    /// censored and the aggregation must say so instead of averaging
+    /// the truncated times.
+    #[test]
+    fn censored_trials_are_counted_not_averaged() {
+        use rumor_core::dynamic::DynamicModel;
+
+        let g = generators::path(64);
+        let outcomes = runner::dynamic_spreading_outcomes(
+            &g,
+            0,
+            Mode::PushPull,
+            &DynamicModel::Static,
+            10,
+            7,
+            5, // 5 steps cannot inform a 64-node path
+        );
+        let samples = CensoredSamples::from_outcomes(&outcomes);
+        assert_eq!(samples.censored, 10);
+        assert!(samples.completed.is_empty());
+        assert_eq!(samples.mean_completed(), None, "no unbiased estimate exists");
+        assert_eq!(samples.mean_cell(3), "-");
+        assert_eq!(samples.trials(), 10);
+
+        // Mixed population: only the completed times enter the mean.
+        let mixed = CensoredSamples::from_outcomes(&[(2.0, true), (1.0, false), (4.0, true)]);
+        assert_eq!(mixed.censored, 1);
+        assert_eq!(mixed.mean_completed(), Some(3.0));
+        assert_eq!(mixed.mean_cell(1), "3.0");
+
+        // Ratio cells inherit the "-" convention instead of printing NaN.
+        assert_eq!(ratio_cell(Some(6.0), Some(3.0), 1), "2.0");
+        assert_eq!(ratio_cell(None, Some(3.0), 1), "-");
+        assert_eq!(ratio_cell(Some(6.0), None, 1), "-");
+    }
 
     #[test]
     fn configs_differ_in_scale() {

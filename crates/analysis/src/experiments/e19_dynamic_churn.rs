@@ -24,9 +24,8 @@ use rumor_core::runner;
 use rumor_core::Mode;
 use rumor_graph::generators;
 use rumor_sim::rng::Xoshiro256PlusPlus;
-use rumor_sim::stats::OnlineStats;
 
-use crate::experiments::common::{mix_seed, ExperimentConfig};
+use crate::experiments::common::{mix_seed, ratio_cell, CensoredSamples, ExperimentConfig};
 use crate::table::{fmt_f, Table};
 
 const SALT: u64 = 0xE19;
@@ -42,48 +41,55 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     );
     let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256] } else { vec![48] };
     let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x19D);
+    let mut censored_total = 0usize;
     for &n in &sizes {
         let p = 2.0 * (n as f64).ln() / n as f64;
         let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
         let max_steps = runner::default_max_steps(&g).saturating_mul(8);
-        let static_times = runner::dynamic_spreading_times_parallel(
-            &g,
-            0,
-            Mode::PushPull,
-            &DynamicModel::Static,
-            cfg.trials,
-            mix_seed(cfg, SALT),
-            max_steps,
-            cfg.threads,
-        );
-        let static_mean: f64 = static_times.iter().copied().collect::<OnlineStats>().mean();
-        for nu in CHURN_RATES {
-            let model = DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: nu, on_rate: 1.0 });
-            // Same master seed as the baseline: at nu = 0 the trials are
-            // bit-identical to the static ones, so the ratio is exactly 1.
-            let times = runner::dynamic_spreading_times_parallel(
+        let static_samples =
+            CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes_parallel(
                 &g,
                 0,
                 Mode::PushPull,
-                &model,
+                &DynamicModel::Static,
                 cfg.trials,
                 mix_seed(cfg, SALT),
                 max_steps,
                 cfg.threads,
-            );
-            let mean: f64 = times.iter().copied().collect::<OnlineStats>().mean();
+            ));
+        censored_total += static_samples.censored;
+        let static_mean = static_samples.mean_completed();
+        for nu in CHURN_RATES {
+            let model = DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: nu, on_rate: 1.0 });
+            // Same master seed as the baseline: at nu = 0 the trials are
+            // bit-identical to the static ones, so the ratio is exactly 1.
+            let samples =
+                CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes_parallel(
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    &model,
+                    cfg.trials,
+                    mix_seed(cfg, SALT),
+                    max_steps,
+                    cfg.threads,
+                ));
+            censored_total += samples.censored;
             table.add_row(vec![
                 n.to_string(),
                 fmt_f(nu, 2),
-                fmt_f(mean, 3),
-                fmt_f(static_mean, 3),
-                fmt_f(mean / static_mean, 3),
+                samples.mean_cell(3),
+                static_samples.mean_cell(3),
+                ratio_cell(samples.mean_completed(), static_mean, 3),
             ]);
         }
     }
     table.add_note(
         "edges fail at rate nu and recover at rate 1: stationary live fraction 1/(1 + nu)",
     );
+    table.add_note(&format!(
+        "E[T] averages completed trials only; budget-censored trials across all cells: {censored_total}"
+    ));
     table.add_note(
         "nu = 0 ratio is exactly 1.000: the dynamic engine replays the static run seed-for-seed",
     );

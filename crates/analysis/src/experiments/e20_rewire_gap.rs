@@ -15,10 +15,9 @@ use rumor_core::runner;
 use rumor_core::{run_sync, Mode};
 use rumor_graph::generators;
 use rumor_sim::rng::Xoshiro256PlusPlus;
-use rumor_sim::stats::OnlineStats;
 
-use crate::experiments::common::{mix_seed, ExperimentConfig};
-use crate::table::{fmt_f, Table};
+use crate::experiments::common::{mix_seed, ratio_cell, CensoredSamples, ExperimentConfig};
+use crate::table::Table;
 
 const SALT: u64 = 0xE20;
 
@@ -33,6 +32,7 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     );
     let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256] } else { vec![48] };
     let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x20D);
+    let mut censored_total = 0usize;
     for &n in &sizes {
         let p = 2.0 * (n as f64).ln() / n as f64;
         let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
@@ -40,23 +40,25 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         let max_steps = runner::default_max_steps(&g).saturating_mul(8);
         let max_rounds = 1_000 * n as u64 + 10_000;
         for period in PERIODS {
-            let sync_times = runner::run_trials_parallel(
+            let sync_outcomes = runner::run_trials_parallel(
                 cfg.trials,
                 mix_seed(cfg, SALT),
                 cfg.threads,
-                |_, rng| match period {
-                    Some(k) => {
-                        run_sync_rewire(&g, 0, Mode::PushPull, k, family, rng, max_rounds).rounds
-                            as f64
-                    }
-                    None => run_sync(&g, 0, Mode::PushPull, rng, max_rounds).rounds as f64,
+                |_, rng| {
+                    let out = match period {
+                        Some(k) => {
+                            run_sync_rewire(&g, 0, Mode::PushPull, k, family, rng, max_rounds)
+                        }
+                        None => run_sync(&g, 0, Mode::PushPull, rng, max_rounds),
+                    };
+                    (out.rounds as f64, out.completed)
                 },
             );
             let model = match period {
                 Some(k) => DynamicModel::Rewire(Rewire::new(k as f64, family)),
                 None => DynamicModel::Static,
             };
-            let async_times = runner::dynamic_spreading_times_parallel(
+            let async_outcomes = runner::dynamic_spreading_outcomes_parallel(
                 &g,
                 0,
                 Mode::PushPull,
@@ -66,19 +68,23 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
                 max_steps,
                 cfg.threads,
             );
-            let sync_mean: f64 = sync_times.iter().copied().collect::<OnlineStats>().mean();
-            let async_mean: f64 = async_times.iter().copied().collect::<OnlineStats>().mean();
+            let sync_samples = CensoredSamples::from_outcomes(&sync_outcomes);
+            let async_samples = CensoredSamples::from_outcomes(&async_outcomes);
+            censored_total += sync_samples.censored + async_samples.censored;
             table.add_row(vec![
                 n.to_string(),
                 period.map_or("static".to_owned(), |k| k.to_string()),
-                fmt_f(sync_mean, 3),
-                fmt_f(async_mean, 3),
-                fmt_f(async_mean / sync_mean, 3),
+                sync_samples.mean_cell(3),
+                async_samples.mean_cell(3),
+                ratio_cell(async_samples.mean_completed(), sync_samples.mean_completed(), 3),
             ]);
         }
     }
     table.add_note("1 synchronous round corresponds to 1 asynchronous time unit (footnote 3)");
     table.add_note("the async/sync ratio should stay in a constant band across periods");
+    table.add_note(&format!(
+        "means average completed trials only; budget-censored trials across all cells: {censored_total}"
+    ));
     table
 }
 

@@ -31,7 +31,9 @@ use rumor_graph::generators;
 use rumor_sim::rng::{SeedStream, Xoshiro256PlusPlus};
 use rumor_sim::stats::OnlineStats;
 
-use crate::experiments::common::{default_threads, mix_seed, ExperimentConfig};
+use crate::experiments::common::{
+    default_threads, mix_seed, ratio_cell, CensoredSamples, ExperimentConfig,
+};
 use crate::table::{fmt_f, Table};
 
 const SALT: u64 = 0xE21;
@@ -84,9 +86,11 @@ fn part_exactness(cfg: &ExperimentConfig, table: &mut Table) {
     let config = format!("gnp-{n} nu=1");
 
     // Per-trial bit comparison at K = 1, including the final RNG state.
+    // Censored trials still compare bit-for-bit but are excluded from
+    // the E[T] columns (their times are lower bounds, not samples).
     let mut identical = 0usize;
-    let mut seq_stats = OnlineStats::new();
-    let mut k1_stats = OnlineStats::new();
+    let mut seq_outcomes = Vec::with_capacity(cfg.trials);
+    let mut k1_outcomes = Vec::with_capacity(cfg.trials);
     let seeds: Vec<u64> = SeedStream::new(mix_seed(cfg, SALT)).take(cfg.trials).collect();
     for &seed in &seeds {
         let mut a = Xoshiro256PlusPlus::seed_from(seed);
@@ -96,9 +100,11 @@ fn part_exactness(cfg: &ExperimentConfig, table: &mut Table) {
         if sharded.outcome == seq && a.next_u64() == b.next_u64() {
             identical += 1;
         }
-        seq_stats.push(seq.time);
-        k1_stats.push(sharded.outcome.time);
+        seq_outcomes.push((seq.time, seq.completed));
+        k1_outcomes.push((sharded.outcome.time, sharded.outcome.completed));
     }
+    let seq_stats = CensoredSamples::from_outcomes(&seq_outcomes);
+    let k1_stats = CensoredSamples::from_outcomes(&k1_outcomes);
     table.add_row(vec![
         "exact".into(),
         config.clone(),
@@ -111,14 +117,14 @@ fn part_exactness(cfg: &ExperimentConfig, table: &mut Table) {
         "exact".into(),
         config.clone(),
         "E[T] K=1".into(),
-        fmt_f(k1_stats.mean(), 3),
-        fmt_f(seq_stats.mean(), 3),
-        fmt_f(k1_stats.mean() / seq_stats.mean(), 3),
+        k1_stats.mean_cell(3),
+        seq_stats.mean_cell(3),
+        ratio_cell(k1_stats.mean_completed(), seq_stats.mean_completed(), 3),
     ]);
 
     // K > 1: same law, independent samples.
     for k in [2usize, 4] {
-        let times = runner::dynamic_spreading_times_sharded(
+        let stats = CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes_sharded(
             &g,
             0,
             Mode::PushPull,
@@ -127,15 +133,14 @@ fn part_exactness(cfg: &ExperimentConfig, table: &mut Table) {
             cfg.trials,
             mix_seed(cfg, SALT + k as u64),
             max_steps,
-        );
-        let stats: OnlineStats = times.into_iter().collect();
+        ));
         table.add_row(vec![
             "exact".into(),
             config.clone(),
-            format!("E[T] K={k}"),
-            fmt_f(stats.mean(), 3),
-            fmt_f(seq_stats.mean(), 3),
-            fmt_f(stats.mean() / seq_stats.mean(), 3),
+            format!("E[T] K={k} ({} censored)", stats.censored),
+            stats.mean_cell(3),
+            seq_stats.mean_cell(3),
+            ratio_cell(stats.mean_completed(), seq_stats.mean_completed(), 3),
         ]);
     }
 }
@@ -205,16 +210,12 @@ fn part_lazy(cfg: &ExperimentConfig, table: &mut Table) {
     let max_steps = runner::default_max_steps(&g);
     let config = format!("rr6-{n} nu=0.5");
 
-    let lazy_times = runner::lazy_spreading_times(
-        &g,
-        0,
-        Mode::PushPull,
-        model,
-        trials,
-        mix_seed(cfg, SALT + 200),
-        max_steps,
-    );
-    let eager_times = runner::dynamic_spreading_times(
+    let lazy_outcomes = runner::run_trials(trials, mix_seed(cfg, SALT + 200), |_, rng| {
+        let out = run_edge_markov_lazy(&g, 0, Mode::PushPull, model, rng, max_steps);
+        (out.time, out.completed)
+    });
+    let lazy_stats = CensoredSamples::from_outcomes(&lazy_outcomes);
+    let eager_stats = CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes(
         &g,
         0,
         Mode::PushPull,
@@ -222,16 +223,14 @@ fn part_lazy(cfg: &ExperimentConfig, table: &mut Table) {
         trials,
         mix_seed(cfg, SALT + 201),
         max_steps,
-    );
-    let lazy_stats: OnlineStats = lazy_times.into_iter().collect();
-    let eager_stats: OnlineStats = eager_times.into_iter().collect();
+    ));
     table.add_row(vec![
         "lazy".into(),
         config.clone(),
         "E[T] lazy vs eager".into(),
-        fmt_f(lazy_stats.mean(), 3),
-        fmt_f(eager_stats.mean(), 3),
-        fmt_f(lazy_stats.mean() / eager_stats.mean(), 3),
+        lazy_stats.mean_cell(3),
+        eager_stats.mean_cell(3),
+        ratio_cell(lazy_stats.mean_completed(), eager_stats.mean_completed(), 3),
     ]);
     let probe = run_edge_markov_lazy(
         &g,

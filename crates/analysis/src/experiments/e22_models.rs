@@ -1,0 +1,181 @@
+//! **E22 — topology models at matched expected churn.** The
+//! `TopologyModel` layer makes evolution models interchangeable; this
+//! experiment runs the asynchronous push–pull protocol under all five
+//! dynamic models on the same sparse `G(n, p)` base, with parameters
+//! chosen so every model rewires the **same expected number of edges
+//! per unit time** (`m · ν`, the matched churn volume):
+//!
+//! * **edge-Markov**, symmetric rate ν — every edge chain flips at rate
+//!   ν, `m·ν` flips per unit time;
+//! * **rewire**, period `1/ν` — each snapshot redraws all `m` edges,
+//!   `m·ν` changes per unit time;
+//! * **random-walk**, per-edge rate ν — `m·ν` walk steps per unit time;
+//! * **mobility**, move rate ν/2 at matched density — each move rewires
+//!   about `d̄ = 2m/n` edges, `n · (ν/2) · d̄ = m·ν` per unit time;
+//! * **adversary**, budget `b`, strike rate `m·ν / 2b` — each strike
+//!   cuts up to `b` frontier edges and later heals them, `m·ν` changes
+//!   per unit time placed *adversarially*.
+//!
+//! The shape this table is after: benign churn at fixed volume barely
+//! moves `E[T]` on a well-connected base (edge-Markov, walk, rewire sit
+//! near the static baseline; rewiring can even help), while the *same
+//! volume* of change aimed at the informed/uninformed frontier is the
+//! most damaging way to spend it — the adversary row must show the
+//! largest slowdown. Censored (budget-exhausted) trials are counted
+//! separately and never averaged into `E[T]` (the PR 3 censoring
+//! contract).
+
+use rumor_core::dynamic::{
+    Adversary, DynamicModel, EdgeMarkov, Mobility, RandomWalk, Rewire, SnapshotFamily,
+};
+use rumor_core::{runner, Mode};
+use rumor_graph::{generators, Graph};
+use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_sim::stats::OnlineStats;
+
+use crate::experiments::common::{mix_seed, ratio_cell, CensoredSamples, ExperimentConfig};
+use crate::table::{fmt_f, Table};
+
+const SALT: u64 = 0xE22;
+
+/// Matched per-edge churn volume: expected edge changes per unit time
+/// is `edge_count · NU` for every model in the sweep.
+pub const NU: f64 = 1.0;
+
+/// Frontier edges the adversary may cut per strike.
+pub const ADVERSARY_BUDGET: usize = 4;
+
+/// The five dynamic models (plus the static baseline first), matched to
+/// `m·ν` expected edge changes per unit time on base graph `g`.
+pub fn matched_models(g: &Graph) -> Vec<(&'static str, DynamicModel)> {
+    let m = g.edge_count() as f64;
+    vec![
+        ("static", DynamicModel::Static),
+        ("markov", DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(NU))),
+        (
+            "rewire",
+            DynamicModel::Rewire(Rewire::new(1.0 / NU, SnapshotFamily::matching_density(g))),
+        ),
+        ("walk", DynamicModel::RandomWalk(RandomWalk::new(NU))),
+        ("mobility", DynamicModel::Mobility(Mobility::matching_density(g, NU / 2.0, 0.1))),
+        (
+            "adversary",
+            DynamicModel::Adversary(Adversary::new(
+                m * NU / (2.0 * ADVERSARY_BUDGET as f64),
+                ADVERSARY_BUDGET,
+                1.0,
+            )),
+        ),
+    ]
+}
+
+/// Runs E22 and returns the table.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E22 / topology models: spreading time across evolution models at matched expected churn (m*nu edge changes per unit time)",
+        &["n", "model", "E[T]", "vs static", "censored", "topo events/unit"],
+    );
+    let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256] } else { vec![48] };
+    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x22D);
+    for &n in &sizes {
+        let p = 2.0 * (n as f64).ln() / n as f64;
+        let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
+        let max_steps = runner::default_max_steps(&g).saturating_mul(8);
+        let mut static_mean: Option<f64> = None;
+        for (name, model) in matched_models(&g) {
+            // Triples (time, completed, topology events) per trial; the
+            // realized event rate is diagnostic output showing the
+            // matching (event granularity differs per model — see note).
+            let outcomes = runner::run_trials_parallel(
+                cfg.trials,
+                mix_seed(cfg, SALT),
+                cfg.threads,
+                |_, rng| {
+                    let out =
+                        rumor_core::run_dynamic(&g, 0, Mode::PushPull, &model, rng, max_steps);
+                    (out.time, out.completed, out.topology_events)
+                },
+            );
+            let samples = CensoredSamples::from_outcomes(
+                &outcomes.iter().map(|&(t, c, _)| (t, c)).collect::<Vec<_>>(),
+            );
+            let mut event_rate = OnlineStats::new();
+            for &(t, completed, events) in &outcomes {
+                if completed && t > 0.0 {
+                    event_rate.push(events as f64 / t);
+                }
+            }
+            if name == "static" {
+                static_mean = samples.mean_completed();
+            }
+            table.add_row(vec![
+                n.to_string(),
+                name.to_owned(),
+                samples.mean_cell(3),
+                ratio_cell(samples.mean_completed(), static_mean, 3),
+                samples.censored.to_string(),
+                fmt_f(event_rate.mean(), 1),
+            ]);
+        }
+    }
+    table.add_note(&format!(
+        "matched volume: every model is parameterized for m*nu = m*{NU} expected edge changes \
+         per unit time; mobility runs at matched expected degree (radius sqrt(d/(pi n)))"
+    ));
+    table.add_note(
+        "`topo events/unit` counts each model's own event granularity (flips, snapshots, walk \
+         steps, moves, strikes+heals), so it differs from the edge-change volume by the \
+         per-event fan-out",
+    );
+    table.add_note(&format!(
+        "adversary: strike rate m*nu/(2b) with budget b = {ADVERSARY_BUDGET}, heal delay 1.0 — \
+         the same churn volume as the benign rows, spent entirely on the informed/uninformed \
+         frontier",
+    ));
+    table.add_note(
+        "E[T] averages completed trials only; the `censored` column counts budget-exhausted \
+         trials (their times are lower bounds and are never averaged)",
+    );
+    table
+}
+
+/// Test hook: `(model, vs-static ratio)` pairs for size-`n` rows.
+pub fn model_ratios(table: &Table, n: usize) -> Vec<(String, f64)> {
+    (0..table.row_count())
+        .filter(|&r| table.cell(r, 0) == Some(n.to_string().as_str()))
+        .map(|r| (table.cell(r, 1).unwrap().to_owned(), table.cell(r, 3).unwrap().parse().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_models_run_and_the_adversary_hurts_most() {
+        let cfg = ExperimentConfig::quick().with_trials(30);
+        let table = run(&cfg);
+        let rows = model_ratios(&table, 48);
+        let names: Vec<&str> = rows.iter().map(|(m, _)| m.as_str()).collect();
+        assert_eq!(names, ["static", "markov", "rewire", "walk", "mobility", "adversary"]);
+        let ratio = |name: &str| rows.iter().find(|(m, _)| m == name).unwrap().1;
+        assert_eq!(ratio("static"), 1.0);
+        // Benign churn at this volume stays within a constant band of
+        // the static baseline on a well-connected G(n, p).
+        for name in ["markov", "rewire", "walk"] {
+            let r = ratio(name);
+            assert!(r > 0.4 && r < 2.5, "{name} ratio {r} out of the benign band");
+        }
+        // The adversary spends the same volume on the frontier and must
+        // be the slowest dynamic model on the base graph's topology.
+        let adv = ratio("adversary");
+        for name in ["markov", "rewire", "walk"] {
+            assert!(adv > ratio(name), "adversary ({adv}) not slower than {name}");
+        }
+        // Every dynamic row actually fired topology events.
+        for r in 1..table.row_count() {
+            let rate: f64 = table.cell(r, 5).unwrap().parse().unwrap();
+            assert!(rate > 0.0, "row {r} shows no topology events");
+        }
+    }
+}

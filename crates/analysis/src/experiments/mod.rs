@@ -14,6 +14,7 @@ pub mod e19_dynamic_churn;
 pub mod e1_upper;
 pub mod e20_rewire_gap;
 pub mod e21_engines;
+pub mod e22_models;
 pub mod e2_lower;
 pub mod e3_star;
 pub mod e4_regular;

@@ -118,6 +118,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             claim: "engines: sharded PDES replays K=1 seed-for-seed; lazy clocks are O(touched)",
             run: e21_engines::run,
         },
+        Experiment {
+            id: "e22",
+            claim: "topology models: at matched churn volume the frontier adversary hurts most",
+            run: e22_models::run,
+        },
     ]
 }
 
@@ -138,18 +143,18 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 21);
+        assert_eq!(all.len(), 22);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21, "duplicate experiment ids");
+        assert_eq!(ids.len(), 22, "duplicate experiment ids");
     }
 
     #[test]
     fn find_experiment_works() {
         assert!(find_experiment("e1").is_some());
         assert!(find_experiment("e18").is_some());
-        assert!(find_experiment("e21").is_some());
+        assert!(find_experiment("e22").is_some());
         assert!(find_experiment("e99").is_none());
     }
 }

@@ -1,8 +1,11 @@
-//! Regenerates E19 (spreading time vs. churn rate) and E20 (sync-vs-async
-//! gap under rewiring); see EXPERIMENTS_DYNAMIC.md.
+//! Regenerates E19 (spreading time vs. churn rate), E20 (sync-vs-async
+//! gap under rewiring), and E22 (topology models at matched expected
+//! churn); see EXPERIMENTS_DYNAMIC.md.
 
 fn main() {
     rumor_bench::run_and_print("e19");
     println!();
     rumor_bench::run_and_print("e20");
+    println!();
+    rumor_bench::run_and_print("e22");
 }

@@ -1,7 +1,8 @@
 //! `rumor run` — Monte-Carlo spreading-time measurement on a graph file.
 
 use rumor_core::dynamic::{
-    run_dynamic, run_sync_rewire, DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily,
+    run_dynamic, run_sync_rewire, Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn,
+    RandomWalk, Rewire, SnapshotFamily,
 };
 use rumor_core::engine::run_dynamic_sharded;
 use rumor_core::runner::{default_max_steps, run_trials_parallel};
@@ -55,7 +56,28 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&q) {
         return Err(CliError::Usage("--quantile must be in [0, 1]".into()));
     }
-    let dynamic = args.opt_str("dynamic", "none");
+    // `--dynamic-model` is the canonical spelling ({markov | rewire |
+    // walk | mobility | adversary}); `--dynamic` keeps the PR 1 names
+    // (edge-markov, rewire, node-churn) for compatibility.
+    let legacy = args.opt_str("dynamic", "none");
+    let canonical = args.opt_str("dynamic-model", "none");
+    if legacy != "none" && canonical != "none" {
+        return Err(CliError::Usage("pass either --dynamic or --dynamic-model, not both".into()));
+    }
+    let dynamic = if canonical != "none" {
+        match canonical.as_str() {
+            "markov" => "edge-markov".to_owned(),
+            "rewire" | "walk" | "mobility" | "adversary" => canonical,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown --dynamic-model `{other}`; supported: markov, rewire, walk, \
+                     mobility, adversary"
+                )))
+            }
+        }
+    } else {
+        legacy
+    };
     if dynamic != "none" && loss > 0.0 {
         return Err(CliError::Usage("--loss is not supported with --dynamic".into()));
     }
@@ -213,8 +235,48 @@ fn parse_dynamic_model(args: &Args, dynamic: &str, g: &Graph) -> Result<DynamicM
             }
             Ok(DynamicModel::NodeChurn(NodeChurn::new(leave, join, attach)))
         }
+        "walk" => {
+            let rate: f64 = args.opt_parsed("churn", 1.0)?;
+            if !(rate >= 0.0 && rate.is_finite()) {
+                return Err(CliError::Usage("--churn must be finite and >= 0".into()));
+            }
+            Ok(DynamicModel::RandomWalk(RandomWalk::new(rate)))
+        }
+        "mobility" => {
+            let move_rate: f64 = args.opt_parsed("move-rate", 1.0)?;
+            let step: f64 = args.opt_parsed("step", 0.1)?;
+            // Default radius matches the base graph's edge density, so
+            // mobility runs are comparable with the other models.
+            let default_radius = Mobility::matching_density(g, 1.0, 0.1).radius;
+            let radius: f64 = args.opt_parsed("radius", default_radius)?;
+            if !(move_rate >= 0.0 && move_rate.is_finite()) {
+                return Err(CliError::Usage("--move-rate must be finite and >= 0".into()));
+            }
+            if !(radius > 0.0 && radius.is_finite() && step > 0.0 && step.is_finite()) {
+                return Err(CliError::Usage("--radius/--step must be positive and finite".into()));
+            }
+            Ok(DynamicModel::Mobility(Mobility::new(move_rate, radius, step)))
+        }
+        "adversary" => {
+            let rate: f64 = args.opt_parsed("cut-rate", 1.0)?;
+            let budget: usize = args.opt_parsed("cut-budget", 4)?;
+            let heal: f64 = args.opt_parsed("heal", 1.0)?;
+            if !(rate >= 0.0 && rate.is_finite()) {
+                return Err(CliError::Usage("--cut-rate must be finite and >= 0".into()));
+            }
+            if budget == 0 {
+                return Err(CliError::Usage("--cut-budget must be positive".into()));
+            }
+            if heal.is_nan() || heal <= 0.0 {
+                return Err(CliError::Usage(
+                    "--heal must be positive (use `inf` for permanent cuts)".into(),
+                ));
+            }
+            Ok(DynamicModel::Adversary(Adversary::new(rate, budget, heal)))
+        }
         other => Err(CliError::Usage(format!(
-            "unknown --dynamic `{other}`; supported: edge-markov, rewire, node-churn"
+            "unknown --dynamic `{other}`; supported: edge-markov, rewire, node-churn, walk, \
+             mobility, adversary"
         ))),
     }
 }
@@ -293,6 +355,60 @@ mod tests {
             assert!(out.contains(&format!("dynamic {model}")), "{out}");
             assert!(out.contains("time units"));
         }
+    }
+
+    #[test]
+    fn dynamic_model_flag_selects_the_new_models() {
+        for (flag, printed) in [
+            ("markov", "edge-markov"),
+            ("rewire", "rewire"),
+            ("walk", "walk"),
+            ("mobility", "mobility"),
+            ("adversary", "adversary"),
+        ] {
+            let out = with_graph(
+                TRIANGLE,
+                &["--model", "async", "--dynamic-model", flag, "--trials", "10"],
+            )
+            .unwrap();
+            assert!(out.contains(&format!("dynamic {printed}")), "{flag}: {out}");
+            assert!(out.contains("time units"), "{flag}: {out}");
+        }
+    }
+
+    #[test]
+    fn dynamic_model_flag_validates() {
+        // Unknown model, both flags at once, sync + async-only model.
+        assert!(with_graph(TRIANGLE, &["--model", "async", "--dynamic-model", "psychic"]).is_err());
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic-model", "walk", "--dynamic", "rewire"]
+        )
+        .is_err());
+        assert!(with_graph(TRIANGLE, &["--dynamic-model", "walk"]).is_err(), "sync + walk");
+        // Model-specific parameter validation.
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic-model", "adversary", "--cut-budget", "0"]
+        )
+        .is_err());
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic-model", "mobility", "--radius", "0"]
+        )
+        .is_err());
+        assert!(with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic-model", "walk", "--churn", "-2"]
+        )
+        .is_err());
+        // `--heal inf` is the permanent-removal adversary and is legal.
+        let out = with_graph(
+            TRIANGLE,
+            &["--model", "async", "--dynamic-model", "adversary", "--heal", "inf", "--trials", "5"],
+        )
+        .unwrap();
+        assert!(out.contains("dynamic adversary"), "{out}");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! the topology as it is at that instant, not a per-round snapshot
 //! approximation.
 //!
-//! Three evolution models are provided (see [`DynamicModel`]):
+//! Six evolution models are provided (see [`DynamicModel`]); each is a
+//! [`TopologyModel`](crate::engine::TopologyModel) implementation the
+//! engines consume through one interface:
 //!
 //! * [`EdgeMarkov`] — every edge of the base graph flips off/on with
 //!   independent Poisson rates (an edge-Markovian evolving graph). With
@@ -24,6 +26,16 @@
 //! * [`NodeChurn`] — nodes leave and rejoin with Poisson rates; a node
 //!   retains the rumor while away (rumor retention) and reattaches to
 //!   random active nodes when it returns.
+//! * [`RandomWalk`] — every live edge is a walker: at Poisson times one
+//!   endpoint re-samples along the base graph (a random-walk step),
+//!   conserving the live edge count.
+//! * [`Mobility`] — nodes move in the unit square with bounded random
+//!   steps; edges connect pairs within a connection radius, maintained
+//!   through a grid index ([`rumor_graph::geometry::GridIndex`]).
+//! * [`Adversary`] — at Poisson strike times an adversary cuts up to a
+//!   budget of edges crossing the informed/uninformed frontier (the
+//!   worst case the paper's lower bounds gesture at); cut edges heal
+//!   after a fixed delay.
 //!
 //! [`AsyncView`]: crate::AsyncView
 //!
@@ -47,7 +59,6 @@ use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::{generators, Graph, Node};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
-use crate::engine::topology::ModelState;
 use crate::engine::{drive, Control, Either, Merged, QueueSource, TickSource};
 use crate::mode::Mode;
 use crate::outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
@@ -165,6 +176,101 @@ impl NodeChurn {
     }
 }
 
+/// Random-walk edge dynamics: each live edge carries a Poisson clock
+/// of rate `rate`; at a tick one endpoint slides to a uniformly random
+/// base-graph neighbor of its current position. Steps into an occupied
+/// or degenerate vertex pair are rejected, so the live edge count is
+/// conserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    /// Per-edge Poisson rate of walk steps.
+    pub rate: f64,
+}
+
+impl RandomWalk {
+    /// A random-walk model with the given per-edge step rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "walk rate must be finite and >= 0");
+        Self { rate }
+    }
+}
+
+/// Geometric mobility: nodes at uniformly drawn positions in the unit
+/// square, connected when within `radius`; each node takes a bounded
+/// uniform random step (side length `2·step`, clamped to the square)
+/// at Poisson rate `move_rate`. The caller's base graph only fixes the
+/// node count — the starting topology is the proximity graph of the
+/// initial positions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mobility {
+    /// Per-node Poisson rate of movement steps.
+    pub move_rate: f64,
+    /// Connection radius.
+    pub radius: f64,
+    /// Half-width of the uniform step square.
+    pub step: f64,
+}
+
+impl Mobility {
+    /// A mobility model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `move_rate` is negative/non-finite, or `radius`/`step`
+    /// is not strictly positive and finite.
+    pub fn new(move_rate: f64, radius: f64, step: f64) -> Self {
+        assert!(move_rate >= 0.0 && move_rate.is_finite(), "move rate must be finite and >= 0");
+        assert!(radius > 0.0 && radius.is_finite(), "radius must be positive and finite");
+        assert!(step > 0.0 && step.is_finite(), "step must be positive and finite");
+        Self { move_rate, radius, step }
+    }
+
+    /// A mobility model whose expected degree matches `g`'s average
+    /// degree: radius `sqrt(d̄ / (π n))`, so spreading times are
+    /// comparable with runs on the base graph at equal density.
+    pub fn matching_density(g: &Graph, move_rate: f64, step: f64) -> Self {
+        let n = g.node_count() as f64;
+        let mean_degree = 2.0 * g.edge_count() as f64 / n;
+        let radius = (mean_degree / (std::f64::consts::PI * n)).sqrt().min(1.0);
+        Self::new(move_rate, radius.max(f64::MIN_POSITIVE), step)
+    }
+}
+
+/// Adversarial edge removal: at Poisson rate `rate` the adversary cuts
+/// up to `budget` edges with exactly one informed endpoint (the
+/// informed/uninformed frontier, scanned in ascending node order); each
+/// cut edge is re-inserted `heal_after` time units later
+/// (`f64::INFINITY` = removed for good).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adversary {
+    /// Poisson rate of adversary strikes.
+    pub rate: f64,
+    /// Maximum frontier edges cut per strike.
+    pub budget: usize,
+    /// Delay until a cut edge reappears; `f64::INFINITY` disables
+    /// healing.
+    pub heal_after: f64,
+}
+
+impl Adversary {
+    /// An adversary model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative/non-finite, `budget == 0`, or
+    /// `heal_after` is not positive (infinity is allowed).
+    pub fn new(rate: f64, budget: usize, heal_after: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "strike rate must be finite and >= 0");
+        assert!(budget > 0, "cut budget must be positive");
+        assert!(heal_after > 0.0 && !heal_after.is_nan(), "heal delay must be positive");
+        Self { rate, budget, heal_after }
+    }
+}
+
 /// How the topology evolves during a dynamic run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DynamicModel {
@@ -177,17 +283,37 @@ pub enum DynamicModel {
     Rewire(Rewire),
     /// Poisson node leave/join with rumor retention.
     NodeChurn(NodeChurn),
+    /// Random-walk edge dynamics along the base graph.
+    RandomWalk(RandomWalk),
+    /// Geometric mobility in the unit square (proximity edges).
+    Mobility(Mobility),
+    /// Budget-limited adversarial cuts of the informed frontier.
+    Adversary(Adversary),
 }
 
 impl DynamicModel {
-    /// Whether this model can ever schedule a topology event.
+    /// Whether this model can ever schedule a topology event (and
+    /// therefore replays the static engine seed-for-seed). The mobility
+    /// model is never static: it replaces the starting topology even
+    /// when it schedules no moves.
     pub fn is_static(&self) -> bool {
         match *self {
             DynamicModel::Static => true,
             DynamicModel::EdgeMarkov(m) => m.off_rate == 0.0,
             DynamicModel::Rewire(m) => !m.period.is_finite(),
             DynamicModel::NodeChurn(m) => m.leave_rate == 0.0,
+            DynamicModel::RandomWalk(m) => m.rate == 0.0,
+            DynamicModel::Mobility(_) => false,
+            DynamicModel::Adversary(m) => m.rate == 0.0,
         }
+    }
+
+    /// The per-edge `(off, on)` chain rates if this model is
+    /// independently memoryless per base edge — what the lazy engine
+    /// ([`crate::engine::run_dynamic_lazy`]) requires. Delegates to
+    /// [`TopologyModel::memoryless_edge_rates`](crate::engine::TopologyModel::memoryless_edge_rates).
+    pub fn memoryless_edge_rates(&self) -> Option<(f64, f64)> {
+        self.build_state().memoryless_edge_rates()
     }
 }
 
@@ -201,6 +327,13 @@ impl std::fmt::Display for DynamicModel {
             DynamicModel::Rewire(m) => write!(f, "rewire(period={})", m.period),
             DynamicModel::NodeChurn(m) => {
                 write!(f, "node-churn(leave={}, join={})", m.leave_rate, m.join_rate)
+            }
+            DynamicModel::RandomWalk(m) => write!(f, "random-walk(rate={})", m.rate),
+            DynamicModel::Mobility(m) => {
+                write!(f, "mobility(rate={}, radius={}, step={})", m.move_rate, m.radius, m.step)
+            }
+            DynamicModel::Adversary(m) => {
+                write!(f, "adversary(rate={}, budget={}, heal={})", m.rate, m.budget, m.heal_after)
             }
         }
     }
@@ -347,8 +480,9 @@ fn run_dynamic_inner(
     // stream costs exactly one exp(rate) draw per tick — the same RNG
     // positions as the static engine, which is the replay guarantee.
     let mut src = Merged::new(QueueSource::new(), TickSource::new(n as f64));
-    let mut state = ModelState::init(model, g, &mut src.first.queue, rng);
     let mut net = MutableGraph::from_graph(g);
+    let mut state = model.build_state();
+    state.init(g, &mut net, &mut src.first.queue, rng);
 
     let mut t = 0.0;
     let mut steps = 0u64;
@@ -361,7 +495,15 @@ fn run_dynamic_inner(
             match event {
                 Either::First(topo) => {
                     topology_events += 1;
-                    state.apply(topo, te, &mut net, &mut src.first.queue, rng);
+                    let informed = &informed_time;
+                    state.apply(
+                        topo,
+                        te,
+                        &mut net,
+                        &|v| informed[v as usize].is_finite(),
+                        &mut src.first.queue,
+                        rng,
+                    );
                     if let Some(trace) = trace.as_deref_mut() {
                         trace.push(EngineEvent { time: te, kind: EngineEventKind::Topology });
                     }
@@ -492,6 +634,8 @@ mod tests {
                 period: f64::INFINITY,
                 family: SnapshotFamily::Gnp { p: 0.1 },
             }),
+            DynamicModel::RandomWalk(RandomWalk::new(0.0)),
+            DynamicModel::Adversary(Adversary { rate: 0.0, budget: 4, heal_after: 1.0 }),
         ] {
             assert!(model.is_static());
             let stat =
@@ -573,12 +717,153 @@ mod tests {
     }
 
     #[test]
+    fn random_walk_conserves_edges_and_completes() {
+        let g = generators::gnp_connected(48, 0.15, &mut rng(30), 100);
+        let model = DynamicModel::RandomWalk(RandomWalk::new(1.0));
+        let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(31), 10_000_000);
+        assert!(out.completed);
+        assert!(out.topology_events > 0);
+        assert!(out.informed_time.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn random_walk_on_a_path_beats_the_static_path() {
+        // Walkers detach the path's bottleneck structure: long-range
+        // edges appear as endpoints diffuse, so spreading accelerates
+        // markedly over the static path.
+        let g = generators::path(64);
+        let mut static_stats = OnlineStats::new();
+        let mut walk_stats = OnlineStats::new();
+        for seed in 0..20 {
+            let s = run_dynamic(
+                &g,
+                0,
+                Mode::PushPull,
+                &DynamicModel::Static,
+                &mut rng(400 + seed),
+                100_000_000,
+            );
+            assert!(s.completed);
+            static_stats.push(s.time);
+            let w = run_dynamic(
+                &g,
+                0,
+                Mode::PushPull,
+                &DynamicModel::RandomWalk(RandomWalk::new(4.0)),
+                &mut rng(400 + seed),
+                100_000_000,
+            );
+            assert!(w.completed);
+            walk_stats.push(w.time);
+        }
+        assert!(
+            walk_stats.mean() < 0.7 * static_stats.mean(),
+            "walk dynamics should beat the static path: {} vs {}",
+            walk_stats.mean(),
+            static_stats.mean()
+        );
+    }
+
+    #[test]
+    fn mobility_spreads_on_the_proximity_graph() {
+        // Radius chosen for expected degree ~ pi r^2 n ~ 15: dense
+        // enough that the proximity graph is connected w.h.p., and
+        // moves heal any unlucky isolation.
+        let g = generators::path(48); // base graph only fixes n
+        let model = DynamicModel::Mobility(Mobility::new(1.0, 0.32, 0.15));
+        let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(41), 50_000_000);
+        assert!(out.completed);
+        assert!(out.topology_events > 0, "moves must fire");
+        assert!(out.informed_time.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn mobility_matching_density_tracks_mean_degree() {
+        let g = generators::random_regular_connected(64, 6, &mut rng(43), 500);
+        let m = Mobility::matching_density(&g, 1.0, 0.1);
+        let expected_degree = std::f64::consts::PI * m.radius * m.radius * 64.0;
+        assert!((expected_degree - 6.0).abs() < 1e-9, "expected degree {expected_degree}");
+    }
+
+    #[test]
+    fn adversary_stalls_a_thin_frontier() {
+        // On a path the informed/uninformed frontier is at most two
+        // edges; an adversary with budget >= 2 cuts all of them at
+        // every strike, so spreading must be much slower than static.
+        let g = generators::path(32);
+        let mut static_stats = OnlineStats::new();
+        let mut adv_stats = OnlineStats::new();
+        for seed in 0..15 {
+            let s = run_dynamic(
+                &g,
+                0,
+                Mode::PushPull,
+                &DynamicModel::Static,
+                &mut rng(500 + seed),
+                100_000_000,
+            );
+            assert!(s.completed);
+            static_stats.push(s.time);
+            let a = run_dynamic(
+                &g,
+                0,
+                Mode::PushPull,
+                &DynamicModel::Adversary(Adversary::new(2.0, 4, 1.0)),
+                &mut rng(500 + seed),
+                100_000_000,
+            );
+            assert!(a.completed, "healing keeps the run finishing, seed {seed}");
+            adv_stats.push(a.time);
+        }
+        assert!(
+            adv_stats.mean() > 1.5 * static_stats.mean(),
+            "frontier cuts should slow the path: {} vs {}",
+            adv_stats.mean(),
+            static_stats.mean()
+        );
+    }
+
+    #[test]
+    fn adversary_without_healing_censors_the_run() {
+        // Unhealed cuts on a path disconnect the informed prefix for
+        // good once the frontier is cut: the run must report censoring
+        // rather than spin forever.
+        let g = generators::path(16);
+        let model = DynamicModel::Adversary(Adversary::new(50.0, 4, f64::INFINITY));
+        let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(51), 200_000);
+        assert!(!out.completed);
+        assert!(out.informed_time.iter().any(|t| t.is_infinite()));
+    }
+
+    #[test]
+    fn memoryless_edge_rates_gate_the_lazy_engine() {
+        assert_eq!(DynamicModel::Static.memoryless_edge_rates(), Some((0.0, 0.0)));
+        assert_eq!(
+            DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: 2.0, on_rate: 0.5 })
+                .memoryless_edge_rates(),
+            Some((2.0, 0.5))
+        );
+        for model in [
+            DynamicModel::Rewire(Rewire::new(1.0, SnapshotFamily::Gnp { p: 0.3 })),
+            DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.0, 2)),
+            DynamicModel::RandomWalk(RandomWalk::new(1.0)),
+            DynamicModel::Mobility(Mobility::new(1.0, 0.3, 0.1)),
+            DynamicModel::Adversary(Adversary::new(1.0, 2, 1.0)),
+        ] {
+            assert_eq!(model.memoryless_edge_rates(), None, "model {model}");
+        }
+    }
+
+    #[test]
     fn deterministic_under_seed() {
         let g = generators::hypercube(4);
         for model in [
             DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
             DynamicModel::Rewire(Rewire::new(1.0, SnapshotFamily::Gnp { p: 0.3 })),
             DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.0, 2)),
+            DynamicModel::RandomWalk(RandomWalk::new(2.0)),
+            DynamicModel::Mobility(Mobility::new(1.0, 0.4, 0.2)),
+            DynamicModel::Adversary(Adversary::new(1.0, 2, 0.5)),
         ] {
             let a = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(9), 1_000_000);
             let b = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(9), 1_000_000);

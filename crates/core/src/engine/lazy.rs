@@ -33,7 +33,7 @@ use rumor_graph::{Graph, Node};
 use rumor_sim::events::LazyMarkovClock;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
-use crate::dynamic::EdgeMarkov;
+use crate::dynamic::{DynamicModel, EdgeMarkov};
 use crate::engine::{drive, Control, TickSource};
 use crate::mode::Mode;
 use crate::outcome::AsyncOutcome;
@@ -82,6 +82,36 @@ impl LazyOutcome {
 #[inline]
 fn edge_seed(seed: u64, eid: u32) -> u64 {
     seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(eid) + 1)
+}
+
+/// Runs any **per-edge-memoryless** [`DynamicModel`] with lazy clocks,
+/// consuming the model through the
+/// [`TopologyModel`](crate::engine::TopologyModel) interface: the model
+/// is asked for its per-edge `(off, on)` chain rates
+/// ([`memoryless_edge_rates`]) and, when it has them ([`Static`] and
+/// [`EdgeMarkov`](DynamicModel::EdgeMarkov) do), the run keeps no
+/// pending topology events at all. Returns `None` for models whose
+/// evolution couples edges to each other or to the informed state
+/// (rewiring, node churn, random walks, mobility, the adversary) —
+/// those need the eager event stream.
+///
+/// [`memoryless_edge_rates`]: crate::engine::TopologyModel::memoryless_edge_rates
+/// [`Static`]: DynamicModel::Static
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or the base graph has isolated
+/// nodes.
+pub fn run_dynamic_lazy(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> Option<LazyOutcome> {
+    let (off_rate, on_rate) = model.memoryless_edge_rates()?;
+    Some(run_edge_markov_lazy(g, source, mode, EdgeMarkov { off_rate, on_rate }, rng, max_steps))
 }
 
 /// Runs the asynchronous push/pull/push–pull protocol under edge-Markov

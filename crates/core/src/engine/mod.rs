@@ -11,9 +11,12 @@
 //!   sequential engines are now written over it, with RNG consumption
 //!   preserved draw-for-draw (the seed-for-seed replay guarantees of
 //!   PR 1 still hold and are still property-tested).
-//! * [`topology`] — the topology-evolution state machine (edge-Markov
-//!   flips, periodic rewiring, node churn) shared by the sequential
-//!   dynamic engine and the sharded engine.
+//! * [`topology`] — the pluggable topology-model layer: the
+//!   [`TopologyModel`] trait (next-event draw, apply, incremental rate
+//!   delta) every engine consumes models through, with six
+//!   implementations (edge-Markov flips, periodic rewiring, node
+//!   churn, random-walk edge dynamics, geometric mobility, frontier
+//!   adversary).
 //! * [`lazy`] — an edge-Markov engine with **lazy per-edge clocks**:
 //!   no pending-flip queue at all, each edge's on/off chain resolved
 //!   only when a contact touches it. Memory for topology bookkeeping is
@@ -30,6 +33,7 @@ pub mod sharded;
 pub mod source;
 pub mod topology;
 
-pub use lazy::{run_edge_markov_lazy, LazyOutcome};
+pub use lazy::{run_dynamic_lazy, run_edge_markov_lazy, LazyOutcome};
 pub use sharded::{run_dynamic_sharded, run_dynamic_sharded_with, ShardedOutcome};
 pub use source::{drive, Control, Either, EventSource, Merged, QueueSource, TickSource};
+pub use topology::{InformedView, RateImpact, TopoEvent, TopologyModel};

@@ -58,7 +58,7 @@ use rumor_sim::events::EventQueue;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::dynamic::{DynamicModel, DynamicOutcome};
-use crate::engine::topology::{ModelState, TopoEvent};
+use crate::engine::topology::{TopoEvent, TopologyModel};
 use crate::mode::Mode;
 
 /// Result of a sharded run: the sequential-engine-compatible outcome
@@ -255,11 +255,12 @@ fn coordinate(
     net: &RwLock<MutableGraph>,
     states: &[Mutex<ShardState>],
     topo_queue: &mut EventQueue<TopoEvent>,
-    mstate: &mut ModelState,
+    mstate: &mut dyn TopologyModel,
     rng: &mut Xoshiro256PlusPlus,
     mut shard0_rng: Option<Xoshiro256PlusPlus>,
     mut local_rates: Vec<f64>,
     mut cross_rate: f64,
+    mut node_cross: Vec<f64>,
     workers: Vec<(SyncSender<Advance>, Receiver<Report>)>,
     mut informed_total: usize,
 ) -> Totals {
@@ -362,19 +363,32 @@ fn coordinate(
         if next_topo <= next_cross {
             let (te, ev) = topo_queue.pop().expect("peeked event exists");
             totals.topology_events += 1;
-            let endpoints = ev.touched_endpoints(mstate);
             let mut netw = net.write().expect("engine never poisons the topology lock");
-            match endpoints {
-                Some((u, v)) => {
-                    // Edge flip: only the endpoints' cross contributions
-                    // can change — adjust incrementally.
-                    let (su, sv) = (part.shard_of(u) as usize, part.shard_of(v) as usize);
-                    let old = [part.node_cross_rate(&netw, u), part.node_cross_rate(&netw, v)];
-                    mstate.apply(ev, te, &mut netw, topo_queue, rng);
-                    let new = [part.node_cross_rate(&netw, u), part.node_cross_rate(&netw, v)];
+            let impact = {
+                // Informed-state view for frontier-aware models: shard
+                // locks are uncontended here — every worker has reported
+                // and is parked on its command channel.
+                let informed = |v: Node| {
+                    let st = states[part.shard_of(v) as usize]
+                        .lock()
+                        .expect("engine never poisons a shard lock");
+                    st.informed[part.local_index(v) as usize].is_finite()
+                };
+                mstate.apply(ev, te, &mut netw, &informed, topo_queue, rng)
+            };
+            match impact.touched() {
+                Some(touched) => {
+                    // Localized mutation (e.g. an edge flip): only the
+                    // reported nodes' cross contributions can change —
+                    // adjust incrementally against the cached per-node
+                    // rates (`node_cross` holds the pre-apply values).
                     let mut delta = 0.0;
-                    for (s, (o, nw)) in [su, sv].into_iter().zip(old.into_iter().zip(new)) {
+                    for &x in touched {
+                        let o = node_cross[x as usize];
+                        let nw = part.node_cross_rate(&netw, x);
                         if o != nw {
+                            node_cross[x as usize] = nw;
+                            let s = part.shard_of(x) as usize;
                             local_rates[s] += o - nw;
                             delta += nw - o;
                             invalidate(states, &mut tick_hints, &local_rates, s, te);
@@ -387,10 +401,13 @@ fn coordinate(
                     }
                 }
                 None => {
-                    // Snapshot or node toggle: recompute every rate and
-                    // re-draw the arrivals whose rates moved.
-                    mstate.apply(ev, te, &mut netw, topo_queue, rng);
+                    // Global mutation (snapshot, node toggle, strike,
+                    // move): recompute every rate, refresh the cache,
+                    // and re-draw the arrivals whose rates moved.
                     let (lr, cr) = part.shard_rates(&netw);
+                    for (v, c) in node_cross.iter_mut().enumerate() {
+                        *c = part.node_cross_rate(&netw, v as Node);
+                    }
                     for s in 0..k {
                         if lr[s] != local_rates[s] {
                             local_rates[s] = lr[s];
@@ -523,9 +540,13 @@ pub fn run_dynamic_sharded_with(
     }
 
     // Model init first, from the caller's stream — the sequential
-    // engine's order, which the K = 1 replay depends on.
+    // engine's order, which the K = 1 replay depends on. Init may
+    // replace the starting topology (mobility), so it precedes the
+    // rate derivation below.
     let mut topo_queue = EventQueue::new();
-    let mut mstate = ModelState::init(model, g, &mut topo_queue, rng);
+    let mut mstate = model.build_state();
+    let mut net = MutableGraph::from_graph(g);
+    mstate.init(g, &mut net, &mut topo_queue, rng);
 
     // K = 1: the lone shard shares the caller's stream. K > 1: one
     // derivation draw, then well-separated child streams per shard; the
@@ -539,7 +560,8 @@ pub fn run_dynamic_sharded_with(
     };
     let shard0_rng = if k == 1 { None } else { Some(shard_rngs.remove(0)) };
 
-    let net = RwLock::new(MutableGraph::from_graph(g));
+    let node_cross: Vec<f64> = (0..n).map(|v| partition.node_cross_rate(&net, v as Node)).collect();
+    let net = RwLock::new(net);
     let (local_rates, cross_rate) = partition.shard_rates(&net.read().expect("fresh lock"));
     let states: Vec<Mutex<ShardState>> = (0..k)
         .map(|s| {
@@ -570,11 +592,12 @@ pub fn run_dynamic_sharded_with(
             &net,
             &states,
             &mut topo_queue,
-            &mut mstate,
+            mstate.as_mut(),
             rng,
             shard0_rng,
             local_rates,
             cross_rate,
+            node_cross,
             Vec::new(),
             1,
         )
@@ -599,11 +622,12 @@ pub fn run_dynamic_sharded_with(
                 &net,
                 &states,
                 &mut topo_queue,
-                &mut mstate,
+                mstate.as_mut(),
                 rng,
                 shard0_rng,
                 local_rates,
                 cross_rate,
+                node_cross,
                 workers,
                 1,
             )
@@ -647,7 +671,9 @@ mod tests {
     use rumor_graph::generators;
     use rumor_sim::stats::OnlineStats;
 
-    use crate::dynamic::{run_dynamic, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily};
+    use crate::dynamic::{
+        run_dynamic, Adversary, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
+    };
 
     fn rng(seed: u64) -> Xoshiro256PlusPlus {
         Xoshiro256PlusPlus::seed_from(seed)
@@ -659,6 +685,9 @@ mod tests {
             DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
             DynamicModel::Rewire(Rewire::new(2.0, SnapshotFamily::Gnp { p: 0.2 })),
             DynamicModel::NodeChurn(NodeChurn::new(0.2, 1.0, 3)),
+            DynamicModel::RandomWalk(RandomWalk::new(1.0)),
+            DynamicModel::Mobility(Mobility::new(1.0, 0.35, 0.15)),
+            DynamicModel::Adversary(Adversary::new(1.0, 3, 1.0)),
         ]
     }
 

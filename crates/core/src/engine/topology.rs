@@ -1,148 +1,589 @@
-//! The topology-evolution state machine shared by every dynamic engine.
+//! The pluggable topology-model layer shared by every dynamic engine.
 //!
-//! [`ModelState`] turns a [`DynamicModel`](crate::dynamic::DynamicModel)
-//! into scheduled [`TopoEvent`]s and applies them to a
-//! [`MutableGraph`], rescheduling successors as it goes. The sequential
-//! engine ([`crate::run_dynamic`]) merges these events with protocol
-//! ticks in one stream; the sharded engine processes them at its
-//! window barriers. Both reuse this module so the two agree event for
-//! event — the foundation of the K = 1 replay invariant.
+//! [`TopologyModel`] is the one interface through which the engines
+//! consume topology evolution: a model schedules its next events into
+//! the shared [`EventQueue`] (*next-event draw*), mutates the
+//! [`MutableGraph`] when an event fires (*apply*), and reports which
+//! nodes' contact rates the mutation can have touched
+//! ([`RateImpact`], the *incremental rate delta* the sharded engine's
+//! conservative horizon maintenance needs). The sequential engine
+//! ([`crate::run_dynamic`]) merges the scheduled events with protocol
+//! ticks in one stream; the sharded engine processes them at its window
+//! barriers; the lazy engine asks a model whether it is per-edge
+//! memoryless ([`TopologyModel::memoryless_edge_rates`]) and, if so,
+//! skips event scheduling entirely. All engines share these
+//! implementations, so they agree event for event — the foundation of
+//! the K = 1 replay invariant.
+//!
+//! Six models are implemented behind the trait: the PR 1 trio
+//! (edge-Markov flips, periodic rewiring, node churn — re-expressed
+//! here with bit-identical RNG consumption, so pre-refactor runs replay
+//! seed-for-seed; pinned in `tests/replay_golden.rs`) and three models
+//! new with this layer: random-walk edge dynamics, geometric mobility
+//! on a [`GridIndex`], and budget-limited adversarial removal of the
+//! informed/uninformed frontier.
 
 use rumor_graph::dynamic::MutableGraph;
-use rumor_graph::{Graph, Node};
+use rumor_graph::geometry::GridIndex;
+use rumor_graph::{Graph, GraphBuilder, Node};
 use rumor_sim::events::EventQueue;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
-use crate::dynamic::DynamicModel;
+use crate::dynamic::{
+    Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
+};
 
 /// Pending topology events in the interleaved stream.
+///
+/// One shared payload type keeps the event queue monomorphic across
+/// models; each [`TopologyModel`] implementation consumes only the
+/// variants it scheduled and panics on any other (a scheduling bug).
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum TopoEvent {
+pub enum TopoEvent {
     /// Flip base-edge `i` (index into the edge-Markov base edge list).
     Flip(u32),
     /// Replace the topology with a fresh snapshot.
     Snapshot,
     /// Toggle node participation (leave if active, join if away).
     Toggle(Node),
+    /// Walk one endpoint of live edge `i` along the base graph.
+    Walk(u32),
+    /// Move node `v` to a new position and refresh its proximity edges.
+    Move(Node),
+    /// Adversary strike: cut frontier edges up to the budget.
+    Strike,
+    /// Re-insert adversary-cut edge `i` (index into the heal slab).
+    Heal(u32),
 }
 
-impl TopoEvent {
-    /// The nodes whose incident edges the event rewires, or `None` when
-    /// it can touch the whole graph (snapshot) or a node's entire
-    /// neighborhood (toggle). The sharded engine uses this to decide
-    /// between an incremental and a full rate recomputation.
-    pub(crate) fn touched_endpoints(&self, state: &ModelState) -> Option<(Node, Node)> {
-        match (self, state) {
-            (TopoEvent::Flip(i), ModelState::EdgeMarkov { base, .. }) => Some(base[*i as usize]),
-            _ => None,
+/// Which nodes a topology event's mutation can have re-rated.
+///
+/// The sharded engine keeps per-node cross-rate caches; a `Nodes`
+/// impact lets it adjust only the listed nodes' contributions
+/// (incremental rate delta), while `Global` forces a full rate
+/// recomputation. Over-reporting is safe (unchanged nodes are no-ops);
+/// under-reporting corrupts the horizon.
+#[derive(Debug, Clone, Copy)]
+pub enum RateImpact {
+    /// Only the first `len` entries of `nodes` can have changed rates.
+    Nodes {
+        /// Inline node storage (events touch at most 3 nodes).
+        nodes: [Node; 3],
+        /// Number of valid entries.
+        len: u8,
+    },
+    /// Any node's rate may have changed.
+    Global,
+}
+
+impl RateImpact {
+    /// An impact covering exactly `nodes` (at most 3).
+    pub fn nodes(nodes: &[Node]) -> Self {
+        assert!(nodes.len() <= 3, "local impacts cover at most 3 nodes");
+        let mut buf = [0 as Node; 3];
+        buf[..nodes.len()].copy_from_slice(nodes);
+        RateImpact::Nodes { nodes: buf, len: nodes.len() as u8 }
+    }
+
+    /// The touched nodes, or `None` for a global impact.
+    pub fn touched(&self) -> Option<&[Node]> {
+        match self {
+            RateImpact::Nodes { nodes, len } => Some(&nodes[..*len as usize]),
+            RateImpact::Global => None,
         }
     }
 }
 
-/// Per-model mutable state carried through a run.
-pub(crate) enum ModelState {
-    Static,
-    EdgeMarkov { base: Vec<(Node, Node)>, present: Vec<bool>, off: f64, on: f64 },
-    Rewire { period: f64, family: crate::dynamic::SnapshotFamily },
-    NodeChurn { leave: f64, join: f64, attach: usize },
-}
+/// Read-only answer to *"does `v` currently know the rumor?"*, handed
+/// to [`TopologyModel::apply`] so informed-state-dependent models (the
+/// frontier adversary) work in every engine: the sequential engine
+/// closes over its informed-time vector, the sharded engine over its
+/// shard states.
+pub type InformedView<'a> = &'a dyn Fn(Node) -> bool;
 
-impl ModelState {
-    /// Builds run state and schedules each model's initial events.
-    ///
-    /// Zero-rate models schedule nothing and consume **no randomness**,
-    /// which is what makes the churn-0 run identical to the static one.
-    pub(crate) fn init(
-        model: &DynamicModel,
+/// A topology-evolution model, as consumed by the dynamic engines.
+///
+/// Implementations must follow the engines' RNG discipline: draw from
+/// the RNG only when scheduling or applying actually needs randomness,
+/// and schedule nothing when all rates are zero — that is what makes a
+/// zero-rate model replay the static engine seed-for-seed.
+pub trait TopologyModel {
+    /// Schedules the model's initial events and applies any initial
+    /// topology (e.g. the mobility model replaces `net`'s edges with
+    /// the proximity graph of freshly drawn positions). `g` is the
+    /// starting snapshot `net` was built from.
+    fn init(
+        &mut self,
         g: &Graph,
+        net: &mut MutableGraph,
         queue: &mut EventQueue<TopoEvent>,
         rng: &mut Xoshiro256PlusPlus,
-    ) -> Self {
-        match *model {
-            DynamicModel::Static => ModelState::Static,
-            DynamicModel::EdgeMarkov(m) => {
-                let base: Vec<(Node, Node)> = g.edges().collect();
-                if m.off_rate > 0.0 {
-                    for i in 0..base.len() {
-                        queue.push(rng.exp(m.off_rate), TopoEvent::Flip(i as u32));
-                    }
-                }
-                ModelState::EdgeMarkov {
-                    present: vec![true; base.len()],
-                    base,
-                    off: m.off_rate,
-                    on: m.on_rate,
-                }
-            }
-            DynamicModel::Rewire(m) => {
-                if m.period.is_finite() {
-                    queue.push(m.period, TopoEvent::Snapshot);
-                }
-                ModelState::Rewire { period: m.period, family: m.family }
-            }
-            DynamicModel::NodeChurn(m) => {
-                if m.leave_rate > 0.0 {
-                    for v in 0..g.node_count() as Node {
-                        queue.push(rng.exp(m.leave_rate), TopoEvent::Toggle(v));
-                    }
-                }
-                ModelState::NodeChurn {
-                    leave: m.leave_rate,
-                    join: m.join_rate,
-                    attach: m.attach_degree,
-                }
-            }
-        }
-    }
+    );
 
-    /// Applies one topology event at time `t` and schedules its
-    /// successor.
-    pub(crate) fn apply(
+    /// Applies one event at time `t`, schedules its successors, and
+    /// reports the rate impact of the mutation.
+    fn apply(
         &mut self,
         event: TopoEvent,
         t: f64,
         net: &mut MutableGraph,
+        informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact;
+
+    /// The `(off_rate, on_rate)` per-edge chain rates if this model is
+    /// independent two-state Markov per base edge — the memorylessness
+    /// the lazy engine ([`crate::engine::run_dynamic_lazy`]) needs to
+    /// resolve edges on touch instead of scheduling events. `None` for
+    /// models with cross-edge or informed-state coupling.
+    fn memoryless_edge_rates(&self) -> Option<(f64, f64)> {
+        None
+    }
+}
+
+impl DynamicModel {
+    /// Builds the run state machine for this model behind the
+    /// [`TopologyModel`] interface.
+    pub fn build_state(&self) -> Box<dyn TopologyModel> {
+        match *self {
+            DynamicModel::Static => Box::new(StaticState),
+            DynamicModel::EdgeMarkov(m) => Box::new(EdgeMarkovState::new(m)),
+            DynamicModel::Rewire(m) => Box::new(RewireState::new(m)),
+            DynamicModel::NodeChurn(m) => Box::new(NodeChurnState::new(m)),
+            DynamicModel::RandomWalk(m) => Box::new(RandomWalkState::new(m)),
+            DynamicModel::Mobility(m) => Box::new(MobilityState::new(m)),
+            DynamicModel::Adversary(m) => Box::new(AdversaryState::new(m)),
+        }
+    }
+}
+
+/// The no-op model: no events, no randomness, the static process.
+struct StaticState;
+
+impl TopologyModel for StaticState {
+    fn init(
+        &mut self,
+        _g: &Graph,
+        _net: &mut MutableGraph,
+        _queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) {
+    }
+
+    fn apply(
+        &mut self,
+        _event: TopoEvent,
+        _t: f64,
+        _net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        _queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        unreachable!("the static model schedules no events")
+    }
+
+    fn memoryless_edge_rates(&self) -> Option<(f64, f64)> {
+        // Rates 0/0 freeze every edge in its starting state.
+        Some((0.0, 0.0))
+    }
+}
+
+/// Edge-Markov churn: independent on/off chains per base edge.
+struct EdgeMarkovState {
+    base: Vec<(Node, Node)>,
+    present: Vec<bool>,
+    off: f64,
+    on: f64,
+}
+
+impl EdgeMarkovState {
+    fn new(m: EdgeMarkov) -> Self {
+        Self { base: Vec::new(), present: Vec::new(), off: m.off_rate, on: m.on_rate }
+    }
+}
+
+impl TopologyModel for EdgeMarkovState {
+    fn init(
+        &mut self,
+        g: &Graph,
+        _net: &mut MutableGraph,
         queue: &mut EventQueue<TopoEvent>,
         rng: &mut Xoshiro256PlusPlus,
     ) {
-        match (self, event) {
-            (ModelState::EdgeMarkov { base, present, off, on }, TopoEvent::Flip(i)) => {
-                let i = i as usize;
-                let (u, v) = base[i];
-                if present[i] {
-                    net.remove_edge(u, v);
-                    present[i] = false;
-                    if *on > 0.0 {
-                        queue.push(t + rng.exp(*on), TopoEvent::Flip(i as u32));
+        self.base = g.edges().collect();
+        self.present = vec![true; self.base.len()];
+        if self.off > 0.0 {
+            for i in 0..self.base.len() {
+                queue.push(rng.exp(self.off), TopoEvent::Flip(i as u32));
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let TopoEvent::Flip(i) = event else {
+            unreachable!("edge-Markov schedules only flips");
+        };
+        let i = i as usize;
+        let (u, v) = self.base[i];
+        if self.present[i] {
+            net.remove_edge(u, v);
+            self.present[i] = false;
+            if self.on > 0.0 {
+                queue.push(t + rng.exp(self.on), TopoEvent::Flip(i as u32));
+            }
+        } else {
+            net.add_edge(u, v);
+            self.present[i] = true;
+            if self.off > 0.0 {
+                queue.push(t + rng.exp(self.off), TopoEvent::Flip(i as u32));
+            }
+        }
+        RateImpact::nodes(&[u, v])
+    }
+
+    fn memoryless_edge_rates(&self) -> Option<(f64, f64)> {
+        Some((self.off, self.on))
+    }
+}
+
+/// Periodic full rewiring from a snapshot family.
+struct RewireState {
+    period: f64,
+    family: SnapshotFamily,
+}
+
+impl RewireState {
+    fn new(m: Rewire) -> Self {
+        Self { period: m.period, family: m.family }
+    }
+}
+
+impl TopologyModel for RewireState {
+    fn init(
+        &mut self,
+        _g: &Graph,
+        _net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) {
+        if self.period.is_finite() {
+            queue.push(self.period, TopoEvent::Snapshot);
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let TopoEvent::Snapshot = event else {
+            unreachable!("rewiring schedules only snapshots");
+        };
+        let snapshot = self.family.draw(net.node_count(), rng);
+        net.replace_edges_with(&snapshot);
+        queue.push(t + self.period, TopoEvent::Snapshot);
+        RateImpact::Global
+    }
+}
+
+/// Poisson node leave/join with rumor retention.
+struct NodeChurnState {
+    leave: f64,
+    join: f64,
+    attach: usize,
+}
+
+impl NodeChurnState {
+    fn new(m: NodeChurn) -> Self {
+        Self { leave: m.leave_rate, join: m.join_rate, attach: m.attach_degree }
+    }
+}
+
+impl TopologyModel for NodeChurnState {
+    fn init(
+        &mut self,
+        g: &Graph,
+        _net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) {
+        if self.leave > 0.0 {
+            for v in 0..g.node_count() as Node {
+                queue.push(rng.exp(self.leave), TopoEvent::Toggle(v));
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let TopoEvent::Toggle(v) = event else {
+            unreachable!("node churn schedules only toggles");
+        };
+        if net.is_active(v) {
+            net.deactivate(v);
+            if self.join > 0.0 {
+                queue.push(t + rng.exp(self.join), TopoEvent::Toggle(v));
+            }
+        } else {
+            net.activate(v);
+            attach_node(net, v, self.attach, rng);
+            if self.leave > 0.0 {
+                queue.push(t + rng.exp(self.leave), TopoEvent::Toggle(v));
+            }
+        }
+        // A toggle re-rates the node's whole (former) neighborhood.
+        RateImpact::Global
+    }
+}
+
+/// Random-walk edge dynamics: every live edge is a walker; at its
+/// events one endpoint slides to a uniformly random base-graph neighbor
+/// of its current position. Walkers occupy distinct vertex pairs by
+/// construction (a step into an occupied pair is rejected), so the live
+/// edge count is conserved.
+struct RandomWalkState {
+    base: Option<Graph>,
+    rate: f64,
+    /// Current endpoints of walker `i` (initially the base edges).
+    edges: Vec<(Node, Node)>,
+}
+
+impl RandomWalkState {
+    fn new(m: RandomWalk) -> Self {
+        Self { base: None, rate: m.rate, edges: Vec::new() }
+    }
+}
+
+impl TopologyModel for RandomWalkState {
+    fn init(
+        &mut self,
+        g: &Graph,
+        _net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) {
+        self.base = Some(g.clone());
+        self.edges = g.edges().collect();
+        if self.rate > 0.0 {
+            for i in 0..self.edges.len() {
+                queue.push(rng.exp(self.rate), TopoEvent::Walk(i as u32));
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let TopoEvent::Walk(i) = event else {
+            unreachable!("random-walk dynamics schedule only walks");
+        };
+        let (u, v) = self.edges[i as usize];
+        // One endpoint anchors, the other re-samples along the base
+        // graph: a single random-walk step from its current position.
+        let (anchor, mover) = if rng.range_usize(2) == 0 { (u, v) } else { (v, u) };
+        let target = self.base.as_ref().expect("init ran").random_neighbor(mover, rng);
+        queue.push(t + rng.exp(self.rate), TopoEvent::Walk(i));
+        if target == anchor || net.has_edge(anchor, target) {
+            // Self-pair or occupied pair: the step is rejected and the
+            // walker stays put (lazy-walk censoring).
+            return RateImpact::nodes(&[]);
+        }
+        net.remove_edge(anchor, mover);
+        net.add_edge(anchor, target);
+        self.edges[i as usize] = (anchor, target);
+        RateImpact::nodes(&[anchor, mover, target])
+    }
+}
+
+/// Geometric mobility: nodes live in the unit square, edges connect
+/// pairs within the connection radius, and nodes take bounded random
+/// steps at Poisson times. Positions are indexed by a [`GridIndex`] so
+/// each move costs O(neighborhood occupancy).
+struct MobilityState {
+    cfg: Mobility,
+    grid: Option<GridIndex>,
+    scratch: Vec<Node>,
+}
+
+impl MobilityState {
+    fn new(m: Mobility) -> Self {
+        Self { cfg: m, grid: None, scratch: Vec::new() }
+    }
+}
+
+impl TopologyModel for MobilityState {
+    fn init(
+        &mut self,
+        g: &Graph,
+        net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) {
+        let n = g.node_count();
+        let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64_unit(), rng.f64_unit())).collect();
+        let grid = GridIndex::new(positions, self.cfg.radius);
+        // The starting topology is the proximity graph of the drawn
+        // positions, not the caller's base graph (which only fixes n).
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in grid.proximity_edges() {
+            b.add_edge(u, v);
+        }
+        net.replace_edges_with(&b.build().expect("proximity edges are simple"));
+        self.grid = Some(grid);
+        if self.cfg.move_rate > 0.0 {
+            for v in 0..n as Node {
+                queue.push(rng.exp(self.cfg.move_rate), TopoEvent::Move(v));
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let TopoEvent::Move(v) = event else {
+            unreachable!("mobility schedules only moves");
+        };
+        let grid = self.grid.as_mut().expect("init ran");
+        let (x, y) = grid.position(v);
+        let step = self.cfg.step;
+        let nx = (x + (2.0 * rng.f64_unit() - 1.0) * step).clamp(0.0, 1.0);
+        let ny = (y + (2.0 * rng.f64_unit() - 1.0) * step).clamp(0.0, 1.0);
+        grid.move_to(v, nx, ny);
+        grid.within_radius(v, &mut self.scratch);
+        // Diff the sorted current adjacency against the sorted radius
+        // query: drop edges that fell out of range, add the newcomers.
+        let old: Vec<Node> = net.neighbors(v).to_vec();
+        for &w in old.iter().filter(|w| !self.scratch.contains(w)) {
+            net.remove_edge(v, w);
+        }
+        for &w in self.scratch.iter().filter(|w| !old.contains(w)) {
+            net.add_edge(v, w);
+        }
+        queue.push(t + rng.exp(self.cfg.move_rate), TopoEvent::Move(v));
+        // The gained/lost neighbors' degrees changed too.
+        RateImpact::Global
+    }
+}
+
+/// Budget-limited adversarial removal of the informed/uninformed
+/// frontier: at each strike the adversary cuts up to `budget` edges
+/// with exactly one informed endpoint — the worst-case dynamics the
+/// paper's lower bounds gesture at. Cut edges heal after a fixed delay
+/// (never, if the delay is infinite).
+struct AdversaryState {
+    cfg: Adversary,
+    /// Slab of cut edges awaiting their heal event; slots are recycled
+    /// through `free` once healed, so memory is bounded by the number
+    /// of *concurrently* healing edges, not the total ever cut.
+    healing: Vec<(Node, Node)>,
+    /// Healed slab slots available for reuse.
+    free: Vec<u32>,
+}
+
+impl AdversaryState {
+    fn new(m: Adversary) -> Self {
+        Self { cfg: m, healing: Vec::new(), free: Vec::new() }
+    }
+}
+
+impl TopologyModel for AdversaryState {
+    fn init(
+        &mut self,
+        _g: &Graph,
+        _net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) {
+        if self.cfg.rate > 0.0 {
+            queue.push(rng.exp(self.cfg.rate), TopoEvent::Strike);
+        }
+    }
+
+    fn apply(
+        &mut self,
+        event: TopoEvent,
+        t: f64,
+        net: &mut MutableGraph,
+        informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        match event {
+            TopoEvent::Strike => {
+                let mut cut = Vec::with_capacity(self.cfg.budget);
+                'scan: for v in 0..net.node_count() as Node {
+                    if !informed(v) {
+                        continue;
                     }
-                } else {
-                    net.add_edge(u, v);
-                    present[i] = true;
-                    if *off > 0.0 {
-                        queue.push(t + rng.exp(*off), TopoEvent::Flip(i as u32));
+                    for &w in net.neighbors(v) {
+                        if !informed(w) {
+                            cut.push((v, w));
+                            if cut.len() == self.cfg.budget {
+                                break 'scan;
+                            }
+                        }
                     }
                 }
-            }
-            (ModelState::Rewire { period, family }, TopoEvent::Snapshot) => {
-                let snapshot = family.draw(net.node_count(), rng);
-                net.replace_edges_with(&snapshot);
-                queue.push(t + *period, TopoEvent::Snapshot);
-            }
-            (ModelState::NodeChurn { leave, join, attach }, TopoEvent::Toggle(v)) => {
-                if net.is_active(v) {
-                    net.deactivate(v);
-                    if *join > 0.0 {
-                        queue.push(t + rng.exp(*join), TopoEvent::Toggle(v));
-                    }
-                } else {
-                    net.activate(v);
-                    attach_node(net, v, *attach, rng);
-                    if *leave > 0.0 {
-                        queue.push(t + rng.exp(*leave), TopoEvent::Toggle(v));
+                for &(u, w) in &cut {
+                    net.remove_edge(u, w);
+                    if self.cfg.heal_after.is_finite() {
+                        let slot = match self.free.pop() {
+                            Some(slot) => {
+                                self.healing[slot as usize] = (u, w);
+                                slot
+                            }
+                            None => {
+                                self.healing.push((u, w));
+                                (self.healing.len() - 1) as u32
+                            }
+                        };
+                        queue.push(t + self.cfg.heal_after, TopoEvent::Heal(slot));
                     }
                 }
+                queue.push(t + rng.exp(self.cfg.rate), TopoEvent::Strike);
+                RateImpact::Global
             }
-            _ => unreachable!("event kind does not match model"),
+            TopoEvent::Heal(i) => {
+                let (u, w) = self.healing[i as usize];
+                self.free.push(i);
+                if net.is_active(u) && net.is_active(w) {
+                    net.add_edge(u, w);
+                }
+                RateImpact::nodes(&[u, w])
+            }
+            _ => unreachable!("the adversary schedules only strikes and heals"),
         }
     }
 }

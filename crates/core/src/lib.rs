@@ -20,17 +20,21 @@
 //! * a **first-passage percolation** comparator ([`fpp`]) for the
 //!   Richardson-model correspondence on regular graphs;
 //! * a **dynamic-network engine** ([`dynamic`]) that interleaves topology
-//!   events (edge-Markov churn, periodic rewiring, node join/leave) with
-//!   protocol clock ticks in one time-ordered event stream, extending the
-//!   asynchronous model to temporal graphs à la Pourmiri–Mans; with churn
-//!   rate 0 it replays the static process seed-for-seed;
+//!   events with protocol clock ticks in one time-ordered event stream,
+//!   extending the asynchronous model to temporal graphs à la
+//!   Pourmiri–Mans; with churn rate 0 it replays the static process
+//!   seed-for-seed;
 //! * the **engine layer** ([`engine`]): the [`engine::EventSource`]
-//!   abstraction both sequential engines are written over, a
-//!   **sharded conservative-lookahead parallel engine**
+//!   abstraction both sequential engines are written over, the pluggable
+//!   [`engine::TopologyModel`] layer (edge-Markov churn, periodic
+//!   rewiring, node join/leave, random-walk edge dynamics, geometric
+//!   mobility, adversarial frontier cuts — one interface consumed by
+//!   every engine), a **sharded conservative-lookahead parallel engine**
 //!   ([`engine::sharded`]; one shard replays [`run_dynamic`]
 //!   seed-for-seed, more shards parallelize a single trial), and a
-//!   **lazy per-edge-clock** edge-Markov engine ([`engine::lazy`])
-//!   whose topology bookkeeping is O(touched edges), for `n ≥ 10⁶`;
+//!   **lazy per-edge-clock** engine ([`engine::lazy`]) for
+//!   per-edge-memoryless models, whose topology bookkeeping is
+//!   O(touched edges), for `n ≥ 10⁶`;
 //! * a seeded, optionally parallel **Monte-Carlo runner** ([`runner`]) for
 //!   estimating spreading-time laws, expectations `E[T]` and
 //!   high-probability quantiles `T₁/ₙ`.
@@ -73,7 +77,10 @@ pub mod trace;
 
 pub use asynchronous::{run_async, AsyncView};
 pub use dynamic::{run_dynamic, DynamicModel, DynamicOutcome};
-pub use engine::{run_dynamic_sharded, run_edge_markov_lazy, LazyOutcome, ShardedOutcome};
+pub use engine::{
+    run_dynamic_lazy, run_dynamic_sharded, run_edge_markov_lazy, LazyOutcome, ShardedOutcome,
+    TopologyModel,
+};
 pub use informed::InformedSet;
 pub use mode::Mode;
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};

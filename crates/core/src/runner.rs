@@ -152,8 +152,74 @@ pub fn async_spreading_times_parallel(
     })
 }
 
+/// Samples `(spreading_time, completed)` pairs over `trials`
+/// independent runs of [`run_dynamic`].
+///
+/// The `completed` flag is the **censoring indicator**: a `false` trial
+/// exhausted its step budget, so its time is a lower bound on the true
+/// spreading time, not a sample of it. Aggregations must not average
+/// censored times as if complete — count and report them separately
+/// (see `rumor_analysis`'s censoring-aware summaries).
+pub fn dynamic_spreading_outcomes(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<(f64, bool)> {
+    run_trials(trials, master_seed, |_, rng| {
+        let out = run_dynamic(g, source, mode, model, rng, max_steps);
+        (out.time, out.completed)
+    })
+}
+
+/// Parallel version of [`dynamic_spreading_outcomes`]; identical output
+/// for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_spreading_outcomes_parallel(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+    threads: usize,
+) -> Vec<(f64, bool)> {
+    run_trials_parallel(trials, master_seed, threads, |_, rng| {
+        let out = run_dynamic(g, source, mode, model, rng, max_steps);
+        (out.time, out.completed)
+    })
+}
+
+/// Samples `(spreading_time, completed)` pairs from the **sharded**
+/// engine, trial-serially (each trial parallelizes internally). See
+/// [`dynamic_spreading_outcomes`] for the censoring contract.
+#[allow(clippy::too_many_arguments)]
+pub fn dynamic_spreading_outcomes_sharded(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    shards: usize,
+    trials: usize,
+    master_seed: u64,
+    max_steps: u64,
+) -> Vec<(f64, bool)> {
+    run_trials(trials, master_seed, |_, rng| {
+        let out = run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps).outcome;
+        (out.time, out.completed)
+    })
+}
+
 /// Samples the dynamic-network spreading time (in time units) over
 /// `trials` independent runs of [`run_dynamic`].
+///
+/// Budget-exhausted trials contribute the time of their last step — a
+/// lower bound. Prefer [`dynamic_spreading_outcomes`] when censoring is
+/// possible (aggressive churn, adversarial models, tight budgets).
 pub fn dynamic_spreading_times(
     g: &Graph,
     source: Node,
@@ -286,6 +352,24 @@ mod tests {
         assert_eq!(out, vec![0]);
         let out = run_trials_parallel(0, 1, 2, |i, _| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn outcome_samples_flag_censoring() {
+        let g = generators::path(64);
+        let model = DynamicModel::Static;
+        // A 10-step budget cannot inform a 64-path: every trial censors.
+        let tiny = dynamic_spreading_outcomes(&g, 0, Mode::PushPull, &model, 8, 3, 10);
+        assert!(tiny.iter().all(|&(t, completed)| !completed && t.is_finite()));
+        // A generous budget completes every trial, and the time column
+        // matches the time-only helper bit-for-bit.
+        let full = dynamic_spreading_outcomes(&g, 0, Mode::PushPull, &model, 8, 3, 100_000_000);
+        assert!(full.iter().all(|&(_, completed)| completed));
+        let times = dynamic_spreading_times(&g, 0, Mode::PushPull, &model, 8, 3, 100_000_000);
+        assert_eq!(full.iter().map(|&(t, _)| t).collect::<Vec<_>>(), times);
+        // Parallel fan-out is bit-identical.
+        let par = dynamic_spreading_outcomes_parallel(&g, 0, Mode::PushPull, &model, 8, 3, 10, 4);
+        assert_eq!(tiny, par);
     }
 
     #[test]

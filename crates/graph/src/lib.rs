@@ -4,8 +4,9 @@
 //! [`GraphBuilder`], generators for every graph family used by the
 //! PODC 2016 paper (see [`generators`]), structural properties
 //! ([`props`]), plain-text edge-list I/O ([`io`]), a mutable
-//! adjacency adapter for temporal-graph simulation ([`dynamic`]), and
-//! shard partitions for parallel simulation engines ([`partition`]).
+//! adjacency adapter for temporal-graph simulation ([`dynamic`]), shard
+//! partitions for parallel simulation engines ([`partition`]), and a
+//! grid spatial index for geometric mobility models ([`geometry`]).
 //!
 //! The paper's protocols only ever ask two things of a graph: *“what is
 //! `deg(v)`?”* and *“give me a uniformly random neighbor of `v`”*. CSR
@@ -36,6 +37,7 @@ mod csr;
 pub mod dynamic;
 mod error;
 pub mod generators;
+pub mod geometry;
 pub mod io;
 pub mod ops;
 pub mod partition;

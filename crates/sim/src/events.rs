@@ -14,11 +14,18 @@ use std::collections::BinaryHeap;
 
 use crate::rng::{SplitMix64, Xoshiro256PlusPlus};
 
-/// A finite, non-NaN simulation timestamp with a total order.
+/// A finite simulation timestamp with a total order.
 ///
 /// Wrapping `f64` lets events live in a `BinaryHeap` without resorting to
-/// unsafe `Ord` shims. Construction rejects NaN, which is the only value
-/// that would break the order.
+/// unsafe `Ord` shims. Construction rejects every non-finite value: NaN
+/// would break the order, and `±INFINITY` — which the engines use as
+/// *sentinels* ("never informed", "no pending arrival") — must never be
+/// scheduled as an actual event. Horizon arithmetic in the sharded
+/// engine and `informed_time` vectors both traffic in `f64::INFINITY`,
+/// so accepting it here would let a sentinel silently enter the event
+/// heap and stall the stream; the contract is: **an event either has a
+/// finite time or is not scheduled at all** (models guard zero rates
+/// and infinite periods/delays by not pushing).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeKey(f64);
 
@@ -27,9 +34,9 @@ impl TimeKey {
     ///
     /// # Panics
     ///
-    /// Panics if `t` is NaN.
+    /// Panics if `t` is NaN or infinite.
     pub fn new(t: f64) -> Self {
-        assert!(!t.is_nan(), "event time must not be NaN");
+        assert!(t.is_finite(), "event time must be finite, got {t}");
         Self(t)
     }
 
@@ -49,8 +56,8 @@ impl PartialOrd for TimeKey {
 
 impl Ord for TimeKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: NaN is rejected at construction.
-        self.0.partial_cmp(&other.0).expect("TimeKey is never NaN")
+        // Safe: non-finite values are rejected at construction.
+        self.0.partial_cmp(&other.0).expect("TimeKey is always finite")
     }
 }
 
@@ -120,7 +127,8 @@ impl<T> EventQueue<T> {
     ///
     /// # Panics
     ///
-    /// Panics if `t` is NaN.
+    /// Panics if `t` is not finite — an event at `INFINITY` means
+    /// "never" and must not be scheduled (see [`TimeKey`]).
     pub fn push(&mut self, t: f64, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -335,10 +343,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
+    #[should_panic(expected = "finite")]
     fn queue_rejects_nan() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, ());
+    }
+
+    /// Regression (PR 3): `TimeKey` accepted `±INFINITY`, so a sentinel
+    /// produced by horizon arithmetic or an unguarded `t + INFINITY`
+    /// delay could silently enter the heap and sit at its tail forever.
+    /// The contract is now: event times are finite or the event is not
+    /// scheduled.
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn queue_rejects_positive_infinity() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn queue_rejects_negative_infinity() {
+        let mut q = EventQueue::new();
+        q.push(f64::NEG_INFINITY, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn time_key_rejects_infinity() {
+        TimeKey::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn time_key_accepts_all_finite_times() {
+        // The full finite range stays legal, including negatives (some
+        // couplings schedule relative offsets) and f64::MAX.
+        for t in [0.0, -1.5, f64::MAX, f64::MIN, 1e-300] {
+            assert_eq!(TimeKey::new(t).get(), t);
+        }
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! eager queue engine in distribution.
 
 use proptest::prelude::*;
-use rumor_spreading::core::dynamic::{run_dynamic, DynamicModel, EdgeMarkov};
-use rumor_spreading::core::engine::run_edge_markov_lazy;
+use rumor_spreading::core::dynamic::{
+    run_dynamic, Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire,
+    SnapshotFamily,
+};
+use rumor_spreading::core::engine::{run_dynamic_lazy, run_edge_markov_lazy};
 use rumor_spreading::core::Mode;
 use rumor_spreading::graph::generators;
 use rumor_spreading::sim::events::{EventQueue, LazyMarkovClock};
@@ -139,6 +142,117 @@ fn lazy_and_eager_engines_agree_in_distribution() {
     }
     let rel = (lazy.mean() - eager.mean()).abs() / eager.mean();
     assert!(rel < 0.1, "lazy {} vs eager {}", lazy.mean(), eager.mean());
+}
+
+/// PR 3 satellite: the `LazyOutcome` contract on **incomplete** runs,
+/// pinned beyond the all-finite happy path. A budget-exhausted run must
+/// report `completed = false`, `INFINITY` for every never-informed
+/// node, and `time` equal to the last protocol step taken — which, by
+/// the engine's draw order, makes a short run a strict prefix of a
+/// longer same-seed run.
+#[test]
+fn budget_exhaustion_pins_the_incomplete_outcome_contract() {
+    let g = generators::gnp_connected(96, 0.06, &mut Xoshiro256PlusPlus::seed_from(12), 200);
+    let model = EdgeMarkov::symmetric(1.0);
+    let short = run_edge_markov_lazy(
+        &g,
+        0,
+        Mode::PushPull,
+        model,
+        &mut Xoshiro256PlusPlus::seed_from(77),
+        30,
+    );
+    assert!(!short.completed);
+    assert_eq!(short.steps, 30, "the engine must stop exactly at the budget");
+    // `time` is the time of the last step taken: finite, positive, and
+    // at least as late as every recorded informing time.
+    assert!(short.time.is_finite() && short.time > 0.0);
+    let last_informed =
+        short.informed_time.iter().copied().filter(|t| t.is_finite()).fold(0.0, f64::max);
+    assert!(
+        last_informed <= short.time,
+        "informed after the last step: {last_informed} > {}",
+        short.time
+    );
+    // Never-informed nodes are INFINITY sentinels, and there are some.
+    assert!(short.informed_time.iter().any(|t| t.is_infinite()));
+    assert_eq!(short.informed_time[0], 0.0, "the source is informed at 0");
+
+    // Prefix property: the same seed with a larger budget replays the
+    // first 30 steps draw-for-draw, so everyone the short run informed
+    // is informed at the identical instant, and the long run's last
+    // step is strictly later.
+    let long = run_edge_markov_lazy(
+        &g,
+        0,
+        Mode::PushPull,
+        model,
+        &mut Xoshiro256PlusPlus::seed_from(77),
+        3_000,
+    );
+    for (v, (&s, &l)) in short.informed_time.iter().zip(&long.informed_time).enumerate() {
+        if s.is_finite() {
+            assert_eq!(s, l, "node {v} informed at a different time in the longer run");
+        }
+    }
+    assert!(long.time > short.time, "the longer run must advance past the prefix");
+}
+
+/// The lazy engine consumes models through the `TopologyModel`
+/// interface: per-edge-memoryless models run (static freezes every
+/// edge; edge-Markov churns them), everything else is declined.
+#[test]
+fn run_dynamic_lazy_accepts_exactly_the_memoryless_models() {
+    let g = generators::gnp_connected(40, 0.18, &mut Xoshiro256PlusPlus::seed_from(8), 200);
+    let lazy = run_dynamic_lazy(
+        &g,
+        0,
+        Mode::PushPull,
+        &DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
+        &mut Xoshiro256PlusPlus::seed_from(5),
+        50_000_000,
+    )
+    .expect("edge-Markov is per-edge memoryless");
+    assert!(lazy.completed);
+    // Same seed, same model, via the direct entry point: identical run.
+    let direct = run_edge_markov_lazy(
+        &g,
+        0,
+        Mode::PushPull,
+        EdgeMarkov::symmetric(1.0),
+        &mut Xoshiro256PlusPlus::seed_from(5),
+        50_000_000,
+    );
+    assert_eq!(lazy, direct);
+
+    let frozen = run_dynamic_lazy(
+        &g,
+        0,
+        Mode::PushPull,
+        &DynamicModel::Static,
+        &mut Xoshiro256PlusPlus::seed_from(6),
+        50_000_000,
+    )
+    .expect("the static model freezes every edge");
+    assert!(frozen.completed);
+
+    for model in [
+        DynamicModel::Rewire(Rewire::new(1.0, SnapshotFamily::Gnp { p: 0.2 })),
+        DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.0, 2)),
+        DynamicModel::RandomWalk(RandomWalk::new(1.0)),
+        DynamicModel::Mobility(Mobility::new(1.0, 0.3, 0.1)),
+        DynamicModel::Adversary(Adversary::new(1.0, 2, 1.0)),
+    ] {
+        let out = run_dynamic_lazy(
+            &g,
+            0,
+            Mode::PushPull,
+            &model,
+            &mut Xoshiro256PlusPlus::seed_from(7),
+            1_000,
+        );
+        assert!(out.is_none(), "model {model} is not per-edge memoryless");
+    }
 }
 
 /// A budget-limited run touches strictly fewer edges than exist: the

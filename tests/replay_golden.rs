@@ -1,0 +1,124 @@
+//! Golden seed-for-seed replay pins for the dynamic engines.
+//!
+//! The constants below were captured from the PR 1/PR 2 engines
+//! *before* the topology layer was refactored around the
+//! `TopologyModel` trait (commit f461b82). The trait re-expression of
+//! edge-Markov, rewiring, and node churn must replay those runs exactly
+//! — spreading time (compared as raw bits), step and topology-event
+//! counts, window/cross telemetry, and the final RNG state — for the
+//! sequential engine and the sharded engine at K = 1 and K = 3. Any
+//! drift here means a change to RNG draw order or rate arithmetic, i.e.
+//! a broken replay contract.
+
+use rumor_spreading::core::dynamic::{
+    run_dynamic, DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily,
+};
+use rumor_spreading::core::engine::run_dynamic_sharded;
+use rumor_spreading::core::Mode;
+use rumor_spreading::graph::generators;
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+
+/// `(time.to_bits(), steps, topology_events, final_rng_word)`.
+type SeqGolden = (u64, u64, u64, u64);
+/// `(time.to_bits(), steps, topology_events, windows, cross_events, final_rng_word)`.
+type ShardGolden = (u64, u64, u64, u64, u64, u64);
+
+fn models() -> Vec<(&'static str, DynamicModel)> {
+    vec![
+        ("markov-sym", DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))),
+        ("markov-asym", DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: 1.5, on_rate: 0.75 })),
+        ("rewire", DynamicModel::Rewire(Rewire::new(2.0, SnapshotFamily::Gnp { p: 0.2 }))),
+        ("churn", DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.2, 2))),
+    ]
+}
+
+/// Per model, per seed (11 then 12): the sequential-engine pin.
+const SEQ: [[SeqGolden; 2]; 4] = [
+    [
+        (0x4011768e3871bbe9, 223, 765, 0x4b953b40da81ef52),
+        (0x401375c3e22a0630, 207, 894, 0x73142b64b850034f),
+    ],
+    [
+        (0x4011f3ce898ea46c, 213, 881, 0x49ea7398f8e7f33a),
+        (0x4014c3f3230eacb0, 247, 1013, 0x9415edd75381e4a8),
+    ],
+    [
+        (0x4010783225e53393, 192, 2, 0xe9f09ae8fc7378e7),
+        (0x400d2e15f1a1c374, 164, 1, 0x4813e3fa1d29fadb),
+    ],
+    [
+        (0x4015c5d16986d18b, 246, 112, 0x9187cd567215b551),
+        (0x401ecf0e0198260e, 368, 179, 0x6753423b86b39ba1),
+    ],
+];
+
+/// Per model, per seed: the K = 3 sharded pin (K = 1 is checked against
+/// the sequential run directly).
+const SHARD3: [[ShardGolden; 2]; 4] = [
+    [
+        (0x401a6faf5605006a, 300, 1195, 1382, 186, 0xc1761d9bc2e63c19),
+        (0x40173172b7934cca, 250, 1042, 1197, 154, 0xfcd3c26807d9da27),
+    ],
+    [
+        (0x401b3befe92af835, 323, 1252, 1468, 215, 0x50c8c8b4c316e7a3),
+        (0x4023548af12e719c, 419, 1769, 2030, 261, 0x22bb377ba299b18c),
+    ],
+    [
+        (0x4010f122fdf91173, 185, 2, 121, 118, 0xab892e6e35566e3e),
+        (0x4010b07225dd5c50, 196, 2, 138, 136, 0xc6d40b3220563836),
+    ],
+    [
+        (0x40208d5a550008a6, 332, 204, 383, 179, 0x9c9e0f0dccf1c074),
+        (0x401a49a4897cefe3, 275, 158, 305, 147, 0x5b5f711f6371406b),
+    ],
+];
+
+fn test_graph() -> rumor_spreading::graph::Graph {
+    generators::gnp_connected(48, 0.15, &mut Xoshiro256PlusPlus::seed_from(1), 100)
+}
+
+#[test]
+fn sequential_engine_replays_pre_refactor_runs() {
+    let g = test_graph();
+    for (m, (name, model)) in models().into_iter().enumerate() {
+        for (s, seed) in [11u64, 12].into_iter().enumerate() {
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng, 10_000_000);
+            let (time_bits, steps, topo, rng_word) = SEQ[m][s];
+            assert_eq!(out.time.to_bits(), time_bits, "{name} seed {seed}: time drifted");
+            assert_eq!(out.steps, steps, "{name} seed {seed}: steps drifted");
+            assert_eq!(out.topology_events, topo, "{name} seed {seed}: topo events drifted");
+            assert_eq!(rng.next_u64(), rng_word, "{name} seed {seed}: RNG state drifted");
+            assert!(out.completed);
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_replays_pre_refactor_runs() {
+    let g = test_graph();
+    for (m, (name, model)) in models().into_iter().enumerate() {
+        for (s, seed) in [11u64, 12].into_iter().enumerate() {
+            // K = 1 must equal the sequential run bit-for-bit, RNG
+            // state included.
+            let mut a = Xoshiro256PlusPlus::seed_from(seed);
+            let seq = run_dynamic(&g, 0, Mode::PushPull, &model, &mut a, 10_000_000);
+            let mut b = Xoshiro256PlusPlus::seed_from(seed);
+            let k1 = run_dynamic_sharded(&g, 0, Mode::PushPull, &model, 1, &mut b, 10_000_000);
+            assert_eq!(k1.outcome, seq, "{name} seed {seed}: K=1 diverged from sequential");
+            assert_eq!(a.next_u64(), b.next_u64(), "{name} seed {seed}: K=1 RNG state diverged");
+
+            // K = 3 exercises the incremental rate maintenance; the
+            // refactor must reproduce the identical sample.
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_dynamic_sharded(&g, 0, Mode::PushPull, &model, 3, &mut rng, 10_000_000);
+            let (time_bits, steps, topo, windows, cross, rng_word) = SHARD3[m][s];
+            assert_eq!(out.outcome.time.to_bits(), time_bits, "{name} seed {seed}: K=3 time");
+            assert_eq!(out.outcome.steps, steps, "{name} seed {seed}: K=3 steps");
+            assert_eq!(out.outcome.topology_events, topo, "{name} seed {seed}: K=3 topo events");
+            assert_eq!(out.windows, windows, "{name} seed {seed}: K=3 windows");
+            assert_eq!(out.cross_events, cross, "{name} seed {seed}: K=3 cross events");
+            assert_eq!(rng.next_u64(), rng_word, "{name} seed {seed}: K=3 RNG state");
+        }
+    }
+}

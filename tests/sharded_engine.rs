@@ -7,7 +7,8 @@
 
 use proptest::prelude::*;
 use rumor_spreading::core::dynamic::{
-    run_dynamic, DynamicModel, EdgeMarkov, NodeChurn, Rewire, SnapshotFamily,
+    run_dynamic, Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire,
+    SnapshotFamily,
 };
 use rumor_spreading::core::engine::{run_dynamic_sharded, run_dynamic_sharded_with};
 use rumor_spreading::core::runner::{dynamic_spreading_times, dynamic_spreading_times_sharded};
@@ -27,13 +28,18 @@ fn test_graph() -> impl Strategy<Value = Graph> {
     })
 }
 
+const MODEL_COUNT: usize = 8;
+
 fn model(which: usize) -> DynamicModel {
     match which {
         0 => DynamicModel::Static,
         1 => DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
         2 => DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: 1.5, on_rate: 0.75 }),
         3 => DynamicModel::Rewire(Rewire::new(2.0, SnapshotFamily::Gnp { p: 0.2 })),
-        _ => DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.2, 2)),
+        4 => DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.2, 2)),
+        5 => DynamicModel::RandomWalk(RandomWalk::new(1.0)),
+        6 => DynamicModel::Mobility(Mobility::new(1.0, 0.4, 0.2)),
+        _ => DynamicModel::Adversary(Adversary::new(1.0, 3, 1.0)),
     }
 }
 
@@ -47,7 +53,7 @@ proptest! {
     fn k1_replays_sequential_seed_for_seed(
         g in test_graph(),
         seed in 0u64..1_000,
-        which in 0usize..5,
+        which in 0usize..MODEL_COUNT,
     ) {
         let m = model(which);
         for mode in Mode::ALL {
@@ -67,7 +73,7 @@ proptest! {
     fn multi_shard_deterministic(
         g in test_graph(),
         seed in 0u64..1_000,
-        which in 0usize..5,
+        which in 0usize..MODEL_COUNT,
         shards in 2usize..5,
     ) {
         let m = model(which);
@@ -103,6 +109,55 @@ proptest! {
         for (v, &t) in out.outcome.informed_time.iter().enumerate().skip(1) {
             prop_assert!(t.is_finite() && t > 0.0 && t <= out.outcome.time, "node {} at {}", v, t);
         }
+    }
+
+    /// (v) Degenerate sharding (PR 3 satellite): with `K = n` every
+    /// shard is a singleton — the source shard is frozen from the first
+    /// window, fully-external shards have **no local stream at all**
+    /// (rate 0), and every contact rides the coordinator's cross
+    /// stream. The worker protocol and horizon derivation must neither
+    /// deadlock nor livelock, and the run must still sample the same
+    /// process law (here: completion, causal trace, determinism).
+    #[test]
+    fn k_equals_n_singleton_shards_terminate(
+        g in test_graph(),
+        seed in 0u64..1_000,
+        which in 0usize..MODEL_COUNT,
+    ) {
+        let m = model(which);
+        let n = g.node_count();
+        let a = run_dynamic_sharded(&g, 0, Mode::PushPull, &m, n, &mut Xoshiro256PlusPlus::seed_from(seed), 20_000_000);
+        let b = run_dynamic_sharded(&g, 0, Mode::PushPull, &m, n, &mut Xoshiro256PlusPlus::seed_from(seed), 20_000_000);
+        prop_assert_eq!(&a, &b, "K = n must stay deterministic, model {}", m);
+        prop_assert_eq!(a.shards, n);
+        prop_assert_eq!(a.outcome.informed_time[0], 0.0);
+        if a.outcome.completed {
+            for &t in &a.outcome.informed_time {
+                prop_assert!(t.is_finite() && t <= a.outcome.time);
+            }
+        }
+    }
+
+    /// (vi) Shards that lose their local stream mid-run: heavy node
+    /// churn deactivates nodes (wasted ticks), edge churn can empty a
+    /// singleton shard's internal contact set entirely. The engine must
+    /// terminate (complete or exhaust the budget) without deadlock for
+    /// every K up to n.
+    #[test]
+    fn isolating_churn_terminates_at_any_shard_count(
+        seed in 0u64..1_000,
+        shards in 1usize..17,
+    ) {
+        let g = generators::gnp_connected(16, 0.3, &mut Xoshiro256PlusPlus::seed_from(2), 200);
+        // Leave-heavy churn: long stretches where most nodes are away
+        // and some shards contain only inactive (isolated) nodes.
+        let m = DynamicModel::NodeChurn(NodeChurn::new(2.0, 0.5, 1));
+        let out = run_dynamic_sharded(
+            &g, 0, Mode::PushPull, &m, shards,
+            &mut Xoshiro256PlusPlus::seed_from(seed), 300_000,
+        );
+        prop_assert!(out.outcome.steps <= 300_000 + shards as u64); // per-window budget overshoot is bounded
+        prop_assert_eq!(out.outcome.informed_time[0], 0.0);
     }
 
     /// (iv) An explicit partition equals the contiguous convenience
