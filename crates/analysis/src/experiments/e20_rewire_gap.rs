@@ -9,6 +9,16 @@
 //! factors (E7). Rewiring only helps mixing, so the async/sync ratio
 //! should remain Θ(1) across rewiring periods — the constant-factor
 //! relationship survives topology churn.
+//!
+//! **Superseded by E23** (kept for continuity): this experiment
+//! compares *independent* sync and async realizations, so its ratio
+//! estimate carries the full variance of both columns.
+//! [`e23_coupled_gap`](crate::experiments::e23_coupled_gap) asks the
+//! same question with both protocols driven by one shared
+//! [`TopologyTrace`](rumor_core::TopologyTrace) and common random
+//! numbers — the paper's coupling technique as an estimator — and its
+//! paired confidence intervals are strictly narrower at equal trial
+//! counts.
 
 use rumor_core::dynamic::{run_sync_rewire, DynamicModel, Rewire, SnapshotFamily};
 use rumor_core::runner;
@@ -82,6 +92,10 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     }
     table.add_note("1 synchronous round corresponds to 1 asynchronous time unit (footnote 3)");
     table.add_note("the async/sync ratio should stay in a constant band across periods");
+    table.add_note(
+        "superseded by E23: these columns come from INDEPENDENT sync/async runs; E23 pairs \
+         them over shared topology traces and its CIs are narrower at equal trial counts",
+    );
     table.add_note(&format!(
         "means average completed trials only; budget-censored trials across all cells: {censored_total}"
     ));

@@ -15,6 +15,7 @@ pub mod e1_upper;
 pub mod e20_rewire_gap;
 pub mod e21_engines;
 pub mod e22_models;
+pub mod e23_coupled_gap;
 pub mod e2_lower;
 pub mod e3_star;
 pub mod e4_regular;

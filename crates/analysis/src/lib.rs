@@ -36,8 +36,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod paired;
 pub mod report;
 pub mod table;
 
 pub use experiments::common::ExperimentConfig;
+pub use paired::PairedSamples;
 pub use table::Table;

@@ -123,6 +123,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             claim: "topology models: at matched churn volume the frontier adversary hurts most",
             run: e22_models::run,
         },
+        Experiment {
+            id: "e23",
+            claim: "coupled traces: paired sync-vs-async CIs beat E20's independent-run CIs",
+            run: e23_coupled_gap::run,
+        },
     ]
 }
 
@@ -143,18 +148,18 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 22);
+        assert_eq!(all.len(), 23);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "duplicate experiment ids");
+        assert_eq!(ids.len(), 23, "duplicate experiment ids");
     }
 
     #[test]
     fn find_experiment_works() {
         assert!(find_experiment("e1").is_some());
         assert!(find_experiment("e18").is_some());
-        assert!(find_experiment("e22").is_some());
+        assert!(find_experiment("e23").is_some());
         assert!(find_experiment("e99").is_none());
     }
 }

@@ -1,11 +1,15 @@
 //! `rumor run` — Monte-Carlo spreading-time measurement on a graph file.
 
+use rumor_analysis::experiments::e23_coupled_gap;
+use rumor_analysis::PairedSamples;
 use rumor_core::dynamic::{
     run_dynamic, run_sync_rewire, Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn,
     RandomWalk, Rewire, SnapshotFamily,
 };
-use rumor_core::engine::run_dynamic_sharded;
-use rumor_core::runner::{default_max_steps, run_trials_parallel};
+use rumor_core::engine::{run_dynamic_sharded, run_edge_markov_lazy};
+use rumor_core::runner::{
+    coupled_dynamic_outcomes_parallel, default_max_steps, run_trials_parallel, CoupledEngine,
+};
 use rumor_core::spread::{run_async_config, run_sync_config, SpreadConfig};
 use rumor_core::Mode;
 use rumor_graph::{props, Graph};
@@ -90,6 +94,13 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if threads == 0 {
         return Err(CliError::Usage("--threads must be positive".into()));
     }
+    // `--coupled true` runs BOTH protocols over one shared topology
+    // trace per trial (common random numbers) and reports paired
+    // statistics; `--lazy true` selects the queue-free engine (the
+    // per-edge-clock engine for plain async runs, the trace cursor for
+    // coupled ones).
+    let coupled: bool = args.opt_parsed("coupled", false)?;
+    let lazy: bool = args.opt_parsed("lazy", false)?;
     let sharded = !args.opt_str("shards", "").is_empty();
     let shards: usize = args.opt_parsed("shards", 1)?;
     if sharded {
@@ -102,12 +113,79 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
                 g.node_count()
             )));
         }
-        if model != "async" {
-            return Err(CliError::Usage("--shards requires --model async".into()));
+        if model != "async" && !coupled {
+            return Err(CliError::Usage(
+                "--shards requires --model async or --coupled true".into(),
+            ));
         }
         if loss > 0.0 {
             return Err(CliError::Usage("--loss is not supported with --shards".into()));
         }
+    }
+    if lazy {
+        if sharded {
+            return Err(CliError::Usage("pass either --lazy or --shards, not both".into()));
+        }
+        if model != "async" && !coupled {
+            return Err(CliError::Usage("--lazy requires --model async or --coupled true".into()));
+        }
+        if loss > 0.0 {
+            return Err(CliError::Usage("--loss is not supported with --lazy".into()));
+        }
+    }
+    if coupled && loss > 0.0 {
+        return Err(CliError::Usage("--loss is not supported with --coupled".into()));
+    }
+
+    // Resolve the dynamic model once; --coupled and --lazy validate
+    // against it at argument time, before any trial runs.
+    let dyn_model = if dynamic == "none" {
+        DynamicModel::Static
+    } else {
+        parse_dynamic_model(&args, &dynamic, &g)?
+    };
+    // The lazy per-edge-clock engine resolves each edge's on/off chain
+    // independently on touch, which is only sound for per-edge
+    // memoryless models — reject anything else (rewiring, node churn,
+    // walks, mobility, the adversary) here rather than deep inside the
+    // run. Coupled runs are exempt: a recorded trace is deterministic,
+    // so the trace cursor replays every model.
+    let lazy_rates = dyn_model.memoryless_edge_rates();
+    if lazy && !coupled && lazy_rates.is_none() {
+        return Err(CliError::Usage(format!(
+            "--lazy requires a per-edge memoryless dynamic model (none or markov); \
+             `{dynamic}` couples edges across the graph or to the informed state \
+             (no memoryless edge rates). Drop --lazy, or use --coupled true to \
+             replay a recorded trace lazily."
+        )));
+    }
+
+    if coupled {
+        // The coupled path runs both protocols, so --model is moot —
+        // but an unknown value is still a typo worth rejecting.
+        if model != "sync" && model != "async" {
+            return Err(CliError::Usage(format!("unknown --model `{model}`")));
+        }
+        return run_coupled(
+            &args,
+            &g,
+            source,
+            mode,
+            &dyn_model,
+            &dynamic,
+            CoupledConfig {
+                trials,
+                seed,
+                threads,
+                engine: if sharded {
+                    CoupledEngine::Sharded(shards)
+                } else if lazy {
+                    CoupledEngine::Lazy
+                } else {
+                    CoupledEngine::Sequential
+                },
+            },
+        );
     }
 
     let config = SpreadConfig::new(source).with_mode(mode).with_loss_probability(loss);
@@ -122,7 +200,7 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
                 (out.rounds as f64, out.completed)
             })
         }
-        ("async", "none") if !sharded => {
+        ("async", "none") if !sharded && !lazy => {
             let budget = default_max_steps(&g).saturating_mul(4);
             run_trials_parallel(trials, seed, threads, |_, rng| {
                 let out = run_async_config(&g, &config, rng, budget);
@@ -147,17 +225,19 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             )))
         }
         ("async", _) => {
-            let dyn_model = if dynamic == "none" {
-                DynamicModel::Static
-            } else {
-                parse_dynamic_model(&args, &dynamic, &g)?
-            };
             let budget = default_max_steps(&g).saturating_mul(8);
             if sharded {
                 run_trials_parallel(trials, seed, threads, |_, rng| {
                     let out =
                         run_dynamic_sharded(&g, source, mode, &dyn_model, shards, rng, budget);
                     (out.outcome.time, out.outcome.completed)
+                })
+            } else if lazy {
+                let rates = lazy_rates.expect("validated at argument time");
+                let markov = EdgeMarkov { off_rate: rates.0, on_rate: rates.1 };
+                run_trials_parallel(trials, seed, threads, |_, rng| {
+                    let out = run_edge_markov_lazy(&g, source, mode, markov, rng, budget);
+                    (out.time, out.completed)
                 })
             } else {
                 run_trials_parallel(trials, seed, threads, |_, rng| {
@@ -187,6 +267,9 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     if sharded {
         out.push_str(&format!(", shards {shards}"));
     }
+    if lazy {
+        out.push_str(", lazy");
+    }
     if threads > 1 {
         out.push_str(&format!(", threads {threads}"));
     }
@@ -201,6 +284,86 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         out.push_str(&format!(
             "  warning: {incomplete}/{trials} trials hit the step budget before informing every \
              node;\n  the statistics above understate the true spreading time\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// Trial-running knobs of a coupled run.
+struct CoupledConfig {
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    engine: CoupledEngine,
+}
+
+/// Runs `--coupled true`: per trial one topology trace is recorded and
+/// both the synchronous and the asynchronous protocol run on it with a
+/// common protocol seed; the report is paired (see
+/// `rumor_analysis::paired`).
+fn run_coupled(
+    args: &Args,
+    g: &Graph,
+    source: u32,
+    mode: Mode,
+    dyn_model: &DynamicModel,
+    dynamic: &str,
+    cfg: CoupledConfig,
+) -> Result<String, CliError> {
+    // Defaults shared with E23, so interactive coupled runs explore
+    // exactly the committed experiment's regime.
+    let n = g.node_count();
+    let horizon: f64 = args.opt_parsed("horizon", e23_coupled_gap::horizon(n))?;
+    if !(horizon > 0.0 && horizon.is_finite()) {
+        return Err(CliError::Usage("--horizon must be positive and finite".into()));
+    }
+    let max_steps = e23_coupled_gap::max_steps(n);
+    let max_rounds = e23_coupled_gap::MAX_ROUNDS;
+    let outcomes = coupled_dynamic_outcomes_parallel(
+        g,
+        source,
+        mode,
+        dyn_model,
+        cfg.engine,
+        cfg.trials,
+        cfg.seed,
+        horizon,
+        max_steps,
+        max_rounds,
+        cfg.threads,
+    );
+    let samples = PairedSamples::from_coupled(&outcomes);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "coupled sync/async {mode} from node {source} on {n} nodes, {} trials (seed {}, \
+         dynamic {dynamic}, horizon {horizon:.1}",
+        cfg.trials, cfg.seed
+    ));
+    match cfg.engine {
+        CoupledEngine::Sequential => {}
+        CoupledEngine::Sharded(k) => out.push_str(&format!(", shards {k}")),
+        CoupledEngine::Lazy => out.push_str(", lazy"),
+    }
+    if cfg.threads > 1 {
+        out.push_str(&format!(", threads {}", cfg.threads));
+    }
+    out.push_str(")\n");
+    let cell = |v: Option<f64>| match v {
+        Some(x) => format!("{x:>10.3}"),
+        None => format!("{:>10}", "-"),
+    };
+    out.push_str(&format!("  E[rounds_sync]:   {}\n", cell(samples.mean_sync())));
+    out.push_str(&format!("  E[T_async]:       {}\n", cell(samples.mean_async())));
+    out.push_str(&format!("  async/sync:       {}\n", cell(samples.ratio_of_means())));
+    out.push_str(&format!("  corr(sync,async): {}\n", cell(samples.correlation())));
+    out.push_str(&format!("  ci95 paired:      {}\n", cell(samples.paired_ci_half_width())));
+    out.push_str(&format!("  ci95 independent: {}\n", cell(samples.unpaired_ci_half_width())));
+    out.push_str(&format!("  ci shrink:        {}\n", cell(samples.ci_shrink_factor())));
+    if samples.censored > 0 {
+        out.push_str(&format!(
+            "  warning: {}/{} trials censored (budget exhausted on either side) and excluded \
+             from the pairing\n",
+            samples.censored, cfg.trials
         ));
     }
     Ok(out)
@@ -502,6 +665,104 @@ mod tests {
             with_graph(TRIANGLE, &["--model", "async", "--shards", "2", "--loss", "0.1"]).is_err()
         );
         assert!(with_graph(TRIANGLE, &["--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn lazy_engine_runs_and_gates_on_memorylessness_at_argument_time() {
+        // Static and markov are per-edge memoryless: the lazy engine
+        // accepts them.
+        let out = with_graph(TRIANGLE, &["--model", "async", "--lazy", "true", "--trials", "10"])
+            .unwrap();
+        assert!(out.contains("lazy"), "{out}");
+        assert!(out.contains("time units"));
+        let out = with_graph(
+            TRIANGLE,
+            &["--model", "async", "--lazy", "true", "--dynamic-model", "markov", "--trials", "10"],
+        )
+        .unwrap();
+        assert!(out.contains("dynamic edge-markov"), "{out}");
+
+        // The satellite regression: every model that couples edges to
+        // each other or the informed state is rejected at ARGUMENT
+        // time, with an error naming the gate — not deep inside a run.
+        for model in ["adversary", "rewire", "walk", "mobility"] {
+            let err = with_graph(
+                TRIANGLE,
+                &["--model", "async", "--lazy", "true", "--dynamic-model", model],
+            )
+            .unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("memoryless"), "{model}: {msg}");
+            assert!(msg.contains(if model == "adversary" { "adversary" } else { model }), "{msg}");
+        }
+        let err = with_graph(
+            TRIANGLE,
+            &["--model", "async", "--lazy", "true", "--dynamic", "node-churn"],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("memoryless"));
+
+        // Composition rules.
+        assert!(with_graph(TRIANGLE, &["--lazy", "true"]).is_err(), "sync + lazy");
+        assert!(
+            with_graph(TRIANGLE, &["--model", "async", "--lazy", "true", "--shards", "2"]).is_err()
+        );
+        assert!(
+            with_graph(TRIANGLE, &["--model", "async", "--lazy", "true", "--loss", "0.2"]).is_err()
+        );
+    }
+
+    #[test]
+    fn coupled_runs_report_paired_statistics() {
+        let out = with_graph(
+            TRIANGLE,
+            &["--coupled", "true", "--dynamic-model", "markov", "--trials", "12"],
+        )
+        .unwrap();
+        assert!(out.contains("coupled sync/async"), "{out}");
+        assert!(out.contains("ci95 paired"), "{out}");
+        assert!(out.contains("ci95 independent"), "{out}");
+        assert!(out.contains("dynamic edge-markov"), "{out}");
+        // The trace cursor replays every model lazily, even non-memoryless ones.
+        let out = with_graph(
+            TRIANGLE,
+            &[
+                "--coupled",
+                "true",
+                "--lazy",
+                "true",
+                "--dynamic-model",
+                "adversary",
+                "--trials",
+                "8",
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("lazy"), "{out}");
+        // Engine choice does not change the paired numbers: K = 1
+        // sharded replays the sequential coupled run seed-for-seed.
+        let base =
+            ["--coupled", "true", "--dynamic-model", "markov", "--trials", "10", "--seed", "5"];
+        let a = with_graph(TRIANGLE, &base).unwrap();
+        let mut s = base.to_vec();
+        s.extend(["--shards", "1"]);
+        let b = with_graph(TRIANGLE, &s).unwrap();
+        assert_eq!(
+            a.lines().skip(1).collect::<Vec<_>>(),
+            b.lines().skip(1).collect::<Vec<_>>(),
+            "paired statistics must agree across engines"
+        );
+        // Validation.
+        assert!(with_graph(TRIANGLE, &["--coupled", "true", "--loss", "0.2"]).is_err());
+        assert!(
+            with_graph(TRIANGLE, &["--coupled", "true", "--model", "psychic"]).is_err(),
+            "unknown --model must be rejected on coupled runs too"
+        );
+        assert!(with_graph(
+            TRIANGLE,
+            &["--coupled", "true", "--horizon", "-1", "--dynamic-model", "markov"]
+        )
+        .is_err());
     }
 
     #[test]

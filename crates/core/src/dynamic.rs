@@ -59,6 +59,7 @@ use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::{generators, Graph, Node};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
+use crate::engine::topology::TopologyModel;
 use crate::engine::{drive, Control, Either, Merged, QueueSource, TickSource};
 use crate::mode::Mode;
 use crate::outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
@@ -430,7 +431,24 @@ pub fn run_dynamic(
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
 ) -> DynamicOutcome {
-    run_dynamic_inner(g, source, mode, model, rng, max_steps, None)
+    let mut state = model.build_state();
+    run_dynamic_inner(g, source, mode, state.as_mut(), rng, max_steps, None)
+}
+
+/// Like [`run_dynamic`], but over an already-built [`TopologyModel`]
+/// state instead of a [`DynamicModel`] descriptor — the entry point for
+/// model implementations that are not in the enum, most importantly a
+/// [`TraceReplayer`](crate::engine::trace::TraceReplayer) replaying a
+/// recorded topology realization.
+pub fn run_dynamic_model(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> DynamicOutcome {
+    run_dynamic_inner(g, source, mode, state, rng, max_steps, None)
 }
 
 /// Like [`run_dynamic`], additionally returning the full execution-order
@@ -445,7 +463,8 @@ pub fn run_dynamic_traced(
     max_steps: u64,
 ) -> (DynamicOutcome, Vec<EngineEvent>) {
     let mut trace = Vec::new();
-    let out = run_dynamic_inner(g, source, mode, model, rng, max_steps, Some(&mut trace));
+    let mut state = model.build_state();
+    let out = run_dynamic_inner(g, source, mode, state.as_mut(), rng, max_steps, Some(&mut trace));
     (out, trace)
 }
 
@@ -453,7 +472,7 @@ fn run_dynamic_inner(
     g: &Graph,
     source: Node,
     mode: Mode,
-    model: &DynamicModel,
+    state: &mut dyn TopologyModel,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
     mut trace: Option<&mut Vec<EngineEvent>>,
@@ -481,7 +500,6 @@ fn run_dynamic_inner(
     // positions as the static engine, which is the replay guarantee.
     let mut src = Merged::new(QueueSource::new(), TickSource::new(n as f64));
     let mut net = MutableGraph::from_graph(g);
-    let mut state = model.build_state();
     state.init(g, &mut net, &mut src.first.queue, rng);
 
     let mut t = 0.0;
@@ -584,27 +602,13 @@ pub fn run_sync_rewire(
         if (r - 1) % rewire_rounds == 0 && r > 1 {
             current = family.draw(n, rng);
         }
-        for v in 0..n as Node {
+        crate::sync::exchange_round(r, mode, &mut informed_round, &mut informed_count, |v| {
             if current.degree(v) == 0 {
-                continue; // isolated this snapshot: no contact this round
+                None // isolated this snapshot: no contact this round
+            } else {
+                Some(current.random_neighbor(v, rng))
             }
-            let w = current.random_neighbor(v, rng);
-            let v_informed = informed_round[v as usize] < r;
-            let w_informed = informed_round[w as usize] < r;
-            if v_informed && !w_informed && mode.includes_push() {
-                if informed_round[w as usize] == NEVER_ROUND {
-                    informed_round[w as usize] = r;
-                    informed_count += 1;
-                }
-            } else if !v_informed
-                && w_informed
-                && mode.includes_pull()
-                && informed_round[v as usize] == NEVER_ROUND
-            {
-                informed_round[v as usize] = r;
-                informed_count += 1;
-            }
-        }
+        });
         informed_by_round.push(informed_count);
         if informed_count == n {
             completed = true;

@@ -27,13 +27,26 @@
 //!   from the next cross-shard or topology event, and workers exchange
 //!   window commands/reports over bounded channels. With one shard it
 //!   replays the sequential dynamic engine seed-for-seed.
+//! * [`trace`] — topology-trace record/replay: a [`TopologyTrace`]
+//!   captures one realized topology evolution (from any engine, or
+//!   standalone) and replays it as a deterministic [`TopologyModel`],
+//!   so one churn realization can drive many protocol runs — the
+//!   substrate of the coupled sync-vs-async comparisons
+//!   ([`run_sync_dynamic`] consumes the same trace at round
+//!   boundaries, [`run_trace_lazy`] is a queue-free async cursor).
 
 pub mod lazy;
 pub mod sharded;
 pub mod source;
 pub mod topology;
+pub mod trace;
 
 pub use lazy::{run_dynamic_lazy, run_edge_markov_lazy, LazyOutcome};
-pub use sharded::{run_dynamic_sharded, run_dynamic_sharded_with, ShardedOutcome};
+pub use sharded::{
+    run_dynamic_sharded, run_dynamic_sharded_model, run_dynamic_sharded_with, ShardedOutcome,
+};
 pub use source::{drive, Control, Either, EventSource, Merged, QueueSource, TickSource};
 pub use topology::{InformedView, RateImpact, TopoEvent, TopologyModel};
+pub use trace::{
+    run_sync_dynamic, run_trace_lazy, TopologyTrace, TraceRecorder, TraceReplayer, TraceStep,
+};

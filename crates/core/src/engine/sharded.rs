@@ -485,6 +485,29 @@ pub fn run_dynamic_sharded(
     run_dynamic_sharded_with(g, source, mode, model, &part, rng, max_steps)
 }
 
+/// Like [`run_dynamic_sharded`], but over an already-built
+/// [`TopologyModel`] state instead of a [`DynamicModel`] descriptor —
+/// the entry point for model implementations outside the enum, most
+/// importantly a [`TraceReplayer`](crate::engine::trace::TraceReplayer)
+/// replaying a recorded topology realization (at `K = 1` such a run
+/// replays the sequential replay seed-for-seed, like any other model).
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+pub fn run_dynamic_sharded_model(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    run_dynamic_sharded_state(g, source, mode, state, &part, rng, max_steps)
+}
+
 /// Runs the asynchronous push/pull/push–pull protocol on a dynamic
 /// network, from `source`, with the node set sharded by `partition`;
 /// shard 0 runs on the calling thread, every further shard on its own
@@ -512,6 +535,21 @@ pub fn run_dynamic_sharded_with(
     source: Node,
     mode: Mode,
     model: &DynamicModel,
+    partition: &Partition,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> ShardedOutcome {
+    let mut state = model.build_state();
+    run_dynamic_sharded_state(g, source, mode, state.as_mut(), partition, rng, max_steps)
+}
+
+/// [`run_dynamic_sharded_with`] over an already-built model state; the
+/// common core of the descriptor- and state-based entry points.
+fn run_dynamic_sharded_state(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    mstate: &mut dyn TopologyModel,
     partition: &Partition,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
@@ -544,7 +582,6 @@ pub fn run_dynamic_sharded_with(
     // replace the starting topology (mobility), so it precedes the
     // rate derivation below.
     let mut topo_queue = EventQueue::new();
-    let mut mstate = model.build_state();
     let mut net = MutableGraph::from_graph(g);
     mstate.init(g, &mut net, &mut topo_queue, rng);
 
@@ -592,7 +629,7 @@ pub fn run_dynamic_sharded_with(
             &net,
             &states,
             &mut topo_queue,
-            mstate.as_mut(),
+            mstate,
             rng,
             shard0_rng,
             local_rates,
@@ -622,7 +659,7 @@ pub fn run_dynamic_sharded_with(
                 &net,
                 &states,
                 &mut topo_queue,
-                mstate.as_mut(),
+                mstate,
                 rng,
                 shard0_rng,
                 local_rates,

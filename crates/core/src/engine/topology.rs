@@ -54,6 +54,9 @@ pub enum TopoEvent {
     Strike,
     /// Re-insert adversary-cut edge `i` (index into the heal slab).
     Heal(u32),
+    /// Apply recorded trace step `i`
+    /// ([`TraceReplayer`](crate::engine::trace::TraceReplayer)).
+    Replay(u32),
 }
 
 /// Which nodes a topology event's mutation can have re-rated.

@@ -76,10 +76,10 @@ pub mod sync;
 pub mod trace;
 
 pub use asynchronous::{run_async, AsyncView};
-pub use dynamic::{run_dynamic, DynamicModel, DynamicOutcome};
+pub use dynamic::{run_dynamic, run_dynamic_model, DynamicModel, DynamicOutcome};
 pub use engine::{
-    run_dynamic_lazy, run_dynamic_sharded, run_edge_markov_lazy, LazyOutcome, ShardedOutcome,
-    TopologyModel,
+    run_dynamic_lazy, run_dynamic_sharded, run_dynamic_sharded_model, run_edge_markov_lazy,
+    run_sync_dynamic, run_trace_lazy, LazyOutcome, ShardedOutcome, TopologyModel, TopologyTrace,
 };
 pub use informed::InformedSet;
 pub use mode::Mode;

@@ -12,8 +12,11 @@ use rumor_sim::rng::{SeedStream, Xoshiro256PlusPlus};
 use rumor_sim::stats::quantile;
 
 use crate::asynchronous::{run_async, AsyncView};
-use crate::dynamic::{run_dynamic, DynamicModel, EdgeMarkov};
-use crate::engine::{run_dynamic_sharded, run_edge_markov_lazy};
+use crate::dynamic::{run_dynamic, run_dynamic_model, DynamicModel, EdgeMarkov};
+use crate::engine::{
+    run_dynamic_sharded, run_dynamic_sharded_model, run_edge_markov_lazy, run_sync_dynamic,
+    run_trace_lazy, TopologyTrace,
+};
 use crate::mode::Mode;
 use crate::sync::run_sync;
 
@@ -292,6 +295,145 @@ pub fn lazy_spreading_times(
     })
 }
 
+/// Which asynchronous engine a coupled trial replays the shared trace
+/// through. All three sample the identical process (the trace is
+/// deterministic); `Sequential` and `Lazy` are seed-for-seed identical,
+/// and `Sharded(1)` replays them too (pinned in
+/// `tests/trace_replay.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoupledEngine {
+    /// The sequential merged-stream engine ([`run_dynamic_model`]).
+    Sequential,
+    /// The sharded PDES engine with the given shard count
+    /// ([`run_dynamic_sharded_model`]).
+    Sharded(usize),
+    /// The queue-free trace cursor ([`run_trace_lazy`]).
+    Lazy,
+}
+
+/// One coupled trial: a synchronous and an asynchronous run over the
+/// **same** recorded topology trace, driven by a **common** protocol
+/// seed (common random numbers). The paired difference/ratio of the two
+/// columns has the trace's variance cancelled — the coupling argument
+/// of the paper's proofs, as an estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledOutcome {
+    /// Rounds the synchronous run took.
+    pub sync_rounds: f64,
+    /// Whether the synchronous run informed everyone within budget.
+    pub sync_completed: bool,
+    /// Time the asynchronous run took.
+    pub async_time: f64,
+    /// Whether the asynchronous run informed everyone within budget.
+    pub async_completed: bool,
+    /// Effective topology changes in the shared trace.
+    pub trace_steps: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn coupled_trial(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    engine: CoupledEngine,
+    rng: &mut Xoshiro256PlusPlus,
+    horizon: f64,
+    max_steps: u64,
+    max_rounds: u64,
+) -> CoupledOutcome {
+    // Two sub-seeds per trial: one for the shared topology realization,
+    // one used by BOTH protocol runs (common random numbers).
+    let trace_seed = rng.next_u64();
+    let proto_seed = rng.next_u64();
+    let mut trace_rng = Xoshiro256PlusPlus::seed_from(trace_seed);
+    let trace = TopologyTrace::record(g, source, model, &mut trace_rng, horizon);
+    let sync = run_sync_dynamic(
+        &trace,
+        source,
+        mode,
+        &mut Xoshiro256PlusPlus::seed_from(proto_seed),
+        max_rounds,
+    );
+    let mut proto_rng = Xoshiro256PlusPlus::seed_from(proto_seed);
+    let asy = match engine {
+        CoupledEngine::Sequential => {
+            run_dynamic_model(g, source, mode, &mut trace.replayer(), &mut proto_rng, max_steps)
+        }
+        CoupledEngine::Sharded(k) => {
+            run_dynamic_sharded_model(
+                g,
+                source,
+                mode,
+                &mut trace.replayer(),
+                k,
+                &mut proto_rng,
+                max_steps,
+            )
+            .outcome
+        }
+        CoupledEngine::Lazy => run_trace_lazy(&trace, source, mode, &mut proto_rng, max_steps),
+    };
+    CoupledOutcome {
+        sync_rounds: sync.rounds as f64,
+        sync_completed: sync.completed,
+        async_time: asy.time,
+        async_completed: asy.completed,
+        trace_steps: trace.len(),
+    }
+}
+
+/// Runs `trials` coupled sync/async trials: per trial, one topology
+/// trace is recorded over `[0, horizon]`
+/// ([`TopologyTrace::record`] — informed-view-dependent models are
+/// recorded obliviously against the source) and both protocols run on
+/// it with a shared protocol seed. Beyond the horizon the topology
+/// freezes; pick `horizon` comfortably above the expected spreading
+/// time and round count.
+///
+/// Censoring contract: either run exhausting its budget flags its
+/// `*_completed` field; paired aggregation must drop such trials from
+/// the pairing rather than average them (see `rumor_analysis`'s
+/// `PairedSamples`).
+#[allow(clippy::too_many_arguments)]
+pub fn coupled_dynamic_outcomes(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    engine: CoupledEngine,
+    trials: usize,
+    master_seed: u64,
+    horizon: f64,
+    max_steps: u64,
+    max_rounds: u64,
+) -> Vec<CoupledOutcome> {
+    run_trials(trials, master_seed, |_, rng| {
+        coupled_trial(g, source, mode, model, engine, rng, horizon, max_steps, max_rounds)
+    })
+}
+
+/// Parallel version of [`coupled_dynamic_outcomes`]; identical output
+/// for any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn coupled_dynamic_outcomes_parallel(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    engine: CoupledEngine,
+    trials: usize,
+    master_seed: u64,
+    horizon: f64,
+    max_steps: u64,
+    max_rounds: u64,
+    threads: usize,
+) -> Vec<CoupledOutcome> {
+    run_trials_parallel(trials, master_seed, threads, |_, rng| {
+        coupled_trial(g, source, mode, model, engine, rng, horizon, max_steps, max_rounds)
+    })
+}
+
 /// A generous default step budget for asynchronous runs: enough for any
 /// graph whose spreading time is polynomial in `n` at the scales used in
 /// this workspace.
@@ -405,6 +547,58 @@ mod tests {
         );
         assert_eq!(a, b);
         assert!(a.iter().all(|t| t.is_finite() && *t > 0.0));
+    }
+
+    #[test]
+    fn coupled_trials_share_the_trace_and_replay_across_engines() {
+        let g = generators::gnp_connected(32, 0.2, &mut Xoshiro256PlusPlus::seed_from(2), 100);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+        let seq = coupled_dynamic_outcomes(
+            &g,
+            0,
+            Mode::PushPull,
+            &model,
+            CoupledEngine::Sequential,
+            8,
+            11,
+            60.0,
+            10_000_000,
+            100_000,
+        );
+        assert!(seq.iter().all(|o| o.sync_completed && o.async_completed));
+        assert!(seq.iter().all(|o| o.trace_steps > 0));
+        // K = 1 sharded and the lazy cursor replay the sequential
+        // coupled run seed-for-seed.
+        for engine in [CoupledEngine::Sharded(1), CoupledEngine::Lazy] {
+            let other = coupled_dynamic_outcomes(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                engine,
+                8,
+                11,
+                60.0,
+                10_000_000,
+                100_000,
+            );
+            assert_eq!(other, seq, "{engine:?}");
+        }
+        // Parallel fan-out is bit-identical.
+        let par = coupled_dynamic_outcomes_parallel(
+            &g,
+            0,
+            Mode::PushPull,
+            &model,
+            CoupledEngine::Sequential,
+            8,
+            11,
+            60.0,
+            10_000_000,
+            100_000,
+            4,
+        );
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -13,6 +13,50 @@ use rumor_sim::rng::Xoshiro256PlusPlus;
 use crate::mode::Mode;
 use crate::outcome::{SyncOutcome, NEVER_ROUND};
 
+/// One synchronous round over whatever topology `neighbor` exposes:
+/// every node with a contact partner calls it, and exchanges are
+/// decided on the pre-round informed set (`informed_round[·] < r`).
+/// Shared by [`run_sync`], the rewiring comparator
+/// ([`crate::dynamic::run_sync_rewire`]), and the trace-driven engine
+/// ([`crate::engine::trace::run_sync_dynamic`]) so the round semantics
+/// — including the same-round tie rules — cannot drift apart.
+///
+/// `neighbor` returns `None` for nodes that skip their contact this
+/// round (isolated or departed in the current topology); it draws from
+/// the RNG only when a contact actually happens, preserving each
+/// caller's draw order.
+pub(crate) fn exchange_round(
+    r: u64,
+    mode: Mode,
+    informed_round: &mut [u64],
+    informed_count: &mut usize,
+    mut neighbor: impl FnMut(Node) -> Option<Node>,
+) {
+    for v in 0..informed_round.len() as Node {
+        let Some(w) = neighbor(v) else {
+            continue;
+        };
+        // "Informed before round r" means informed in a round < r.
+        let v_informed = informed_round[v as usize] < r;
+        let w_informed = informed_round[w as usize] < r;
+        if v_informed && !w_informed && mode.includes_push() {
+            // w may have been informed earlier this round; only record
+            // the first informing event.
+            if informed_round[w as usize] == NEVER_ROUND {
+                informed_round[w as usize] = r;
+                *informed_count += 1;
+            }
+        } else if !v_informed
+            && w_informed
+            && mode.includes_pull()
+            && informed_round[v as usize] == NEVER_ROUND
+        {
+            informed_round[v as usize] = r;
+            *informed_count += 1;
+        }
+    }
+}
+
 /// Runs the synchronous protocol from `source` until every node is
 /// informed or `max_rounds` rounds have elapsed.
 ///
@@ -68,27 +112,9 @@ pub fn run_sync(
     let mut completed = false;
     for r in 1..=max_rounds {
         rounds = r;
-        for v in 0..n as Node {
-            let w = g.random_neighbor(v, rng);
-            // "Informed before round r" means informed in a round < r.
-            let v_informed = informed_round[v as usize] < r;
-            let w_informed = informed_round[w as usize] < r;
-            if v_informed && !w_informed && mode.includes_push() {
-                // w may have been informed earlier this round; only record
-                // the first informing event.
-                if informed_round[w as usize] == NEVER_ROUND {
-                    informed_round[w as usize] = r;
-                    informed_count += 1;
-                }
-            } else if !v_informed
-                && w_informed
-                && mode.includes_pull()
-                && informed_round[v as usize] == NEVER_ROUND
-            {
-                informed_round[v as usize] = r;
-                informed_count += 1;
-            }
-        }
+        exchange_round(r, mode, &mut informed_round, &mut informed_count, |v| {
+            Some(g.random_neighbor(v, rng))
+        });
         informed_by_round.push(informed_count);
         if informed_count == n {
             completed = true;

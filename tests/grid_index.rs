@@ -1,0 +1,118 @@
+//! Property-based tests of `rumor_graph::geometry::GridIndex` against a
+//! brute-force O(n²) oracle, over arbitrary point sets — including the
+//! unit-square boundary and exactly duplicated positions — and under
+//! arbitrary incremental move sequences.
+
+use proptest::prelude::*;
+use rumor_spreading::graph::geometry::GridIndex;
+use rumor_spreading::graph::Node;
+
+/// Brute-force radius query: every `u != v` with `dist(u, v) <= r`.
+fn brute(pos: &[(f64, f64)], v: usize, r: f64) -> Vec<Node> {
+    let (x, y) = pos[v];
+    let mut out: Vec<Node> = (0..pos.len())
+        .filter(|&u| {
+            let (ux, uy) = pos[u];
+            u != v && (ux - x).powi(2) + (uy - y).powi(2) <= r * r
+        })
+        .map(|u| u as Node)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Strategy: a point set in the unit square **plus** adversarial
+/// structure — the four corners, a boundary-edge point, and an exact
+/// duplicate of the first random point (ties in position must not
+/// confuse cell bucketing).
+fn point_set() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..40).prop_map(|mut pts| {
+        let first = pts[0];
+        pts.push(first); // exact duplicate
+        pts.extend([(0.0, 0.0), (1.0, 1.0), (0.0, 1.0), (1.0, 0.0), (0.5, 1.0)]);
+        pts
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Radius queries match the brute-force scan for every node, at
+    /// radii from sub-cell to spanning the whole square.
+    #[test]
+    fn radius_queries_match_brute_force(pts in point_set(), r in 0.01f64..1.5) {
+        let grid = GridIndex::new(pts.clone(), r);
+        prop_assert_eq!(grid.node_count(), pts.len());
+        prop_assert_eq!(grid.radius(), r);
+        let mut near = Vec::new();
+        for v in 0..pts.len() {
+            grid.within_radius(v as Node, &mut near);
+            prop_assert_eq!(&near, &brute(&pts, v, r), "node {}", v);
+        }
+    }
+
+    /// Duplicated positions see each other (distance 0) and report
+    /// symmetric neighborhoods.
+    #[test]
+    fn duplicates_and_symmetry(pts in point_set(), r in 0.05f64..0.8) {
+        let grid = GridIndex::new(pts.clone(), r);
+        let mut near = Vec::new();
+        let dup = pts.len() - 6; // index of the duplicated first point
+        grid.within_radius(0, &mut near);
+        prop_assert!(near.contains(&(dup as Node)), "duplicate not found from 0");
+        grid.within_radius(dup as Node, &mut near);
+        prop_assert!(near.contains(&0), "0 not found from its duplicate");
+        // Symmetry on a sample of pairs.
+        let mut other = Vec::new();
+        for v in 0..pts.len().min(12) {
+            grid.within_radius(v as Node, &mut near);
+            for &u in &near {
+                grid.within_radius(u, &mut other);
+                prop_assert!(other.contains(&(v as Node)), "asymmetric pair {} {}", v, u);
+            }
+        }
+    }
+
+    /// Incremental moves (including onto boundaries and onto other
+    /// nodes' exact positions) keep the index consistent with the
+    /// oracle at every step.
+    #[test]
+    fn incremental_moves_keep_the_index_consistent(
+        pts in point_set(),
+        moves in proptest::collection::vec((0usize..64, 0.0f64..1.0, 0.0f64..1.0, 0u8..4), 1..80),
+        r in 0.02f64..0.9,
+    ) {
+        let mut pos = pts.clone();
+        let mut grid = GridIndex::new(pts.clone(), r);
+        let n = pos.len();
+        let mut near = Vec::new();
+        for (step, &(vraw, x, y, snap)) in moves.iter().enumerate() {
+            let v = vraw % n;
+            // Sometimes snap the target onto a boundary or another
+            // node's exact position.
+            let (x, y) = match snap {
+                0 => (x, y),
+                1 => (x.round(), y),                  // left/right edge
+                2 => (x, y.round()),                  // top/bottom edge
+                _ => pos[(vraw / 2) % n],             // collide with a node
+            };
+            grid.move_to(v as Node, x, y);
+            pos[v] = (x, y);
+            prop_assert_eq!(grid.position(v as Node), (x, y));
+            // Probe the mover, the collided-with node, and one other.
+            for probe in [v, (vraw / 2) % n, step % n] {
+                grid.within_radius(probe as Node, &mut near);
+                prop_assert_eq!(&near, &brute(&pos, probe, r), "step {} node {}", step, probe);
+            }
+        }
+        // Full sweep at the end.
+        for v in 0..n {
+            grid.within_radius(v as Node, &mut near);
+            prop_assert_eq!(&near, &brute(&pos, v, r), "final node {}", v);
+        }
+        // The proximity edge list agrees with the oracle's pair count.
+        let edges = grid.proximity_edges();
+        let count: usize = (0..n).map(|v| brute(&pos, v, r).len()).sum();
+        prop_assert_eq!(edges.len() * 2, count);
+    }
+}
