@@ -3,6 +3,7 @@
 
 use rumor_core::asynchronous::AsyncView;
 use rumor_core::runner;
+use rumor_core::spec::{Protocol, RunReport, SimSpec};
 use rumor_core::Mode;
 use rumor_graph::{generators, Graph, Node};
 use rumor_sim::rng::Xoshiro256PlusPlus;
@@ -77,14 +78,19 @@ pub struct CensoredSamples {
 }
 
 impl CensoredSamples {
-    /// Splits `(time, completed)` trial outcomes (as produced by
-    /// `rumor_core::runner::dynamic_spreading_outcomes`) into completed
-    /// samples and a censored count.
+    /// Splits `(time, completed)` trial outcomes (the shape of
+    /// [`RunReport::outcome_pairs`]) into completed samples and a
+    /// censored count.
     pub fn from_outcomes(outcomes: &[(f64, bool)]) -> Self {
         let completed =
             outcomes.iter().filter(|&&(_, done)| done).map(|&(t, _)| t).collect::<Vec<_>>();
         let censored = outcomes.len() - completed.len();
         Self { completed, censored }
+    }
+
+    /// Censoring-aware view of a [`SimSpec`] run's report.
+    pub fn from_report(report: &RunReport) -> Self {
+        Self::from_outcomes(&report.outcome_pairs())
     }
 
     /// Total trials observed.
@@ -230,17 +236,26 @@ pub fn sync_round_budget(g: &Graph) -> u64 {
     1_000 * g.node_count() as u64 + 10_000
 }
 
+/// A [`SimSpec`] pre-filled with an experiment's trial plan (trials,
+/// mixed seed, threads) for a suite entry — the one builder every
+/// experiment driver composes its runs from.
+pub fn suite_spec(entry: &SuiteEntry, cfg: &ExperimentConfig, salt: u64) -> SimSpec {
+    SimSpec::on_graph(&entry.graph)
+        .source(entry.source)
+        .trials(cfg.trials)
+        .seed(mix_seed(cfg, salt))
+        .threads(cfg.threads)
+}
+
 /// Samples `cfg.trials` synchronous spreading times on a suite entry.
 pub fn sample_sync(entry: &SuiteEntry, mode: Mode, cfg: &ExperimentConfig, salt: u64) -> Vec<f64> {
-    runner::sync_spreading_times_parallel(
-        &entry.graph,
-        entry.source,
-        mode,
-        cfg.trials,
-        mix_seed(cfg, salt),
-        sync_round_budget(&entry.graph),
-        cfg.threads,
-    )
+    suite_spec(entry, cfg, salt)
+        .protocol(Protocol::Sync { mode })
+        .max_rounds(sync_round_budget(&entry.graph))
+        .build()
+        .expect("suite specs are valid")
+        .run()
+        .values()
 }
 
 /// Samples `cfg.trials` asynchronous spreading times on a suite entry.
@@ -251,16 +266,13 @@ pub fn sample_async(
     cfg: &ExperimentConfig,
     salt: u64,
 ) -> Vec<f64> {
-    runner::async_spreading_times_parallel(
-        &entry.graph,
-        entry.source,
-        mode,
-        view,
-        cfg.trials,
-        mix_seed(cfg, salt),
-        runner::default_max_steps(&entry.graph),
-        cfg.threads,
-    )
+    suite_spec(entry, cfg, salt)
+        .protocol(Protocol::Async { mode, view })
+        .max_steps(runner::default_max_steps(&entry.graph))
+        .build()
+        .expect("suite specs are valid")
+        .run()
+        .values()
 }
 
 #[cfg(test)]
@@ -273,19 +285,16 @@ mod tests {
     /// the truncated times.
     #[test]
     fn censored_trials_are_counted_not_averaged() {
-        use rumor_core::dynamic::DynamicModel;
-
         let g = generators::path(64);
-        let outcomes = runner::dynamic_spreading_outcomes(
-            &g,
-            0,
-            Mode::PushPull,
-            &DynamicModel::Static,
-            10,
-            7,
-            5, // 5 steps cannot inform a 64-node path
-        );
-        let samples = CensoredSamples::from_outcomes(&outcomes);
+        let report = SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .trials(10)
+            .seed(7)
+            .max_steps(5) // 5 steps cannot inform a 64-node path
+            .build()
+            .unwrap()
+            .run();
+        let samples = CensoredSamples::from_report(&report);
         assert_eq!(samples.censored, 10);
         assert!(samples.completed.is_empty());
         assert_eq!(samples.mean_completed(), None, "no unbiased estimate exists");

@@ -21,7 +21,7 @@
 
 use rumor_core::dynamic::{DynamicModel, EdgeMarkov};
 use rumor_core::runner;
-use rumor_core::Mode;
+use rumor_core::spec::{Protocol, SimSpec, Topology};
 use rumor_graph::generators;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
@@ -46,34 +46,28 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         let p = 2.0 * (n as f64).ln() / n as f64;
         let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
         let max_steps = runner::default_max_steps(&g).saturating_mul(8);
-        let static_samples =
-            CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes_parallel(
-                &g,
-                0,
-                Mode::PushPull,
-                &DynamicModel::Static,
-                cfg.trials,
-                mix_seed(cfg, SALT),
-                max_steps,
-                cfg.threads,
-            ));
+        // One spec per cell: only the topology axis varies.
+        let cell_spec = |model: DynamicModel| {
+            SimSpec::on_graph(&g)
+                .protocol(Protocol::push_pull_async())
+                .topology(Topology::Model(model))
+                .trials(cfg.trials)
+                .seed(mix_seed(cfg, SALT))
+                .threads(cfg.threads)
+                .max_steps(max_steps)
+        };
+        let static_samples = CensoredSamples::from_report(
+            &cell_spec(DynamicModel::Static).build().expect("valid E19 spec").run(),
+        );
         censored_total += static_samples.censored;
         let static_mean = static_samples.mean_completed();
         for nu in CHURN_RATES {
             let model = DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: nu, on_rate: 1.0 });
             // Same master seed as the baseline: at nu = 0 the trials are
             // bit-identical to the static ones, so the ratio is exactly 1.
-            let samples =
-                CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes_parallel(
-                    &g,
-                    0,
-                    Mode::PushPull,
-                    &model,
-                    cfg.trials,
-                    mix_seed(cfg, SALT),
-                    max_steps,
-                    cfg.threads,
-                ));
+            let samples = CensoredSamples::from_report(
+                &cell_spec(model).build().expect("valid E19 spec").run(),
+            );
             censored_total += samples.censored;
             table.add_row(vec![
                 n.to_string(),

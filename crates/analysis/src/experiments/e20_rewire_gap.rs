@@ -20,9 +20,10 @@
 //! paired confidence intervals are strictly narrower at equal trial
 //! counts.
 
-use rumor_core::dynamic::{run_sync_rewire, DynamicModel, Rewire, SnapshotFamily};
+use rumor_core::dynamic::{DynamicModel, Rewire, SnapshotFamily};
 use rumor_core::runner;
-use rumor_core::{run_sync, Mode};
+use rumor_core::spec::{Protocol, SimSpec, Topology};
+use rumor_core::Mode;
 use rumor_graph::generators;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
@@ -50,36 +51,35 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         let max_steps = runner::default_max_steps(&g).saturating_mul(8);
         let max_rounds = 1_000 * n as u64 + 10_000;
         for period in PERIODS {
-            let sync_outcomes = runner::run_trials_parallel(
-                cfg.trials,
-                mix_seed(cfg, SALT),
-                cfg.threads,
-                |_, rng| {
-                    let out = match period {
-                        Some(k) => {
-                            run_sync_rewire(&g, 0, Mode::PushPull, k, family, rng, max_rounds)
-                        }
-                        None => run_sync(&g, 0, Mode::PushPull, rng, max_rounds),
-                    };
-                    (out.rounds as f64, out.completed)
-                },
-            );
-            let model = match period {
-                Some(k) => DynamicModel::Rewire(Rewire::new(k as f64, family)),
-                None => DynamicModel::Static,
+            // The same topology axis serves both protocols; the spec
+            // layer routes sync + rewire to the snapshot-rounds engine
+            // and async + rewire to the event engine.
+            let topology = match period {
+                Some(k) => Topology::Model(DynamicModel::Rewire(Rewire::new(k as f64, family))),
+                None => Topology::Static,
             };
-            let async_outcomes = runner::dynamic_spreading_outcomes_parallel(
-                &g,
-                0,
-                Mode::PushPull,
-                &model,
-                cfg.trials,
-                mix_seed(cfg, SALT + 1),
-                max_steps,
-                cfg.threads,
-            );
-            let sync_samples = CensoredSamples::from_outcomes(&sync_outcomes);
-            let async_samples = CensoredSamples::from_outcomes(&async_outcomes);
+            let sync_report = SimSpec::on_graph(&g)
+                .protocol(Protocol::Sync { mode: Mode::PushPull })
+                .topology(topology.clone())
+                .trials(cfg.trials)
+                .seed(mix_seed(cfg, SALT))
+                .threads(cfg.threads)
+                .max_rounds(max_rounds)
+                .build()
+                .expect("valid E20 sync spec")
+                .run();
+            let async_report = SimSpec::on_graph(&g)
+                .protocol(Protocol::push_pull_async())
+                .topology(topology)
+                .trials(cfg.trials)
+                .seed(mix_seed(cfg, SALT + 1))
+                .threads(cfg.threads)
+                .max_steps(max_steps)
+                .build()
+                .expect("valid E20 async spec")
+                .run();
+            let sync_samples = CensoredSamples::from_report(&sync_report);
+            let async_samples = CensoredSamples::from_report(&async_report);
             censored_total += sync_samples.censored + async_samples.censored;
             table.add_row(vec![
                 n.to_string(),

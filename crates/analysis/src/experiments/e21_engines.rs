@@ -26,6 +26,7 @@ use std::time::Instant;
 
 use rumor_core::dynamic::{run_dynamic, DynamicModel, EdgeMarkov};
 use rumor_core::engine::{run_dynamic_sharded, run_edge_markov_lazy};
+use rumor_core::spec::{Engine, Protocol, SimSpec, Topology};
 use rumor_core::{runner, Mode};
 use rumor_graph::generators;
 use rumor_sim::rng::{SeedStream, Xoshiro256PlusPlus};
@@ -124,16 +125,18 @@ fn part_exactness(cfg: &ExperimentConfig, table: &mut Table) {
 
     // K > 1: same law, independent samples.
     for k in [2usize, 4] {
-        let stats = CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes_sharded(
-            &g,
-            0,
-            Mode::PushPull,
-            &model,
-            k,
-            cfg.trials,
-            mix_seed(cfg, SALT + k as u64),
-            max_steps,
-        ));
+        let stats = CensoredSamples::from_report(
+            &SimSpec::on_graph(&g)
+                .protocol(Protocol::push_pull_async())
+                .topology(Topology::Model(model))
+                .engine(Engine::Sharded { shards: k })
+                .trials(cfg.trials)
+                .seed(mix_seed(cfg, SALT + k as u64))
+                .max_steps(max_steps)
+                .build()
+                .expect("valid E21 sharded spec")
+                .run(),
+        );
         table.add_row(vec![
             "exact".into(),
             config.clone(),
@@ -210,20 +213,20 @@ fn part_lazy(cfg: &ExperimentConfig, table: &mut Table) {
     let max_steps = runner::default_max_steps(&g);
     let config = format!("rr6-{n} nu=0.5");
 
-    let lazy_outcomes = runner::run_trials(trials, mix_seed(cfg, SALT + 200), |_, rng| {
-        let out = run_edge_markov_lazy(&g, 0, Mode::PushPull, model, rng, max_steps);
-        (out.time, out.completed)
-    });
-    let lazy_stats = CensoredSamples::from_outcomes(&lazy_outcomes);
-    let eager_stats = CensoredSamples::from_outcomes(&runner::dynamic_spreading_outcomes(
-        &g,
-        0,
-        Mode::PushPull,
-        &DynamicModel::EdgeMarkov(model),
-        trials,
-        mix_seed(cfg, SALT + 201),
-        max_steps,
-    ));
+    let base_spec = |engine: Engine, salt: u64| {
+        SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(DynamicModel::EdgeMarkov(model)))
+            .engine(engine)
+            .trials(trials)
+            .seed(mix_seed(cfg, salt))
+            .max_steps(max_steps)
+            .build()
+            .expect("valid E21 lazy spec")
+    };
+    let lazy_stats = CensoredSamples::from_report(&base_spec(Engine::Lazy, SALT + 200).run());
+    let eager_stats =
+        CensoredSamples::from_report(&base_spec(Engine::Sequential, SALT + 201).run());
     table.add_row(vec![
         "lazy".into(),
         config.clone(),

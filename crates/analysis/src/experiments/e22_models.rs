@@ -28,7 +28,8 @@
 use rumor_core::dynamic::{
     Adversary, DynamicModel, EdgeMarkov, Mobility, RandomWalk, Rewire, SnapshotFamily,
 };
-use rumor_core::{runner, Mode};
+use rumor_core::runner;
+use rumor_core::spec::{Protocol, SimSpec, Topology};
 use rumor_graph::{generators, Graph};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 use rumor_sim::stats::OnlineStats;
@@ -83,26 +84,25 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         let max_steps = runner::default_max_steps(&g).saturating_mul(8);
         let mut static_mean: Option<f64> = None;
         for (name, model) in matched_models(&g) {
-            // Triples (time, completed, topology events) per trial; the
-            // realized event rate is diagnostic output showing the
-            // matching (event granularity differs per model — see note).
-            let outcomes = runner::run_trials_parallel(
-                cfg.trials,
-                mix_seed(cfg, SALT),
-                cfg.threads,
-                |_, rng| {
-                    let out =
-                        rumor_core::run_dynamic(&g, 0, Mode::PushPull, &model, rng, max_steps);
-                    (out.time, out.completed, out.topology_events)
-                },
-            );
-            let samples = CensoredSamples::from_outcomes(
-                &outcomes.iter().map(|&(t, c, _)| (t, c)).collect::<Vec<_>>(),
-            );
+            // The report's per-trial outcomes carry the topology-event
+            // counts; the realized event rate is diagnostic output
+            // showing the matching (event granularity differs per
+            // model — see note).
+            let report = SimSpec::on_graph(&g)
+                .protocol(Protocol::push_pull_async())
+                .topology(Topology::Model(model))
+                .trials(cfg.trials)
+                .seed(mix_seed(cfg, SALT))
+                .threads(cfg.threads)
+                .max_steps(max_steps)
+                .build()
+                .expect("valid E22 spec")
+                .run();
+            let samples = CensoredSamples::from_report(&report);
             let mut event_rate = OnlineStats::new();
-            for &(t, completed, events) in &outcomes {
-                if completed && t > 0.0 {
-                    event_rate.push(events as f64 / t);
+            for trial in &report.outcomes {
+                if trial.completed && trial.value > 0.0 {
+                    event_rate.push(trial.topology_events as f64 / trial.value);
                 }
             }
             if name == "static" {

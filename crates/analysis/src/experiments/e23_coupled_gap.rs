@@ -33,10 +33,8 @@
 use rumor_core::dynamic::{
     Adversary, DynamicModel, EdgeMarkov, Mobility, RandomWalk, Rewire, SnapshotFamily,
 };
-use rumor_core::runner::{coupled_dynamic_outcomes_parallel, CoupledEngine};
-use rumor_core::Mode;
-use rumor_graph::{generators, Graph};
-use rumor_sim::rng::Xoshiro256PlusPlus;
+use rumor_core::spec::{GraphSpec, Protocol, SimSpec, Topology};
+use rumor_graph::Graph;
 
 use crate::experiments::common::{mix_seed, ExperimentConfig};
 use crate::paired::PairedSamples;
@@ -79,6 +77,56 @@ pub fn max_steps(n: usize) -> u64 {
 /// Synchronous round budget (shared with CLI `--coupled`).
 pub const MAX_ROUNDS: u64 = 20_000;
 
+/// The (serializable) graph of the size-`n` sweep: a `G(n, p)` just
+/// above the connectivity threshold, seeded from the experiment seed —
+/// so a committed `.spec` artifact reproduces the exact experiment
+/// graph with no side channel.
+pub fn graph_spec(n: usize, cfg: &ExperimentConfig) -> GraphSpec {
+    // Sparser than E20/E22's base (1.05 vs 2 ln n / n): the closer the
+    // base sits to the connectivity threshold, the more of the
+    // spreading-time variance the topology realization carries.
+    let p = 1.05 * (n as f64).ln() / n as f64;
+    GraphSpec::Gnp { n, p, seed: mix_seed(cfg, SALT) ^ 0x23D ^ n as u64, attempts: 200 }
+}
+
+/// The complete, serializable run spec of one E23 cell: size `n`,
+/// dynamic model `model_name` (a [`coupled_models`] key), under `cfg`'s
+/// trial plan. This is what [`run`] executes per cell and what the
+/// committed `specs/` artifacts are generated from — `run --spec`
+/// replays a table line byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if `model_name` is not a sweep key or the graph spec fails to
+/// resolve (both are bugs in the caller).
+pub fn cell_spec(n: usize, model_name: &str, cfg: &ExperimentConfig) -> SimSpec {
+    let graph = graph_spec(n, cfg);
+    let g = graph.resolve().expect("E23 graph specs resolve");
+    cell_spec_on(graph, &g, model_name, cfg)
+}
+
+/// [`cell_spec`] with the graph already resolved (`g` must be
+/// `graph.resolve()`'s output) — lets [`run`] resolve each size's graph
+/// once instead of once per cell.
+fn cell_spec_on(graph: GraphSpec, g: &Graph, model_name: &str, cfg: &ExperimentConfig) -> SimSpec {
+    let n = g.node_count();
+    let model = coupled_models(g)
+        .into_iter()
+        .find(|(name, _)| *name == model_name)
+        .unwrap_or_else(|| panic!("unknown E23 model `{model_name}`"))
+        .1;
+    SimSpec::new(graph)
+        .protocol(Protocol::push_pull_async())
+        .topology(Topology::Model(model))
+        .coupled(true)
+        .horizon(horizon(n))
+        .max_steps(max_steps(n))
+        .max_rounds(MAX_ROUNDS)
+        .trials(cfg.trials)
+        .seed(mix_seed(cfg, SALT))
+        .threads(cfg.threads)
+}
+
 /// Runs E23 and returns the table.
 pub fn run(cfg: &ExperimentConfig) -> Table {
     let mut table = Table::new(
@@ -97,28 +145,13 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
         ],
     );
     let sizes: Vec<usize> = if cfg.full_scale { vec![64, 256] } else { vec![48] };
-    let mut graph_rng = Xoshiro256PlusPlus::seed_from(mix_seed(cfg, SALT) ^ 0x23D);
     for &n in &sizes {
-        // Sparser than E20/E22's base (1.05 vs 2 ln n / n): the closer
-        // the base sits to the connectivity threshold, the more of the
-        // spreading-time variance the topology realization carries.
-        let p = 1.05 * (n as f64).ln() / n as f64;
-        let g = generators::gnp_connected(n, p, &mut graph_rng, 200);
-        for (name, model) in coupled_models(&g) {
-            let outcomes = coupled_dynamic_outcomes_parallel(
-                &g,
-                0,
-                Mode::PushPull,
-                &model,
-                CoupledEngine::Sequential,
-                cfg.trials,
-                mix_seed(cfg, SALT),
-                horizon(n),
-                max_steps(n),
-                MAX_ROUNDS,
-                cfg.threads,
-            );
-            let samples = PairedSamples::from_coupled(&outcomes);
+        let graph = graph_spec(n, cfg);
+        let g = graph.resolve().expect("E23 graph specs resolve");
+        let mut add_row = |name: &str, spec: SimSpec| {
+            let report = spec.build().expect("valid E23 spec").run();
+            let samples =
+                PairedSamples::from_coupled(report.coupled_outcomes().expect("coupled report"));
             let cell = |v: Option<f64>, d: usize| match v {
                 Some(x) => fmt_f(x, d),
                 None => "-".to_owned(),
@@ -135,7 +168,15 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
                 cell(samples.ci_shrink_factor(), 3),
                 samples.censored.to_string(),
             ]);
+        };
+        for (name, _) in coupled_models(&g) {
+            add_row(name, cell_spec_on(graph.clone(), &g, name, cfg));
         }
+        // The antithetic satellite: the slow-churn model re-run with
+        // antithetic protocol-seed pairs on the same traces — protocol
+        // noise halves, so the paired CI must narrow further at equal
+        // trial count.
+        add_row("markov+anti", cell_spec_on(graph.clone(), &g, "markov", cfg).antithetic(true));
     }
     table.add_note(
         "per trial one TopologyTrace is recorded and BOTH protocols run on it with a common \
@@ -156,6 +197,12 @@ pub fn run(cfg: &ExperimentConfig) -> Table {
     table.add_note(
         "censored = trials where either run exhausted its budget; such trials are excluded from \
          the pairing, never averaged",
+    );
+    table.add_note(
+        "markov+anti re-runs the markov row with antithetic protocol-seed pairs: each trace is \
+         recorded once and both protocols run twice (seed and complement-seed), reporting pair \
+         averages — protocol-clock noise halves, so its paired CI is narrower than markov's at \
+         the same trial count",
     );
     table
 }
@@ -193,7 +240,7 @@ mod tests {
         let table = run(&cfg);
         let ratios = paired_ratios(&table, 48);
         let names: Vec<&str> = ratios.iter().map(|(m, _)| m.as_str()).collect();
-        assert_eq!(names, ["markov", "rewire", "walk", "mobility", "adversary"]);
+        assert_eq!(names, ["markov", "rewire", "walk", "mobility", "adversary", "markov+anti"]);
         for (name, r) in &ratios {
             assert!(*r > 0.3 && *r < 3.0, "{name}: implausible paired ratio {r}");
         }
@@ -206,5 +253,25 @@ mod tests {
         // coupled model can sit near 1, never systematically below).
         let mean_shrink: f64 = shrinks.iter().map(|(_, s)| s).sum::<f64>() / shrinks.len() as f64;
         assert!(mean_shrink > 1.0, "mean shrink {mean_shrink} <= 1: coupling bought nothing");
+    }
+
+    /// The antithetic satellite: pair-averaged protocol runs on shared
+    /// traces reduce the paired interval further at equal trial count.
+    #[test]
+    fn antithetic_pairs_shrink_the_paired_interval() {
+        let cfg = ExperimentConfig::quick().with_trials(60);
+        let n = 48;
+        let ci = |spec: SimSpec| {
+            let report = spec.build().unwrap().run();
+            PairedSamples::from_coupled(report.coupled_outcomes().unwrap())
+                .paired_ci_half_width()
+                .expect("quick E23 markov runs complete")
+        };
+        let plain = ci(cell_spec(n, "markov", &cfg));
+        let anti = ci(cell_spec(n, "markov", &cfg).antithetic(true));
+        assert!(
+            anti < plain,
+            "antithetic pairing must narrow the paired CI: anti {anti} vs plain {plain}"
+        );
     }
 }

@@ -3,8 +3,8 @@
 //!
 //! E20 compared synchronous and asynchronous spreading on dynamic
 //! topologies with **independent** trials, so its ratio estimate
-//! carries the full variance of both columns. A coupled trial
-//! (`rumor_core::runner::coupled_dynamic_outcomes`) drives both runs
+//! carries the full variance of both columns. A coupled trial (a
+//! `rumor_core::spec::SimSpec` with `.coupled(true)`) drives both runs
 //! over the *same* recorded [`TopologyTrace`] with common random
 //! numbers; the shared topology realization induces positive
 //! correlation between the columns, and [`PairedSamples`] exploits it:
@@ -22,7 +22,7 @@
 //!
 //! [`TopologyTrace`]: rumor_core::TopologyTrace
 
-use rumor_core::runner::CoupledOutcome;
+use rumor_core::spec::CoupledOutcome;
 use rumor_sim::stats::OnlineStats;
 
 /// Paired `(sync, async)` spreading-time samples from coupled trials.
@@ -164,8 +164,8 @@ impl PairedSamples {
 mod tests {
     use super::*;
     use rumor_core::dynamic::EdgeMarkov;
-    use rumor_core::runner::{coupled_dynamic_outcomes, CoupledEngine};
-    use rumor_core::{DynamicModel, Mode};
+    use rumor_core::spec::{Protocol, SimSpec, Topology};
+    use rumor_core::DynamicModel;
     use rumor_graph::generators;
 
     fn outcome(sync: f64, asy: f64, sc: bool, ac: bool) -> CoupledOutcome {
@@ -229,19 +229,19 @@ mod tests {
     fn shared_trace_makes_the_paired_ci_strictly_narrower() {
         let g = generators::path(32);
         let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.1));
-        let outcomes = coupled_dynamic_outcomes(
-            &g,
-            0,
-            Mode::PushPull,
-            &model,
-            CoupledEngine::Sequential,
-            60,
-            0xC0FFEE,
-            600.0,
-            100_000_000,
-            100_000,
-        );
-        let p = PairedSamples::from_coupled(&outcomes);
+        let report = SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(model))
+            .coupled(true)
+            .trials(60)
+            .seed(0xC0FFEE)
+            .horizon(600.0)
+            .max_steps(100_000_000)
+            .max_rounds(100_000)
+            .build()
+            .expect("valid coupled spec")
+            .run();
+        let p = PairedSamples::from_coupled(report.coupled_outcomes().unwrap());
         assert!(p.pairs.len() >= 50, "fixture should mostly complete");
         let corr = p.correlation().unwrap();
         assert!(corr > 0.2, "shared trace should correlate the columns: r = {corr}");

@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rumor_analysis::experiments::e23_coupled_gap::{coupled_models, horizon};
 use rumor_core::dynamic::run_dynamic_model;
 use rumor_core::engine::trace::TopologyTrace;
-use rumor_core::runner::{coupled_dynamic_outcomes, CoupledEngine};
+use rumor_core::spec::{Protocol, SimSpec, Topology};
 use rumor_core::Mode;
 use rumor_graph::generators;
 use rumor_sim::rng::Xoshiro256PlusPlus;
@@ -75,18 +75,18 @@ fn bench_coupled_trial(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
             b.iter(|| {
                 seed += 1;
-                coupled_dynamic_outcomes(
-                    &g,
-                    0,
-                    Mode::PushPull,
-                    model,
-                    CoupledEngine::Sequential,
-                    1,
-                    seed,
-                    horizon(N),
-                    4_000 * N as u64,
-                    20_000,
-                )
+                SimSpec::on_graph(&g)
+                    .protocol(Protocol::push_pull_async())
+                    .topology(Topology::Model(*model))
+                    .coupled(true)
+                    .trials(1)
+                    .seed(seed)
+                    .horizon(horizon(N))
+                    .max_steps(4_000 * N as u64)
+                    .max_rounds(20_000)
+                    .build()
+                    .expect("valid coupled spec")
+                    .run()
             })
         });
     }

@@ -70,6 +70,16 @@ impl Args {
     pub fn opt_str(&self, key: &str, default: &str) -> String {
         self.options.get(key).cloned().unwrap_or_else(|| default.to_owned())
     }
+
+    /// The option keys that are not in `allowed`, sorted — for commands
+    /// whose modes accept only a subset of flags and must reject the
+    /// rest instead of silently ignoring them.
+    pub fn keys_outside(&self, allowed: &[&str]) -> Vec<String> {
+        let mut extra: Vec<String> =
+            self.options.keys().filter(|k| !allowed.contains(&k.as_str())).cloned().collect();
+        extra.sort();
+        extra
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,21 @@
 //! `rumor run` — Monte-Carlo spreading-time measurement on a graph file.
+//!
+//! Every run is composed as one [`SimSpec`] (protocol × topology ×
+//! engine × trial plan) and executed through [`SimSpec::build`] /
+//! `Simulation::run` — the CLI only translates flags into the builder
+//! and renders the [`RunReport`]. Two spec-file hooks make committed
+//! experiment lines reproducible from one artifact:
+//!
+//! * `run <file> [flags…] --emit-spec true` prints the run's spec text
+//!   instead of running it;
+//! * `run --spec file.spec` replays a saved spec (no other run flags).
 
-use rumor_analysis::experiments::e23_coupled_gap;
 use rumor_analysis::PairedSamples;
 use rumor_core::dynamic::{
-    run_dynamic, run_sync_rewire, Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn,
-    RandomWalk, Rewire, SnapshotFamily,
+    Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
 };
-use rumor_core::engine::{run_dynamic_sharded, run_edge_markov_lazy};
-use rumor_core::runner::{
-    coupled_dynamic_outcomes_parallel, default_max_steps, run_trials_parallel, CoupledEngine,
-};
-use rumor_core::spread::{run_async_config, run_sync_config, SpreadConfig};
-use rumor_core::Mode;
+use rumor_core::spec::{Engine, GraphSpec, Protocol, RunReport, SimSpec, Simulation, Topology};
+use rumor_core::{AsyncView, Mode};
 use rumor_graph::{props, Graph};
 use rumor_sim::stats::{quantile, Summary};
 
@@ -22,16 +26,70 @@ use crate::error::CliError;
 /// Runs the `run` subcommand.
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let args = Args::parse(tokens)?;
-    let path = args.require(0, "file")?;
-    if args.positional().len() > 1 {
-        return Err(CliError::Usage("run takes exactly one <file> argument".into()));
+    let q: f64 = args.opt_parsed("quantile", 0.9)?;
+    if !(0.0..=1.0).contains(&q) {
+        return Err(CliError::Usage("--quantile must be in [0, 1]".into()));
     }
-    let g = read_graph(path)?;
-    if !props::is_connected(&g) {
+
+    // `--spec file.spec` replays a saved artifact; it composes with no
+    // other run flags (the spec is the whole run — silently ignoring a
+    // `--seed` or `--trials` here would look like a sweep that never
+    // sweeps). Only the presentation-side `--quantile` combines.
+    let spec_path = args.opt_str("spec", "");
+    if !spec_path.is_empty() {
+        if !args.positional().is_empty() {
+            return Err(CliError::Usage("run --spec takes no <file> argument".into()));
+        }
+        let extra = args.keys_outside(&["spec", "quantile"]);
+        if !extra.is_empty() {
+            return Err(CliError::Usage(format!(
+                "run --spec takes no other run flags (the spec file is the whole run); \
+                 remove --{}",
+                extra.join(", --")
+            )));
+        }
+        let text = std::fs::read_to_string(&spec_path)?;
+        let spec = SimSpec::parse(&text)?;
+        let sim = build_connected(&spec)?;
+        return Ok(render(&spec, &sim, &sim.run(), q));
+    }
+
+    let spec = spec_from_args(&args)?;
+    if args.opt_parsed("emit-spec", false)? {
+        // Validate before emitting, so a saved artifact always builds.
+        build_connected(&spec)?;
+        return Ok(spec.to_spec_string()?);
+    }
+    let sim = build_connected(&spec)?;
+    Ok(render(&spec, &sim, &sim.run(), q))
+}
+
+/// Builds the spec and rejects disconnected graphs (the rumor could
+/// never reach every node).
+fn build_connected(spec: &SimSpec) -> Result<Simulation, CliError> {
+    let sim = spec.build()?;
+    if !props::is_connected(sim.graph()) {
         return Err(CliError::Usage(
             "graph is disconnected; the rumor cannot reach every node".into(),
         ));
     }
+    Ok(sim)
+}
+
+/// Translates the flag set into a [`SimSpec`].
+fn spec_from_args(args: &Args) -> Result<SimSpec, CliError> {
+    let path = args.require(0, "file")?;
+    if args.positional().len() > 1 {
+        return Err(CliError::Usage("run takes exactly one <file> argument".into()));
+    }
+    // Stdin graphs cannot be re-read at build time; files become a
+    // serializable `GraphSpec::File` so `--emit-spec` round-trips.
+    let graph_spec = if path == "-" {
+        GraphSpec::Provided(read_graph(path)?)
+    } else {
+        GraphSpec::File(path.to_owned())
+    };
+    let g = graph_spec.resolve()?;
 
     let model = args.opt_str("model", "sync");
     let mode = match args.opt_str("mode", "pushpull").as_str() {
@@ -41,25 +99,21 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         other => return Err(CliError::Usage(format!("unknown --mode `{other}`"))),
     };
     let source: u32 = args.opt_parsed("source", 0)?;
-    if source as usize >= g.node_count() {
-        return Err(CliError::Usage(format!(
-            "--source {source} out of range for {} nodes",
-            g.node_count()
-        )));
-    }
     let trials: usize = args.opt_parsed("trials", 100)?;
-    if trials == 0 {
-        return Err(CliError::Usage("--trials must be positive".into()));
-    }
     let seed: u64 = args.opt_parsed("seed", 42)?;
     let loss: f64 = args.opt_parsed("loss", 0.0)?;
-    if !(0.0..1.0).contains(&loss) {
-        return Err(CliError::Usage("--loss must be in [0, 1)".into()));
+    let threads: usize = args.opt_parsed("threads", 1)?;
+    let coupled: bool = args.opt_parsed("coupled", false)?;
+    let lazy: bool = args.opt_parsed("lazy", false)?;
+    let sharded = !args.opt_str("shards", "").is_empty();
+    let shards: usize = args.opt_parsed("shards", 1)?;
+    if lazy && sharded {
+        return Err(CliError::Usage("pass either --lazy or --shards, not both".into()));
     }
-    let q: f64 = args.opt_parsed("quantile", 0.9)?;
-    if !(0.0..=1.0).contains(&q) {
-        return Err(CliError::Usage("--quantile must be in [0, 1]".into()));
+    if model != "sync" && model != "async" {
+        return Err(CliError::Usage(format!("unknown --model `{model}`")));
     }
+
     // `--dynamic-model` is the canonical spelling ({markov | rewire |
     // walk | mobility | adversary}); `--dynamic` keeps the PR 1 names
     // (edge-markov, rewire, node-churn) for compatibility.
@@ -82,294 +136,54 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     } else {
         legacy
     };
-    if dynamic != "none" && loss > 0.0 {
-        return Err(CliError::Usage("--loss is not supported with --dynamic".into()));
-    }
-    // --threads fans trials out over worker threads (identical output
-    // for any thread count); --shards routes every trial through the
-    // sharded within-trial engine (even K = 1, which replays the
-    // sequential engine seed-for-seed). They compose: trials × shards
-    // threads run at peak.
-    let threads: usize = args.opt_parsed("threads", 1)?;
-    if threads == 0 {
-        return Err(CliError::Usage("--threads must be positive".into()));
-    }
-    // `--coupled true` runs BOTH protocols over one shared topology
-    // trace per trial (common random numbers) and reports paired
-    // statistics; `--lazy true` selects the queue-free engine (the
-    // per-edge-clock engine for plain async runs, the trace cursor for
-    // coupled ones).
-    let coupled: bool = args.opt_parsed("coupled", false)?;
-    let lazy: bool = args.opt_parsed("lazy", false)?;
-    let sharded = !args.opt_str("shards", "").is_empty();
-    let shards: usize = args.opt_parsed("shards", 1)?;
-    if sharded {
-        if shards == 0 {
-            return Err(CliError::Usage("--shards must be positive".into()));
-        }
-        if shards > g.node_count() {
-            return Err(CliError::Usage(format!(
-                "--shards {shards} exceeds the node count {}",
-                g.node_count()
-            )));
-        }
-        if model != "async" && !coupled {
-            return Err(CliError::Usage(
-                "--shards requires --model async or --coupled true".into(),
-            ));
-        }
-        if loss > 0.0 {
-            return Err(CliError::Usage("--loss is not supported with --shards".into()));
-        }
-    }
-    if lazy {
-        if sharded {
-            return Err(CliError::Usage("pass either --lazy or --shards, not both".into()));
-        }
-        if model != "async" && !coupled {
-            return Err(CliError::Usage("--lazy requires --model async or --coupled true".into()));
-        }
-        if loss > 0.0 {
-            return Err(CliError::Usage("--loss is not supported with --lazy".into()));
-        }
-    }
-    if coupled && loss > 0.0 {
-        return Err(CliError::Usage("--loss is not supported with --coupled".into()));
-    }
-
-    // Resolve the dynamic model once; --coupled and --lazy validate
-    // against it at argument time, before any trial runs.
-    let dyn_model = if dynamic == "none" {
-        DynamicModel::Static
+    let topology = if dynamic == "none" {
+        Topology::Static
     } else {
-        parse_dynamic_model(&args, &dynamic, &g)?
+        Topology::Model(parse_dynamic_model(args, &dynamic, &g)?)
     };
-    // The lazy per-edge-clock engine resolves each edge's on/off chain
-    // independently on touch, which is only sound for per-edge
-    // memoryless models — reject anything else (rewiring, node churn,
-    // walks, mobility, the adversary) here rather than deep inside the
-    // run. Coupled runs are exempt: a recorded trace is deterministic,
-    // so the trace cursor replays every model.
-    let lazy_rates = dyn_model.memoryless_edge_rates();
-    if lazy && !coupled && lazy_rates.is_none() {
-        return Err(CliError::Usage(format!(
-            "--lazy requires a per-edge memoryless dynamic model (none or markov); \
-             `{dynamic}` couples edges across the graph or to the informed state \
-             (no memoryless edge rates). Drop --lazy, or use --coupled true to \
-             replay a recorded trace lazily."
-        )));
-    }
 
+    let protocol = if model == "sync" && !coupled {
+        Protocol::Sync { mode }
+    } else {
+        Protocol::Async { mode, view: AsyncView::GlobalClock }
+    };
+    let engine = if sharded {
+        Engine::Sharded { shards }
+    } else if lazy {
+        Engine::Lazy
+    } else {
+        Engine::Sequential
+    };
+
+    let mut spec = SimSpec::new(graph_spec)
+        .source(source)
+        .protocol(protocol)
+        .topology(topology)
+        .engine(engine)
+        .trials(trials)
+        .seed(seed)
+        .threads(threads)
+        .loss(loss)
+        .coupled(coupled);
     if coupled {
-        // The coupled path runs both protocols, so --model is moot —
-        // but an unknown value is still a typo worth rejecting.
-        if model != "sync" && model != "async" {
-            return Err(CliError::Usage(format!("unknown --model `{model}`")));
+        if let Some(h) = opt_f64(args, "horizon")? {
+            spec = spec.horizon(h);
         }
-        return run_coupled(
-            &args,
-            &g,
-            source,
-            mode,
-            &dyn_model,
-            &dynamic,
-            CoupledConfig {
-                trials,
-                seed,
-                threads,
-                engine: if sharded {
-                    CoupledEngine::Sharded(shards)
-                } else if lazy {
-                    CoupledEngine::Lazy
-                } else {
-                    CoupledEngine::Sequential
-                },
-            },
-        );
+        spec = spec.antithetic(args.opt_parsed("antithetic", false)?);
     }
-
-    let config = SpreadConfig::new(source).with_mode(mode).with_loss_probability(loss);
-    // Dynamic models can make non-completion systematically reachable
-    // (e.g. node churn where everyone eventually leaves for good), so
-    // budget-exhausted trials are reported alongside the statistics.
-    let results: Vec<(f64, bool)> = match (model.as_str(), dynamic.as_str()) {
-        ("sync", "none") => {
-            let budget = 1_000 * g.node_count() as u64 + 10_000;
-            run_trials_parallel(trials, seed, threads, |_, rng| {
-                let out = run_sync_config(&g, &config, rng, budget);
-                (out.rounds as f64, out.completed)
-            })
-        }
-        ("async", "none") if !sharded && !lazy => {
-            let budget = default_max_steps(&g).saturating_mul(4);
-            run_trials_parallel(trials, seed, threads, |_, rng| {
-                let out = run_async_config(&g, &config, rng, budget);
-                (out.time, out.completed)
-            })
-        }
-        ("sync", "rewire") => {
-            let period: u64 = args.opt_parsed("period", 4)?;
-            if period == 0 {
-                return Err(CliError::Usage("--period must be positive".into()));
-            }
-            let family = SnapshotFamily::matching_density(&g);
-            let budget = 1_000 * g.node_count() as u64 + 10_000;
-            run_trials_parallel(trials, seed, threads, |_, rng| {
-                let out = run_sync_rewire(&g, source, mode, period, family, rng, budget);
-                (out.rounds as f64, out.completed)
-            })
-        }
-        ("sync", other) => {
-            return Err(CliError::Usage(format!(
-                "--dynamic {other} requires --model async (only rewire has a synchronous analogue)"
-            )))
-        }
-        ("async", _) => {
-            let budget = default_max_steps(&g).saturating_mul(8);
-            if sharded {
-                run_trials_parallel(trials, seed, threads, |_, rng| {
-                    let out =
-                        run_dynamic_sharded(&g, source, mode, &dyn_model, shards, rng, budget);
-                    (out.outcome.time, out.outcome.completed)
-                })
-            } else if lazy {
-                let rates = lazy_rates.expect("validated at argument time");
-                let markov = EdgeMarkov { off_rate: rates.0, on_rate: rates.1 };
-                run_trials_parallel(trials, seed, threads, |_, rng| {
-                    let out = run_edge_markov_lazy(&g, source, mode, markov, rng, budget);
-                    (out.time, out.completed)
-                })
-            } else {
-                run_trials_parallel(trials, seed, threads, |_, rng| {
-                    let out = run_dynamic(&g, source, mode, &dyn_model, rng, budget);
-                    (out.time, out.completed)
-                })
-            }
-        }
-        (other, _) => return Err(CliError::Usage(format!("unknown --model `{other}`"))),
-    };
-    let samples: Vec<f64> = results.iter().map(|&(x, _)| x).collect();
-    let incomplete = results.iter().filter(|&&(_, completed)| !completed).count();
-
-    let unit = if model == "sync" { "rounds" } else { "time units" };
-    let s = Summary::from_slice(&samples);
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{model} {mode} from node {source} on {} nodes, {trials} trials (seed {seed}",
-        g.node_count()
-    ));
-    if loss > 0.0 {
-        out.push_str(&format!(", loss {loss}"));
-    }
-    if dynamic != "none" {
-        out.push_str(&format!(", dynamic {dynamic}"));
-    }
-    if sharded {
-        out.push_str(&format!(", shards {shards}"));
-    }
-    if lazy {
-        out.push_str(", lazy");
-    }
-    if threads > 1 {
-        out.push_str(&format!(", threads {threads}"));
-    }
-    out.push_str(")\n");
-    out.push_str(&format!("  mean:   {:>10.3} {unit}\n", s.mean));
-    out.push_str(&format!("  median: {:>10.3}\n", s.median));
-    out.push_str(&format!("  stddev: {:>10.3}\n", s.stddev));
-    out.push_str(&format!("  min:    {:>10.3}\n", s.min));
-    out.push_str(&format!("  q{:<5}: {:>10.3}\n", q, quantile(&samples, q)));
-    out.push_str(&format!("  max:    {:>10.3}\n", s.max));
-    if incomplete > 0 {
-        out.push_str(&format!(
-            "  warning: {incomplete}/{trials} trials hit the step budget before informing every \
-             node;\n  the statistics above understate the true spreading time\n"
-        ));
-    }
-    Ok(out)
+    Ok(spec)
 }
 
-/// Trial-running knobs of a coupled run.
-struct CoupledConfig {
-    trials: usize,
-    seed: u64,
-    threads: usize,
-    engine: CoupledEngine,
+/// An optional f64 flag: `None` when absent.
+fn opt_f64(args: &Args, key: &str) -> Result<Option<f64>, CliError> {
+    let raw = args.opt_str(key, "");
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    raw.parse().map(Some).map_err(|_| CliError::Usage(format!("cannot parse --{key} from `{raw}`")))
 }
 
-/// Runs `--coupled true`: per trial one topology trace is recorded and
-/// both the synchronous and the asynchronous protocol run on it with a
-/// common protocol seed; the report is paired (see
-/// `rumor_analysis::paired`).
-fn run_coupled(
-    args: &Args,
-    g: &Graph,
-    source: u32,
-    mode: Mode,
-    dyn_model: &DynamicModel,
-    dynamic: &str,
-    cfg: CoupledConfig,
-) -> Result<String, CliError> {
-    // Defaults shared with E23, so interactive coupled runs explore
-    // exactly the committed experiment's regime.
-    let n = g.node_count();
-    let horizon: f64 = args.opt_parsed("horizon", e23_coupled_gap::horizon(n))?;
-    if !(horizon > 0.0 && horizon.is_finite()) {
-        return Err(CliError::Usage("--horizon must be positive and finite".into()));
-    }
-    let max_steps = e23_coupled_gap::max_steps(n);
-    let max_rounds = e23_coupled_gap::MAX_ROUNDS;
-    let outcomes = coupled_dynamic_outcomes_parallel(
-        g,
-        source,
-        mode,
-        dyn_model,
-        cfg.engine,
-        cfg.trials,
-        cfg.seed,
-        horizon,
-        max_steps,
-        max_rounds,
-        cfg.threads,
-    );
-    let samples = PairedSamples::from_coupled(&outcomes);
-    let mut out = String::new();
-    out.push_str(&format!(
-        "coupled sync/async {mode} from node {source} on {n} nodes, {} trials (seed {}, \
-         dynamic {dynamic}, horizon {horizon:.1}",
-        cfg.trials, cfg.seed
-    ));
-    match cfg.engine {
-        CoupledEngine::Sequential => {}
-        CoupledEngine::Sharded(k) => out.push_str(&format!(", shards {k}")),
-        CoupledEngine::Lazy => out.push_str(", lazy"),
-    }
-    if cfg.threads > 1 {
-        out.push_str(&format!(", threads {}", cfg.threads));
-    }
-    out.push_str(")\n");
-    let cell = |v: Option<f64>| match v {
-        Some(x) => format!("{x:>10.3}"),
-        None => format!("{:>10}", "-"),
-    };
-    out.push_str(&format!("  E[rounds_sync]:   {}\n", cell(samples.mean_sync())));
-    out.push_str(&format!("  E[T_async]:       {}\n", cell(samples.mean_async())));
-    out.push_str(&format!("  async/sync:       {}\n", cell(samples.ratio_of_means())));
-    out.push_str(&format!("  corr(sync,async): {}\n", cell(samples.correlation())));
-    out.push_str(&format!("  ci95 paired:      {}\n", cell(samples.paired_ci_half_width())));
-    out.push_str(&format!("  ci95 independent: {}\n", cell(samples.unpaired_ci_half_width())));
-    out.push_str(&format!("  ci shrink:        {}\n", cell(samples.ci_shrink_factor())));
-    if samples.censored > 0 {
-        out.push_str(&format!(
-            "  warning: {}/{} trials censored (budget exhausted on either side) and excluded \
-             from the pairing\n",
-            samples.censored, cfg.trials
-        ));
-    }
-    Ok(out)
-}
-
-/// Builds the topology-evolution model for `--dynamic` asynchronous runs.
+/// Builds the topology-evolution model for `--dynamic` runs.
 fn parse_dynamic_model(args: &Args, dynamic: &str, g: &Graph) -> Result<DynamicModel, CliError> {
     match dynamic {
         "edge-markov" => {
@@ -442,6 +256,107 @@ fn parse_dynamic_model(args: &Args, dynamic: &str, g: &Graph) -> Result<DynamicM
              mobility, adversary"
         ))),
     }
+}
+
+/// Renders a report: the paired block for coupled runs, the statistics
+/// block otherwise. Deterministic for a given spec (no wall-clock), so
+/// a committed spec's output can be diffed byte-for-byte.
+fn render(spec: &SimSpec, sim: &Simulation, report: &RunReport, q: f64) -> String {
+    if spec.plan.coupled {
+        render_coupled(spec, sim, report)
+    } else {
+        render_stats(spec, sim, report, q)
+    }
+}
+
+/// The `, shards K` / `, lazy` / `, threads T` header suffix.
+fn header_suffix(spec: &SimSpec, out: &mut String) {
+    match spec.engine {
+        Engine::Sequential => {}
+        Engine::Sharded { shards } => out.push_str(&format!(", shards {shards}")),
+        Engine::Lazy => out.push_str(", lazy"),
+    }
+    if spec.plan.threads > 1 {
+        out.push_str(&format!(", threads {}", spec.plan.threads));
+    }
+}
+
+fn render_stats(spec: &SimSpec, sim: &Simulation, report: &RunReport, q: f64) -> String {
+    let model = if spec.protocol.is_sync() { "sync" } else { "async" };
+    let mode = spec.protocol.mode();
+    let samples = report.values();
+    let incomplete = report.censored();
+    let trials = report.trials();
+    let s = Summary::from_slice(&samples);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{model} {mode} from node {} on {} nodes, {trials} trials (seed {}",
+        spec.source,
+        sim.graph().node_count(),
+        spec.plan.master_seed
+    ));
+    if spec.loss > 0.0 {
+        out.push_str(&format!(", loss {}", spec.loss));
+    }
+    if !spec.topology.is_static() {
+        out.push_str(&format!(", dynamic {}", spec.topology.label()));
+    }
+    header_suffix(spec, &mut out);
+    out.push_str(")\n");
+    out.push_str(&format!("  mean:   {:>10.3} {}\n", s.mean, report.unit));
+    out.push_str(&format!("  median: {:>10.3}\n", s.median));
+    out.push_str(&format!("  stddev: {:>10.3}\n", s.stddev));
+    out.push_str(&format!("  min:    {:>10.3}\n", s.min));
+    out.push_str(&format!("  q{:<5}: {:>10.3}\n", q, quantile(&samples, q)));
+    out.push_str(&format!("  max:    {:>10.3}\n", s.max));
+    if incomplete > 0 {
+        out.push_str(&format!(
+            "  warning: {incomplete}/{trials} trials hit the step budget before informing every \
+             node;\n  the statistics above understate the true spreading time\n"
+        ));
+    }
+    out
+}
+
+fn render_coupled(spec: &SimSpec, sim: &Simulation, report: &RunReport) -> String {
+    let outcomes = report.coupled_outcomes().expect("coupled plan reports coupled outcomes");
+    let samples = PairedSamples::from_coupled(outcomes);
+    let trials = report.trials();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "coupled sync/async {} from node {} on {} nodes, {trials} trials (seed {}, \
+         dynamic {}, horizon {:.1}",
+        spec.protocol.mode(),
+        spec.source,
+        sim.graph().node_count(),
+        spec.plan.master_seed,
+        spec.topology.label(),
+        sim.horizon()
+    ));
+    if spec.plan.antithetic {
+        out.push_str(", antithetic");
+    }
+    header_suffix(spec, &mut out);
+    out.push_str(")\n");
+    let cell = |v: Option<f64>| match v {
+        Some(x) => format!("{x:>10.3}"),
+        None => format!("{:>10}", "-"),
+    };
+    out.push_str(&format!("  E[rounds_sync]:   {}\n", cell(samples.mean_sync())));
+    out.push_str(&format!("  E[T_async]:       {}\n", cell(samples.mean_async())));
+    out.push_str(&format!("  async/sync:       {}\n", cell(samples.ratio_of_means())));
+    out.push_str(&format!("  corr(sync,async): {}\n", cell(samples.correlation())));
+    out.push_str(&format!("  ci95 paired:      {}\n", cell(samples.paired_ci_half_width())));
+    out.push_str(&format!("  ci95 independent: {}\n", cell(samples.unpaired_ci_half_width())));
+    out.push_str(&format!("  ci shrink:        {}\n", cell(samples.ci_shrink_factor())));
+    if samples.censored > 0 {
+        out.push_str(&format!(
+            "  warning: {}/{} trials censored (budget exhausted on either side) and excluded \
+             from the pairing\n",
+            samples.censored, trials
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -601,6 +516,8 @@ mod tests {
             &["--model", "async", "--dynamic", "node-churn", "--attach", "0"]
         )
         .is_err());
+        // Synchronous rewiring needs whole rounds.
+        assert!(with_graph(TRIANGLE, &["--dynamic", "rewire", "--period", "2.5"]).is_err());
     }
 
     #[test]
@@ -637,7 +554,7 @@ mod tests {
 
     #[test]
     fn one_shard_matches_the_sequential_engine() {
-        // `--shards 1` routes through run_dynamic_sharded, a genuinely
+        // `--shards 1` routes through the sharded engine, a genuinely
         // different engine that replays the plain async run
         // seed-for-seed — so every statistic agrees exactly; only the
         // header line (which records the flag) differs.
@@ -682,9 +599,9 @@ mod tests {
         .unwrap();
         assert!(out.contains("dynamic edge-markov"), "{out}");
 
-        // The satellite regression: every model that couples edges to
-        // each other or the informed state is rejected at ARGUMENT
-        // time, with an error naming the gate — not deep inside a run.
+        // Every model that couples edges to each other or the informed
+        // state is rejected at ARGUMENT time, with a typed SpecError
+        // naming the gate — not deep inside a run.
         for model in ["adversary", "rewire", "walk", "mobility"] {
             let err = with_graph(
                 TRIANGLE,
@@ -766,11 +683,84 @@ mod tests {
     }
 
     #[test]
+    fn antithetic_coupled_runs_report_and_validate() {
+        let base =
+            ["--coupled", "true", "--dynamic-model", "markov", "--trials", "10", "--seed", "5"];
+        let plain = with_graph(TRIANGLE, &base).unwrap();
+        let mut anti = base.to_vec();
+        anti.extend(["--antithetic", "true"]);
+        let anti = with_graph(TRIANGLE, &anti).unwrap();
+        assert!(anti.contains("antithetic"), "{anti}");
+        assert_ne!(plain, anti, "antithetic pair averages differ from single runs");
+        // Antithetic pairing without coupling is rejected (the spec
+        // ignores the flag unless coupled; direct spec runs reject it —
+        // see SpecError::AntitheticNeedsCoupling tests).
+    }
+
+    #[test]
     fn dynamic_run_is_deterministic_per_seed() {
         let flags =
             ["--model", "async", "--dynamic", "edge-markov", "--trials", "15", "--seed", "3"];
         let a = with_graph(TRIANGLE, &flags).unwrap();
         let b = with_graph(TRIANGLE, &flags).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn emit_spec_round_trips_through_spec_file() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let stamp = format!("{}_{}", std::process::id(), COUNTER.fetch_add(1, Ordering::Relaxed));
+        let graph_path = std::env::temp_dir().join(format!("rumor_spec_graph_{stamp}.txt"));
+        std::fs::write(&graph_path, TRIANGLE).unwrap();
+        let graph = graph_path.to_str().unwrap().to_string();
+
+        // 1. Compose a run from flags and emit its spec.
+        let flags = [
+            "--model",
+            "async",
+            "--dynamic-model",
+            "markov",
+            "--trials",
+            "15",
+            "--seed",
+            "3",
+            "--emit-spec",
+            "true",
+        ];
+        let mut tokens = vec![graph.clone()];
+        tokens.extend(flags.iter().map(|s| (*s).to_string()));
+        let spec_text = run(&tokens).unwrap();
+        assert!(spec_text.contains("spec = v1"), "{spec_text}");
+        assert!(spec_text.contains("topology = markov"), "{spec_text}");
+
+        // 2. Replaying the artifact gives byte-identical output to the
+        // flag run.
+        let spec_path = std::env::temp_dir().join(format!("rumor_spec_{stamp}.spec"));
+        std::fs::write(&spec_path, &spec_text).unwrap();
+        let mut direct = vec![graph.clone()];
+        direct.extend(flags[..flags.len() - 2].iter().map(|s| (*s).to_string()));
+        let direct_out = run(&direct).unwrap();
+        let replayed =
+            run(&["--spec".to_string(), spec_path.to_str().unwrap().to_string()]).unwrap();
+        assert_eq!(direct_out, replayed);
+
+        // 3. --spec composes with nothing else: positional graphs and
+        // other run flags are rejected, not silently ignored.
+        let spec_flag = ["--spec".to_string(), spec_path.to_str().unwrap().to_string()];
+        assert!(run(&[graph, spec_flag[0].clone(), spec_flag[1].clone()]).is_err());
+        for extra in [["--seed", "9"], ["--trials", "50"], ["--emit-spec", "true"]] {
+            let mut tokens = spec_flag.to_vec();
+            tokens.extend(extra.iter().map(|s| (*s).to_string()));
+            let err = run(&tokens).unwrap_err().to_string();
+            assert!(err.contains("no other run flags"), "{extra:?}: {err}");
+            assert!(err.contains(extra[0].trim_start_matches('-')), "{extra:?}: {err}");
+        }
+        // …while the presentation-side --quantile still combines.
+        let mut tokens = spec_flag.to_vec();
+        tokens.extend(["--quantile".to_string(), "0.5".to_string()]);
+        assert!(run(&tokens).is_ok());
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&spec_path).ok();
     }
 }

@@ -14,6 +14,8 @@ pub enum CliError {
     Graph(GraphError),
     /// Input could not be read.
     Io(std::io::Error),
+    /// A run spec failed to parse, validate, or serialize.
+    Spec(rumor_core::SpecError),
 }
 
 impl fmt::Display for CliError {
@@ -22,6 +24,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Graph(e) => write!(f, "invalid graph: {e}"),
             CliError::Io(e) => write!(f, "cannot read input: {e}"),
+            CliError::Spec(e) => write!(f, "{e}"),
         }
     }
 }
@@ -32,7 +35,14 @@ impl Error for CliError {
             CliError::Usage(_) => None,
             CliError::Graph(e) => Some(e),
             CliError::Io(e) => Some(e),
+            CliError::Spec(e) => Some(e),
         }
+    }
+}
+
+impl From<rumor_core::SpecError> for CliError {
+    fn from(e: rumor_core::SpecError) -> Self {
+        CliError::Spec(e)
     }
 }
 

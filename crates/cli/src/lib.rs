@@ -9,6 +9,8 @@
 //!           [--source U] [--trials N] [--seed S] [--loss P] [--quantile Q]
 //!           [--dynamic edge-markov|rewire|node-churn] [--churn NU]
 //!           [--period T] [--leave R] [--join R] [--attach K]
+//!           [--emit-spec true]
+//! rumor run --spec file.spec                     # replay a saved run spec
 //! ```
 //!
 //! Graphs are exchanged as plain edge-list text (`n m` header, one `u v`
@@ -73,6 +75,14 @@ RUN OPTIONS:
     --seed S                master seed               [default: 42]
     --loss P                per-contact loss in [0,1) [default: 0]
     --quantile Q            report the Q-quantile     [default: 0.9]
+    --threads T             trial fan-out threads     [default: 1]
+    --shards K              sharded PDES engine (async/coupled runs)
+    --lazy true             lazy per-edge-clock engine (memoryless models)
+    --coupled true          paired sync/async runs on shared topology traces
+    --horizon H             coupled trace horizon     [default: 24 ln n]
+    --antithetic true       antithetic protocol-seed pairs (coupled runs)
+    --emit-spec true        print the run's spec artifact instead of running
+    --spec FILE             replay a saved spec artifact (no other run flags)
 
 DYNAMIC NETWORKS (rumor run --dynamic …):
     --dynamic edge-markov   per-edge on/off churn     (--churn NU, default 1)

@@ -37,7 +37,13 @@
 //!   O(touched edges), for `n ≥ 10⁶`;
 //! * a seeded, optionally parallel **Monte-Carlo runner** ([`runner`]) for
 //!   estimating spreading-time laws, expectations `E[T]` and
-//!   high-probability quantiles `T₁/ₙ`.
+//!   high-probability quantiles `T₁/ₙ`;
+//! * the **unified run API** ([`spec`]): [`SimSpec`] composes protocol ×
+//!   topology × engine × trial plan in one typed builder, validates the
+//!   combination once, executes it into a [`RunReport`] (explicit
+//!   censoring, paired statistics when coupled, engine telemetry), and
+//!   serializes to a one-file text artifact — the layer every runner
+//!   helper is now a thin deprecated wrapper over.
 //!
 //! # Quickstart
 //!
@@ -71,6 +77,7 @@ mod mode;
 mod outcome;
 pub mod quasirandom;
 pub mod runner;
+pub mod spec;
 pub mod spread;
 pub mod sync;
 pub mod trace;
@@ -84,5 +91,9 @@ pub use engine::{
 pub use informed::InformedSet;
 pub use mode::Mode;
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
+pub use spec::{
+    CoupledEngine, CoupledOutcome, Engine, GraphSpec, Protocol, RunReport, SimSpec, Simulation,
+    SpecError, Topology, TopologyModelFactory, TrialPlan,
+};
 pub use spread::SpreadConfig;
 pub use sync::run_sync;

@@ -6,19 +6,27 @@
 //! This module estimates them from independent trials. Trial `i` always
 //! uses the `i`-th seed of a [`SeedStream`], so a run is reproducible
 //! regardless of thread count or scheduling.
+//!
+//! The combinatorially named sampling helpers (`sync_spreading_times`,
+//! `dynamic_spreading_outcomes_sharded`, …) are **deprecated**: they
+//! are thin wrappers over the unified [`SimSpec`](crate::spec::SimSpec)
+//! builder, kept seed-for-seed identical for migration (pinned in
+//! `tests/spec_wrappers.rs`). New code should compose a `SimSpec`
+//! directly — one typed builder instead of a free function per
+//! protocol × topology × engine combination. Unlike `SimSpec`'s
+//! [`RunReport`](crate::spec::RunReport), the time-only wrappers cannot
+//! report censoring; they log to stderr when it occurred.
 
 use rumor_graph::{Graph, Node};
 use rumor_sim::rng::{SeedStream, Xoshiro256PlusPlus};
 use rumor_sim::stats::quantile;
 
-use crate::asynchronous::{run_async, AsyncView};
-use crate::dynamic::{run_dynamic, run_dynamic_model, DynamicModel, EdgeMarkov};
-use crate::engine::{
-    run_dynamic_sharded, run_dynamic_sharded_model, run_edge_markov_lazy, run_sync_dynamic,
-    run_trace_lazy, TopologyTrace,
-};
+use crate::asynchronous::AsyncView;
+use crate::dynamic::{DynamicModel, EdgeMarkov};
 use crate::mode::Mode;
-use crate::sync::run_sync;
+use crate::spec::{Engine, Protocol, RunReport, SimSpec, Topology};
+
+pub use crate::spec::{CoupledEngine, CoupledOutcome};
 
 /// Runs `trials` independent trials of `f` sequentially.
 ///
@@ -89,11 +97,40 @@ where
     results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
+/// Builds and runs a wrapper's spec, panicking on the (historically
+/// panicking) invalid-argument cases. `trials == 0` was historically
+/// NOT one of them — the wrappers returned an empty sample — so it is
+/// short-circuited before `SimSpec::build`'s stricter `ZeroTrials`
+/// rule; `run_spec` returns `None` exactly then.
+fn run_spec(spec: SimSpec) -> Option<RunReport> {
+    if spec.plan.trials == 0 {
+        return None;
+    }
+    Some(spec.build().unwrap_or_else(|e| panic!("invalid run: {e}")).run())
+}
+
+/// The deprecated time-only wrappers cannot carry a censoring flag per
+/// trial; disclose on stderr instead of silently biasing downstream
+/// statistics (the PR 3 `CensoredSamples` contract lives in
+/// [`RunReport::censored`](crate::spec::RunReport::censored)).
+fn warn_censored(what: &str, report: &RunReport) {
+    let censored = report.censored();
+    if censored > 0 {
+        eprintln!(
+            "warning: {what}: {censored}/{} trials exhausted their budget before informing \
+             every node; their times are lower bounds and bias statistics downward — prefer \
+             rumor_core::spec::SimSpec, whose RunReport counts censored trials explicitly",
+            report.trials()
+        );
+    }
+}
+
 /// Samples the synchronous spreading time (in rounds) over `trials`
 /// independent runs.
 ///
-/// Incomplete runs (budget exhausted) are reported as `max_rounds`, which
-/// biases estimates *downward*; pick `max_rounds` generously.
+/// Budget-exhausted runs are reported as `max_rounds` (a lower bound)
+/// and disclosed on stderr.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 pub fn sync_spreading_times(
     g: &Graph,
     source: Node,
@@ -102,12 +139,12 @@ pub fn sync_spreading_times(
     master_seed: u64,
     max_rounds: u64,
 ) -> Vec<f64> {
-    run_trials(trials, master_seed, |_, rng| {
-        run_sync(g, source, mode, rng, max_rounds).rounds as f64
-    })
+    #[allow(deprecated)]
+    sync_spreading_times_parallel(g, source, mode, trials, master_seed, max_rounds, 1)
 }
 
 /// Parallel version of [`sync_spreading_times`].
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 pub fn sync_spreading_times_parallel(
     g: &Graph,
     source: Node,
@@ -117,13 +154,27 @@ pub fn sync_spreading_times_parallel(
     max_rounds: u64,
     threads: usize,
 ) -> Vec<f64> {
-    run_trials_parallel(trials, master_seed, threads, |_, rng| {
-        run_sync(g, source, mode, rng, max_rounds).rounds as f64
-    })
+    let Some(report) = run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Sync { mode })
+            .trials(trials)
+            .seed(master_seed)
+            .threads(threads)
+            .max_rounds(max_rounds),
+    ) else {
+        return Vec::new();
+    };
+    warn_censored("sync_spreading_times", &report);
+    report.values()
 }
 
 /// Samples the asynchronous spreading time (in time units) over `trials`
 /// independent runs.
+///
+/// Budget-exhausted runs are reported at their last-step time (a lower
+/// bound) and disclosed on stderr.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 pub fn async_spreading_times(
     g: &Graph,
     source: Node,
@@ -133,12 +184,12 @@ pub fn async_spreading_times(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<f64> {
-    run_trials(trials, master_seed, |_, rng| run_async(g, source, mode, view, rng, max_steps).time)
+    #[allow(deprecated)]
+    async_spreading_times_parallel(g, source, mode, view, trials, master_seed, max_steps, 1)
 }
 
 /// Parallel version of [`async_spreading_times`].
-// The flat argument list mirrors `async_spreading_times` + threads; a
-// config struct would only add indirection for one extra parameter.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn async_spreading_times_parallel(
     g: &Graph,
@@ -150,19 +201,30 @@ pub fn async_spreading_times_parallel(
     max_steps: u64,
     threads: usize,
 ) -> Vec<f64> {
-    run_trials_parallel(trials, master_seed, threads, |_, rng| {
-        run_async(g, source, mode, view, rng, max_steps).time
-    })
+    let Some(report) = run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Async { mode, view })
+            .trials(trials)
+            .seed(master_seed)
+            .threads(threads)
+            .max_steps(max_steps),
+    ) else {
+        return Vec::new();
+    };
+    warn_censored("async_spreading_times", &report);
+    report.values()
 }
 
 /// Samples `(spreading_time, completed)` pairs over `trials`
-/// independent runs of [`run_dynamic`].
+/// independent runs of [`crate::run_dynamic`].
 ///
 /// The `completed` flag is the **censoring indicator**: a `false` trial
 /// exhausted its step budget, so its time is a lower bound on the true
 /// spreading time, not a sample of it. Aggregations must not average
 /// censored times as if complete — count and report them separately
 /// (see `rumor_analysis`'s censoring-aware summaries).
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 pub fn dynamic_spreading_outcomes(
     g: &Graph,
     source: Node,
@@ -172,14 +234,13 @@ pub fn dynamic_spreading_outcomes(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<(f64, bool)> {
-    run_trials(trials, master_seed, |_, rng| {
-        let out = run_dynamic(g, source, mode, model, rng, max_steps);
-        (out.time, out.completed)
-    })
+    #[allow(deprecated)]
+    dynamic_spreading_outcomes_parallel(g, source, mode, model, trials, master_seed, max_steps, 1)
 }
 
 /// Parallel version of [`dynamic_spreading_outcomes`]; identical output
 /// for any thread count.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn dynamic_spreading_outcomes_parallel(
     g: &Graph,
@@ -191,15 +252,23 @@ pub fn dynamic_spreading_outcomes_parallel(
     max_steps: u64,
     threads: usize,
 ) -> Vec<(f64, bool)> {
-    run_trials_parallel(trials, master_seed, threads, |_, rng| {
-        let out = run_dynamic(g, source, mode, model, rng, max_steps);
-        (out.time, out.completed)
-    })
+    run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+            .topology(Topology::Model(*model))
+            .trials(trials)
+            .seed(master_seed)
+            .threads(threads)
+            .max_steps(max_steps),
+    )
+    .map_or_else(Vec::new, |report| report.outcome_pairs())
 }
 
 /// Samples `(spreading_time, completed)` pairs from the **sharded**
 /// engine, trial-serially (each trial parallelizes internally). See
 /// [`dynamic_spreading_outcomes`] for the censoring contract.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn dynamic_spreading_outcomes_sharded(
     g: &Graph,
@@ -211,18 +280,27 @@ pub fn dynamic_spreading_outcomes_sharded(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<(f64, bool)> {
-    run_trials(trials, master_seed, |_, rng| {
-        let out = run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps).outcome;
-        (out.time, out.completed)
-    })
+    run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+            .topology(Topology::Model(*model))
+            .engine(Engine::Sharded { shards })
+            .trials(trials)
+            .seed(master_seed)
+            .max_steps(max_steps),
+    )
+    .map_or_else(Vec::new, |report| report.outcome_pairs())
 }
 
 /// Samples the dynamic-network spreading time (in time units) over
-/// `trials` independent runs of [`run_dynamic`].
+/// `trials` independent runs of [`crate::run_dynamic`].
 ///
 /// Budget-exhausted trials contribute the time of their last step — a
-/// lower bound. Prefer [`dynamic_spreading_outcomes`] when censoring is
-/// possible (aggressive churn, adversarial models, tight budgets).
+/// lower bound, disclosed on stderr. Prefer a
+/// [`SimSpec`](crate::spec::SimSpec) run, whose report carries the
+/// censoring flags.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 pub fn dynamic_spreading_times(
     g: &Graph,
     source: Node,
@@ -232,13 +310,13 @@ pub fn dynamic_spreading_times(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<f64> {
-    run_trials(trials, master_seed, |_, rng| {
-        run_dynamic(g, source, mode, model, rng, max_steps).time
-    })
+    #[allow(deprecated)]
+    dynamic_spreading_times_parallel(g, source, mode, model, trials, master_seed, max_steps, 1)
 }
 
 /// Parallel version of [`dynamic_spreading_times`]; identical output for
 /// any thread count thanks to per-trial [`SeedStream`] seeding.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn dynamic_spreading_times_parallel(
     g: &Graph,
@@ -250,19 +328,31 @@ pub fn dynamic_spreading_times_parallel(
     max_steps: u64,
     threads: usize,
 ) -> Vec<f64> {
-    run_trials_parallel(trials, master_seed, threads, |_, rng| {
-        run_dynamic(g, source, mode, model, rng, max_steps).time
-    })
+    let Some(report) = run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+            .topology(Topology::Model(*model))
+            .trials(trials)
+            .seed(master_seed)
+            .threads(threads)
+            .max_steps(max_steps),
+    ) else {
+        return Vec::new();
+    };
+    warn_censored("dynamic_spreading_times", &report);
+    report.values()
 }
 
-/// Samples spreading times from the **sharded** dynamic engine
-/// ([`run_dynamic_sharded`]) over `trials` independent runs.
+/// Samples spreading times from the **sharded** dynamic engine over
+/// `trials` independent runs.
 ///
 /// Trials run serially: each trial already spreads one run across
 /// `shards` worker threads (within-trial parallelism), which composes
 /// poorly with trial-level thread fan-out. With `shards == 1` every
 /// trial is bit-identical to [`dynamic_spreading_times`]'s — the K = 1
 /// replay invariant lifted to the trial level.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn dynamic_spreading_times_sharded(
     g: &Graph,
@@ -274,13 +364,25 @@ pub fn dynamic_spreading_times_sharded(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<f64> {
-    run_trials(trials, master_seed, |_, rng| {
-        run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps).outcome.time
-    })
+    let Some(report) = run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+            .topology(Topology::Model(*model))
+            .engine(Engine::Sharded { shards })
+            .trials(trials)
+            .seed(master_seed)
+            .max_steps(max_steps),
+    ) else {
+        return Vec::new();
+    };
+    warn_censored("dynamic_spreading_times_sharded", &report);
+    report.values()
 }
 
 /// Samples spreading times from the **lazy per-edge-clock** edge-Markov
-/// engine ([`run_edge_markov_lazy`]) over `trials` independent runs.
+/// engine over `trials` independent runs.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec instead")]
 pub fn lazy_spreading_times(
     g: &Graph,
     source: Node,
@@ -290,104 +392,45 @@ pub fn lazy_spreading_times(
     master_seed: u64,
     max_steps: u64,
 ) -> Vec<f64> {
-    run_trials(trials, master_seed, |_, rng| {
-        run_edge_markov_lazy(g, source, mode, model, rng, max_steps).time
-    })
+    let Some(report) = run_spec(
+        SimSpec::on_graph(g)
+            .source(source)
+            .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+            .topology(Topology::Model(DynamicModel::EdgeMarkov(model)))
+            .engine(Engine::Lazy)
+            .trials(trials)
+            .seed(master_seed)
+            .max_steps(max_steps),
+    ) else {
+        return Vec::new();
+    };
+    warn_censored("lazy_spreading_times", &report);
+    report.values()
 }
 
-/// Which asynchronous engine a coupled trial replays the shared trace
-/// through. All three sample the identical process (the trace is
-/// deterministic); `Sequential` and `Lazy` are seed-for-seed identical,
-/// and `Sharded(1)` replays them too (pinned in
-/// `tests/trace_replay.rs`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CoupledEngine {
-    /// The sequential merged-stream engine ([`run_dynamic_model`]).
-    Sequential,
-    /// The sharded PDES engine with the given shard count
-    /// ([`run_dynamic_sharded_model`]).
-    Sharded(usize),
-    /// The queue-free trace cursor ([`run_trace_lazy`]).
-    Lazy,
-}
-
-/// One coupled trial: a synchronous and an asynchronous run over the
-/// **same** recorded topology trace, driven by a **common** protocol
-/// seed (common random numbers). The paired difference/ratio of the two
-/// columns has the trace's variance cancelled — the coupling argument
-/// of the paper's proofs, as an estimator.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CoupledOutcome {
-    /// Rounds the synchronous run took.
-    pub sync_rounds: f64,
-    /// Whether the synchronous run informed everyone within budget.
-    pub sync_completed: bool,
-    /// Time the asynchronous run took.
-    pub async_time: f64,
-    /// Whether the asynchronous run informed everyone within budget.
-    pub async_completed: bool,
-    /// Effective topology changes in the shared trace.
-    pub trace_steps: usize,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn coupled_trial(
+fn coupled_spec(
     g: &Graph,
     source: Node,
     mode: Mode,
     model: &DynamicModel,
     engine: CoupledEngine,
-    rng: &mut Xoshiro256PlusPlus,
-    horizon: f64,
-    max_steps: u64,
-    max_rounds: u64,
-) -> CoupledOutcome {
-    // Two sub-seeds per trial: one for the shared topology realization,
-    // one used by BOTH protocol runs (common random numbers).
-    let trace_seed = rng.next_u64();
-    let proto_seed = rng.next_u64();
-    let mut trace_rng = Xoshiro256PlusPlus::seed_from(trace_seed);
-    let trace = TopologyTrace::record(g, source, model, &mut trace_rng, horizon);
-    let sync = run_sync_dynamic(
-        &trace,
-        source,
-        mode,
-        &mut Xoshiro256PlusPlus::seed_from(proto_seed),
-        max_rounds,
-    );
-    let mut proto_rng = Xoshiro256PlusPlus::seed_from(proto_seed);
-    let asy = match engine {
-        CoupledEngine::Sequential => {
-            run_dynamic_model(g, source, mode, &mut trace.replayer(), &mut proto_rng, max_steps)
-        }
-        CoupledEngine::Sharded(k) => {
-            run_dynamic_sharded_model(
-                g,
-                source,
-                mode,
-                &mut trace.replayer(),
-                k,
-                &mut proto_rng,
-                max_steps,
-            )
-            .outcome
-        }
-        CoupledEngine::Lazy => run_trace_lazy(&trace, source, mode, &mut proto_rng, max_steps),
+) -> SimSpec {
+    let engine = match engine {
+        CoupledEngine::Sequential => Engine::Sequential,
+        CoupledEngine::Sharded(shards) => Engine::Sharded { shards },
+        CoupledEngine::Lazy => Engine::Lazy,
     };
-    CoupledOutcome {
-        sync_rounds: sync.rounds as f64,
-        sync_completed: sync.completed,
-        async_time: asy.time,
-        async_completed: asy.completed,
-        trace_steps: trace.len(),
-    }
+    SimSpec::on_graph(g)
+        .source(source)
+        .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+        .topology(Topology::Model(*model))
+        .engine(engine)
+        .coupled(true)
 }
 
 /// Runs `trials` coupled sync/async trials: per trial, one topology
-/// trace is recorded over `[0, horizon]`
-/// ([`TopologyTrace::record`] — informed-view-dependent models are
-/// recorded obliviously against the source) and both protocols run on
-/// it with a shared protocol seed. Beyond the horizon the topology
+/// trace is recorded over `[0, horizon]` and both protocols run on it
+/// with a shared protocol seed. Beyond the horizon the topology
 /// freezes; pick `horizon` comfortably above the expected spreading
 /// time and round count.
 ///
@@ -395,6 +438,7 @@ fn coupled_trial(
 /// `*_completed` field; paired aggregation must drop such trials from
 /// the pairing rather than average them (see `rumor_analysis`'s
 /// `PairedSamples`).
+#[deprecated(note = "compose a rumor_core::spec::SimSpec with .coupled(true) instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn coupled_dynamic_outcomes(
     g: &Graph,
@@ -408,13 +452,25 @@ pub fn coupled_dynamic_outcomes(
     max_steps: u64,
     max_rounds: u64,
 ) -> Vec<CoupledOutcome> {
-    run_trials(trials, master_seed, |_, rng| {
-        coupled_trial(g, source, mode, model, engine, rng, horizon, max_steps, max_rounds)
-    })
+    #[allow(deprecated)]
+    coupled_dynamic_outcomes_parallel(
+        g,
+        source,
+        mode,
+        model,
+        engine,
+        trials,
+        master_seed,
+        horizon,
+        max_steps,
+        max_rounds,
+        1,
+    )
 }
 
 /// Parallel version of [`coupled_dynamic_outcomes`]; identical output
 /// for any thread count.
+#[deprecated(note = "compose a rumor_core::spec::SimSpec with .coupled(true) instead")]
 #[allow(clippy::too_many_arguments)]
 pub fn coupled_dynamic_outcomes_parallel(
     g: &Graph,
@@ -429,9 +485,18 @@ pub fn coupled_dynamic_outcomes_parallel(
     max_rounds: u64,
     threads: usize,
 ) -> Vec<CoupledOutcome> {
-    run_trials_parallel(trials, master_seed, threads, |_, rng| {
-        coupled_trial(g, source, mode, model, engine, rng, horizon, max_steps, max_rounds)
-    })
+    let Some(report) = run_spec(
+        coupled_spec(g, source, mode, model, engine)
+            .trials(trials)
+            .seed(master_seed)
+            .threads(threads)
+            .horizon(horizon)
+            .max_steps(max_steps)
+            .max_rounds(max_rounds),
+    ) else {
+        return Vec::new();
+    };
+    report.coupled.expect("coupled plan reports coupled outcomes")
 }
 
 /// A generous default step budget for asynchronous runs: enough for any
@@ -460,6 +525,7 @@ pub fn high_probability_time(samples: &[f64], n: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rumor_graph::generators;

@@ -8,15 +8,25 @@
 use rumor_spreading::core::dynamic::{
     Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
 };
-use rumor_spreading::core::runner::{dynamic_spreading_times, high_probability_time};
-use rumor_spreading::core::Mode;
+use rumor_spreading::core::runner::high_probability_time;
+use rumor_spreading::core::spec::{Protocol, SimSpec, Topology};
 use rumor_spreading::graph::{generators, Graph};
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
 use rumor_spreading::sim::stats::OnlineStats;
 
 fn row(name: &str, g: &Graph, model: &DynamicModel, trials: usize) {
     let n = g.node_count();
-    let times = dynamic_spreading_times(g, 0, Mode::PushPull, model, trials, 41, u64::MAX >> 1);
+    // One builder, six topology models: only the topology axis varies.
+    let times = SimSpec::on_graph(g)
+        .protocol(Protocol::push_pull_async())
+        .topology(Topology::Model(*model))
+        .trials(trials)
+        .seed(41)
+        .max_steps(u64::MAX >> 1)
+        .build()
+        .expect("valid spec")
+        .run()
+        .values();
     let stats: OnlineStats = times.iter().copied().collect();
     println!(
         "{:>24}  {:>9.2}  {:>9.2}  {:>9.2}",

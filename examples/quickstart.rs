@@ -4,9 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rumor_spreading::core::runner::{
-    async_spreading_times, high_probability_time, sync_spreading_times,
-};
+use rumor_spreading::core::runner::high_probability_time;
+use rumor_spreading::core::spec::{Protocol, SimSpec};
 use rumor_spreading::core::{run_async, run_sync, AsyncView, Mode};
 use rumor_spreading::graph::{generators, props};
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
@@ -30,18 +29,27 @@ fn main() {
     let asy = run_async(&g, 0, Mode::PushPull, AsyncView::GlobalClock, &mut rng, 100_000_000);
     println!("single asynchronous push-pull run: {:.2} time units ({} steps)", asy.time, asy.steps);
 
-    // 3. Monte-Carlo estimates of the spreading-time laws.
+    // 3. Monte-Carlo estimates of the spreading-time laws, through the
+    // unified run API: one builder, two protocol axes.
     let trials = 500;
-    let sync_sample = sync_spreading_times(&g, 0, Mode::PushPull, trials, 1, 10_000);
-    let async_sample = async_spreading_times(
-        &g,
-        0,
-        Mode::PushPull,
-        AsyncView::GlobalClock,
-        trials,
-        2,
-        100_000_000,
-    );
+    let base = SimSpec::on_graph(&g).trials(trials);
+    let sync_sample = base
+        .clone()
+        .protocol(Protocol::Sync { mode: Mode::PushPull })
+        .seed(1)
+        .max_rounds(10_000)
+        .build()
+        .expect("valid spec")
+        .run()
+        .values();
+    let async_sample = base
+        .protocol(Protocol::Async { mode: Mode::PushPull, view: AsyncView::GlobalClock })
+        .seed(2)
+        .max_steps(100_000_000)
+        .build()
+        .expect("valid spec")
+        .run()
+        .values();
     let ss = Summary::from_slice(&sync_sample);
     let sa = Summary::from_slice(&async_sample);
     println!("\nover {trials} trials:");

@@ -6,9 +6,8 @@
 //! cargo run --release --example regular_graphs
 //! ```
 
-use rumor_spreading::core::runner::{
-    async_spreading_times, high_probability_time, sync_spreading_times,
-};
+use rumor_spreading::core::runner::high_probability_time;
+use rumor_spreading::core::spec::{Protocol, SimSpec};
 use rumor_spreading::core::{AsyncView, Mode};
 use rumor_spreading::graph::{generators, Graph};
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
@@ -16,26 +15,38 @@ use rumor_spreading::sim::stats::OnlineStats;
 
 fn row(name: &str, g: &Graph, trials: usize) {
     let n = g.node_count();
-    let push = sync_spreading_times(g, 0, Mode::Push, trials, 31, 1_000_000);
-    let pp = sync_spreading_times(g, 0, Mode::PushPull, trials, 32, 1_000_000);
+    // One spec per cell: only the protocol axis and the seed vary.
+    let sync_times = |mode: Mode, seed: u64| {
+        SimSpec::on_graph(g)
+            .protocol(Protocol::Sync { mode })
+            .trials(trials)
+            .seed(seed)
+            .max_rounds(1_000_000)
+            .build()
+            .expect("valid spec")
+            .run()
+            .values()
+    };
+    let async_stats = |mode: Mode, seed: u64| -> OnlineStats {
+        SimSpec::on_graph(g)
+            .protocol(Protocol::Async { mode, view: AsyncView::GlobalClock })
+            .trials(trials)
+            .seed(seed)
+            .max_steps(u64::MAX >> 1)
+            .build()
+            .expect("valid spec")
+            .run()
+            .values()
+            .into_iter()
+            .collect()
+    };
+    let push = sync_times(Mode::Push, 31);
+    let pp = sync_times(Mode::PushPull, 32);
     let tp = high_probability_time(&push, n);
     let tpp = high_probability_time(&pp, n);
 
-    let apush: OnlineStats =
-        async_spreading_times(g, 0, Mode::Push, AsyncView::GlobalClock, trials, 33, u64::MAX >> 1)
-            .into_iter()
-            .collect();
-    let app: OnlineStats = async_spreading_times(
-        g,
-        0,
-        Mode::PushPull,
-        AsyncView::GlobalClock,
-        trials,
-        34,
-        u64::MAX >> 1,
-    )
-    .into_iter()
-    .collect();
+    let apush = async_stats(Mode::Push, 33);
+    let app = async_stats(Mode::PushPull, 34);
 
     println!(
         "{:>18}  {:>6}  {:>4}  {:>9.1}  {:>12.1}  {:>6.2}  {:>16.3}",

@@ -10,7 +10,7 @@
 //! cargo run --release --example star_showdown
 //! ```
 
-use rumor_spreading::core::runner::{async_spreading_times, sync_spreading_times};
+use rumor_spreading::core::spec::{Protocol, SimSpec};
 use rumor_spreading::core::{AsyncView, Mode};
 use rumor_spreading::graph::generators;
 use rumor_spreading::sim::fit::log_fit;
@@ -26,16 +26,25 @@ fn main() {
     for exp in [6u32, 8, 10, 12, 14] {
         let n = 1usize << exp;
         let g = generators::star(n);
-        let sync = sync_spreading_times(&g, 1, Mode::PushPull, trials, 10, 100);
-        let asy = async_spreading_times(
-            &g,
-            1,
-            Mode::PushPull,
-            AsyncView::GlobalClock,
-            trials,
-            11,
-            1_000_000_000,
-        );
+        // The same run, twice, along the protocol axis of one builder.
+        let spec = SimSpec::on_graph(&g).source(1).trials(trials);
+        let sync = spec
+            .clone()
+            .protocol(Protocol::Sync { mode: Mode::PushPull })
+            .seed(10)
+            .max_rounds(100)
+            .build()
+            .expect("valid spec")
+            .run()
+            .values();
+        let asy = spec
+            .protocol(Protocol::Async { mode: Mode::PushPull, view: AsyncView::GlobalClock })
+            .seed(11)
+            .max_steps(1_000_000_000)
+            .build()
+            .expect("valid spec")
+            .run()
+            .values();
         let ss = Summary::from_slice(&sync);
         let sa = Summary::from_slice(&asy);
         ns.push(n as f64);

@@ -13,8 +13,9 @@
 //! * [`sim`] — deterministic PRNGs, the paper's distributions, event
 //!   queues, statistics, least-squares fits ([`rumor_sim`]);
 //! * [`core`] — synchronous & asynchronous push/pull/push–pull engines,
-//!   the `ppx`/`ppy` auxiliary processes, the §3–§5 couplings, FPP, and
-//!   the Monte-Carlo runner ([`rumor_core`]);
+//!   the `ppx`/`ppy` auxiliary processes, the §3–§5 couplings, FPP, the
+//!   Monte-Carlo runner, and the unified `SimSpec` run API
+//!   ([`rumor_core`]);
 //! * [`analysis`] — experiments E1–E14 and table output
 //!   ([`rumor_analysis`]).
 //!

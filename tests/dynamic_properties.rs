@@ -8,7 +8,7 @@ use rumor_spreading::core::dynamic::{
     run_dynamic, run_dynamic_traced, DynamicModel, EdgeMarkov, EngineEventKind, NodeChurn, Rewire,
     SnapshotFamily,
 };
-use rumor_spreading::core::runner::{dynamic_spreading_times, dynamic_spreading_times_parallel};
+use rumor_spreading::core::spec::{Protocol, SimSpec, Topology};
 use rumor_spreading::core::{run_async, AsyncView, Mode};
 use rumor_spreading::graph::{generators, Graph};
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
@@ -93,12 +93,15 @@ proptest! {
         which in 0usize..4,
     ) {
         let model = churny_model(which);
-        let serial =
-            dynamic_spreading_times(&g, 0, Mode::PushPull, &model, 12, seed, 5_000_000);
+        let spec = SimSpec::on_graph(&g)
+            .protocol(Protocol::Async { mode: Mode::PushPull, view: AsyncView::GlobalClock })
+            .topology(Topology::Model(model))
+            .trials(12)
+            .seed(seed)
+            .max_steps(5_000_000);
+        let serial = spec.clone().build().expect("valid spec").run();
         for threads in [2usize, 3, 8] {
-            let parallel = dynamic_spreading_times_parallel(
-                &g, 0, Mode::PushPull, &model, 12, seed, 5_000_000, threads,
-            );
+            let parallel = spec.clone().threads(threads).build().expect("valid spec").run();
             prop_assert_eq!(&serial, &parallel, "threads = {}", threads);
         }
     }

@@ -11,7 +11,7 @@ use rumor_spreading::core::dynamic::{
     SnapshotFamily,
 };
 use rumor_spreading::core::engine::{run_dynamic_sharded, run_dynamic_sharded_with};
-use rumor_spreading::core::runner::{dynamic_spreading_times, dynamic_spreading_times_sharded};
+use rumor_spreading::core::spec::{Engine, Protocol, SimSpec, Topology};
 use rumor_spreading::core::Mode;
 use rumor_spreading::graph::{generators, Graph, Partition};
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
@@ -187,10 +187,16 @@ fn acceptance_k1_trials_match_sequential_runner() {
     let cube = generators::hypercube(6);
     for (name, g) in [("gnp", &gnp), ("hypercube", &cube)] {
         for m in [DynamicModel::Static, DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))] {
-            let sequential = dynamic_spreading_times(g, 0, Mode::PushPull, &m, 15, 77, 50_000_000);
+            let spec = SimSpec::on_graph(g)
+                .protocol(Protocol::push_pull_async())
+                .topology(Topology::Model(m))
+                .trials(15)
+                .seed(77)
+                .max_steps(50_000_000);
+            let sequential = spec.clone().build().expect("valid spec").run();
             let sharded =
-                dynamic_spreading_times_sharded(g, 0, Mode::PushPull, &m, 1, 15, 77, 50_000_000);
-            assert_eq!(sequential, sharded, "{name} model {m}");
+                spec.engine(Engine::Sharded { shards: 1 }).build().expect("valid spec").run();
+            assert_eq!(sequential.values(), sharded.values(), "{name} model {m}");
         }
     }
 }

@@ -1,0 +1,77 @@
+//! The committed one-file artifact contract: `specs/e23_quick_markov.spec`
+//! is the E23 quick-run markov cell as a `SimSpec` text artifact, and
+//! replaying it reproduces that table line **byte for byte**.
+//!
+//! Regenerate after an intentional E23 change with
+//! `REGEN_SPECS=1 cargo test --test spec_artifact`.
+
+use rumor_spreading::analysis::experiments::e23_coupled_gap;
+use rumor_spreading::analysis::table::fmt_f;
+use rumor_spreading::analysis::{ExperimentConfig, PairedSamples};
+use rumor_spreading::core::spec::SimSpec;
+
+fn artifact_path() -> String {
+    format!("{}/specs/e23_quick_markov.spec", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The spec behind the artifact: the E23 quick markov cell, with the
+/// thread count normalized to 1 so the text is machine-independent
+/// (results are thread-count-invariant anyway).
+fn artifact_spec() -> SimSpec {
+    e23_coupled_gap::cell_spec(48, "markov", &ExperimentConfig::quick()).threads(1)
+}
+
+#[test]
+fn committed_spec_matches_the_e23_quick_cell() {
+    let path = artifact_path();
+    let text = artifact_spec().to_spec_string().expect("E23 cells serialize");
+    if std::env::var("REGEN_SPECS").is_ok() {
+        std::fs::write(&path, &text).expect("write artifact");
+    }
+    let committed = std::fs::read_to_string(&path).expect("specs/e23_quick_markov.spec exists");
+    assert_eq!(
+        committed, text,
+        "committed artifact drifted from e23_coupled_gap::cell_spec; \
+         REGEN_SPECS=1 cargo test --test spec_artifact to regenerate"
+    );
+    assert_eq!(SimSpec::parse(&committed).unwrap(), artifact_spec());
+}
+
+/// Replaying the committed artifact reproduces the E23 quick table's
+/// markov row byte for byte — every cell, recomputed from the spec file
+/// alone (graph included: the artifact carries the generator seed).
+#[test]
+fn committed_spec_replays_the_e23_markov_row_byte_for_byte() {
+    let committed = std::fs::read_to_string(artifact_path()).expect("artifact exists");
+    let spec = SimSpec::parse(&committed).unwrap();
+    let report = spec.build().unwrap().run();
+    let samples = PairedSamples::from_coupled(report.coupled_outcomes().unwrap());
+
+    let cfg = ExperimentConfig::quick();
+    let table = e23_coupled_gap::run(&cfg);
+    let row = (0..table.row_count())
+        .find(|&r| table.cell(r, 0) == Some("48") && table.cell(r, 1) == Some("markov"))
+        .expect("markov row present");
+    let cell = |v: Option<f64>, d: usize| match v {
+        Some(x) => fmt_f(x, d),
+        None => "-".to_owned(),
+    };
+    let recomputed = [
+        cell(samples.mean_sync(), 3),
+        cell(samples.mean_async(), 3),
+        cell(samples.ratio_of_means(), 3),
+        cell(samples.correlation(), 3),
+        cell(samples.paired_ci_half_width(), 4),
+        cell(samples.unpaired_ci_half_width(), 4),
+        cell(samples.ci_shrink_factor(), 3),
+        samples.censored.to_string(),
+    ];
+    for (i, expected) in recomputed.iter().enumerate() {
+        assert_eq!(
+            table.cell(row, i + 2),
+            Some(expected.as_str()),
+            "column {} of the markov row drifted from the spec replay",
+            i + 2
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Seed-for-seed equivalence pins for the deprecated runner wrappers.
+//!
+//! Every free function of `rumor_core::runner`'s sampling zoo is now a
+//! thin wrapper over [`SimSpec`]; this file is the migration contract:
+//! for each wrapper, the spec-built run must reproduce the wrapper's
+//! output **bit for bit** (same seeds, same RNG draw order, same
+//! censoring behavior) — the `tests/replay_golden.rs` pattern lifted to
+//! the API layer. Any drift here means the unified API changed the
+//! sampled process, not just its packaging.
+
+#![allow(deprecated)]
+
+use rumor_spreading::core::dynamic::{
+    DynamicModel, EdgeMarkov, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
+};
+use rumor_spreading::core::runner::{
+    async_spreading_times, async_spreading_times_parallel, coupled_dynamic_outcomes,
+    coupled_dynamic_outcomes_parallel, dynamic_spreading_outcomes,
+    dynamic_spreading_outcomes_parallel, dynamic_spreading_outcomes_sharded,
+    dynamic_spreading_times, dynamic_spreading_times_parallel, dynamic_spreading_times_sharded,
+    lazy_spreading_times, sync_spreading_times, sync_spreading_times_parallel, CoupledEngine,
+};
+use rumor_spreading::core::spec::{Engine, Protocol, SimSpec, Topology};
+use rumor_spreading::core::{AsyncView, Mode};
+use rumor_spreading::graph::{generators, Graph};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+
+const TRIALS: usize = 12;
+const SEED: u64 = 0xFEED;
+
+fn test_graph() -> Graph {
+    generators::gnp_connected(40, 0.18, &mut Xoshiro256PlusPlus::seed_from(2024), 200)
+}
+
+fn models() -> Vec<DynamicModel> {
+    vec![
+        DynamicModel::Static,
+        DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
+        DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: 2.0, on_rate: 0.5 }),
+        DynamicModel::Rewire(Rewire::new(2.0, SnapshotFamily::Gnp { p: 0.15 })),
+        DynamicModel::NodeChurn(NodeChurn::new(0.2, 1.0, 2)),
+        DynamicModel::RandomWalk(RandomWalk::new(0.5)),
+    ]
+}
+
+fn async_spec(g: &Graph) -> SimSpec {
+    SimSpec::on_graph(g)
+        .protocol(Protocol::push_pull_async())
+        .trials(TRIALS)
+        .seed(SEED)
+        .max_steps(50_000_000)
+}
+
+#[test]
+fn sync_wrappers_match_their_spec() {
+    let g = test_graph();
+    for mode in Mode::ALL {
+        let spec = SimSpec::on_graph(&g)
+            .protocol(Protocol::Sync { mode })
+            .trials(TRIALS)
+            .seed(SEED)
+            .max_rounds(10_000);
+        let expected = spec.clone().build().unwrap().run().values();
+        assert_eq!(sync_spreading_times(&g, 0, mode, TRIALS, SEED, 10_000), expected, "{mode}");
+        assert_eq!(
+            sync_spreading_times_parallel(&g, 0, mode, TRIALS, SEED, 10_000, 3),
+            expected,
+            "{mode} parallel"
+        );
+        // Thread fan-out on the spec side is bit-identical too.
+        assert_eq!(spec.threads(4).build().unwrap().run().values(), expected, "{mode} threads");
+    }
+}
+
+#[test]
+fn async_wrappers_match_their_spec_for_every_view() {
+    let g = test_graph();
+    for view in AsyncView::ALL {
+        let spec = SimSpec::on_graph(&g)
+            .protocol(Protocol::Async { mode: Mode::PushPull, view })
+            .trials(TRIALS)
+            .seed(SEED)
+            .max_steps(50_000_000);
+        let expected = spec.build().unwrap().run().values();
+        assert_eq!(
+            async_spreading_times(&g, 0, Mode::PushPull, view, TRIALS, SEED, 50_000_000),
+            expected,
+            "{view}"
+        );
+        assert_eq!(
+            async_spreading_times_parallel(
+                &g,
+                0,
+                Mode::PushPull,
+                view,
+                TRIALS,
+                SEED,
+                50_000_000,
+                3
+            ),
+            expected,
+            "{view} parallel"
+        );
+    }
+}
+
+#[test]
+fn dynamic_wrappers_match_their_spec_for_every_model() {
+    let g = test_graph();
+    for model in models() {
+        let report = async_spec(&g).topology(Topology::Model(model)).build().unwrap().run();
+        let expected_pairs = report.outcome_pairs();
+        let expected_times = report.values();
+        assert_eq!(
+            dynamic_spreading_outcomes(&g, 0, Mode::PushPull, &model, TRIALS, SEED, 50_000_000),
+            expected_pairs,
+            "{model:?}"
+        );
+        assert_eq!(
+            dynamic_spreading_outcomes_parallel(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                TRIALS,
+                SEED,
+                50_000_000,
+                3,
+            ),
+            expected_pairs,
+            "{model:?} parallel"
+        );
+        assert_eq!(
+            dynamic_spreading_times(&g, 0, Mode::PushPull, &model, TRIALS, SEED, 50_000_000),
+            expected_times,
+            "{model:?} times"
+        );
+        assert_eq!(
+            dynamic_spreading_times_parallel(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                TRIALS,
+                SEED,
+                50_000_000,
+                4,
+            ),
+            expected_times,
+            "{model:?} times parallel"
+        );
+    }
+}
+
+#[test]
+fn sharded_wrappers_match_their_spec() {
+    let g = test_graph();
+    let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+    for shards in [1usize, 3] {
+        let report = async_spec(&g)
+            .topology(Topology::Model(model))
+            .engine(Engine::Sharded { shards })
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(
+            dynamic_spreading_outcomes_sharded(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                shards,
+                TRIALS,
+                SEED,
+                50_000_000,
+            ),
+            report.outcome_pairs(),
+            "K={shards}"
+        );
+        assert_eq!(
+            dynamic_spreading_times_sharded(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                shards,
+                TRIALS,
+                SEED,
+                50_000_000,
+            ),
+            report.values(),
+            "K={shards} times"
+        );
+    }
+}
+
+#[test]
+fn lazy_wrapper_matches_its_spec() {
+    let g = test_graph();
+    let markov = EdgeMarkov { off_rate: 1.5, on_rate: 0.75 };
+    let expected = async_spec(&g)
+        .topology(Topology::Model(DynamicModel::EdgeMarkov(markov)))
+        .engine(Engine::Lazy)
+        .build()
+        .unwrap()
+        .run()
+        .values();
+    assert_eq!(
+        lazy_spreading_times(&g, 0, Mode::PushPull, markov, TRIALS, SEED, 50_000_000),
+        expected
+    );
+}
+
+#[test]
+fn coupled_wrappers_match_their_spec_for_every_engine() {
+    let g = test_graph();
+    let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.5));
+    for (coupled_engine, engine) in [
+        (CoupledEngine::Sequential, Engine::Sequential),
+        (CoupledEngine::Sharded(2), Engine::Sharded { shards: 2 }),
+        (CoupledEngine::Lazy, Engine::Lazy),
+    ] {
+        let report = async_spec(&g)
+            .topology(Topology::Model(model))
+            .engine(engine)
+            .coupled(true)
+            .horizon(60.0)
+            .max_rounds(50_000)
+            .build()
+            .unwrap()
+            .run();
+        let expected = report.coupled_outcomes().unwrap();
+        assert_eq!(
+            coupled_dynamic_outcomes(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                coupled_engine,
+                TRIALS,
+                SEED,
+                60.0,
+                50_000_000,
+                50_000,
+            ),
+            expected,
+            "{coupled_engine:?}"
+        );
+        assert_eq!(
+            coupled_dynamic_outcomes_parallel(
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                coupled_engine,
+                TRIALS,
+                SEED,
+                60.0,
+                50_000_000,
+                50_000,
+                3,
+            ),
+            expected,
+            "{coupled_engine:?} parallel"
+        );
+    }
+}
+
+/// The wrappers' historical `trials == 0` behavior survives the
+/// migration: an empty sample, not `SimSpec::build`'s `ZeroTrials`
+/// panic (the stricter rule applies only to specs built directly).
+#[test]
+fn zero_trials_still_returns_an_empty_sample() {
+    let g = test_graph();
+    let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+    assert!(sync_spreading_times(&g, 0, Mode::PushPull, 0, SEED, 100).is_empty());
+    assert!(async_spreading_times(&g, 0, Mode::PushPull, AsyncView::GlobalClock, 0, SEED, 100)
+        .is_empty());
+    assert!(dynamic_spreading_outcomes(&g, 0, Mode::PushPull, &model, 0, SEED, 100).is_empty());
+    assert!(
+        dynamic_spreading_times_sharded(&g, 0, Mode::PushPull, &model, 2, 0, SEED, 100).is_empty()
+    );
+    assert!(lazy_spreading_times(&g, 0, Mode::PushPull, EdgeMarkov::symmetric(1.0), 0, SEED, 100)
+        .is_empty());
+    assert!(coupled_dynamic_outcomes(
+        &g,
+        0,
+        Mode::PushPull,
+        &model,
+        CoupledEngine::Sequential,
+        0,
+        SEED,
+        10.0,
+        100,
+        100,
+    )
+    .is_empty());
+}
+
+/// The censoring satellite end to end: a budget every trial exhausts
+/// gives a report whose censored count equals the trial count, the
+/// wrapper still returns the (lower-bound) values, and both agree.
+#[test]
+fn censoring_is_counted_in_the_report_and_disclosed_by_the_wrapper() {
+    let g = generators::path(64);
+    let report = SimSpec::on_graph(&g)
+        .protocol(Protocol::Sync { mode: Mode::PushPull })
+        .trials(6)
+        .seed(3)
+        .max_rounds(3)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(report.censored(), 6, "every trial must censor");
+    assert!(report.completed_values().is_empty());
+    // The wrapper (which logs the censoring to stderr) returns the same
+    // lower-bound values.
+    let wrapped = sync_spreading_times(&g, 0, Mode::PushPull, 6, 3, 3);
+    assert_eq!(wrapped, report.values());
+    assert!(wrapped.iter().all(|&r| r == 3.0));
+}

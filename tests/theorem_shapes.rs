@@ -2,9 +2,8 @@
 //! matrix of graph families. These are the headline claims; the full
 //! sweeps live in the experiment binaries (EXPERIMENTS.md).
 
-use rumor_spreading::core::runner::{
-    async_spreading_times_parallel, high_probability_time, sync_spreading_times_parallel,
-};
+use rumor_spreading::core::runner::high_probability_time;
+use rumor_spreading::core::spec::{Protocol, SimSpec};
 use rumor_spreading::core::{AsyncView, Mode};
 use rumor_spreading::graph::{generators, Graph, Node};
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
@@ -12,6 +11,36 @@ use rumor_spreading::sim::stats::OnlineStats;
 
 fn threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Synchronous push–pull spreading times through the unified run API.
+fn sync_times(g: &Graph, source: Node, trials: usize, seed: u64, max_rounds: u64) -> Vec<f64> {
+    SimSpec::on_graph(g)
+        .source(source)
+        .protocol(Protocol::Sync { mode: Mode::PushPull })
+        .trials(trials)
+        .seed(seed)
+        .threads(threads())
+        .max_rounds(max_rounds)
+        .build()
+        .expect("valid sync spec")
+        .run()
+        .values()
+}
+
+/// Asynchronous push–pull (global clock) spreading times.
+fn async_times(g: &Graph, source: Node, trials: usize, seed: u64, max_steps: u64) -> Vec<f64> {
+    SimSpec::on_graph(g)
+        .source(source)
+        .protocol(Protocol::Async { mode: Mode::PushPull, view: AsyncView::GlobalClock })
+        .trials(trials)
+        .seed(seed)
+        .threads(threads())
+        .max_steps(max_steps)
+        .build()
+        .expect("valid async spec")
+        .run()
+        .values()
 }
 
 fn suite() -> Vec<(&'static str, Graph, Node)> {
@@ -38,25 +67,8 @@ fn theorem1_upper_bound_shape() {
     let trials = 150;
     for (name, g, source) in suite() {
         let n = g.node_count();
-        let sync = sync_spreading_times_parallel(
-            &g,
-            source,
-            Mode::PushPull,
-            trials,
-            1,
-            100_000,
-            threads(),
-        );
-        let asy = async_spreading_times_parallel(
-            &g,
-            source,
-            Mode::PushPull,
-            AsyncView::GlobalClock,
-            trials,
-            2,
-            100_000_000,
-            threads(),
-        );
+        let sync = sync_times(&g, source, trials, 1, 100_000);
+        let asy = async_times(&g, source, trials, 2, 100_000_000);
         let t_sync = high_probability_time(&sync, n);
         let t_async = high_probability_time(&asy, n);
         let bound = t_sync + (n as f64).ln();
@@ -74,29 +86,9 @@ fn theorem2_lower_bound_shape() {
     let trials = 150;
     for (name, g, source) in suite() {
         let n = g.node_count() as f64;
-        let sync: OnlineStats = sync_spreading_times_parallel(
-            &g,
-            source,
-            Mode::PushPull,
-            trials,
-            3,
-            100_000,
-            threads(),
-        )
-        .into_iter()
-        .collect();
-        let asy: OnlineStats = async_spreading_times_parallel(
-            &g,
-            source,
-            Mode::PushPull,
-            AsyncView::GlobalClock,
-            trials,
-            4,
-            100_000_000,
-            threads(),
-        )
-        .into_iter()
-        .collect();
+        let sync: OnlineStats = sync_times(&g, source, trials, 3, 100_000).into_iter().collect();
+        let asy: OnlineStats =
+            async_times(&g, source, trials, 4, 100_000_000).into_iter().collect();
         let bound = n.sqrt() * asy.mean() + n.sqrt();
         assert!(
             sync.mean() <= 3.0 * bound,
@@ -115,18 +107,9 @@ fn star_separation() {
     let mut means = Vec::new();
     for n in [64usize, 256, 1024] {
         let g = generators::star(n);
-        let sync = sync_spreading_times_parallel(&g, 1, Mode::PushPull, trials, 5, 100, threads());
+        let sync = sync_times(&g, 1, trials, 5, 100);
         assert!(sync.iter().all(|&r| r <= 2.0), "sync star exceeded 2 rounds at n={n}");
-        let asy = async_spreading_times_parallel(
-            &g,
-            1,
-            Mode::PushPull,
-            AsyncView::GlobalClock,
-            trials,
-            6,
-            1_000_000_000,
-            threads(),
-        );
+        let asy = async_times(&g, 1, trials, 6, 1_000_000_000);
         means.push(asy.iter().copied().collect::<OnlineStats>().mean());
     }
     assert!(
@@ -151,22 +134,8 @@ fn diamond_separation_widens() {
     let mut ratios = Vec::new();
     for (k, m) in [(5usize, 25usize), (10, 100)] {
         let g = generators::string_of_diamonds(k, m);
-        let sync: OnlineStats =
-            sync_spreading_times_parallel(&g, 0, Mode::PushPull, trials, 7, 1_000_000, threads())
-                .into_iter()
-                .collect();
-        let asy: OnlineStats = async_spreading_times_parallel(
-            &g,
-            0,
-            Mode::PushPull,
-            AsyncView::GlobalClock,
-            trials,
-            8,
-            1_000_000_000,
-            threads(),
-        )
-        .into_iter()
-        .collect();
+        let sync: OnlineStats = sync_times(&g, 0, trials, 7, 1_000_000).into_iter().collect();
+        let asy: OnlineStats = async_times(&g, 0, trials, 8, 1_000_000_000).into_iter().collect();
         ratios.push(sync.mean() / asy.mean());
     }
     assert!(ratios[1] > ratios[0], "sync/async gap should widen with size: {ratios:?}");

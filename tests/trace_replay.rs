@@ -26,7 +26,7 @@ use rumor_spreading::core::engine::trace::{run_trace_lazy, TopologyTrace, TraceR
 use rumor_spreading::core::engine::{
     run_dynamic_sharded_model, InformedView, RateImpact, TopoEvent, TopologyModel,
 };
-use rumor_spreading::core::runner::{coupled_dynamic_outcomes, CoupledEngine};
+use rumor_spreading::core::spec::{Engine, Protocol, SimSpec, Topology};
 use rumor_spreading::core::Mode;
 use rumor_spreading::graph::dynamic::MutableGraph;
 use rumor_spreading::graph::{generators, Graph};
@@ -182,34 +182,22 @@ fn replay_of_a_replay_is_a_fixed_point() {
 fn coupled_engines_replay_each_other_seed_for_seed() {
     let g = test_graph();
     for (name, model) in all_models() {
-        let seq = coupled_dynamic_outcomes(
-            &g,
-            0,
-            Mode::PushPull,
-            &model,
-            CoupledEngine::Sequential,
-            4,
-            0xC0FFEE,
-            60.0,
-            5_000_000,
-            50_000,
-        );
-        assert!(seq.iter().all(|o| o.sync_completed && o.async_completed), "{name}");
-        assert!(seq.iter().all(|o| o.trace_steps > 0), "{name}");
-        for engine in [CoupledEngine::Sharded(1), CoupledEngine::Lazy] {
-            let other = coupled_dynamic_outcomes(
-                &g,
-                0,
-                Mode::PushPull,
-                &model,
-                engine,
-                4,
-                0xC0FFEE,
-                60.0,
-                5_000_000,
-                50_000,
-            );
-            assert_eq!(other, seq, "{name} via {engine:?}");
+        let spec = SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(model))
+            .coupled(true)
+            .trials(4)
+            .seed(0xC0FFEE)
+            .horizon(60.0)
+            .max_steps(5_000_000)
+            .max_rounds(50_000);
+        let seq = spec.clone().build().expect("valid coupled spec").run();
+        let outcomes = seq.coupled_outcomes().expect("coupled report");
+        assert!(outcomes.iter().all(|o| o.sync_completed && o.async_completed), "{name}");
+        assert!(outcomes.iter().all(|o| o.trace_steps > 0), "{name}");
+        for engine in [Engine::Sharded { shards: 1 }, Engine::Lazy] {
+            let other = spec.clone().engine(engine).build().expect("valid coupled spec").run();
+            assert_eq!(other.coupled, seq.coupled, "{name} via {engine:?}");
         }
     }
 }
