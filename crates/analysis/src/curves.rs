@@ -1,0 +1,96 @@
+//! Spreading-curve comparison tables.
+//!
+//! The observability layer ([`rumor_core::obs`]) captures per-trial
+//! informed-set growth and aggregates it into mean
+//! [`CurveSummary`] curves. This module renders the paper's
+//! qualitative picture — *when* each model informs each fraction of
+//! the network, not just the total spreading time — as an aligned
+//! table: one row per informed fraction, one column per model, plus
+//! the async/sync ratio. §1 of the paper notes the async model informs
+//! the *bulk* of the network faster even when its total spreading time
+//! is no better; the interior rows (25%–90%) are where that shows.
+
+use rumor_core::spec::RunReport;
+use rumor_core::CurveSummary;
+
+use crate::table::Table;
+
+/// The informed fractions tabulated by [`sync_async_fraction_table`]:
+/// early growth, the bulk, and saturation.
+pub const FRACTIONS: [f64; 7] = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+/// Tabulates the time each model needs to reach each fraction of
+/// [`FRACTIONS`], with the async/sync ratio (`-` where a curve never
+/// gets there, e.g. censored runs).
+///
+/// The sync curve is measured in rounds and the async curve in time
+/// units — the paper's models agree on that normalization (one round ≈
+/// one expected activation per node), which is what makes the ratio
+/// meaningful.
+pub fn sync_async_fraction_table(sync: &CurveSummary, asy: &CurveSummary) -> Table {
+    let mut t = Table::new(
+        "time to informed fraction: sync (rounds) vs async (time units)",
+        &["fraction", "sync", "async", "async/sync"],
+    );
+    for phi in FRACTIONS {
+        let s = sync.time_to_fraction(phi);
+        let a = asy.time_to_fraction(phi);
+        let ratio = match (s, a) {
+            (Some(s), Some(a)) if s > 0.0 => format!("{:.3}", a / s),
+            _ => "-".to_owned(),
+        };
+        let cell = |v: Option<f64>| v.map_or("-".to_owned(), |t| format!("{t:.3}"));
+        t.add_row(vec![format!("{phi}"), cell(s), cell(a), ratio]);
+    }
+    t.add_note(&format!("sync: {} trials, async: {} trials", sync.trials, asy.trials));
+    t
+}
+
+/// Builds the fraction table straight from a coupled run's metrics
+/// (`sync_informed` / `async_informed` curves). `None` unless the
+/// report was produced by a coupled spec with metrics enabled.
+pub fn fraction_table_from_coupled(report: &RunReport) -> Option<Table> {
+    let m = report.metrics.as_ref()?;
+    Some(sync_async_fraction_table(m.curve("sync_informed")?, m.curve("async_informed")?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::dynamic::{DynamicModel, EdgeMarkov};
+    use rumor_core::spec::{GraphSpec, Protocol, SimSpec, Topology};
+    use rumor_core::MetricsLevel;
+
+    #[test]
+    fn coupled_report_tabulates_fraction_times() {
+        let report = SimSpec::new(GraphSpec::Gnp { n: 24, p: 0.3, seed: 5, attempts: 100 })
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))))
+            .coupled(true)
+            .trials(6)
+            .metrics(MetricsLevel::Summary)
+            .build()
+            .unwrap()
+            .run();
+        let table = fraction_table_from_coupled(&report).expect("coupled metrics carry curves");
+        let text = table.to_text();
+        assert!(text.contains("fraction"), "{text}");
+        assert!(text.contains("0.5"), "{text}");
+        assert!(text.contains("6 trials"), "{text}");
+        // Every fraction row has a sync time (the runs completed).
+        assert!(text.matches('\n').count() >= FRACTIONS.len(), "{text}");
+    }
+
+    #[test]
+    fn metrics_off_reports_have_no_table() {
+        let report = SimSpec::new(GraphSpec::Complete { n: 8 })
+            .protocol(Protocol::push_pull_async())
+            .coupled(true)
+            .topology(Topology::Model(DynamicModel::Static))
+            .trials(2)
+            .build()
+            .unwrap()
+            .run();
+        assert!(fraction_table_from_coupled(&report).is_none());
+    }
+}

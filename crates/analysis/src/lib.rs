@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod curves;
 pub mod experiments;
 pub mod paired;
 pub mod report;
 pub mod table;
 
+pub use curves::sync_async_fraction_table;
 pub use experiments::common::ExperimentConfig;
 pub use paired::PairedSamples;
 pub use table::Table;

@@ -15,7 +15,7 @@ use rumor_core::dynamic::{
     Adversary, DynamicModel, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
 };
 use rumor_core::spec::{Engine, GraphSpec, Protocol, RunReport, SimSpec, Simulation, Topology};
-use rumor_core::{AsyncView, Mode};
+use rumor_core::{AsyncView, MetricsLevel, Mode};
 use rumor_graph::{props, Graph};
 use rumor_sim::stats::{quantile, Summary};
 
@@ -34,13 +34,14 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
     // `--spec file.spec` replays a saved artifact; it composes with no
     // other run flags (the spec is the whole run — silently ignoring a
     // `--seed` or `--trials` here would look like a sweep that never
-    // sweeps). Only the presentation-side `--quantile` combines.
+    // sweeps). Only the presentation-side `--quantile` and the
+    // observability flags (`--metrics`, `--metrics-out`) combine.
     let spec_path = args.opt_str("spec", "");
     if !spec_path.is_empty() {
         if !args.positional().is_empty() {
             return Err(CliError::Usage("run --spec takes no <file> argument".into()));
         }
-        let extra = args.keys_outside(&["spec", "quantile"]);
+        let extra = args.keys_outside(&["spec", "quantile", "metrics", "metrics-out"]);
         if !extra.is_empty() {
             return Err(CliError::Usage(format!(
                 "run --spec takes no other run flags (the spec file is the whole run); \
@@ -49,19 +50,82 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
             )));
         }
         let text = std::fs::read_to_string(&spec_path)?;
-        let spec = SimSpec::parse(&text)?;
+        let mut spec = SimSpec::parse(&text)?;
+        if let Some(level) = opt_metrics(&args)? {
+            spec = spec.metrics(level);
+        }
+        let artifact = metrics_artifact_path(&args, Some(&spec_path), spec.metrics)?;
         let sim = build_connected(&spec)?;
-        return Ok(render(&spec, &sim, &sim.run(), q));
+        return finish(&spec, &sim, &sim.run(), q, artifact);
     }
 
     let spec = spec_from_args(&args)?;
+    let artifact = metrics_artifact_path(&args, None, spec.metrics)?;
     if args.opt_parsed("emit-spec", false)? {
         // Validate before emitting, so a saved artifact always builds.
         build_connected(&spec)?;
         return Ok(spec.to_spec_string()?);
     }
     let sim = build_connected(&spec)?;
-    Ok(render(&spec, &sim, &sim.run(), q))
+    finish(&spec, &sim, &sim.run(), q, artifact)
+}
+
+/// Renders the report, appends the metrics summary, and writes the
+/// `.metrics.json` artifact for `--metrics json` runs.
+fn finish(
+    spec: &SimSpec,
+    sim: &Simulation,
+    report: &RunReport,
+    q: f64,
+    artifact: Option<std::path::PathBuf>,
+) -> Result<String, CliError> {
+    let mut out = render(spec, sim, report, q);
+    if let Some(m) = &report.metrics {
+        for line in m.summary_lines() {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if spec.metrics == MetricsLevel::Json {
+            let path = artifact.expect("json level always resolves an artifact path");
+            std::fs::write(&path, m.render_json())?;
+            out.push_str(&format!("metrics artifact: {}\n", path.display()));
+        }
+    }
+    Ok(out)
+}
+
+/// The `--metrics` flag, when present.
+fn opt_metrics(args: &Args) -> Result<Option<MetricsLevel>, CliError> {
+    let raw = args.opt_str("metrics", "");
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    raw.parse().map(Some).map_err(|e| CliError::Usage(format!("--metrics: {e}")))
+}
+
+/// Where the `.metrics.json` artifact goes: `--metrics-out` wins, a
+/// `--spec` run defaults to the spec path with a `.metrics.json`
+/// extension, and a flag-composed run falls back to `run.metrics.json`
+/// in the working directory. `None` unless the level writes JSON.
+fn metrics_artifact_path(
+    args: &Args,
+    spec_path: Option<&str>,
+    level: MetricsLevel,
+) -> Result<Option<std::path::PathBuf>, CliError> {
+    let out_flag = args.opt_str("metrics-out", "");
+    if level != MetricsLevel::Json {
+        if !out_flag.is_empty() {
+            return Err(CliError::Usage("--metrics-out requires --metrics json".into()));
+        }
+        return Ok(None);
+    }
+    if !out_flag.is_empty() {
+        return Ok(Some(out_flag.into()));
+    }
+    Ok(Some(match spec_path {
+        Some(p) => std::path::Path::new(p).with_extension("metrics.json"),
+        None => "run.metrics.json".into(),
+    }))
 }
 
 /// Builds the spec and rejects disconnected graphs (the rumor could
@@ -165,6 +229,9 @@ fn spec_from_args(args: &Args) -> Result<SimSpec, CliError> {
         .threads(threads)
         .loss(loss)
         .coupled(coupled);
+    if let Some(level) = opt_metrics(args)? {
+        spec = spec.metrics(level);
+    }
     if coupled {
         if let Some(h) = opt_f64(args, "horizon")? {
             spec = spec.horizon(h);
@@ -704,6 +771,69 @@ mod tests {
         let a = with_graph(TRIANGLE, &flags).unwrap();
         let b = with_graph(TRIANGLE, &flags).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_summary_appends_lines_and_json_writes_artifact() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let stamp = format!("{}_{}", std::process::id(), COUNTER.fetch_add(1, Ordering::Relaxed));
+
+        let summary = with_graph(TRIANGLE, &["--trials", "10", "--metrics", "summary"]).unwrap();
+        assert!(summary.contains("metrics: 10 trials, 0 censored (rounds)"), "{summary}");
+        assert!(summary.contains("spreading_time: mean"), "{summary}");
+        assert!(summary.contains("curve informed:"), "{summary}");
+        assert!(!summary.contains("metrics artifact:"), "{summary}");
+
+        let artifact = std::env::temp_dir().join(format!("rumor_metrics_{stamp}.json"));
+        let json_out = with_graph(
+            TRIANGLE,
+            &["--trials", "10", "--metrics", "json", "--metrics-out", artifact.to_str().unwrap()],
+        )
+        .unwrap();
+        assert!(json_out.contains("metrics artifact:"), "{json_out}");
+        let text = std::fs::read_to_string(&artifact).unwrap();
+        assert!(text.contains("\"schema\": \"rumor-metrics v1\""), "{text}");
+        std::fs::remove_file(&artifact).ok();
+
+        // Validation: level names and --metrics-out gating.
+        assert!(with_graph(TRIANGLE, &["--metrics", "loud"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--metrics-out", "x.json"]).is_err());
+        assert!(with_graph(TRIANGLE, &["--metrics", "summary", "--metrics-out", "x.json"]).is_err());
+    }
+
+    #[test]
+    fn spec_replay_composes_with_metrics_flags() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let stamp = format!("{}_{}", std::process::id(), COUNTER.fetch_add(1, Ordering::Relaxed));
+        let graph_path = std::env::temp_dir().join(format!("rumor_mspec_graph_{stamp}.txt"));
+        std::fs::write(&graph_path, TRIANGLE).unwrap();
+        let spec_text = run(&[
+            graph_path.to_str().unwrap().to_string(),
+            "--trials".into(),
+            "10".into(),
+            "--emit-spec".into(),
+            "true".into(),
+        ])
+        .unwrap();
+        let spec_path = std::env::temp_dir().join(format!("rumor_mspec_{stamp}.spec"));
+        std::fs::write(&spec_path, &spec_text).unwrap();
+
+        // --metrics json on replay writes next to the spec by default.
+        let out = run(&[
+            "--spec".to_string(),
+            spec_path.to_str().unwrap().to_string(),
+            "--metrics".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let artifact = spec_path.with_extension("metrics.json");
+        assert!(out.contains("metrics artifact:"), "{out}");
+        assert!(artifact.exists(), "artifact written next to the spec");
+        std::fs::remove_file(&artifact).ok();
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&spec_path).ok();
     }
 
     #[test]

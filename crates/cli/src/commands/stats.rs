@@ -1,5 +1,13 @@
-//! `rumor stats` — structural properties of an edge-list graph.
+//! `rumor stats` — structural properties of an edge-list graph, plus a
+//! reader/differ for `.metrics.json` run artifacts.
+//!
+//! * `stats graph.txt` — degree/component/clustering statistics.
+//! * `stats run.metrics.json` — render the artifact's summary.
+//! * `stats a.metrics.json b.metrics.json` — field-by-field diff of two
+//!   artifacts (exit output `identical` when byte-equivalent).
 
+use rumor_core::obs::json::Json;
+use rumor_core::obs::METRICS_SCHEMA;
 use rumor_graph::props;
 
 use crate::args::Args;
@@ -13,6 +21,9 @@ const DIAMETER_LIMIT: usize = 20_000;
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let args = Args::parse(tokens)?;
     let path = args.require(0, "file")?;
+    if path.ends_with(".metrics.json") || args.positional().len() == 2 {
+        return metrics_stats(args.positional());
+    }
     if args.positional().len() > 1 {
         return Err(CliError::Usage("stats takes exactly one <file> argument".into()));
     }
@@ -43,6 +54,127 @@ pub fn run(tokens: &[String]) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+/// The `.metrics.json` reader: one artifact renders a summary, two
+/// render a field-by-field diff.
+fn metrics_stats(paths: &[String]) -> Result<String, CliError> {
+    match paths {
+        [one] => Ok(metrics_summary(&load_metrics(one)?)),
+        [a, b] => {
+            let (da, db) = (load_metrics(a)?, load_metrics(b)?);
+            let mut lines = Vec::new();
+            diff_json("", &da, &db, &mut lines);
+            if lines.is_empty() {
+                return Ok("identical\n".to_owned());
+            }
+            let mut out = format!("{} differences ({a} vs {b})\n", lines.len());
+            for line in lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        _ => Err(CliError::Usage(
+            "stats takes one .metrics.json artifact (summary) or two (diff)".into(),
+        )),
+    }
+}
+
+/// Loads and schema-checks one artifact.
+fn load_metrics(path: &str) -> Result<Json, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::Usage(format!("{path}: not a JSON artifact: {e}")))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(METRICS_SCHEMA) => Ok(doc),
+        Some(other) => {
+            Err(CliError::Usage(format!("{path}: unsupported metrics schema `{other}`")))
+        }
+        None => Err(CliError::Usage(format!("{path}: missing `schema` field"))),
+    }
+}
+
+/// Renders the human summary of one artifact document.
+fn metrics_summary(doc: &Json) -> String {
+    let num = |v: Option<&Json>| v.and_then(Json::as_num).unwrap_or(f64::NAN);
+    let mut out = format!(
+        "metrics: {} trials, {} censored ({})\n",
+        num(doc.get("trials")),
+        num(doc.get("censored")),
+        doc.get("unit").and_then(Json::as_str).unwrap_or("?"),
+    );
+    if let Some(hists) = doc.get("histograms").and_then(Json::as_obj) {
+        for (name, h) in hists {
+            if h.get("mean").is_some() {
+                out.push_str(&format!(
+                    "  {name}: mean {}, p50 {}, max {} (n={})\n",
+                    num(h.get("mean")),
+                    num(h.get("p50")),
+                    num(h.get("max")),
+                    num(h.get("count")),
+                ));
+            } else {
+                out.push_str(&format!("  {name}: empty\n"));
+            }
+        }
+    }
+    if let Some(curves) = doc.get("curves").and_then(Json::as_obj) {
+        for (name, c) in curves {
+            let opt = |v: Option<&Json>| match v.and_then(Json::as_num) {
+                Some(x) => format!("{x}"),
+                None => "-".to_owned(),
+            };
+            out.push_str(&format!(
+                "  curve {name}: n {}, {} trials, 10% at {}, 90% at {}, {} pts\n",
+                num(c.get("n")),
+                num(c.get("trials")),
+                opt(c.get("startup_end")),
+                opt(c.get("saturation_start")),
+                c.get("points").and_then(Json::as_arr).map_or(0, <[Json]>::len),
+            ));
+        }
+    }
+    out
+}
+
+/// Structural JSON diff: one line per leaf that differs, keyed by its
+/// dotted path. Arrays compare element-wise (length mismatches are one
+/// line), objects by key union in first-document order.
+fn diff_json(path: &str, a: &Json, b: &Json, out: &mut Vec<String>) {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            for (k, va) in fa {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                match b.get(k) {
+                    Some(vb) => diff_json(&sub, va, vb, out),
+                    None => out.push(format!("  {sub}: {} -> (absent)", leaf(va))),
+                }
+            }
+            for (k, vb) in fb {
+                if a.get(k).is_none() {
+                    let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    out.push(format!("  {sub}: (absent) -> {}", leaf(vb)));
+                }
+            }
+        }
+        (Json::Arr(xa), Json::Arr(xb)) => {
+            if xa.len() != xb.len() {
+                out.push(format!("  {path}: {} items -> {} items", xa.len(), xb.len()));
+                return;
+            }
+            for (i, (va, vb)) in xa.iter().zip(xb).enumerate() {
+                diff_json(&format!("{path}[{i}]"), va, vb, out);
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!("  {path}: {} -> {}", leaf(a), leaf(b))),
+    }
+}
+
+/// A short inline rendering for diff lines.
+fn leaf(v: &Json) -> String {
+    v.render().split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
 #[cfg(test)]
@@ -84,5 +216,49 @@ mod tests {
     fn missing_file_is_io_error() {
         let tokens = vec!["/definitely/not/here.txt".to_string()];
         assert!(matches!(run(&tokens).unwrap_err(), CliError::Io(_)));
+    }
+
+    fn write_artifact(stamp: &str, trials: u64, mean: f64) -> std::path::PathBuf {
+        use rumor_core::{LogHistogram, RunMetrics};
+        let mut m = RunMetrics::new("rounds");
+        m.trials = trials;
+        let mut h = LogHistogram::new();
+        h.record(mean);
+        m.push_histogram("spreading_time", h);
+        let path = std::env::temp_dir()
+            .join(format!("rumor_stats_{}_{stamp}.metrics.json", std::process::id()));
+        std::fs::write(&path, m.render_json()).unwrap();
+        path
+    }
+
+    #[test]
+    fn metrics_artifact_summary_and_diff() {
+        let a = write_artifact("a", 10, 4.0);
+        let b = write_artifact("b", 12, 8.0);
+
+        let summary = run(&[a.to_str().unwrap().to_string()]).unwrap();
+        assert!(summary.contains("metrics: 10 trials, 0 censored (rounds)"), "{summary}");
+        assert!(summary.contains("spreading_time: mean 4"), "{summary}");
+
+        let same =
+            run(&[a.to_str().unwrap().to_string(), a.to_str().unwrap().to_string()]).unwrap();
+        assert_eq!(same, "identical\n");
+
+        let diff =
+            run(&[a.to_str().unwrap().to_string(), b.to_str().unwrap().to_string()]).unwrap();
+        assert!(diff.contains("differences"), "{diff}");
+        assert!(diff.contains("trials: 10 -> 12"), "{diff}");
+        assert!(diff.contains("histograms.spreading_time"), "{diff}");
+
+        // A non-artifact JSON is rejected with a schema message.
+        let bogus = std::env::temp_dir()
+            .join(format!("rumor_stats_{}_bogus.metrics.json", std::process::id()));
+        std::fs::write(&bogus, "{\"schema\": \"something else\"}").unwrap();
+        let err = run(&[bogus.to_str().unwrap().to_string()]).unwrap_err();
+        assert!(err.to_string().contains("unsupported metrics schema"), "{err}");
+
+        for p in [a, b, bogus] {
+            std::fs::remove_file(&p).ok();
+        }
     }
 }

@@ -20,6 +20,7 @@ use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::engine::{drive, Control, QueueSource, TickSource};
 use crate::mode::Mode;
+use crate::obs::{NoProbe, Probe, ProbeEvent};
 use crate::outcome::AsyncOutcome;
 
 /// Which of the three equivalent formulations of the asynchronous model
@@ -85,14 +86,30 @@ pub fn run_async(
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
 ) -> AsyncOutcome {
+    run_async_probed(g, source, mode, view, rng, max_steps, &mut NoProbe)
+}
+
+/// Like [`run_async`], with an instrumentation [`Probe`] observing the
+/// run. Probes are passive — a probed run replays its unprobed twin
+/// seed-for-seed — and a [`NoProbe`] compiles every hook out.
+#[allow(clippy::too_many_arguments)]
+pub fn run_async_probed<P: Probe>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    view: AsyncView,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> AsyncOutcome {
     let n = g.node_count();
     assert!((source as usize) < n, "source out of range");
     assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
 
     match view {
-        AsyncView::GlobalClock => run_global_clock(g, source, mode, rng, max_steps),
-        AsyncView::NodeClocks => run_node_clocks(g, source, mode, rng, max_steps),
-        AsyncView::EdgeClocks => run_edge_clocks(g, source, mode, rng, max_steps),
+        AsyncView::GlobalClock => run_global_clock(g, source, mode, rng, max_steps, probe),
+        AsyncView::NodeClocks => run_node_clocks(g, source, mode, rng, max_steps, probe),
+        AsyncView::EdgeClocks => run_edge_clocks(g, source, mode, rng, max_steps, probe),
     }
 }
 
@@ -157,17 +174,25 @@ impl RunState {
     }
 }
 
-fn run_global_clock(
+fn run_global_clock<P: Probe>(
     g: &Graph,
     source: Node,
     mode: Mode,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
+    probe: &mut P,
 ) -> AsyncOutcome {
     let n = g.node_count();
     let mut st = RunState::new(n, source);
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, st.informed_count);
+    }
     if st.trivial(n, max_steps) {
         st.completed = n == 1;
+        if P::ENABLED {
+            probe.trial_end(0.0, st.completed);
+        }
         return st.into_outcome();
     }
 
@@ -175,9 +200,15 @@ fn run_global_clock(
     drive(&mut src, rng, |_, rng, t, ()| {
         st.time = t;
         st.steps += 1;
+        if P::ENABLED {
+            probe.event(t, ProbeEvent::Tick);
+        }
         let v = rng.range_usize(n) as Node;
         let w = g.random_neighbor(v, rng);
-        exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        let grew = exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if P::ENABLED && grew {
+            probe.informed(t, st.informed_count);
+        }
         if st.informed_count == n {
             st.completed = true;
             return Control::Stop;
@@ -187,20 +218,31 @@ fn run_global_clock(
         }
         Control::Continue
     });
+    if P::ENABLED {
+        probe.trial_end(st.time, st.completed);
+    }
     st.into_outcome()
 }
 
-fn run_node_clocks(
+fn run_node_clocks<P: Probe>(
     g: &Graph,
     source: Node,
     mode: Mode,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
+    probe: &mut P,
 ) -> AsyncOutcome {
     let n = g.node_count();
     let mut st = RunState::new(n, source);
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, st.informed_count);
+    }
     if st.trivial(n, max_steps) {
         st.completed = n == 1;
+        if P::ENABLED {
+            probe.trial_end(0.0, st.completed);
+        }
         return st.into_outcome();
     }
 
@@ -211,8 +253,14 @@ fn run_node_clocks(
     drive(&mut src, rng, |src, rng, t, v| {
         st.time = t;
         st.steps += 1;
+        if P::ENABLED {
+            probe.event(t, ProbeEvent::Tick);
+        }
         let w = g.random_neighbor(v, rng);
-        exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        let grew = exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if P::ENABLED && grew {
+            probe.informed(t, st.informed_count);
+        }
         if st.informed_count == n {
             st.completed = true;
             return Control::Stop;
@@ -223,20 +271,31 @@ fn run_node_clocks(
         }
         Control::Continue
     });
+    if P::ENABLED {
+        probe.trial_end(st.time, st.completed);
+    }
     st.into_outcome()
 }
 
-fn run_edge_clocks(
+fn run_edge_clocks<P: Probe>(
     g: &Graph,
     source: Node,
     mode: Mode,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
+    probe: &mut P,
 ) -> AsyncOutcome {
     let n = g.node_count();
     let mut st = RunState::new(n, source);
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, st.informed_count);
+    }
     if st.trivial(n, max_steps) {
         st.completed = n == 1;
+        if P::ENABLED {
+            probe.trial_end(0.0, st.completed);
+        }
         return st.into_outcome();
     }
 
@@ -251,7 +310,13 @@ fn run_edge_clocks(
     drive(&mut src, rng, |src, rng, t, (v, w)| {
         st.time = t;
         st.steps += 1;
-        exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if P::ENABLED {
+            probe.event(t, ProbeEvent::Tick);
+        }
+        let grew = exchange(mode, &mut st.informed_time, &mut st.informed_count, v, w, t);
+        if P::ENABLED && grew {
+            probe.informed(t, st.informed_count);
+        }
         if st.informed_count == n {
             st.completed = true;
             return Control::Stop;
@@ -263,6 +328,9 @@ fn run_edge_clocks(
         }
         Control::Continue
     });
+    if P::ENABLED {
+        probe.trial_end(st.time, st.completed);
+    }
     st.into_outcome()
 }
 

@@ -62,6 +62,7 @@ use rumor_sim::rng::Xoshiro256PlusPlus;
 use crate::engine::topology::TopologyModel;
 use crate::engine::{drive, Control, Either, Merged, QueueSource, TickSource};
 use crate::mode::Mode;
+use crate::obs::{NoProbe, Probe, ProbeEvent};
 use crate::outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
 
 /// Random-graph family used for full-rewiring snapshots.
@@ -431,8 +432,7 @@ pub fn run_dynamic(
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
 ) -> DynamicOutcome {
-    let mut state = model.build_state();
-    run_dynamic_inner(g, source, mode, state.as_mut(), rng, max_steps, None)
+    run_dynamic_probed(g, source, mode, model, rng, max_steps, &mut NoProbe)
 }
 
 /// Like [`run_dynamic`], but over an already-built [`TopologyModel`]
@@ -448,7 +448,54 @@ pub fn run_dynamic_model(
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
 ) -> DynamicOutcome {
-    run_dynamic_inner(g, source, mode, state, rng, max_steps, None)
+    run_dynamic_inner(g, source, mode, state, rng, max_steps, &mut NoProbe)
+}
+
+/// Like [`run_dynamic`], with an instrumentation [`Probe`] observing the
+/// run. Probes are passive — a probed run replays its unprobed twin
+/// seed-for-seed — and a [`NoProbe`] compiles every hook out.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_probed<P: Probe>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> DynamicOutcome {
+    let mut state = model.build_state();
+    run_dynamic_inner(g, source, mode, state.as_mut(), rng, max_steps, probe)
+}
+
+/// Like [`run_dynamic_model`], with an instrumentation [`Probe`]
+/// observing the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_model_probed<P: Probe>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> DynamicOutcome {
+    run_dynamic_inner(g, source, mode, state, rng, max_steps, probe)
+}
+
+/// Records the execution-order trace by listening at the probe hooks.
+struct TraceProbe {
+    trace: Vec<EngineEvent>,
+}
+
+impl Probe for TraceProbe {
+    fn event(&mut self, time: f64, kind: ProbeEvent) {
+        let kind = match kind {
+            ProbeEvent::Tick => EngineEventKind::Tick,
+            ProbeEvent::Topology | ProbeEvent::Cross => EngineEventKind::Topology,
+        };
+        self.trace.push(EngineEvent { time, kind });
+    }
 }
 
 /// Like [`run_dynamic`], additionally returning the full execution-order
@@ -462,20 +509,19 @@ pub fn run_dynamic_traced(
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
 ) -> (DynamicOutcome, Vec<EngineEvent>) {
-    let mut trace = Vec::new();
-    let mut state = model.build_state();
-    let out = run_dynamic_inner(g, source, mode, state.as_mut(), rng, max_steps, Some(&mut trace));
-    (out, trace)
+    let mut probe = TraceProbe { trace: Vec::new() };
+    let out = run_dynamic_probed(g, source, mode, model, rng, max_steps, &mut probe);
+    (out, probe.trace)
 }
 
-fn run_dynamic_inner(
+fn run_dynamic_inner<P: Probe>(
     g: &Graph,
     source: Node,
     mode: Mode,
     state: &mut dyn TopologyModel,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
-    mut trace: Option<&mut Vec<EngineEvent>>,
+    probe: &mut P,
 ) -> DynamicOutcome {
     let n = g.node_count();
     assert!((source as usize) < n, "source out of range");
@@ -484,7 +530,14 @@ fn run_dynamic_inner(
     let mut informed_time = vec![f64::INFINITY; n];
     informed_time[source as usize] = 0.0;
     let mut informed_count = 1usize;
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, informed_count);
+    }
     if n == 1 {
+        if P::ENABLED {
+            probe.trial_end(0.0, true);
+        }
         return DynamicOutcome {
             time: 0.0,
             steps: 0,
@@ -522,20 +575,21 @@ fn run_dynamic_inner(
                         &mut src.first.queue,
                         rng,
                     );
-                    if let Some(trace) = trace.as_deref_mut() {
-                        trace.push(EngineEvent { time: te, kind: EngineEventKind::Topology });
+                    if P::ENABLED {
+                        probe.event(te, ProbeEvent::Topology);
+                        probe.topology_changed(te);
                     }
                     Control::Continue
                 }
                 Either::Second(()) => {
                     steps += 1;
-                    if let Some(trace) = trace.as_deref_mut() {
-                        trace.push(EngineEvent { time: te, kind: EngineEventKind::Tick });
+                    if P::ENABLED {
+                        probe.event(te, ProbeEvent::Tick);
                     }
                     let v = rng.range_usize(n) as Node;
                     if net.is_active(v) && net.degree(v) > 0 {
                         let w = net.random_neighbor(v, rng);
-                        crate::asynchronous::exchange(
+                        let grew = crate::asynchronous::exchange(
                             mode,
                             &mut informed_time,
                             &mut informed_count,
@@ -543,6 +597,9 @@ fn run_dynamic_inner(
                             w,
                             te,
                         );
+                        if P::ENABLED && grew {
+                            probe.informed(te, informed_count);
+                        }
                     }
                     if informed_count == n {
                         completed = true;
@@ -555,6 +612,9 @@ fn run_dynamic_inner(
                 }
             }
         });
+    }
+    if P::ENABLED {
+        probe.trial_end(t, completed);
     }
     DynamicOutcome { time: t, steps, topology_events, completed, informed_time }
 }

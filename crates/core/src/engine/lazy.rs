@@ -36,6 +36,7 @@ use rumor_sim::rng::Xoshiro256PlusPlus;
 use crate::dynamic::{DynamicModel, EdgeMarkov};
 use crate::engine::{drive, Control, TickSource};
 use crate::mode::Mode;
+use crate::obs::{NoProbe, Probe, ProbeEvent};
 use crate::outcome::AsyncOutcome;
 
 /// Result of a lazy-clock edge-Markov run.
@@ -138,6 +139,23 @@ pub fn run_edge_markov_lazy(
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
 ) -> LazyOutcome {
+    run_edge_markov_lazy_probed(g, source, mode, model, rng, max_steps, &mut NoProbe)
+}
+
+/// Like [`run_edge_markov_lazy`], with an instrumentation [`Probe`]
+/// observing the run. Probes are passive — a probed run replays its
+/// unprobed twin seed-for-seed — and a [`NoProbe`] compiles every hook
+/// out.
+#[allow(clippy::too_many_arguments)]
+pub fn run_edge_markov_lazy_probed<P: Probe>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: EdgeMarkov,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> LazyOutcome {
     let n = g.node_count();
     assert!((source as usize) < n, "source out of range");
     assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
@@ -146,7 +164,14 @@ pub fn run_edge_markov_lazy(
     let mut informed_time = vec![f64::INFINITY; n];
     informed_time[source as usize] = 0.0;
     let mut informed_count = 1usize;
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, informed_count);
+    }
     if n == 1 || max_steps == 0 {
+        if P::ENABLED {
+            probe.trial_end(0.0, n == 1);
+        }
         return LazyOutcome {
             time: 0.0,
             steps: 0,
@@ -187,6 +212,9 @@ pub fn run_edge_markov_lazy(
     drive(&mut src, rng, |_, rng, t, ()| {
         time = t;
         steps += 1;
+        if P::ENABLED {
+            probe.event(t, ProbeEvent::Tick);
+        }
         let v = rng.range_usize(n) as Node;
         // Resolve the incident chains up to t; collect the live ones.
         live.clear();
@@ -201,7 +229,17 @@ pub fn run_edge_markov_lazy(
         }
         if !live.is_empty() {
             let w = live[rng.range_usize(live.len())];
-            crate::asynchronous::exchange(mode, &mut informed_time, &mut informed_count, v, w, t);
+            let grew = crate::asynchronous::exchange(
+                mode,
+                &mut informed_time,
+                &mut informed_count,
+                v,
+                w,
+                t,
+            );
+            if P::ENABLED && grew {
+                probe.informed(t, informed_count);
+            }
         }
         if informed_count == n {
             completed = true;
@@ -213,6 +251,9 @@ pub fn run_edge_markov_lazy(
         Control::Continue
     });
 
+    if P::ENABLED {
+        probe.trial_end(time, completed);
+    }
     LazyOutcome { time, steps, completed, informed_time, clocks_touched: clocks.len(), base_edges }
 }
 

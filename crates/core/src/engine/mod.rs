@@ -41,9 +41,10 @@ pub mod source;
 pub mod topology;
 pub mod trace;
 
-pub use lazy::{run_dynamic_lazy, run_edge_markov_lazy, LazyOutcome};
+pub use lazy::{run_dynamic_lazy, run_edge_markov_lazy, run_edge_markov_lazy_probed, LazyOutcome};
 pub use sharded::{
-    run_dynamic_sharded, run_dynamic_sharded_model, run_dynamic_sharded_with, ShardedOutcome,
+    run_dynamic_sharded, run_dynamic_sharded_model, run_dynamic_sharded_model_probed,
+    run_dynamic_sharded_probed, run_dynamic_sharded_with, ShardedOutcome,
 };
 pub use source::{drive, Control, Either, EventSource, Merged, QueueSource, TickSource};
 pub use topology::{InformedView, RateImpact, TopoEvent, TopologyModel};

@@ -60,6 +60,7 @@ use rumor_sim::rng::Xoshiro256PlusPlus;
 use crate::dynamic::{DynamicModel, DynamicOutcome};
 use crate::engine::topology::{TopoEvent, TopologyModel};
 use crate::mode::Mode;
+use crate::obs::{NoProbe, Probe, ProbeEvent, ShardTimers};
 
 /// Result of a sharded run: the sequential-engine-compatible outcome
 /// plus the engine's synchronization telemetry.
@@ -217,12 +218,18 @@ fn worker_loop(
     mut rng: Xoshiro256PlusPlus,
     commands: Receiver<Advance>,
     reports: SyncSender<Report>,
+    timers: Option<&ShardTimers>,
 ) {
     while let Ok(Advance { horizon, budget }) = commands.recv() {
         let report = {
             let netr = net.read().expect("engine never poisons the topology lock");
             let mut st = state.lock().expect("engine never poisons a shard lock");
-            process_window(&mut st, &mut rng, &netr, part, me, mode, horizon, budget)
+            let started = timers.map(|_| std::time::Instant::now());
+            let rep = process_window(&mut st, &mut rng, &netr, part, me, mode, horizon, budget);
+            if let (Some(timers), Some(started)) = (timers, started) {
+                timers.add(me as usize, started.elapsed());
+            }
+            rep
         };
         if reports.send(report).is_err() {
             break;
@@ -247,7 +254,7 @@ struct Totals {
 /// inline. `shard0_rng` is `None` at `K = 1`, where shard 0 shares the
 /// caller's stream (the replay invariant).
 #[allow(clippy::too_many_arguments)]
-fn coordinate(
+fn coordinate<P: Probe>(
     n: usize,
     mode: Mode,
     part: &Partition,
@@ -263,6 +270,8 @@ fn coordinate(
     mut node_cross: Vec<f64>,
     workers: Vec<(SyncSender<Advance>, Receiver<Report>)>,
     mut informed_total: usize,
+    probe: &mut P,
+    timers: Option<&ShardTimers>,
 ) -> Totals {
     let k = states.len();
     let mut totals = Totals {
@@ -310,6 +319,7 @@ fn coordinate(
         // Parallel phase: every shard that can act before the horizon
         // advances to it; the others are provably idle and skipped.
         let budget = ((max_steps - totals.steps).div_ceil(k as u64)).max(1);
+        let steps_before = totals.steps;
         dispatched.fill(false);
         for (s, d) in dispatched.iter_mut().enumerate().skip(1) {
             if needs_window(tick_hints[s], horizon) {
@@ -333,7 +343,12 @@ fn coordinate(
                     Some(r) => r,
                     None => &mut *rng,
                 };
-                process_window(&mut st0, r0, &netr, part, 0, mode, horizon, budget)
+                let started = timers.map(|_| std::time::Instant::now());
+                let rep = process_window(&mut st0, r0, &netr, part, 0, mode, horizon, budget);
+                if let (Some(timers), Some(started)) = (timers, started) {
+                    timers.add(0, started.elapsed());
+                }
+                rep
             };
             absorb(&mut totals, &mut tick_hints, 0, rep);
         }
@@ -344,6 +359,9 @@ fn coordinate(
             }
         }
         totals.windows += 1;
+        if P::ENABLED {
+            probe.window(horizon, totals.steps - steps_before);
+        }
 
         if informed_total == n {
             totals.completed = true;
@@ -363,6 +381,10 @@ fn coordinate(
         if next_topo <= next_cross {
             let (te, ev) = topo_queue.pop().expect("peeked event exists");
             totals.topology_events += 1;
+            if P::ENABLED {
+                probe.event(te, ProbeEvent::Topology);
+                probe.topology_changed(te);
+            }
             let mut netw = net.write().expect("engine never poisons the topology lock");
             let impact = {
                 // Informed-state view for frontier-aware models: shard
@@ -430,6 +452,9 @@ fn coordinate(
             totals.steps += 1;
             totals.cross_events += 1;
             totals.last_cross = t;
+            if P::ENABLED {
+                probe.event(t, ProbeEvent::Cross);
+            }
             let netr = net.read().expect("engine never poisons the topology lock");
             loop {
                 let v = rng.range_usize(n) as Node;
@@ -446,14 +471,20 @@ fn coordinate(
                 let mut stw = states[sw as usize].lock().expect("no poisoned shard lock");
                 let vi = stv.informed[li_v].is_finite();
                 let wi = stw.informed[li_w].is_finite();
+                let mut grew = false;
                 if vi && !wi && mode.includes_push() {
                     stw.informed[li_w] = t;
                     stw.informed_count += 1;
                     informed_total += 1;
+                    grew = true;
                 } else if !vi && wi && mode.includes_pull() {
                     stv.informed[li_v] = t;
                     stv.informed_count += 1;
                     informed_total += 1;
+                    grew = true;
+                }
+                if P::ENABLED && grew {
+                    probe.informed(t, informed_total);
                 }
                 break;
             }
@@ -485,6 +516,53 @@ pub fn run_dynamic_sharded(
     run_dynamic_sharded_with(g, source, mode, model, &part, rng, max_steps)
 }
 
+/// Like [`run_dynamic_sharded`], with an instrumentation [`Probe`]
+/// observing the run from the coordinator's side: window closures,
+/// topology and cross-shard events, and final per-shard wall-clock
+/// utilization. Probes are passive — a probed run replays its unprobed
+/// twin seed-for-seed — and a [`NoProbe`] compiles every hook out,
+/// including the per-window timer reads.
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_sharded_probed<P: Probe>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    let mut state = model.build_state();
+    run_dynamic_sharded_state(g, source, mode, state.as_mut(), &part, rng, max_steps, probe)
+}
+
+/// Like [`run_dynamic_sharded_model`], with an instrumentation
+/// [`Probe`] observing the run (see [`run_dynamic_sharded_probed`]).
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_sharded_model_probed<P: Probe>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    run_dynamic_sharded_state(g, source, mode, state, &part, rng, max_steps, probe)
+}
+
 /// Like [`run_dynamic_sharded`], but over an already-built
 /// [`TopologyModel`] state instead of a [`DynamicModel`] descriptor —
 /// the entry point for model implementations outside the enum, most
@@ -505,7 +583,7 @@ pub fn run_dynamic_sharded_model(
     max_steps: u64,
 ) -> ShardedOutcome {
     let part = Partition::contiguous(g.node_count(), shards);
-    run_dynamic_sharded_state(g, source, mode, state, &part, rng, max_steps)
+    run_dynamic_sharded_state(g, source, mode, state, &part, rng, max_steps, &mut NoProbe)
 }
 
 /// Runs the asynchronous push/pull/push–pull protocol on a dynamic
@@ -540,12 +618,22 @@ pub fn run_dynamic_sharded_with(
     max_steps: u64,
 ) -> ShardedOutcome {
     let mut state = model.build_state();
-    run_dynamic_sharded_state(g, source, mode, state.as_mut(), partition, rng, max_steps)
+    run_dynamic_sharded_state(
+        g,
+        source,
+        mode,
+        state.as_mut(),
+        partition,
+        rng,
+        max_steps,
+        &mut NoProbe,
+    )
 }
 
 /// [`run_dynamic_sharded_with`] over an already-built model state; the
 /// common core of the descriptor- and state-based entry points.
-fn run_dynamic_sharded_state(
+#[allow(clippy::too_many_arguments)]
+fn run_dynamic_sharded_state<P: Probe>(
     g: &Graph,
     source: Node,
     mode: Mode,
@@ -553,6 +641,7 @@ fn run_dynamic_sharded_state(
     partition: &Partition,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
+    probe: &mut P,
 ) -> ShardedOutcome {
     let n = g.node_count();
     assert_eq!(partition.node_count(), n, "partition must cover the graph's nodes");
@@ -562,7 +651,14 @@ fn run_dynamic_sharded_state(
 
     let mut informed_time = vec![f64::INFINITY; n];
     informed_time[source as usize] = 0.0;
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, 1);
+    }
     if n == 1 {
+        if P::ENABLED {
+            probe.trial_end(0.0, true);
+        }
         return ShardedOutcome {
             outcome: DynamicOutcome {
                 time: 0.0,
@@ -620,6 +716,9 @@ fn run_dynamic_sharded_state(
         })
         .collect();
 
+    // Wall-clock timers only exist on probed runs: a NoProbe run takes
+    // no timestamps at all.
+    let timers = if P::ENABLED { Some(ShardTimers::new(k)) } else { None };
     let totals = if k == 1 {
         coordinate(
             n,
@@ -637,6 +736,8 @@ fn run_dynamic_sharded_state(
             node_cross,
             Vec::new(),
             1,
+            probe,
+            timers.as_ref(),
         )
     } else {
         std::thread::scope(|scope| {
@@ -646,8 +747,9 @@ fn run_dynamic_sharded_state(
                 let (cmd_tx, cmd_rx) = sync_channel::<Advance>(1);
                 let (rep_tx, rep_rx) = sync_channel::<Report>(1);
                 let (net, state) = (&net, &states[me as usize]);
+                let timers = timers.as_ref();
                 scope.spawn(move || {
-                    worker_loop(me, mode, partition, net, state, wrng, cmd_rx, rep_tx)
+                    worker_loop(me, mode, partition, net, state, wrng, cmd_rx, rep_tx, timers)
                 });
                 workers.push((cmd_tx, rep_rx));
             }
@@ -667,9 +769,16 @@ fn run_dynamic_sharded_state(
                 node_cross,
                 workers,
                 1,
+                probe,
+                timers.as_ref(),
             )
         })
     };
+    if P::ENABLED {
+        if let Some(timers) = &timers {
+            probe.shard_utilization(&timers.utilization());
+        }
+    }
 
     // Scatter the shard-local informed times back to global indexing.
     let mut last_step = totals.last_cross;
@@ -688,6 +797,9 @@ fn run_dynamic_sharded_state(
     } else {
         last_step
     };
+    if P::ENABLED {
+        probe.trial_end(time, totals.completed);
+    }
     ShardedOutcome {
         outcome: DynamicOutcome {
             time,

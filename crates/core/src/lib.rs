@@ -74,6 +74,7 @@ pub mod engine;
 pub mod fpp;
 mod informed;
 mod mode;
+pub mod obs;
 mod outcome;
 pub mod quasirandom;
 pub mod runner;
@@ -82,14 +83,23 @@ pub mod spread;
 pub mod sync;
 pub mod trace;
 
-pub use asynchronous::{run_async, AsyncView};
-pub use dynamic::{run_dynamic, run_dynamic_model, DynamicModel, DynamicOutcome};
+pub use asynchronous::{run_async, run_async_probed, AsyncView};
+pub use dynamic::{
+    run_dynamic, run_dynamic_model, run_dynamic_model_probed, run_dynamic_probed,
+    run_dynamic_traced, DynamicModel, DynamicOutcome,
+};
 pub use engine::{
-    run_dynamic_lazy, run_dynamic_sharded, run_dynamic_sharded_model, run_edge_markov_lazy,
-    run_sync_dynamic, run_trace_lazy, LazyOutcome, ShardedOutcome, TopologyModel, TopologyTrace,
+    run_dynamic_lazy, run_dynamic_sharded, run_dynamic_sharded_model,
+    run_dynamic_sharded_model_probed, run_dynamic_sharded_probed, run_edge_markov_lazy,
+    run_edge_markov_lazy_probed, run_sync_dynamic, run_trace_lazy, LazyOutcome, ShardedOutcome,
+    TopologyModel, TopologyTrace,
 };
 pub use informed::InformedSet;
 pub use mode::Mode;
+pub use obs::{
+    CountingProbe, CurveSummary, LogHistogram, MetricsLevel, NoProbe, Probe, ProbeEvent,
+    RunMetrics, SpreadingCurve,
+};
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
 pub use spec::{
     CoupledEngine, CoupledOutcome, Engine, GraphSpec, Protocol, RunReport, SimSpec, Simulation,

@@ -1,0 +1,306 @@
+//! Streaming log-bucketed histograms (HDR-style, no dependencies).
+//!
+//! A [`LogHistogram`] buckets positive values by the top bits of their
+//! IEEE-754 representation: the 11 exponent bits plus the top
+//! [`SUB_BITS`] mantissa bits. Bucket boundaries are therefore exact
+//! binary floats, bucketing needs no `log` call (bit shifts only, so it
+//! is identical on every platform), and each octave is split into
+//! `2^SUB_BITS` sub-buckets — a relative bucket width of at most
+//! `2^-SUB_BITS`, i.e. ≤ 12.5% at the default resolution.
+//!
+//! Histograms are **mergeable**: counts from independent threads or
+//! shards can be recorded separately and combined with
+//! [`LogHistogram::merge`]. Merging is exact on every integer field
+//! (counts commute and associate); only the running `sum` inherits
+//! floating-point addition's non-associativity, which is why the spec
+//! layer merges per-trial histograms in a fixed trial order.
+
+use std::collections::BTreeMap;
+
+/// Mantissa bits kept per bucket: 8 sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+
+/// Bucket index of a finite, positive value: the value's sign-free top
+/// bits. Monotone in the value because positive IEEE-754 floats order
+/// like their bit patterns.
+fn bucket_index(v: f64) -> u64 {
+    v.to_bits() >> (52 - SUB_BITS)
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest float mapping to
+/// it).
+fn bucket_lower(i: u64) -> f64 {
+    f64::from_bits(i << (52 - SUB_BITS))
+}
+
+/// Exclusive upper bound of bucket `i`.
+fn bucket_upper(i: u64) -> f64 {
+    f64::from_bits((i + 1) << (52 - SUB_BITS))
+}
+
+/// One occupied bucket of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower value bound.
+    pub lower: f64,
+    /// Exclusive upper value bound.
+    pub upper: f64,
+    /// Number of recorded values in `[lower, upper)`.
+    pub count: u64,
+}
+
+/// A streaming, mergeable, log-bucketed histogram over non-negative
+/// values (spreading times, event counts, window sizes, clock touches).
+///
+/// Alongside the buckets it tracks the exact count, sum, minimum and
+/// maximum, so means are exact and only quantiles are subject to the
+/// bucket resolution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LogHistogram {
+    /// Sparse bucket table, keyed by [`bucket_index`].
+    buckets: BTreeMap<u64, u64>,
+    /// Values recorded as exactly zero (no logarithmic bucket).
+    zeros: u64,
+    count: u64,
+    sum: f64,
+    /// Exact extrema; meaningless while `count == 0`.
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value. Non-finite and negative values are ignored
+    /// (censored spreading times are `INFINITY` sentinels, not samples);
+    /// in debug builds they panic instead, to surface the caller's bug.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v.is_finite() && v >= 0.0, "histograms take finite non-negative values");
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records an integer count (a convenience for event/window/clock
+    /// tallies).
+    pub fn record_u64(&mut self, v: u64) {
+        self.record(v as f64);
+    }
+
+    /// Folds `other` into `self`. Exact on counts and extrema; the sum
+    /// is a float addition, so merge *order* matters at the last ulp
+    /// (see the module docs).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or `None` for an empty histogram.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Exact minimum recorded value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) at bucket resolution: the
+    /// midpoint of the bucket holding the rank-`⌈q·count⌉` value
+    /// (clamped to the exact extrema). `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank <= self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let mid = 0.5 * (bucket_lower(i) + bucket_upper(i));
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The occupied buckets in increasing value order. Zero values are
+    /// reported as a degenerate `[0, 0)` bucket first.
+    pub fn buckets(&self) -> Vec<Bucket> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        if self.zeros > 0 {
+            out.push(Bucket { lower: 0.0, upper: 0.0, count: self.zeros });
+        }
+        for (&i, &c) in &self.buckets {
+            out.push(Bucket { lower: bucket_lower(i), upper: bucket_upper(i), count: c });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10.0);
+        assert_eq!(h.mean(), Some(2.5));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        let mut h = LogHistogram::new();
+        let values = [0.001, 0.5, 1.0, 1.7, 3.25, 100.0, 1e9];
+        for v in values {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        assert_eq!(buckets.iter().map(|b| b.count).sum::<u64>(), values.len() as u64);
+        for v in values {
+            assert!(
+                buckets.iter().any(|b| b.lower <= v && v < b.upper),
+                "{v} not covered by any bucket"
+            );
+        }
+        // Buckets are disjoint and ordered.
+        for w in buckets.windows(2) {
+            assert!(w[0].upper <= w[1].lower);
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        // 3 mantissa bits: upper/lower <= 1 + 2^-3 within one octave.
+        for v in [1.0, 1.9, 17.3, 1e-6, 1e12] {
+            let i = bucket_index(v);
+            let (lo, hi) = (bucket_lower(i), bucket_upper(i));
+            assert!((hi - lo) / lo <= 0.125 + 1e-12, "bucket [{lo}, {hi}) too wide");
+        }
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 / 500.0 - 1.0).abs() < 0.15, "p50 {p50}");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.15, "p99 {p99}");
+        let p0 = h.quantile(0.0).unwrap();
+        assert!((1.0..=1.125).contains(&p0), "p0 {p0} should clamp near the minimum");
+        let p100 = h.quantile(1.0).unwrap();
+        assert!((960.0..=1000.0).contains(&p100), "p100 {p100} should land in the top bucket");
+    }
+
+    #[test]
+    fn zeros_take_the_degenerate_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(0.0);
+        h.record(5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0.0));
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], Bucket { lower: 0.0, upper: 0.0, count: 2 });
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for (i, v) in [0.3, 1.0, 2.5, 7.0, 0.0, 42.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+        }
+        // Reference records in the SAME per-histogram order (a's values
+        // then b's) so the float sum matches exactly.
+        for v in [0.3, 2.5, 0.0] {
+            whole.record(v);
+        }
+        for v in [1.0, 7.0, 42.0] {
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

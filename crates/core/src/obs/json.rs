@@ -1,0 +1,421 @@
+//! A minimal, dependency-free JSON value: enough to write the
+//! deterministic `.metrics.json` artifact and read it back for
+//! summaries and diffs.
+//!
+//! The writer is byte-deterministic: object keys keep insertion order,
+//! numbers render with Rust's shortest round-trip `Display` for `f64`
+//! (platform-independent), and layout is fixed (2-space indentation,
+//! numeric arrays inline). Only the JSON subset the metrics artifact
+//! uses is supported — notably, non-finite numbers are rejected at
+//! write time rather than silently mangled.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order and must be unique.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as deterministic, pretty-printed JSON text
+    /// ending in a newline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite numbers — the metrics layer must filter
+    /// censoring sentinels before building the document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// `true` when every element of an array is a scalar (rendered
+    /// inline rather than one element per line).
+    fn is_scalar(&self) -> bool {
+        matches!(self, Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_))
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                assert!(x.is_finite(), "JSON cannot represent non-finite numbers");
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else if items.iter().all(Json::is_scalar) {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, depth);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        indent(out, depth + 1);
+                        item.write(out, depth + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    indent(out, depth);
+                    out.push(']');
+                }
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text (the full scalar/array/object grammar with
+    /// `\uXXXX` escapes; numbers via Rust's float parser).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null").map(|()| Json::Null),
+            Some(b't') => self.eat_lit("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let doc = obj(vec![
+            ("schema", Json::Str("rumor-metrics v1".to_owned())),
+            ("trials", Json::Num(60.0)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("grid", Json::Arr(vec![Json::Num(0.5), Json::Num(1.25), Json::Num(1e-9)])),
+            (
+                "nested",
+                obj(vec![(
+                    "points",
+                    Json::Arr(vec![
+                        Json::Arr(vec![Json::Num(0.0), Json::Num(1.0)]),
+                        Json::Arr(vec![Json::Num(2.0), Json::Num(0.98333)]),
+                    ]),
+                )]),
+            ),
+        ]);
+        let text = doc.render();
+        assert!(text.ends_with('\n'));
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Rendering is a fixed point: parse then re-render is identical.
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let doc = Json::Str("a \"quoted\"\nline\twith \\ and \u{1}".to_owned());
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        assert_eq!(Json::parse("\"\\u0041\\u00e9\"").unwrap(), Json::Str("Aé".to_owned()));
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let doc = obj(vec![("a", Json::Num(3.5)), ("b", Json::Arr(vec![Json::Num(1.0)]))]);
+        assert_eq!(doc.get("a").and_then(Json::as_num), Some(3.5));
+        assert_eq!(doc.get("b").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::Str("x".to_owned()).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated", "{} extra"] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_numbers_refuse_to_render() {
+        Json::Num(f64::INFINITY).render();
+    }
+}

@@ -1,0 +1,158 @@
+//! A bounded ring buffer of recent engine events, for post-mortem
+//! debugging of censored or nondeterministic trials.
+//!
+//! The spec layer attaches a [`RingProbe`] to sequential dynamic trials
+//! when metrics are enabled; if the trial exhausts its budget, the last
+//! events before censoring are dumped into the run's metrics (summary
+//! display only — the dump is engine-shaped and deliberately kept out
+//! of the deterministic `.metrics.json` artifact).
+
+use super::probe::{Probe, ProbeEvent};
+
+/// A fixed-capacity ring of `(time, event)` pairs; pushing past the
+/// capacity overwrites the oldest entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRing {
+    buf: Vec<(f64, ProbeEvent)>,
+    cap: usize,
+    /// Index the next push writes to (the oldest entry once full).
+    head: usize,
+    /// Total pushes ever, so `len` and overwrite state are derivable.
+    pushed: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is 0.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        Self { buf: Vec::with_capacity(cap), cap, head: 0, pushed: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, time: f64, event: ProbeEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push((time, event));
+        } else {
+            self.buf[self.head] = (time, event);
+        }
+        self.head = (self.head + 1) % self.cap;
+        self.pushed += 1;
+    }
+
+    /// Events currently held (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<(f64, ProbeEvent)> {
+        if self.buf.len() < self.cap {
+            return self.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.cap);
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// A [`Probe`] that keeps the last events in an [`EventRing`] and
+/// checks informed-set monotonicity at every growth hook (debug
+/// builds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingProbe {
+    ring: EventRing,
+    last_informed: usize,
+}
+
+impl RingProbe {
+    /// A ring probe retaining the last `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self { ring: EventRing::new(cap), last_informed: 0 }
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Consumes the probe, returning the retained events oldest-first.
+    pub fn into_events(self) -> Vec<(f64, ProbeEvent)> {
+        self.ring.to_vec()
+    }
+}
+
+impl Probe for RingProbe {
+    fn event(&mut self, time: f64, kind: ProbeEvent) {
+        self.ring.push(time, kind);
+    }
+
+    fn informed(&mut self, _time: f64, count: usize) {
+        debug_assert!(
+            count >= self.last_informed,
+            "informed count regressed: {} -> {count}",
+            self.last_informed
+        );
+        self.last_informed = count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events_in_order() {
+        let mut r = EventRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(i as f64, ProbeEvent::Tick);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_pushed(), 5);
+        let times: Vec<f64> = r.to_vec().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn partial_ring_reports_in_push_order() {
+        let mut r = EventRing::new(8);
+        r.push(0.5, ProbeEvent::Topology);
+        r.push(1.5, ProbeEvent::Tick);
+        assert_eq!(r.to_vec(), vec![(0.5, ProbeEvent::Topology), (1.5, ProbeEvent::Tick)]);
+    }
+
+    #[test]
+    fn ring_probe_records_events_and_counts() {
+        let mut p = RingProbe::new(4);
+        p.event(0.1, ProbeEvent::Tick);
+        p.informed(0.1, 2);
+        p.informed(0.2, 3);
+        p.event(0.2, ProbeEvent::Topology);
+        assert_eq!(p.ring().len(), 2);
+        assert_eq!(p.into_events(), vec![(0.1, ProbeEvent::Tick), (0.2, ProbeEvent::Topology)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "informed count regressed")]
+    fn ring_probe_rejects_regressing_counts() {
+        let mut p = RingProbe::new(2);
+        p.informed(0.1, 3);
+        p.informed(0.2, 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-shard wall-clock utilization timers for the sharded engine.
+//!
+//! Workers accumulate the wall-clock time they spend processing windows
+//! into lock-free per-shard counters; the coordinator reads them after
+//! the run and reports busy time per shard relative to the run's
+//! elapsed time. Wall-clock readings are inherently nondeterministic —
+//! they feed the `--metrics summary` display and the probe layer, never
+//! the deterministic `.metrics.json` artifact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Wall-clock busy counters for `K` shards, shared across the worker
+/// threads of one sharded run.
+#[derive(Debug)]
+pub struct ShardTimers {
+    started: Instant,
+    busy_ns: Vec<AtomicU64>,
+}
+
+impl ShardTimers {
+    /// Fresh timers for `shards` shards, starting the elapsed clock now.
+    pub fn new(shards: usize) -> Self {
+        Self { started: Instant::now(), busy_ns: (0..shards).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> usize {
+        self.busy_ns.len()
+    }
+
+    /// Adds `busy` wall-clock time to `shard`'s counter.
+    pub fn add(&self, shard: usize, busy: Duration) {
+        self.busy_ns[shard].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Seconds elapsed since the timers were created.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Busy seconds accumulated per shard.
+    pub fn busy_seconds(&self) -> Vec<f64> {
+        self.busy_ns.iter().map(|ns| ns.load(Ordering::Relaxed) as f64 * 1e-9).collect()
+    }
+
+    /// Per-shard utilization: busy time as a fraction of elapsed time
+    /// (0 when no time has elapsed yet).
+    pub fn utilization(&self) -> Vec<f64> {
+        let elapsed = self.elapsed_seconds();
+        self.busy_seconds()
+            .into_iter()
+            .map(|b| if elapsed > 0.0 { (b / elapsed).min(1.0) } else { 0.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_accumulate_busy_time_per_shard() {
+        let t = ShardTimers::new(3);
+        assert_eq!(t.shards(), 3);
+        t.add(0, Duration::from_millis(5));
+        t.add(2, Duration::from_millis(1));
+        t.add(2, Duration::from_millis(1));
+        let busy = t.busy_seconds();
+        assert!((busy[0] - 0.005).abs() < 1e-9);
+        assert_eq!(busy[1], 0.0);
+        assert!((busy[2] - 0.002).abs() < 1e-9);
+        let util = t.utilization();
+        assert_eq!(util.len(), 3);
+        assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
+    }
+}

@@ -68,17 +68,38 @@ use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::asynchronous::{run_async, AsyncView};
 use crate::dynamic::{
-    run_dynamic, run_dynamic_model, run_sync_rewire, Adversary, DynamicModel, DynamicOutcome,
-    EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
+    run_dynamic, run_dynamic_model, run_dynamic_model_probed, run_dynamic_probed, run_sync_rewire,
+    Adversary, DynamicModel, DynamicOutcome, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire,
+    SnapshotFamily,
 };
 use crate::engine::{
-    run_dynamic_sharded, run_dynamic_sharded_model, run_edge_markov_lazy, run_sync_dynamic,
-    run_trace_lazy, TopologyModel, TopologyTrace,
+    run_dynamic_sharded, run_dynamic_sharded_model, run_dynamic_sharded_model_probed,
+    run_dynamic_sharded_probed, run_edge_markov_lazy, run_sync_dynamic, run_trace_lazy,
+    TopologyModel, TopologyTrace,
 };
 use crate::mode::Mode;
+use crate::obs::{
+    CensorDump, CurveSummary, LogHistogram, MetricsLevel, Probe, ProbeEvent, RingProbe, RunMetrics,
+    SpreadingCurve,
+};
+use crate::outcome::{AsyncOutcome, SyncOutcome};
 use crate::runner::{default_max_steps, run_trials_parallel};
 use crate::spread::{run_async_config, run_sync_config, SpreadConfig};
 use crate::sync::run_sync;
+
+/// Per-trial curves are downsampled to this many samples before
+/// aggregation, bounding memory on long runs.
+const CURVE_SAMPLES: usize = 256;
+
+/// Aggregated mean curves live on a uniform grid of this many intervals.
+const CURVE_GRID: usize = 64;
+
+/// Events retained by the censor ring probe on sequential dynamic
+/// trials.
+const RING_CAP: usize = 32;
+
+/// At most this many censored trials dump their rings into the metrics.
+const MAX_CENSOR_DUMPS: usize = 4;
 
 /// The protocol axis: timing model × exchange mode (× clock view for
 /// the asynchronous timing model).
@@ -650,12 +671,15 @@ pub struct SimSpec {
     /// Per-exchange message-loss probability (static sequential runs
     /// only).
     pub loss: f64,
+    /// How much observability the run records (off by default; probes
+    /// compile out of the hot loops when off).
+    pub metrics: MetricsLevel,
 }
 
 impl SimSpec {
     /// A spec with the given graph and every other axis at its default:
     /// synchronous push–pull, static topology, sequential engine, 100
-    /// trials at seed 42 on one thread, no loss.
+    /// trials at seed 42 on one thread, no loss, metrics off.
     pub fn new(graph: GraphSpec) -> Self {
         Self {
             graph,
@@ -665,6 +689,7 @@ impl SimSpec {
             engine: Engine::Sequential,
             plan: TrialPlan::default(),
             loss: 0.0,
+            metrics: MetricsLevel::Off,
         }
     }
 
@@ -754,6 +779,12 @@ impl SimSpec {
     /// Sets the per-exchange message-loss probability.
     pub fn loss(mut self, loss: f64) -> Self {
         self.loss = loss;
+        self
+    }
+
+    /// Sets the observability level (see [`MetricsLevel`]).
+    pub fn metrics(mut self, metrics: MetricsLevel) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -1005,6 +1036,22 @@ pub struct Telemetry {
     pub trace_steps: u64,
 }
 
+impl Telemetry {
+    /// Accumulates another (per-trial or partial) telemetry bundle into
+    /// this one. Counters sum; `base_edges` — a per-run constant, not a
+    /// per-trial count — takes the maximum. The one merge path every
+    /// engine's report assembly flows through.
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.steps += other.steps;
+        self.topology_events += other.topology_events;
+        self.windows += other.windows;
+        self.cross_events += other.cross_events;
+        self.clocks_touched += other.clocks_touched;
+        self.base_edges = self.base_edges.max(other.base_edges);
+        self.trace_steps += other.trace_steps;
+    }
+}
+
 /// The unified result of [`Simulation::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -1016,6 +1063,9 @@ pub struct RunReport {
     pub coupled: Option<Vec<CoupledOutcome>>,
     /// Aggregate engine telemetry.
     pub telemetry: Telemetry,
+    /// Captured metrics (`Some` exactly when the spec's
+    /// [`MetricsLevel`] is not `Off`).
+    pub metrics: Option<RunMetrics>,
 }
 
 impl RunReport {
@@ -1107,173 +1157,261 @@ impl Simulation {
 
     fn run_sync_trials(&self, mode: Mode) -> RunReport {
         let g = &self.graph;
+        let n = g.node_count();
         let source = self.spec.source;
         let max_rounds = self.max_rounds;
-        let outcomes: Vec<TrialOutcome> = match &self.spec.topology {
+        let capture = self.spec.metrics.is_enabled();
+        let sync_rec = |out: SyncOutcome| {
+            let rec = TrialRecord::new(sync_trial(out.rounds, out.completed));
+            if capture {
+                rec.with_curve(SpreadingCurve::from_round_counts(&out.informed_by_round, n))
+            } else {
+                rec
+            }
+        };
+        let records: Vec<TrialRecord> = match &self.spec.topology {
             Topology::Static => {
                 if self.loss_active() {
                     let config = SpreadConfig::new(source)
                         .with_mode(mode)
                         .with_loss_probability(self.spec.loss);
-                    self.fan_out(|_, rng| {
-                        let out = run_sync_config(g, &config, rng, max_rounds);
-                        sync_trial(out.rounds, out.completed)
-                    })
+                    self.fan_out(|_, rng| sync_rec(run_sync_config(g, &config, rng, max_rounds)))
                 } else {
-                    self.fan_out(|_, rng| {
-                        let out = run_sync(g, source, mode, rng, max_rounds);
-                        sync_trial(out.rounds, out.completed)
-                    })
+                    self.fan_out(|_, rng| sync_rec(run_sync(g, source, mode, rng, max_rounds)))
                 }
             }
             Topology::Model(DynamicModel::Rewire(r)) => {
                 let period = r.period as u64;
                 let family = r.family;
                 self.fan_out(|_, rng| {
-                    let out = run_sync_rewire(g, source, mode, period, family, rng, max_rounds);
-                    sync_trial(out.rounds, out.completed)
+                    sync_rec(run_sync_rewire(g, source, mode, period, family, rng, max_rounds))
                 })
             }
-            Topology::Trace(trace) => self.fan_out(|_, rng| {
-                let out = run_sync_dynamic(trace, source, mode, rng, max_rounds);
-                sync_trial(out.rounds, out.completed)
-            }),
+            Topology::Trace(trace) => self
+                .fan_out(|_, rng| sync_rec(run_sync_dynamic(trace, source, mode, rng, max_rounds))),
             other => unreachable!("validated at build time: sync + {other:?}"),
         };
-        report(Unit::Rounds, outcomes)
+        assemble(Unit::Rounds, records, self.spec.metrics)
     }
 
     fn run_async_trials(&self, mode: Mode, view: AsyncView) -> RunReport {
         let g = &self.graph;
         let source = self.spec.source;
         let max_steps = self.max_steps;
-        let outcomes: Vec<TrialOutcome> = match (self.spec.engine, &self.spec.topology) {
+        let capture = self.spec.metrics.is_enabled();
+        // Builds the record for one asynchronous outcome; the optional
+        // ring dump carries the tail of a censored trial's event stream.
+        let async_rec = |out: &AsyncOutcome| {
+            let rec = TrialRecord::new(TrialOutcome {
+                value: out.time,
+                completed: out.completed,
+                steps: out.steps,
+                topology_events: 0,
+            });
+            if capture {
+                rec.with_curve(SpreadingCurve::from_informed_times(&out.informed_time))
+            } else {
+                rec
+            }
+        };
+        let dynamic_rec = |out: &DynamicOutcome, dump: Option<Vec<(f64, ProbeEvent)>>| {
+            let mut rec = TrialRecord::new(dynamic_trial(out));
+            if capture {
+                rec = rec.with_curve(SpreadingCurve::from_informed_times(&out.informed_time));
+            }
+            rec.dump = dump;
+            rec
+        };
+        let records: Vec<TrialRecord> = match (self.spec.engine, &self.spec.topology) {
             (Engine::Sequential, Topology::Static) => {
                 if self.loss_active() {
                     let config = SpreadConfig::new(source)
                         .with_mode(mode)
                         .with_loss_probability(self.spec.loss);
-                    self.fan_out(|_, rng| {
-                        let out = run_async_config(g, &config, rng, max_steps);
-                        TrialOutcome {
-                            value: out.time,
-                            completed: out.completed,
-                            steps: out.steps,
-                            topology_events: 0,
-                        }
-                    })
+                    self.fan_out(|_, rng| async_rec(&run_async_config(g, &config, rng, max_steps)))
                 } else {
                     self.fan_out(|_, rng| {
-                        let out = run_async(g, source, mode, view, rng, max_steps);
-                        TrialOutcome {
-                            value: out.time,
-                            completed: out.completed,
-                            steps: out.steps,
-                            topology_events: 0,
-                        }
+                        async_rec(&run_async(g, source, mode, view, rng, max_steps))
                     })
                 }
             }
             (Engine::Sequential, Topology::Model(model)) => self.fan_out(|_, rng| {
-                dynamic_trial(run_dynamic(g, source, mode, model, rng, max_steps))
+                if capture {
+                    let mut probe = RingProbe::new(RING_CAP);
+                    let out =
+                        run_dynamic_probed(g, source, mode, model, rng, max_steps, &mut probe);
+                    let dump = (!out.completed).then(|| probe.into_events());
+                    dynamic_rec(&out, dump)
+                } else {
+                    dynamic_rec(&run_dynamic(g, source, mode, model, rng, max_steps), None)
+                }
             }),
             (Engine::Sequential, Topology::Custom(factory)) => self.fan_out(|_, rng| {
                 let mut state = factory.build(g);
-                dynamic_trial(run_dynamic_model(g, source, mode, state.as_mut(), rng, max_steps))
+                if capture {
+                    let mut probe = RingProbe::new(RING_CAP);
+                    let out = run_dynamic_model_probed(
+                        g,
+                        source,
+                        mode,
+                        state.as_mut(),
+                        rng,
+                        max_steps,
+                        &mut probe,
+                    );
+                    let dump = (!out.completed).then(|| probe.into_events());
+                    dynamic_rec(&out, dump)
+                } else {
+                    dynamic_rec(
+                        &run_dynamic_model(g, source, mode, state.as_mut(), rng, max_steps),
+                        None,
+                    )
+                }
             }),
             (Engine::Sequential, Topology::Trace(trace)) => self.fan_out(|_, rng| {
-                dynamic_trial(run_dynamic_model(
-                    g,
-                    source,
-                    mode,
-                    &mut trace.replayer(),
-                    rng,
-                    max_steps,
-                ))
+                if capture {
+                    let mut probe = RingProbe::new(RING_CAP);
+                    let out = run_dynamic_model_probed(
+                        g,
+                        source,
+                        mode,
+                        &mut trace.replayer(),
+                        rng,
+                        max_steps,
+                        &mut probe,
+                    );
+                    let dump = (!out.completed).then(|| probe.into_events());
+                    dynamic_rec(&out, dump)
+                } else {
+                    dynamic_rec(
+                        &run_dynamic_model(g, source, mode, &mut trace.replayer(), rng, max_steps),
+                        None,
+                    )
+                }
             }),
             (Engine::Sharded { shards }, topology) => {
-                let outcomes = match topology {
+                // One closure per trial regardless of topology flavor;
+                // the probe (metrics runs only) collects per-shard
+                // utilization without touching the engine outcome.
+                let sharded_rec = |out: &crate::engine::ShardedOutcome, utilization: Vec<f64>| {
+                    let mut rec = dynamic_rec(&out.outcome, None);
+                    rec.telemetry.windows = out.windows;
+                    rec.telemetry.cross_events = out.cross_events;
+                    rec.utilization = utilization;
+                    rec
+                };
+                match topology {
                     Topology::Static => self.fan_out(|_, rng| {
-                        let out = run_dynamic_sharded(
-                            g,
-                            source,
-                            mode,
-                            &DynamicModel::Static,
-                            shards,
-                            rng,
-                            max_steps,
-                        );
-                        sharded_trial(&out)
+                        let model = DynamicModel::Static;
+                        if capture {
+                            let mut probe = UtilProbe::default();
+                            let out = run_dynamic_sharded_probed(
+                                g, source, mode, &model, shards, rng, max_steps, &mut probe,
+                            );
+                            sharded_rec(&out, probe.utilization)
+                        } else {
+                            let out = run_dynamic_sharded(
+                                g, source, mode, &model, shards, rng, max_steps,
+                            );
+                            sharded_rec(&out, Vec::new())
+                        }
                     }),
                     Topology::Model(model) => self.fan_out(|_, rng| {
-                        let out =
-                            run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps);
-                        sharded_trial(&out)
+                        if capture {
+                            let mut probe = UtilProbe::default();
+                            let out = run_dynamic_sharded_probed(
+                                g, source, mode, model, shards, rng, max_steps, &mut probe,
+                            );
+                            sharded_rec(&out, probe.utilization)
+                        } else {
+                            let out =
+                                run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps);
+                            sharded_rec(&out, Vec::new())
+                        }
                     }),
                     Topology::Custom(factory) => self.fan_out(|_, rng| {
                         let mut state = factory.build(g);
-                        let out = run_dynamic_sharded_model(
-                            g,
-                            source,
-                            mode,
-                            state.as_mut(),
-                            shards,
-                            rng,
-                            max_steps,
-                        );
-                        sharded_trial(&out)
+                        if capture {
+                            let mut probe = UtilProbe::default();
+                            let out = run_dynamic_sharded_model_probed(
+                                g,
+                                source,
+                                mode,
+                                state.as_mut(),
+                                shards,
+                                rng,
+                                max_steps,
+                                &mut probe,
+                            );
+                            sharded_rec(&out, probe.utilization)
+                        } else {
+                            let out = run_dynamic_sharded_model(
+                                g,
+                                source,
+                                mode,
+                                state.as_mut(),
+                                shards,
+                                rng,
+                                max_steps,
+                            );
+                            sharded_rec(&out, Vec::new())
+                        }
                     }),
                     Topology::Trace(trace) => self.fan_out(|_, rng| {
-                        let out = run_dynamic_sharded_model(
-                            g,
-                            source,
-                            mode,
-                            &mut trace.replayer(),
-                            shards,
-                            rng,
-                            max_steps,
-                        );
-                        sharded_trial(&out)
+                        if capture {
+                            let mut probe = UtilProbe::default();
+                            let out = run_dynamic_sharded_model_probed(
+                                g,
+                                source,
+                                mode,
+                                &mut trace.replayer(),
+                                shards,
+                                rng,
+                                max_steps,
+                                &mut probe,
+                            );
+                            sharded_rec(&out, probe.utilization)
+                        } else {
+                            let out = run_dynamic_sharded_model(
+                                g,
+                                source,
+                                mode,
+                                &mut trace.replayer(),
+                                shards,
+                                rng,
+                                max_steps,
+                            );
+                            sharded_rec(&out, Vec::new())
+                        }
                     }),
-                };
-                let (windows, cross) =
-                    outcomes.iter().fold((0u64, 0u64), |(w, c), (_, sw, sc)| (w + sw, c + sc));
-                let trials: Vec<TrialOutcome> = outcomes.into_iter().map(|(t, _, _)| t).collect();
-                let mut rep = report(Unit::TimeUnits, trials);
-                rep.telemetry.windows = windows;
-                rep.telemetry.cross_events = cross;
-                return rep;
+                }
             }
             (Engine::Lazy, Topology::Trace(trace)) => self.fan_out(|_, rng| {
-                dynamic_trial(run_trace_lazy(trace, source, mode, rng, max_steps))
+                dynamic_rec(&run_trace_lazy(trace, source, mode, rng, max_steps), None)
             }),
             (Engine::Lazy, topology) => {
                 let (off_rate, on_rate) =
                     topology.memoryless_edge_rates().expect("validated at build time");
                 let markov = EdgeMarkov { off_rate, on_rate };
-                let outcomes = self.fan_out(|_, rng| {
+                self.fan_out(|_, rng| {
                     let out = run_edge_markov_lazy(g, source, mode, markov, rng, max_steps);
-                    (
-                        TrialOutcome {
-                            value: out.time,
-                            completed: out.completed,
-                            steps: out.steps,
-                            topology_events: 0,
-                        },
-                        out.clocks_touched as u64,
-                        out.base_edges as u64,
-                    )
-                });
-                let clocks: u64 = outcomes.iter().map(|(_, c, _)| c).sum();
-                let base_edges = outcomes.first().map_or(0, |&(_, _, b)| b);
-                let trials: Vec<TrialOutcome> = outcomes.into_iter().map(|(t, _, _)| t).collect();
-                let mut rep = report(Unit::TimeUnits, trials);
-                rep.telemetry.clocks_touched = clocks;
-                rep.telemetry.base_edges = base_edges;
-                return rep;
+                    let mut rec = TrialRecord::new(TrialOutcome {
+                        value: out.time,
+                        completed: out.completed,
+                        steps: out.steps,
+                        topology_events: 0,
+                    });
+                    rec.telemetry.clocks_touched = out.clocks_touched as u64;
+                    rec.telemetry.base_edges = out.base_edges as u64;
+                    if capture {
+                        rec =
+                            rec.with_curve(SpreadingCurve::from_informed_times(&out.informed_time));
+                    }
+                    rec
+                })
             }
         };
-        report(Unit::TimeUnits, outcomes)
+        assemble(Unit::TimeUnits, records, self.spec.metrics)
     }
 
     fn loss_active(&self) -> bool {
@@ -1290,17 +1428,21 @@ impl Simulation {
     }
 
     fn run_coupled(&self) -> RunReport {
-        let outcomes: Vec<CoupledOutcome> = self.fan_out(|_, rng| self.coupled_trial(rng));
+        let results: Vec<(CoupledOutcome, Vec<CurvePair>)> =
+            self.fan_out(|_, rng| self.coupled_trial(rng));
+        let outcomes: Vec<CoupledOutcome> = results.iter().map(|(o, _)| *o).collect();
         let trace_steps: u64 = outcomes.iter().map(|o| o.trace_steps as u64).sum();
+        let metrics = self.spec.metrics.is_enabled().then(|| coupled_metrics(&outcomes, &results));
         RunReport {
             unit: Unit::Paired,
             outcomes: Vec::new(),
             coupled: Some(outcomes),
             telemetry: Telemetry { trace_steps, ..Telemetry::default() },
+            metrics,
         }
     }
 
-    fn coupled_trial(&self, rng: &mut Xoshiro256PlusPlus) -> CoupledOutcome {
+    fn coupled_trial(&self, rng: &mut Xoshiro256PlusPlus) -> (CoupledOutcome, Vec<CurvePair>) {
         let g = &self.graph;
         let source = self.spec.source;
         // Two sub-seeds per trial: one for the shared topology
@@ -1340,26 +1482,36 @@ impl Simulation {
         }
     }
 
-    fn coupled_on_trace(&self, trace: &TopologyTrace, proto_seed: u64) -> CoupledOutcome {
-        let one = self.coupled_pair(trace, proto_seed);
+    fn coupled_on_trace(
+        &self,
+        trace: &TopologyTrace,
+        proto_seed: u64,
+    ) -> (CoupledOutcome, Vec<CurvePair>) {
+        let (one, mut curves) = self.coupled_pair(trace, proto_seed);
         if !self.spec.plan.antithetic {
-            return one;
+            return (one, curves);
         }
         // Antithetic partner: the complement seed reuses the same trace
         // with a second protocol realization; averaging the pair halves
         // the protocol-clock variance while the (expensive, shared)
         // trace realization is recorded once.
-        let two = self.coupled_pair(trace, !proto_seed);
-        CoupledOutcome {
+        let (two, more) = self.coupled_pair(trace, !proto_seed);
+        curves.extend(more);
+        let avg = CoupledOutcome {
             sync_rounds: 0.5 * (one.sync_rounds + two.sync_rounds),
             sync_completed: one.sync_completed && two.sync_completed,
             async_time: 0.5 * (one.async_time + two.async_time),
             async_completed: one.async_completed && two.async_completed,
             trace_steps: one.trace_steps,
-        }
+        };
+        (avg, curves)
     }
 
-    fn coupled_pair(&self, trace: &TopologyTrace, proto_seed: u64) -> CoupledOutcome {
+    fn coupled_pair(
+        &self,
+        trace: &TopologyTrace,
+        proto_seed: u64,
+    ) -> (CoupledOutcome, Vec<CurvePair>) {
         let g = &self.graph;
         let source = self.spec.source;
         let mode = self.spec.protocol.mode();
@@ -1396,21 +1548,69 @@ impl Simulation {
                 run_trace_lazy(trace, source, mode, &mut proto_rng, self.max_steps)
             }
         };
-        CoupledOutcome {
+        let curves = if self.spec.metrics.is_enabled() {
+            let n = g.node_count();
+            vec![(
+                SpreadingCurve::from_round_counts(&sync.informed_by_round, n)
+                    .downsample(CURVE_SAMPLES),
+                SpreadingCurve::from_informed_times(&asy.informed_time).downsample(CURVE_SAMPLES),
+            )]
+        } else {
+            Vec::new()
+        };
+        let out = CoupledOutcome {
             sync_rounds: sync.rounds as f64,
             sync_completed: sync.completed,
             async_time: asy.time,
             async_completed: asy.completed,
             trace_steps: trace.len(),
+        };
+        (out, curves)
+    }
+}
+
+/// A per-pair (synchronous, asynchronous) spreading-curve capture from
+/// one coupled protocol realization on a shared topology trace.
+type CurvePair = (SpreadingCurve, SpreadingCurve);
+
+/// Builds the metrics bundle for a coupled run: paired histograms over
+/// the per-trial (averaged) values plus sync/async mean curves.
+fn coupled_metrics(
+    outcomes: &[CoupledOutcome],
+    results: &[(CoupledOutcome, Vec<CurvePair>)],
+) -> RunMetrics {
+    let mut m = RunMetrics::new(Unit::Paired.to_string());
+    m.trials = outcomes.len() as u64;
+    m.censored =
+        outcomes.iter().filter(|o| !(o.sync_completed && o.async_completed)).count() as u64;
+    let mut sync_h = LogHistogram::new();
+    let mut async_h = LogHistogram::new();
+    for o in outcomes {
+        if o.sync_completed {
+            sync_h.record(o.sync_rounds);
+        }
+        if o.async_completed {
+            async_h.record(o.async_time);
         }
     }
+    m.push_histogram("sync_rounds", sync_h);
+    m.push_histogram("async_time", async_h);
+    let sync_curves: Vec<SpreadingCurve> =
+        results.iter().flat_map(|(_, cs)| cs.iter().map(|(s, _)| s.clone())).collect();
+    let async_curves: Vec<SpreadingCurve> =
+        results.iter().flat_map(|(_, cs)| cs.iter().map(|(_, a)| a.clone())).collect();
+    if !sync_curves.is_empty() {
+        m.push_curve("sync_informed", CurveSummary::aggregate(&sync_curves, CURVE_GRID));
+        m.push_curve("async_informed", CurveSummary::aggregate(&async_curves, CURVE_GRID));
+    }
+    m
 }
 
 fn sync_trial(rounds: u64, completed: bool) -> TrialOutcome {
     TrialOutcome { value: rounds as f64, completed, steps: rounds, topology_events: 0 }
 }
 
-fn dynamic_trial(out: DynamicOutcome) -> TrialOutcome {
+fn dynamic_trial(out: &DynamicOutcome) -> TrialOutcome {
     TrialOutcome {
         value: out.time,
         completed: out.completed,
@@ -1419,17 +1619,122 @@ fn dynamic_trial(out: DynamicOutcome) -> TrialOutcome {
     }
 }
 
-fn sharded_trial(out: &crate::engine::ShardedOutcome) -> (TrialOutcome, u64, u64) {
-    (dynamic_trial(out.outcome.clone()), out.windows, out.cross_events)
+/// Everything one trial contributes to report assembly: the outcome,
+/// the trial's own telemetry slice, and — on metrics-enabled runs — its
+/// spreading curve, censor ring dump, and shard utilization readings.
+struct TrialRecord {
+    outcome: TrialOutcome,
+    telemetry: Telemetry,
+    curve: Option<SpreadingCurve>,
+    dump: Option<Vec<(f64, ProbeEvent)>>,
+    utilization: Vec<f64>,
 }
 
-fn report(unit: Unit, outcomes: Vec<TrialOutcome>) -> RunReport {
-    let telemetry = Telemetry {
-        steps: outcomes.iter().map(|o| o.steps).sum(),
-        topology_events: outcomes.iter().map(|o| o.topology_events).sum(),
-        ..Telemetry::default()
-    };
-    RunReport { unit, outcomes, coupled: None, telemetry }
+impl TrialRecord {
+    /// A record with the telemetry every engine shares (steps and
+    /// topology events, straight off the outcome).
+    fn new(outcome: TrialOutcome) -> Self {
+        let telemetry = Telemetry {
+            steps: outcome.steps,
+            topology_events: outcome.topology_events,
+            ..Telemetry::default()
+        };
+        Self { outcome, telemetry, curve: None, dump: None, utilization: Vec::new() }
+    }
+
+    /// Attaches a (downsampled) spreading curve.
+    fn with_curve(mut self, curve: SpreadingCurve) -> Self {
+        self.curve = Some(curve.downsample(CURVE_SAMPLES));
+        self
+    }
+}
+
+/// The one assembly path every uncoupled run flows through: merges the
+/// per-trial telemetry in trial order and builds the metrics bundle
+/// when the level asks for one.
+fn assemble(unit: Unit, records: Vec<TrialRecord>, level: MetricsLevel) -> RunReport {
+    let mut telemetry = Telemetry::default();
+    for r in &records {
+        telemetry.merge(&r.telemetry);
+    }
+    let metrics = level.is_enabled().then(|| trial_metrics(unit, &records));
+    let outcomes = records.into_iter().map(|r| r.outcome).collect();
+    RunReport { unit, outcomes, coupled: None, telemetry, metrics }
+}
+
+/// Builds the metrics bundle from per-trial records, in trial order
+/// (fixed merge order keeps float sums deterministic).
+fn trial_metrics(unit: Unit, records: &[TrialRecord]) -> RunMetrics {
+    let mut m = RunMetrics::new(unit.to_string());
+    m.trials = records.len() as u64;
+    m.censored = records.iter().filter(|r| !r.outcome.completed).count() as u64;
+    let mut value = LogHistogram::new();
+    let mut steps = LogHistogram::new();
+    let mut topology = LogHistogram::new();
+    for r in records {
+        if r.outcome.completed {
+            value.record(r.outcome.value);
+        }
+        steps.record_u64(r.outcome.steps);
+        topology.record_u64(r.outcome.topology_events);
+    }
+    m.push_histogram("spreading_time", value);
+    m.push_histogram("steps", steps);
+    m.push_histogram("topology_events", topology);
+    let curves: Vec<SpreadingCurve> = records.iter().filter_map(|r| r.curve.clone()).collect();
+    if !curves.is_empty() {
+        m.push_curve("informed", CurveSummary::aggregate(&curves, CURVE_GRID));
+    }
+
+    // Engine health: per-engine diagnostics, summary display only.
+    if records.iter().any(|r| r.telemetry.windows > 0 || r.telemetry.cross_events > 0) {
+        for r in records {
+            m.health.windows.record_u64(r.telemetry.windows);
+            m.health.cross_events.record_u64(r.telemetry.cross_events);
+        }
+    }
+    if records.iter().any(|r| r.telemetry.clocks_touched > 0) {
+        for r in records {
+            m.health.clocks_touched.record_u64(r.telemetry.clocks_touched);
+        }
+    }
+    m.health.base_edges = records.iter().map(|r| r.telemetry.base_edges).max().unwrap_or(0);
+    let measured: Vec<&[f64]> =
+        records.iter().map(|r| r.utilization.as_slice()).filter(|u| !u.is_empty()).collect();
+    if let Some(first) = measured.first() {
+        let mut mean = vec![0.0; first.len()];
+        for u in &measured {
+            for (acc, v) in mean.iter_mut().zip(u.iter()) {
+                *acc += v;
+            }
+        }
+        for v in &mut mean {
+            *v /= measured.len() as f64;
+        }
+        m.health.shard_utilization = mean;
+    }
+    for (idx, r) in records.iter().enumerate() {
+        if m.health.censor_dumps.len() >= MAX_CENSOR_DUMPS {
+            break;
+        }
+        if let (false, Some(events)) = (r.outcome.completed, r.dump.as_ref()) {
+            m.health.censor_dumps.push(CensorDump { trial: idx as u64, events: events.clone() });
+        }
+    }
+    m
+}
+
+/// The probe metrics-enabled sharded trials run with: captures the
+/// engine's per-shard wall-clock utilization report.
+#[derive(Default)]
+struct UtilProbe {
+    utilization: Vec<f64>,
+}
+
+impl Probe for UtilProbe {
+    fn shard_utilization(&mut self, utilization: &[f64]) {
+        self.utilization = utilization.to_vec();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1467,6 +1772,7 @@ impl SimSpec {
             self.plan.horizon.map_or_else(|| "auto".to_owned(), fmt_f64)
         ));
         s.push_str(&format!("antithetic = {}\n", self.plan.antithetic));
+        s.push_str(&format!("metrics = {}\n", self.metrics));
         Ok(s)
     }
 
@@ -1524,6 +1830,9 @@ impl SimSpec {
                     }
                 }
                 "antithetic" => spec.plan.antithetic = parse_bool(value, "antithetic", lineno)?,
+                "metrics" => {
+                    spec.metrics = value.parse::<MetricsLevel>().map_err(err)?;
+                }
                 other => return Err(err(format!("unknown key `{other}`"))),
             }
         }
@@ -2068,5 +2377,127 @@ mod tests {
         ));
         let text = spec.to_spec_string().unwrap();
         assert_eq!(SimSpec::parse(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn metrics_level_round_trips_through_text() {
+        for level in [MetricsLevel::Off, MetricsLevel::Summary, MetricsLevel::Json] {
+            let spec = base_spec().metrics(level);
+            let text = spec.to_spec_string().unwrap();
+            assert!(text.contains(&format!("metrics = {level}")), "{text}");
+            assert_eq!(SimSpec::parse(&text).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn telemetry_merge_sums_counters_and_keeps_base_edges() {
+        let mut a = Telemetry {
+            steps: 10,
+            topology_events: 2,
+            windows: 3,
+            cross_events: 1,
+            clocks_touched: 5,
+            base_edges: 40,
+            trace_steps: 7,
+        };
+        let b = Telemetry {
+            steps: 1,
+            topology_events: 1,
+            windows: 1,
+            cross_events: 1,
+            clocks_touched: 1,
+            base_edges: 8,
+            trace_steps: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.steps, 11);
+        assert_eq!(a.topology_events, 3);
+        assert_eq!(a.windows, 4);
+        assert_eq!(a.cross_events, 2);
+        assert_eq!(a.clocks_touched, 6);
+        // base_edges is a per-run property, not a counter.
+        assert_eq!(a.base_edges, 40);
+        assert_eq!(a.trace_steps, 8);
+        // Merging from default is the identity.
+        let mut from_zero = Telemetry::default();
+        from_zero.merge(&a);
+        assert_eq!(from_zero, a);
+    }
+
+    #[test]
+    fn metrics_off_by_default_and_captured_when_enabled() {
+        let off = base_spec().trials(6).build().unwrap().run();
+        assert!(off.metrics.is_none());
+        let on = base_spec().trials(6).metrics(MetricsLevel::Summary).build().unwrap().run();
+        let m = on.metrics.as_ref().unwrap();
+        assert_eq!(m.trials, 6);
+        assert_eq!(m.censored, 0);
+        // Metrics capture does not perturb the trial outcomes.
+        assert_eq!(on.outcomes, off.outcomes);
+        assert_eq!(m.histogram("spreading_time").unwrap().count(), 6);
+        let curve = m.curve("informed").unwrap();
+        assert_eq!(curve.trials, 6);
+        // The mean curve saturates at the full graph.
+        assert_eq!(curve.points.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn sharded_metrics_record_utilization_and_windows() {
+        let g = generators::gnp_connected(24, 0.3, &mut Xoshiro256PlusPlus::seed_from(21), 100);
+        let report = SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))))
+            .engine(Engine::Sharded { shards: 2 })
+            .trials(4)
+            .metrics(MetricsLevel::Json)
+            .build()
+            .unwrap()
+            .run();
+        let m = report.metrics.as_ref().unwrap();
+        assert_eq!(m.health.shard_utilization.len(), 2);
+        assert!(m.health.shard_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(m.health.windows.count() > 0);
+    }
+
+    #[test]
+    fn censored_dynamic_trials_dump_their_event_ring() {
+        // A tiny step budget censors every trial; the ring dump must
+        // surface the tail of the event stream for the first few.
+        let g = generators::gnp_connected(24, 0.3, &mut Xoshiro256PlusPlus::seed_from(22), 100);
+        let report = SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))))
+            .trials(6)
+            .max_steps(3)
+            .metrics(MetricsLevel::Json)
+            .build()
+            .unwrap()
+            .run();
+        let m = report.metrics.as_ref().unwrap();
+        assert_eq!(m.censored, 6);
+        assert_eq!(m.health.censor_dumps.len(), MAX_CENSOR_DUMPS);
+        assert!(m.health.censor_dumps.iter().all(|d| !d.events.is_empty()));
+    }
+
+    #[test]
+    fn coupled_metrics_capture_paired_curves() {
+        let g = generators::gnp_connected(24, 0.3, &mut Xoshiro256PlusPlus::seed_from(23), 100);
+        let report = SimSpec::on_graph(&g)
+            .protocol(Protocol::push_pull_async())
+            .topology(Topology::Model(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))))
+            .coupled(true)
+            .trials(4)
+            .metrics(MetricsLevel::Json)
+            .build()
+            .unwrap()
+            .run();
+        let m = report.metrics.as_ref().unwrap();
+        assert_eq!(m.trials, 4);
+        let sync_curve = m.curve("sync_informed").unwrap();
+        let async_curve = m.curve("async_informed").unwrap();
+        assert_eq!(sync_curve.trials, 4);
+        assert_eq!(async_curve.trials, 4);
+        assert!(m.histogram("sync_rounds").unwrap().count() > 0);
+        assert!(m.histogram("async_time").unwrap().count() > 0);
     }
 }

@@ -1,0 +1,32 @@
+//! Spreading curves: replay the committed E23 quick-run spec with
+//! metrics enabled and tabulate *when* each model informs each
+//! fraction of the network — the observability layer's view of the
+//! paper's §1 claim that the async model informs the bulk of the
+//! network faster even where total spreading time is no better.
+//!
+//! ```text
+//! cargo run --release --example spreading_curves
+//! ```
+//!
+//! The output is committed in EXPERIMENTS_DYNAMIC.md (§ "Spreading
+//! curves on the committed quick run").
+
+use rumor_spreading::analysis::curves::fraction_table_from_coupled;
+use rumor_spreading::core::spec::SimSpec;
+use rumor_spreading::core::MetricsLevel;
+
+fn main() {
+    let spec_text = std::fs::read_to_string("specs/e23_quick_markov.spec")
+        .expect("run from the workspace root: specs/e23_quick_markov.spec");
+    let spec =
+        SimSpec::parse(&spec_text).expect("committed spec parses").metrics(MetricsLevel::Json);
+    let report = spec.build().expect("committed spec validates").run();
+
+    let table = fraction_table_from_coupled(&report).expect("coupled run with metrics on");
+    println!("{}", table.to_text());
+
+    let metrics = report.metrics.as_ref().expect("metrics enabled");
+    for line in metrics.summary_lines() {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Observability contracts: the `.metrics.json` artifact is
+//! engine-invariant and byte-deterministic, histogram merging obeys
+//! the monoid laws the one-path `Telemetry`/metrics assembly relies
+//! on, and probes observe without perturbing (probed runs replay their
+//! unprobed twins seed-for-seed, informed counts are monotone).
+//!
+//! The committed golden artifact `specs/e23_quick_markov.metrics.json`
+//! regenerates with `REGEN_SPECS=1 cargo test --test obs_metrics`.
+
+use proptest::prelude::*;
+use rumor_spreading::core::dynamic::{DynamicModel, EdgeMarkov};
+use rumor_spreading::core::spec::{Engine, GraphSpec, Protocol, SimSpec, Topology};
+use rumor_spreading::core::{
+    run_async, run_async_probed, run_dynamic, run_dynamic_probed, run_dynamic_sharded_probed,
+    AsyncView, CountingProbe, LogHistogram, MetricsLevel, Mode,
+};
+use rumor_spreading::graph::generators;
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+
+// ---------------------------------------------------------------------------
+// Artifact determinism
+// ---------------------------------------------------------------------------
+
+fn markov_spec(engine: Engine) -> SimSpec {
+    SimSpec::new(GraphSpec::Gnp { n: 32, p: 0.25, seed: 11, attempts: 200 })
+        .protocol(Protocol::push_pull_async())
+        .topology(Topology::Model(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0))))
+        .engine(engine)
+        .trials(8)
+        .seed(5)
+        .metrics(MetricsLevel::Json)
+}
+
+/// The tentpole determinism contract: the artifact contains only
+/// engine-invariant payload, so the sequential engine and the sharded
+/// engine with one shard (a seed-for-seed replay) render **byte
+/// identical** `.metrics.json` documents.
+#[test]
+fn metrics_artifact_is_byte_identical_sequential_vs_one_shard() {
+    let seq = markov_spec(Engine::Sequential).build().unwrap().run();
+    let sharded = markov_spec(Engine::Sharded { shards: 1 }).build().unwrap().run();
+    let a = seq.metrics.as_ref().expect("metrics enabled").render_json();
+    let b = sharded.metrics.as_ref().expect("metrics enabled").render_json();
+    assert_eq!(a, b, "artifact must not depend on the engine");
+    // The engine-shaped diagnostics DO differ — that is exactly why
+    // they are excluded from the artifact.
+    assert!(seq.metrics.as_ref().unwrap().health.windows.is_empty());
+    assert!(!sharded.metrics.as_ref().unwrap().health.windows.is_empty());
+}
+
+/// Rendering is a pure function of the run: same spec, same bytes.
+#[test]
+fn metrics_artifact_is_deterministic_across_runs() {
+    let a = markov_spec(Engine::Sequential).build().unwrap().run();
+    let b = markov_spec(Engine::Sequential).build().unwrap().run();
+    assert_eq!(
+        a.metrics.as_ref().unwrap().render_json(),
+        b.metrics.as_ref().unwrap().render_json()
+    );
+}
+
+/// Golden pin: replaying the committed E23 quick-run spec with metrics
+/// enabled reproduces the committed artifact byte for byte.
+#[test]
+fn committed_quick_run_metrics_artifact_replays_byte_for_byte() {
+    let dir = env!("CARGO_MANIFEST_DIR");
+    let spec_text = std::fs::read_to_string(format!("{dir}/specs/e23_quick_markov.spec"))
+        .expect("committed spec exists");
+    let spec = SimSpec::parse(&spec_text).unwrap().metrics(MetricsLevel::Json);
+    let report = spec.build().unwrap().run();
+    let rendered = report.metrics.as_ref().expect("metrics enabled").render_json();
+
+    let golden = format!("{dir}/specs/e23_quick_markov.metrics.json");
+    if std::env::var("REGEN_SPECS").is_ok() {
+        std::fs::write(&golden, &rendered).expect("write golden artifact");
+    }
+    let committed =
+        std::fs::read_to_string(&golden).expect("specs/e23_quick_markov.metrics.json exists");
+    assert_eq!(
+        committed, rendered,
+        "metrics artifact drifted; REGEN_SPECS=1 cargo test --test obs_metrics to regenerate"
+    );
+}
+
+/// Probes observe, never perturb: enabling metrics does not change a
+/// single trial outcome, on any engine.
+#[test]
+fn metrics_capture_does_not_perturb_outcomes() {
+    for engine in [Engine::Sequential, Engine::Sharded { shards: 3 }, Engine::Lazy] {
+        let off = markov_spec(engine).metrics(MetricsLevel::Off).build().unwrap().run();
+        let on = markov_spec(engine).build().unwrap().run();
+        assert_eq!(off.outcomes, on.outcomes, "{engine:?}");
+        assert_eq!(off.telemetry, on.telemetry, "{engine:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram merge laws
+// ---------------------------------------------------------------------------
+
+fn hist(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &LogHistogram, b: &LogHistogram) -> LogHistogram {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+/// The fields on which merging is exact (the module docs carve out the
+/// float `sum`, whose rounding depends on addition order).
+fn exact_parts(
+    h: &LogHistogram,
+) -> (Vec<rumor_spreading::core::obs::Bucket>, u64, Option<f64>, Option<f64>) {
+    (h.buckets(), h.count(), h.min(), h.max())
+}
+
+fn sums_close(a: &LogHistogram, b: &LogHistogram) -> bool {
+    (a.sum() - b.sum()).abs() <= 1e-9 * a.sum().abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging equals recording the concatenation: the streaming
+    /// histogram is a homomorphism from multisets of samples (exactly
+    /// so on counts and extrema; the float sum only up to rounding).
+    #[test]
+    fn merge_equals_concatenated_recording(
+        xs in proptest::collection::vec(0.0f64..1e9, 0..32),
+        ys in proptest::collection::vec(0.0f64..1e9, 0..32),
+    ) {
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        let (m, whole) = (merged(&hist(&xs), &hist(&ys)), hist(&all));
+        prop_assert_eq!(exact_parts(&m), exact_parts(&whole));
+        prop_assert!(sums_close(&m, &whole));
+    }
+
+    /// Merge is commutative.
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0.0f64..1e9, 0..32),
+        ys in proptest::collection::vec(0.0f64..1e9, 0..32),
+    ) {
+        let (a, b) = (hist(&xs), hist(&ys));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    /// Merge is associative, with the empty histogram as identity.
+    #[test]
+    fn merge_is_associative_with_identity(
+        xs in proptest::collection::vec(0.0f64..1e9, 0..24),
+        ys in proptest::collection::vec(0.0f64..1e9, 0..24),
+        zs in proptest::collection::vec(0.0f64..1e9, 0..24),
+    ) {
+        let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+        let (l, r) = (merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        prop_assert_eq!(exact_parts(&l), exact_parts(&r));
+        prop_assert!(sums_close(&l, &r));
+        // The empty histogram is a two-sided identity, exactly.
+        prop_assert_eq!(merged(&a, &LogHistogram::new()), a.clone());
+        prop_assert_eq!(merged(&LogHistogram::new(), &a), a);
+    }
+
+    /// Merging conserves the summary statistics of the union.
+    #[test]
+    fn merge_conserves_count_extrema_and_sum(
+        xs in proptest::collection::vec(0.0f64..1e9, 1..32),
+        ys in proptest::collection::vec(0.0f64..1e9, 1..32),
+    ) {
+        let m = merged(&hist(&xs), &hist(&ys));
+        prop_assert_eq!(m.count(), (xs.len() + ys.len()) as u64);
+        let lo = xs.iter().chain(&ys).copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().chain(&ys).copied().fold(0.0, f64::max);
+        prop_assert_eq!(m.min(), Some(lo));
+        prop_assert_eq!(m.max(), Some(hi));
+        let sum: f64 = xs.iter().chain(&ys).sum();
+        prop_assert!((m.sum() - sum).abs() <= 1e-9 * sum.max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe regression pins
+// ---------------------------------------------------------------------------
+
+/// Informed counts reported by every engine are monotone (the
+/// `CountingProbe` debug-asserts regressions) and reach `n` exactly on
+/// completed static runs; probed runs replay unprobed ones
+/// seed-for-seed.
+#[test]
+fn probed_engines_report_monotone_informed_counts_and_replay() {
+    let g = generators::gnp_connected(40, 0.2, &mut Xoshiro256PlusPlus::seed_from(3), 100);
+    let n = g.node_count();
+    let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+
+    // Sequential dynamic engine.
+    let mut probe = CountingProbe::default();
+    let probed = run_dynamic_probed(
+        &g,
+        0,
+        Mode::PushPull,
+        &model,
+        &mut Xoshiro256PlusPlus::seed_from(9),
+        1_000_000,
+        &mut probe,
+    );
+    let plain = run_dynamic(
+        &g,
+        0,
+        Mode::PushPull,
+        &model,
+        &mut Xoshiro256PlusPlus::seed_from(9),
+        1_000_000,
+    );
+    assert_eq!(probed, plain, "probe must not perturb the dynamic engine");
+    assert!(probed.completed);
+    assert_eq!(probe.last_count, n, "completed run informs every node");
+    assert_eq!(probe.informed as usize, n, "one growth notification per node");
+    assert_eq!(probe.trials, 1);
+    assert_eq!(probe.completed, 1);
+    assert!(probe.events[0] > 0, "ticks observed");
+    assert!(probe.events[1] > 0, "topology events observed");
+
+    // Static asynchronous engine, all three views.
+    for view in AsyncView::ALL {
+        let mut probe = CountingProbe::default();
+        let probed = run_async_probed(
+            &g,
+            0,
+            Mode::PushPull,
+            view,
+            &mut Xoshiro256PlusPlus::seed_from(17),
+            1_000_000,
+            &mut probe,
+        );
+        let plain = run_async(
+            &g,
+            0,
+            Mode::PushPull,
+            view,
+            &mut Xoshiro256PlusPlus::seed_from(17),
+            1_000_000,
+        );
+        assert_eq!(probed, plain, "{view:?}");
+        assert_eq!(probe.last_count, n, "{view:?}");
+    }
+
+    // Sharded engine: informed notifications only fire at cross-shard
+    // contacts, but the counts it does report must still be monotone
+    // (debug-asserted) and end at n.
+    let mut probe = CountingProbe::default();
+    let out = run_dynamic_sharded_probed(
+        &g,
+        0,
+        Mode::PushPull,
+        &model,
+        3,
+        &mut Xoshiro256PlusPlus::seed_from(23),
+        1_000_000,
+        &mut probe,
+    );
+    assert!(out.outcome.completed);
+    assert!(probe.windows > 0, "window sync hook fires");
+    assert!(probe.last_count <= n);
+    assert_eq!(probe.completed, 1);
+}

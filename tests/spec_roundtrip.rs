@@ -12,7 +12,7 @@ use rumor_spreading::core::dynamic::{
 use rumor_spreading::core::spec::{
     Engine, GraphSpec, Protocol, SimSpec, SpecError, Topology, TrialPlan,
 };
-use rumor_spreading::core::{AsyncView, Mode, TopologyTrace};
+use rumor_spreading::core::{AsyncView, MetricsLevel, Mode, TopologyTrace};
 use rumor_spreading::graph::generators;
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
 
@@ -114,6 +114,8 @@ fn spec_from_seed(seed: u64) -> SimSpec {
         antithetic: coupled && rng.next_u64() % 2 == 0,
     };
     let loss = if rng.next_u64() % 4 == 0 { 0.999 * f(rng) } else { 0.0 };
+    let metrics = [MetricsLevel::Off, MetricsLevel::Summary, MetricsLevel::Json]
+        [(rng.next_u64() % 3) as usize];
     SimSpec::new(graph)
         .source((rng.next_u64() % 1_000) as u32)
         .protocol(protocol)
@@ -121,6 +123,7 @@ fn spec_from_seed(seed: u64) -> SimSpec {
         .engine(engine)
         .plan(plan)
         .loss(loss)
+        .metrics(metrics)
 }
 
 proptest! {
