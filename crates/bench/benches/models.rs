@@ -12,7 +12,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rumor_analysis::experiments::e22_models::matched_models;
 use rumor_core::Mode;
 use rumor_core::{run_dynamic, run_dynamic_sharded};
-use rumor_graph::generators;
+use rumor_graph::dynamic::MutableGraph;
+use rumor_graph::{generators, Node};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 fn bench_models_sequential(c: &mut Criterion) {
@@ -48,5 +49,149 @@ fn bench_models_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_models_sequential, bench_models_sharded);
+fn bench_models_sequential_1024(c: &mut Criterion) {
+    // The scale row the flat-memory core is for: 4x the nodes, ~5x the
+    // edges of the 256 group. Per-trial setup (graph adoption, model
+    // buffers) is pooled, so this prices the steady-state hot path.
+    let mut group = c.benchmark_group("topology_models_gnp_1024");
+    group.sample_size(10);
+    let n = 1024;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let g = generators::gnp_connected(n, p, &mut Xoshiro256PlusPlus::seed_from(42), 200);
+    for (name, model) in matched_models(&g) {
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            b.iter(|| run_dynamic(&g, 0, Mode::PushPull, model, &mut rng, 100_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction_threshold_sweep(c: &mut Criterion) {
+    // Drives the MutableGraph directly (no engine) through a fixed
+    // random churn + neighbor-draw mix at different compaction
+    // thresholds: 0 compacts after every mutation, `usize::MAX` lets
+    // the overlay grow without bound, `auto` is the default 2x-base
+    // policy. The sweep prices the policy itself; the engines always
+    // run `auto`.
+    let mut group = c.benchmark_group("compaction_threshold_gnp_256");
+    group.sample_size(20);
+    let n = 256usize;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let g = generators::gnp_connected(n, p, &mut Xoshiro256PlusPlus::seed_from(42), 200);
+    let edges: Vec<(Node, Node)> = g.edges().collect();
+    for (label, threshold) in [
+        ("eager-0", Some(0)),
+        ("t-64", Some(64)),
+        ("t-1024", Some(1024)),
+        ("never", Some(usize::MAX)),
+        ("auto", None),
+    ] {
+        let mut rng = Xoshiro256PlusPlus::seed_from(11);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut net = MutableGraph::from_graph(&g);
+                if let Some(t) = threshold {
+                    net.set_compaction_threshold(t);
+                }
+                let mut touched = 0u32;
+                for _ in 0..20_000 {
+                    let (u, v) = edges[rng.range_usize(edges.len())];
+                    if net.has_edge(u, v) {
+                        net.remove_edge(u, v);
+                    } else {
+                        net.add_edge(u, v);
+                    }
+                    let q = rng.range_usize(n) as Node;
+                    if net.degree(q) > 0 {
+                        touched ^= net.random_neighbor(q, &mut rng);
+                    }
+                }
+                touched
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotpath_components(c: &mut Criterion) {
+    // Isolates the three cost centers a dynamic-model event pays —
+    // graph mutation, neighbor draw, event-queue churn — so a model
+    // bench regression can be attributed without profiling.
+    let mut group = c.benchmark_group("hotpath_components_gnp_256");
+    group.sample_size(20);
+    let n = 256usize;
+    let p = 2.0 * (n as f64).ln() / n as f64;
+    let g = generators::gnp_connected(n, p, &mut Xoshiro256PlusPlus::seed_from(42), 200);
+    let edges: Vec<(Node, Node)> = g.edges().collect();
+    let mut setup = Xoshiro256PlusPlus::seed_from(13);
+    let flip_seq: Vec<(Node, Node)> =
+        (0..20_000).map(|_| edges[setup.range_usize(edges.len())]).collect();
+    let draw_seq: Vec<Node> = (0..20_000).map(|_| setup.range_usize(n) as Node).collect();
+
+    group.bench_function("flips", |b| {
+        b.iter(|| {
+            let mut net = MutableGraph::from_graph(&g);
+            let mut count = 0usize;
+            for &(u, v) in &flip_seq {
+                if !net.remove_edge(u, v) {
+                    net.add_edge(u, v);
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+
+    group.bench_function("draws", |b| {
+        // Draws on a churned graph: half the flip sequence applied, so
+        // a realistic share of nodes reads through the overlay.
+        let mut net = MutableGraph::from_graph(&g);
+        for &(u, v) in &flip_seq[..10_000] {
+            if !net.remove_edge(u, v) {
+                net.add_edge(u, v);
+            }
+        }
+        let mut rng = Xoshiro256PlusPlus::seed_from(17);
+        b.iter(|| {
+            let mut acc = 0 as Node;
+            for &v in &draw_seq {
+                if net.degree(v) > 0 {
+                    acc ^= net.random_neighbor(v, &mut rng);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("queue", |b| {
+        // The engine-side cost per topology event: one heap pop + one
+        // exp draw + one push, at the markov model's pending-event count.
+        use rumor_sim::events::EventQueue;
+        let mut rng = Xoshiro256PlusPlus::seed_from(19);
+        b.iter(|| {
+            let mut q: EventQueue<u32> = EventQueue::new();
+            for i in 0..edges.len() as u32 {
+                q.push(rng.exp(1.0), i);
+            }
+            let mut acc = 0u32;
+            for _ in 0..20_000 {
+                let (t, i) = q.pop().expect("queue stays full");
+                acc ^= i;
+                q.push(t + rng.exp(1.0), i);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_models_sequential,
+    bench_models_sharded,
+    bench_models_sequential_1024,
+    bench_compaction_threshold_sweep,
+    bench_hotpath_components
+);
 criterion_main!(benches);

@@ -23,6 +23,7 @@
 //! on a [`GridIndex`], and budget-limited adversarial removal of the
 //! informed/uninformed frontier.
 
+use rumor_graph::arena;
 use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::geometry::GridIndex;
 use rumor_graph::{Graph, GraphBuilder, Node};
@@ -202,7 +203,21 @@ struct EdgeMarkovState {
 
 impl EdgeMarkovState {
     fn new(m: EdgeMarkov) -> Self {
-        Self { base: Vec::new(), present: Vec::new(), off: m.off_rate, on: m.on_rate }
+        // Pooled: one state is built per realization, and the base edge
+        // list + presence bitmap are the run's largest model buffers.
+        Self {
+            base: arena::take_pairs(),
+            present: arena::take_flags(),
+            off: m.off_rate,
+            on: m.on_rate,
+        }
+    }
+}
+
+impl Drop for EdgeMarkovState {
+    fn drop(&mut self) {
+        arena::give_pairs(std::mem::take(&mut self.base));
+        arena::give_flags(std::mem::take(&mut self.present));
     }
 }
 
@@ -214,8 +229,8 @@ impl TopologyModel for EdgeMarkovState {
         queue: &mut EventQueue<TopoEvent>,
         rng: &mut Xoshiro256PlusPlus,
     ) {
-        self.base = g.edges().collect();
-        self.present = vec![true; self.base.len()];
+        self.base.extend(g.edges());
+        self.present.resize(self.base.len(), true);
         if self.off > 0.0 {
             for i in 0..self.base.len() {
                 queue.push(rng.exp(self.off), TopoEvent::Flip(i as u32));
@@ -373,7 +388,13 @@ struct RandomWalkState {
 
 impl RandomWalkState {
     fn new(m: RandomWalk) -> Self {
-        Self { base: None, rate: m.rate, edges: Vec::new() }
+        Self { base: None, rate: m.rate, edges: arena::take_pairs() }
+    }
+}
+
+impl Drop for RandomWalkState {
+    fn drop(&mut self) {
+        arena::give_pairs(std::mem::take(&mut self.edges));
     }
 }
 
@@ -385,8 +406,8 @@ impl TopologyModel for RandomWalkState {
         queue: &mut EventQueue<TopoEvent>,
         rng: &mut Xoshiro256PlusPlus,
     ) {
-        self.base = Some(g.clone());
-        self.edges = g.edges().collect();
+        self.base = Some(g.clone()); // O(1): CSR arrays are Arc-shared
+        self.edges.extend(g.edges());
         if self.rate > 0.0 {
             for i in 0..self.edges.len() {
                 queue.push(rng.exp(self.rate), TopoEvent::Walk(i as u32));
@@ -432,11 +453,20 @@ struct MobilityState {
     cfg: Mobility,
     grid: Option<GridIndex>,
     scratch: Vec<Node>,
+    /// Pre-move adjacency of the moving node (reused across events).
+    old: Vec<Node>,
 }
 
 impl MobilityState {
     fn new(m: Mobility) -> Self {
-        Self { cfg: m, grid: None, scratch: Vec::new() }
+        Self { cfg: m, grid: None, scratch: arena::take_nodes(), old: arena::take_nodes() }
+    }
+}
+
+impl Drop for MobilityState {
+    fn drop(&mut self) {
+        arena::give_nodes(std::mem::take(&mut self.scratch));
+        arena::give_nodes(std::mem::take(&mut self.old));
     }
 }
 
@@ -449,7 +479,8 @@ impl TopologyModel for MobilityState {
         rng: &mut Xoshiro256PlusPlus,
     ) {
         let n = g.node_count();
-        let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64_unit(), rng.f64_unit())).collect();
+        let mut positions = arena::take_positions();
+        positions.extend((0..n).map(|_| (rng.f64_unit(), rng.f64_unit())));
         let grid = GridIndex::new(positions, self.cfg.radius);
         // The starting topology is the proximity graph of the drawn
         // positions, not the caller's base graph (which only fixes n).
@@ -487,11 +518,12 @@ impl TopologyModel for MobilityState {
         grid.within_radius(v, &mut self.scratch);
         // Diff the sorted current adjacency against the sorted radius
         // query: drop edges that fell out of range, add the newcomers.
-        let old: Vec<Node> = net.neighbors(v).to_vec();
-        for &w in old.iter().filter(|w| !self.scratch.contains(w)) {
+        self.old.clear();
+        self.old.extend(net.neighbors(v));
+        for &w in self.old.iter().filter(|w| !self.scratch.contains(w)) {
             net.remove_edge(v, w);
         }
-        for &w in self.scratch.iter().filter(|w| !old.contains(w)) {
+        for &w in self.scratch.iter().filter(|w| !self.old.contains(w)) {
             net.add_edge(v, w);
         }
         queue.push(t + rng.exp(self.cfg.move_rate), TopoEvent::Move(v));
@@ -513,11 +545,19 @@ struct AdversaryState {
     healing: Vec<(Node, Node)>,
     /// Healed slab slots available for reuse.
     free: Vec<u32>,
+    /// Edges selected by the current strike (reused across strikes).
+    cut: Vec<(Node, Node)>,
 }
 
 impl AdversaryState {
     fn new(m: Adversary) -> Self {
-        Self { cfg: m, healing: Vec::new(), free: Vec::new() }
+        Self { cfg: m, healing: Vec::new(), free: Vec::new(), cut: arena::take_pairs() }
+    }
+}
+
+impl Drop for AdversaryState {
+    fn drop(&mut self) {
+        arena::give_pairs(std::mem::take(&mut self.cut));
     }
 }
 
@@ -545,21 +585,21 @@ impl TopologyModel for AdversaryState {
     ) -> RateImpact {
         match event {
             TopoEvent::Strike => {
-                let mut cut = Vec::with_capacity(self.cfg.budget);
+                self.cut.clear();
                 'scan: for v in 0..net.node_count() as Node {
                     if !informed(v) {
                         continue;
                     }
                     for &w in net.neighbors(v) {
                         if !informed(w) {
-                            cut.push((v, w));
-                            if cut.len() == self.cfg.budget {
+                            self.cut.push((v, w));
+                            if self.cut.len() == self.cfg.budget {
                                 break 'scan;
                             }
                         }
                     }
                 }
-                for &(u, w) in &cut {
+                for &(u, w) in &self.cut {
                     net.remove_edge(u, w);
                     if self.cfg.heal_after.is_finite() {
                         let slot = match self.free.pop() {

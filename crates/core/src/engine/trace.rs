@@ -41,7 +41,7 @@
 //! the number of *effective* topology changes, not the model's event
 //! count.
 
-use rumor_graph::dynamic::MutableGraph;
+use rumor_graph::dynamic::{GraphChange, MutableGraph};
 use rumor_graph::{Graph, Node};
 use rumor_sim::events::EventQueue;
 use rumor_sim::rng::Xoshiro256PlusPlus;
@@ -126,73 +126,40 @@ fn apply_step(net: &mut MutableGraph, step: &TraceStep) {
     }
 }
 
-/// Diffs `net` (post-event) against `shadow` (pre-event) into a step.
+/// Builds a step from the graph's change journal (everything one model
+/// event did, in mutation order; see [`MutableGraph::track_changes`]).
 ///
-/// `touched` is the event's [`RateImpact`] hint: a `Nodes` impact
-/// limits the scan to the listed nodes (their lists cover every changed
-/// edge — both endpoints of a changed edge have changed rates, so the
-/// impact contract lists both); `None` (global) scans everything.
-fn diff_step(
-    shadow: &MutableGraph,
-    net: &MutableGraph,
-    touched: Option<&[Node]>,
-    t: f64,
-) -> TraceStep {
+/// This replaced the old shadow-graph diff: instead of re-scanning
+/// adjacency after every event — O(n + m) whenever the event reported a
+/// global rate impact, the dominant cost of recording the mobility and
+/// rewire models — the graph itself journals effective mutations and
+/// the step is assembled in O(changes).
+///
+/// Assumes no single event both applies and undoes the same change
+/// (no model in this workspace does; the journal would faithfully
+/// record the round trip, where the old diff recorded nothing).
+fn step_from_changes(changes: &[GraphChange], t: f64) -> TraceStep {
     let mut removed = Vec::new();
     let mut added = Vec::new();
     let mut deactivated = Vec::new();
     let mut activated = Vec::new();
-    let all: Vec<Node>;
-    let scope: &[Node] = match touched {
-        Some(nodes) => nodes,
-        None => {
-            all = (0..net.node_count() as Node).collect();
-            &all
-        }
-    };
-    for &v in scope {
-        match (shadow.is_active(v), net.is_active(v)) {
-            (true, false) => deactivated.push(v),
-            (false, true) => activated.push(v),
-            _ => {}
-        }
-        // Merge-walk the sorted pre/post adjacency of v; canonicalize
-        // each changed edge as (min, max) — both endpoints are in
-        // scope, so every edge is seen twice and deduped below.
-        let (old, new) = (shadow.neighbors(v), net.neighbors(v));
-        let (mut i, mut j) = (0, 0);
-        loop {
-            match (old.get(i), new.get(j)) {
-                (None, None) => break,
-                (Some(&a), None) => {
-                    removed.push((a.min(v), a.max(v)));
-                    i += 1;
-                }
-                (None, Some(&b)) => {
-                    added.push((b.min(v), b.max(v)));
-                    j += 1;
-                }
-                (Some(&a), Some(&b)) => {
-                    if a == b {
-                        i += 1;
-                        j += 1;
-                    } else if a < b {
-                        removed.push((a.min(v), a.max(v)));
-                        i += 1;
-                    } else {
-                        added.push((b.min(v), b.max(v)));
-                        j += 1;
-                    }
-                }
-            }
+    for &c in changes {
+        match c {
+            GraphChange::EdgeAdded(u, v) => added.push((u, v)),
+            GraphChange::EdgeRemoved(u, v) => removed.push((u, v)),
+            GraphChange::NodeDeactivated(v) => deactivated.push(v),
+            GraphChange::NodeActivated(v) => activated.push(v),
         }
     }
-    for list in [&mut removed, &mut added] {
-        list.sort_unstable();
-        list.dedup();
-    }
+    removed.sort_unstable();
+    added.sort_unstable();
     deactivated.sort_unstable();
     activated.sort_unstable();
+    debug_assert!(
+        !removed.iter().any(|e| added.binary_search(e).is_ok())
+            && !deactivated.iter().any(|v| activated.binary_search(v).is_ok()),
+        "one event must not apply and undo the same change"
+    );
     TraceStep { time: t, removed, deactivated, activated, added }
 }
 
@@ -248,7 +215,7 @@ impl TopologyTrace {
         state.init(g, &mut net, &mut queue, rng);
         let initial = net.to_graph();
         debug_assert_eq!(net.active_count(), n, "models do not deactivate during init");
-        let mut shadow = net.clone();
+        net.track_changes(true);
         let mut steps = Vec::new();
         let informed = |v: Node| v == source;
         while let Some(t) = queue.peek_time() {
@@ -256,10 +223,10 @@ impl TopologyTrace {
                 break;
             }
             let (te, ev) = queue.pop().expect("peeked event exists");
-            let impact = state.apply(ev, te, &mut net, &informed, &mut queue, rng);
-            let step = diff_step(&shadow, &net, impact.touched(), te);
+            let _ = state.apply(ev, te, &mut net, &informed, &mut queue, rng);
+            let step = step_from_changes(net.changes(), te);
+            net.clear_changes();
             if !step.is_empty() {
-                apply_step(&mut shadow, &step);
                 steps.push(step);
             }
         }
@@ -392,7 +359,6 @@ impl TopologyModel for TraceReplayer<'_> {
 pub struct TraceRecorder<'a> {
     inner: Box<dyn TopologyModel + 'a>,
     initial: Option<Graph>,
-    shadow: Option<MutableGraph>,
     steps: Vec<TraceStep>,
     last_time: f64,
 }
@@ -405,7 +371,7 @@ impl<'a> TraceRecorder<'a> {
 
     /// A recorder around an existing model state.
     pub fn wrap(inner: Box<dyn TopologyModel + 'a>) -> Self {
-        Self { inner, initial: None, shadow: None, steps: Vec::new(), last_time: 0.0 }
+        Self { inner, initial: None, steps: Vec::new(), last_time: 0.0 }
     }
 
     /// The recorded trace; the horizon is the last event's time.
@@ -429,7 +395,9 @@ impl TopologyModel for TraceRecorder<'_> {
     ) {
         self.inner.init(g, net, queue, rng);
         self.initial = Some(net.to_graph());
-        self.shadow = Some(net.clone());
+        // Journal from here on: every applied event's step is read off
+        // `net.changes()` instead of diffing against a shadow copy.
+        net.track_changes(true);
     }
 
     fn apply(
@@ -442,10 +410,9 @@ impl TopologyModel for TraceRecorder<'_> {
         rng: &mut Xoshiro256PlusPlus,
     ) -> RateImpact {
         let impact = self.inner.apply(event, t, net, informed, queue, rng);
-        let shadow = self.shadow.as_mut().expect("init ran");
-        let step = diff_step(shadow, net, impact.touched(), t);
+        let step = step_from_changes(net.changes(), t);
+        net.clear_changes();
         if !step.is_empty() {
-            apply_step(shadow, &step);
             self.steps.push(step);
         }
         self.last_time = t;

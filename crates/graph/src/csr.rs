@@ -1,5 +1,7 @@
 //! Compressed sparse row (CSR) graph representation.
 
+use std::sync::Arc;
+
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 /// A node index. Graphs in this workspace are bounded by `u32`, which keeps
@@ -34,9 +36,14 @@ pub type Node = u32;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
-    offsets: Vec<usize>,
+    ///
+    /// Shared (`Arc`) so that cloning a graph — and seeding a
+    /// [`crate::dynamic::MutableGraph`] base from one — is O(1): the
+    /// arrays are immutable for the lifetime of the graph, so every
+    /// consumer can alias them safely.
+    offsets: Arc<[usize]>,
     /// Concatenated, per-node-sorted adjacency lists (length `2·edge_count`).
-    neighbors: Vec<Node>,
+    neighbors: Arc<[Node]>,
 }
 
 impl Graph {
@@ -48,7 +55,17 @@ impl Graph {
     pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<Node>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
-        Self { offsets, neighbors }
+        Self { offsets: Arc::from(offsets), neighbors: Arc::from(neighbors) }
+    }
+
+    /// The shared offset array (O(1) clone of the `Arc`).
+    pub(crate) fn offsets_arc(&self) -> Arc<[usize]> {
+        Arc::clone(&self.offsets)
+    }
+
+    /// The shared adjacency array (O(1) clone of the `Arc`).
+    pub(crate) fn neighbors_arc(&self) -> Arc<[Node]> {
+        Arc::clone(&self.neighbors)
     }
 
     /// Number of nodes `n`.

@@ -1,25 +1,113 @@
-//! Mutable adjacency for dynamic-network simulation.
+//! Mutable adjacency for dynamic-network simulation: flat CSR base plus
+//! a copy-on-write delta overlay.
 //!
 //! The CSR [`Graph`](crate::Graph) is immutable by design; temporal-graph
 //! engines need edges that appear and disappear while a protocol runs.
-//! [`MutableGraph`] is the adapter between the two worlds: it is
-//! initialized from a CSR snapshot, supports O(deg) edge insertion and
-//! removal plus node activation flags (for join/leave churn), and keeps
-//! adjacency lists **sorted** so that, until the first mutation, its
-//! [`random_neighbor`](MutableGraph::random_neighbor) consumes the RNG
-//! exactly like [`Graph::random_neighbor`] — the property that lets a
-//! zero-churn dynamic run replay a static asynchronous run seed-for-seed.
+//! [`MutableGraph`] bridges the two worlds without abandoning flat
+//! memory: it aliases the CSR arrays of its starting snapshot (O(1)
+//! construction, no per-trial deep copy) and gives a node its own
+//! **overlay** list the first time churn touches it — a copy of its
+//! base row that later edits mutate in place. Untouched nodes read the
+//! base arrays directly; touched nodes read their overlay list. Either
+//! way the view is one plain sorted slice, so
+//! [`degree`](MutableGraph::degree), [`neighbors`](MutableGraph::neighbors),
+//! and [`random_neighbor`](MutableGraph::random_neighbor) — one
+//! `range_usize(deg)` draw indexing the k-th sorted neighbor — consume
+//! the RNG **and** pick the neighbor exactly like
+//! [`Graph::random_neighbor`] on an equal topology. That is the replay
+//! contract every golden test rests on.
+//!
+//! Once the overlay outgrows a threshold the graph **compacts**: the
+//! current view is flushed into a fresh flat base (staged in pooled
+//! buffers from [`crate::arena`]) and the overlay empties. Compaction
+//! is a logical no-op — views, draws, and replay are unaffected; only
+//! the layout changes. All scratch (overlay lists, index arrays,
+//! compaction staging) cycles through the thread-local arena, so
+//! repeated trials allocate ~nothing after warm-up.
+
+use std::sync::Arc;
 
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
+use crate::arena;
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, Node};
 
-/// An undirected simple graph under edit: sorted adjacency lists plus
-/// per-node activation flags.
+/// Sentinel in `overlay_idx`: the node has no overlay list.
+const NO_OVERLAY: u32 = u32::MAX;
+
+/// Default compaction threshold for a base with `base_len` adjacency
+/// entries: compact once the overlay lists hold more than **twice** the
+/// base (but never fuss over tiny graphs).
+///
+/// Overlay lists are full adjacency copies, so their total size tracks
+/// the *current* adjacency of touched nodes — for churn that keeps the
+/// edge count roughly stable the overlay converges to about one base
+/// worth of entries and stays there, and steady state pays no
+/// compaction at all (the sweep bench shows recopy cycles cost more
+/// than they save). Crossing 2× the base means the graph has genuinely
+/// outgrown its snapshot; re-anchoring then keeps memory at O(current
+/// graph) with geometric, amortized-O(1) flushes, like `Vec` growth.
+fn default_threshold(base_len: usize) -> usize {
+    (base_len * 2).max(64)
+}
+
+/// The flat base arrays: either shared with the [`Graph`] the mutable
+/// view was built from (zero-copy) or owned pooled buffers written by
+/// compaction.
+#[derive(Debug)]
+enum BaseStore {
+    Shared { offsets: Arc<[usize]>, neighbors: Arc<[Node]> },
+    Owned { offsets: Vec<usize>, neighbors: Vec<Node> },
+}
+
+impl BaseStore {
+    #[inline]
+    fn slices(&self) -> (&[usize], &[Node]) {
+        match self {
+            BaseStore::Shared { offsets, neighbors } => (offsets, neighbors),
+            BaseStore::Owned { offsets, neighbors } => (offsets, neighbors),
+        }
+    }
+
+    /// A placeholder that owns nothing (used when moving the store out).
+    fn hollow() -> Self {
+        BaseStore::Owned { offsets: Vec::new(), neighbors: Vec::new() }
+    }
+
+    /// Returns owned buffers to the arena.
+    fn recycle(self) {
+        if let BaseStore::Owned { offsets, neighbors } = self {
+            arena::give_offsets(offsets);
+            arena::give_nodes(neighbors);
+        }
+    }
+}
+
+/// One effective mutation, as recorded by the change journal (see
+/// [`MutableGraph::track_changes`]). Edge endpoints are canonical
+/// `(min, max)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphChange {
+    /// Edge `{u, v}` was inserted (`u < v`).
+    EdgeAdded(Node, Node),
+    /// Edge `{u, v}` was removed (`u < v`).
+    EdgeRemoved(Node, Node),
+    /// Node left the network (its incident-edge removals are journaled
+    /// separately, before this entry).
+    NodeDeactivated(Node),
+    /// Node (re)joined the network.
+    NodeActivated(Node),
+}
+
+/// An undirected simple graph under edit: a flat CSR base, copy-on-write
+/// per-node overlay lists, and per-node activation flags.
 ///
 /// Inactive nodes keep their identity (indices are stable) but have all
-/// incident edges removed and never gain new ones until reactivated.
+/// incident edges removed and never gain new ones until reactivated;
+/// [`degree`](Self::degree) and [`neighbors`](Self::neighbors) of an
+/// inactive node are guarded to report an empty adjacency no matter
+/// what the underlying storage holds.
 ///
 /// # Example
 ///
@@ -34,30 +122,73 @@ use crate::csr::{Graph, Node};
 /// assert!(net.add_edge(0, 2));
 /// assert_eq!(net.neighbors(0), &[2, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct MutableGraph {
-    adj: Vec<Vec<Node>>,
+    base: BaseStore,
+    /// Per node: slab slot of its overlay list, or [`NO_OVERLAY`].
+    overlay_idx: Vec<u32>,
+    /// Overlay slab; only the first `overlay_used` slots are live. Each
+    /// live slot holds the **full current adjacency** of its node
+    /// (sorted ascending) — a copy of the base row taken on first
+    /// touch, edited in place afterwards.
+    overlay: Vec<Vec<Node>>,
+    overlay_used: usize,
+    /// Total entries across live overlay lists (compaction trigger).
+    overlay_entries: usize,
+    /// Compact once `overlay_entries` exceeds this.
+    compact_threshold: usize,
+    /// Whether `compact_threshold` tracks the base size automatically.
+    auto_threshold: bool,
     edge_count: usize,
     active: Vec<bool>,
     active_count: usize,
+    /// Change journal; appended to only while `tracking`.
+    journal: Vec<GraphChange>,
+    tracking: bool,
 }
 
 impl MutableGraph {
-    /// Copies a CSR snapshot into editable form; every node starts active.
+    /// An editable view over a CSR snapshot; every node starts active.
+    ///
+    /// O(n): the adjacency arrays are **shared** with `g`, not copied.
     pub fn from_graph(g: &Graph) -> Self {
-        let n = g.node_count();
-        let adj: Vec<Vec<Node>> = (0..n as Node).map(|v| g.neighbors(v).to_vec()).collect();
-        Self { adj, edge_count: g.edge_count(), active: vec![true; n], active_count: n }
+        let base = BaseStore::Shared { offsets: g.offsets_arc(), neighbors: g.neighbors_arc() };
+        Self::with_base(g.node_count(), base, g.edge_count())
     }
 
     /// An edgeless graph on `n` active nodes.
     pub fn empty(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], edge_count: 0, active: vec![true; n], active_count: n }
+        let mut offsets = arena::take_offsets();
+        offsets.resize(n + 1, 0);
+        Self::with_base(n, BaseStore::Owned { offsets, neighbors: arena::take_nodes() }, 0)
+    }
+
+    /// Shared construction: pooled side arrays around `base`.
+    fn with_base(n: usize, base: BaseStore, edge_count: usize) -> Self {
+        let mut overlay_idx = arena::take_nodes();
+        overlay_idx.resize(n, NO_OVERLAY);
+        let mut active = arena::take_flags();
+        active.resize(n, true);
+        let base_len = base.slices().1.len();
+        Self {
+            base,
+            overlay_idx,
+            overlay: arena::take_cells(),
+            overlay_used: 0,
+            overlay_entries: 0,
+            compact_threshold: default_threshold(base_len),
+            auto_threshold: true,
+            edge_count,
+            active,
+            active_count: n,
+            journal: Vec::new(),
+            tracking: false,
+        }
     }
 
     /// Number of nodes (stable under all mutations).
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.overlay_idx.len()
     }
 
     /// Number of undirected edges currently present.
@@ -65,29 +196,39 @@ impl MutableGraph {
         self.edge_count
     }
 
-    /// Current degree of `v`.
+    /// Current degree of `v` (0 for an inactive node), in O(1).
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
     pub fn degree(&self, v: Node) -> usize {
-        self.adj[v as usize].len()
+        self.neighbors(v).len()
     }
 
-    /// The sorted adjacency list of `v`.
+    /// The current neighbors of `v`, sorted ascending: the node's
+    /// overlay list if churn has touched it, its row of the flat base
+    /// otherwise. Empty for an inactive node.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: Node) -> &[Node] {
-        &self.adj[v as usize]
+        let vi = v as usize;
+        match self.overlay_idx[vi] {
+            _ if !self.active[vi] => &[],
+            NO_OVERLAY => {
+                let (off, nb) = self.base.slices();
+                &nb[off[vi]..off[vi + 1]]
+            }
+            idx => &self.overlay[idx as usize],
+        }
     }
 
     /// A uniformly random current neighbor of `v`, drawn exactly like
-    /// [`Graph::random_neighbor`] (one `range_usize(deg)` call on a
-    /// sorted list).
+    /// [`Graph::random_neighbor`]: one `range_usize(deg)` call indexing
+    /// the k-th sorted neighbor, O(1) whether or not `v` has an overlay.
     ///
     /// # Panics
     ///
@@ -100,8 +241,12 @@ impl MutableGraph {
     }
 
     /// Whether the undirected edge `{u, v}` is currently present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
     pub fn has_edge(&self, u: Node, v: Node) -> bool {
-        self.adj[u as usize].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Inserts the undirected edge `{u, v}`; returns `false` if it was
@@ -122,14 +267,20 @@ impl MutableGraph {
             self.active[u as usize] && self.active[v as usize],
             "edge ({u}, {v}) touches an inactive node"
         );
-        let Err(pos_u) = self.adj[u as usize].binary_search(&v) else {
-            return false;
-        };
-        self.adj[u as usize].insert(pos_u, v);
-        let pos_v =
-            self.adj[v as usize].binary_search(&u).expect_err("adjacency must stay symmetric");
-        self.adj[v as usize].insert(pos_v, u);
+        let lu = self.list_mut(u);
+        match lu.binary_search(&v) {
+            Ok(_) => return false,
+            Err(i) => lu.insert(i, v),
+        }
+        let lv = self.list_mut(v);
+        let j = lv.binary_search(&u).expect_err("adjacency is symmetric");
+        lv.insert(j, u);
+        self.overlay_entries += 2;
         self.edge_count += 1;
+        if self.tracking {
+            self.journal.push(GraphChange::EdgeAdded(u.min(v), u.max(v)));
+        }
+        self.maybe_compact();
         true
     }
 
@@ -140,13 +291,28 @@ impl MutableGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
-        let Ok(pos_u) = self.adj[u as usize].binary_search(&v) else {
+        assert!(
+            (u as usize) < self.node_count() && (v as usize) < self.node_count(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count()
+        );
+        if !self.active[u as usize] {
             return false;
+        }
+        let lu = self.list_mut(u);
+        match lu.binary_search(&v) {
+            Err(_) => return false,
+            Ok(i) => lu.remove(i),
         };
-        self.adj[u as usize].remove(pos_u);
-        let pos_v = self.adj[v as usize].binary_search(&u).expect("adjacency must stay symmetric");
-        self.adj[v as usize].remove(pos_v);
+        let lv = self.list_mut(v);
+        let j = lv.binary_search(&u).expect("adjacency is symmetric");
+        lv.remove(j);
+        self.overlay_entries -= 2;
         self.edge_count -= 1;
+        if self.tracking {
+            self.journal.push(GraphChange::EdgeRemoved(u.min(v), u.max(v)));
+        }
+        self.maybe_compact();
         true
     }
 
@@ -167,16 +333,28 @@ impl MutableGraph {
         if !self.active[v as usize] {
             return 0;
         }
-        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        let mut nbrs = arena::take_nodes();
+        nbrs.extend_from_slice(self.neighbors(v));
         for &w in &nbrs {
-            let pos =
-                self.adj[w as usize].binary_search(&v).expect("adjacency must stay symmetric");
-            self.adj[w as usize].remove(pos);
+            let lw = self.list_mut(w);
+            let j = lw.binary_search(&v).expect("adjacency is symmetric");
+            lw.remove(j);
+            if self.tracking {
+                self.journal.push(GraphChange::EdgeRemoved(v.min(w), v.max(w)));
+            }
         }
-        self.edge_count -= nbrs.len();
+        let stripped = nbrs.len();
+        arena::give_nodes(nbrs);
+        self.list_mut(v).clear();
+        self.overlay_entries -= 2 * stripped;
+        self.edge_count -= stripped;
         self.active[v as usize] = false;
         self.active_count -= 1;
-        nbrs.len()
+        if self.tracking {
+            self.journal.push(GraphChange::NodeDeactivated(v));
+        }
+        self.maybe_compact();
+        stripped
     }
 
     /// Reactivates `v` (with no edges; callers attach as their model
@@ -185,52 +363,278 @@ impl MutableGraph {
         if !self.active[v as usize] {
             self.active[v as usize] = true;
             self.active_count += 1;
+            if self.tracking {
+                self.journal.push(GraphChange::NodeActivated(v));
+            }
         }
     }
 
     /// Replaces the whole edge set with the edges of `snapshot`, keeping
     /// activation flags: edges touching inactive nodes are dropped.
     ///
+    /// With every node active this is O(n): the snapshot's CSR arrays
+    /// are adopted as the new shared base and the overlay empties.
+    ///
     /// # Panics
     ///
     /// Panics if `snapshot` has a different node count.
     pub fn replace_edges_with(&mut self, snapshot: &Graph) {
-        assert_eq!(snapshot.node_count(), self.node_count(), "snapshot node count must match");
-        for list in &mut self.adj {
-            list.clear();
+        let n = self.node_count();
+        assert_eq!(snapshot.node_count(), n, "snapshot node count must match");
+        if self.tracking {
+            self.journal_replace_diff(snapshot);
         }
-        self.edge_count = 0;
-        for v in snapshot.nodes() {
-            if !self.active[v as usize] {
-                continue;
+        self.clear_overlay();
+        let old = std::mem::replace(&mut self.base, BaseStore::hollow());
+        old.recycle();
+        if self.active_count == n {
+            self.base = BaseStore::Shared {
+                offsets: snapshot.offsets_arc(),
+                neighbors: snapshot.neighbors_arc(),
+            };
+            self.edge_count = snapshot.edge_count();
+        } else {
+            let mut offsets = arena::take_offsets();
+            let mut neighbors = arena::take_nodes();
+            offsets.push(0);
+            for v in snapshot.nodes() {
+                if self.active[v as usize] {
+                    neighbors
+                        .extend(snapshot.neighbors(v).iter().filter(|&&w| self.active[w as usize]));
+                }
+                offsets.push(neighbors.len());
             }
-            let list: Vec<Node> = snapshot
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&w| self.active[w as usize])
-                .collect();
-            self.edge_count += list.len();
-            self.adj[v as usize] = list;
+            self.edge_count = neighbors.len() / 2;
+            self.base = BaseStore::Owned { offsets, neighbors };
         }
-        // Each undirected edge was counted from both endpoints.
-        self.edge_count /= 2;
+        if self.auto_threshold {
+            self.compact_threshold = default_threshold(self.base.slices().1.len());
+        }
     }
 
     /// Freezes the current topology into an immutable CSR [`Graph`]
     /// (inactive nodes appear as isolated).
     pub fn to_graph(&self) -> Graph {
         let mut b = GraphBuilder::with_edge_capacity(self.node_count(), self.edge_count);
-        for (v, nbrs) in self.adj.iter().enumerate() {
-            for &w in nbrs {
-                if (v as Node) < w {
-                    b.add_edge(v as Node, w);
+        for v in 0..self.node_count() as Node {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    b.add_edge(v, w);
                 }
             }
         }
         b.build().expect("mutable graph upholds CSR invariants")
     }
+
+    /// Overrides the compaction threshold: the overlay is flushed into a
+    /// fresh flat base whenever its total entry count exceeds `entries`.
+    ///
+    /// Compaction is logically invisible (views, draws, and replay are
+    /// unaffected), so this is purely a performance knob — exposed for
+    /// benchmarks sweeping the compaction policy. `usize::MAX` disables
+    /// compaction; `0` compacts after every mutation. The default
+    /// tracks the base size (twice the adjacency array).
+    pub fn set_compaction_threshold(&mut self, entries: usize) {
+        self.compact_threshold = entries;
+        self.auto_threshold = false;
+        self.maybe_compact();
+    }
+
+    /// Starts (`true`) or stops (`false`) journaling effective changes;
+    /// starting clears any previous journal.
+    ///
+    /// While tracking, every effective mutation appends a
+    /// [`GraphChange`] — no-op calls (duplicate insert, absent removal,
+    /// repeated toggles) record nothing, and compaction records nothing
+    /// (it changes layout, not topology). The trace recorder uses this
+    /// to diff an event in O(changes) instead of rescanning adjacency.
+    pub fn track_changes(&mut self, on: bool) {
+        self.journal.clear();
+        self.tracking = on;
+    }
+
+    /// The changes journaled since the last
+    /// [`clear_changes`](Self::clear_changes) (empty when tracking is
+    /// off).
+    pub fn changes(&self) -> &[GraphChange] {
+        &self.journal
+    }
+
+    /// Empties the change journal (tracking stays on).
+    pub fn clear_changes(&mut self) {
+        self.journal.clear();
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    /// The mutable adjacency list of `v`, copying its base row into the
+    /// overlay slab (recycled slot, retained capacity) on first touch.
+    #[inline]
+    fn list_mut(&mut self, v: Node) -> &mut Vec<Node> {
+        let vi = v as usize;
+        let mut idx = self.overlay_idx[vi] as usize;
+        if idx == NO_OVERLAY as usize {
+            idx = self.overlay_used;
+            if idx == self.overlay.len() {
+                self.overlay.push(Vec::new());
+            }
+            self.overlay_used += 1;
+            self.overlay_idx[vi] = idx as u32;
+            let (off, nb) = self.base.slices();
+            let row = if self.active[vi] { &nb[off[vi]..off[vi + 1]] } else { &[] };
+            self.overlay_entries += row.len();
+            let list = &mut self.overlay[idx];
+            list.clear();
+            list.extend_from_slice(row);
+        }
+        &mut self.overlay[idx]
+    }
+
+    #[inline]
+    fn maybe_compact(&mut self) {
+        if self.overlay_entries > self.compact_threshold {
+            self.compact();
+        }
+    }
+
+    /// Flushes the current view into a fresh flat base (pooled staging)
+    /// and empties the overlay. Logical no-op.
+    fn compact(&mut self) {
+        let n = self.node_count();
+        let mut offsets = arena::take_offsets();
+        let mut neighbors = arena::take_nodes();
+        offsets.reserve(n + 1);
+        neighbors.reserve(2 * self.edge_count);
+        offsets.push(0);
+        for v in 0..n as Node {
+            neighbors.extend_from_slice(self.neighbors(v));
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(neighbors.len(), 2 * self.edge_count);
+        let old = std::mem::replace(&mut self.base, BaseStore::Owned { offsets, neighbors });
+        old.recycle();
+        self.clear_overlay();
+        if self.auto_threshold {
+            self.compact_threshold = default_threshold(self.base.slices().1.len());
+        }
+    }
+
+    /// Empties the overlay; slab slots keep their capacity for reuse.
+    fn clear_overlay(&mut self) {
+        for list in &mut self.overlay[..self.overlay_used] {
+            list.clear();
+        }
+        self.overlay_used = 0;
+        self.overlay_entries = 0;
+        self.overlay_idx.fill(NO_OVERLAY);
+    }
+
+    /// Journals the edge diff `self → snapshot-filtered-by-activation`
+    /// (called before [`Self::replace_edges_with`] rewrites storage).
+    fn journal_replace_diff(&mut self, snapshot: &Graph) {
+        let mut j = std::mem::take(&mut self.journal);
+        for v in 0..self.node_count() as Node {
+            let old = self.neighbors(v);
+            let mut oi = 0usize;
+            let active_v = self.active[v as usize];
+            let mut new_it = snapshot
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| active_v && self.active[w as usize])
+                .peekable();
+            loop {
+                match (old.get(oi).copied(), new_it.peek().copied()) {
+                    (None, None) => break,
+                    (Some(a), b) if b.is_none() || a < b.expect("checked") => {
+                        if v < a {
+                            j.push(GraphChange::EdgeRemoved(v, a));
+                        }
+                        oi += 1;
+                    }
+                    (a, Some(b)) if a.is_none() || b < a.expect("checked") => {
+                        if v < b {
+                            j.push(GraphChange::EdgeAdded(v, b));
+                        }
+                        new_it.next();
+                    }
+                    _ => {
+                        // Equal: edge survives the replacement.
+                        oi += 1;
+                        new_it.next();
+                    }
+                }
+            }
+        }
+        self.journal = j;
+    }
 }
+
+impl Clone for MutableGraph {
+    fn clone(&self) -> Self {
+        let base = match &self.base {
+            BaseStore::Shared { offsets, neighbors } => {
+                BaseStore::Shared { offsets: Arc::clone(offsets), neighbors: Arc::clone(neighbors) }
+            }
+            BaseStore::Owned { offsets, neighbors } => {
+                let mut o = arena::take_offsets();
+                o.extend_from_slice(offsets);
+                let mut nb = arena::take_nodes();
+                nb.extend_from_slice(neighbors);
+                BaseStore::Owned { offsets: o, neighbors: nb }
+            }
+        };
+        let mut overlay_idx = arena::take_nodes();
+        overlay_idx.extend_from_slice(&self.overlay_idx);
+        let mut active = arena::take_flags();
+        active.extend_from_slice(&self.active);
+        let mut overlay = arena::take_cells();
+        for (i, src) in self.overlay[..self.overlay_used].iter().enumerate() {
+            if i == overlay.len() {
+                overlay.push(src.clone());
+            } else {
+                overlay[i].clear();
+                overlay[i].extend_from_slice(src);
+            }
+        }
+        Self {
+            base,
+            overlay_idx,
+            overlay,
+            overlay_used: self.overlay_used,
+            overlay_entries: self.overlay_entries,
+            compact_threshold: self.compact_threshold,
+            auto_threshold: self.auto_threshold,
+            edge_count: self.edge_count,
+            active,
+            active_count: self.active_count,
+            journal: self.journal.clone(),
+            tracking: self.tracking,
+        }
+    }
+}
+
+impl Drop for MutableGraph {
+    fn drop(&mut self) {
+        arena::give_nodes(std::mem::take(&mut self.overlay_idx));
+        arena::give_flags(std::mem::take(&mut self.active));
+        arena::give_cells(std::mem::take(&mut self.overlay));
+        std::mem::replace(&mut self.base, BaseStore::hollow()).recycle();
+    }
+}
+
+/// Logical equality: same node set, activation flags, and per-node
+/// adjacency — independent of base/overlay layout or compaction state.
+impl PartialEq for MutableGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_count() == other.node_count()
+            && self.edge_count == other.edge_count
+            && self.active == other.active
+            && (0..self.node_count() as Node).all(|v| self.neighbors(v) == other.neighbors(v))
+    }
+}
+
+impl Eq for MutableGraph {}
 
 #[cfg(test)]
 mod tests {
@@ -246,6 +650,7 @@ mod tests {
         assert_eq!(net.to_graph(), g);
         for v in g.nodes() {
             assert_eq!(net.neighbors(v), g.neighbors(v));
+            assert_eq!(net.degree(v), g.degree(v));
         }
     }
 
@@ -274,9 +679,10 @@ mod tests {
         assert!(!net.add_edge(2, 0), "duplicate insert is a no-op");
         assert_eq!(net.edge_count(), 5);
         for v in 0..5u32 {
-            let nbrs = net.neighbors(v);
-            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
-            for &w in nbrs {
+            let list = net.neighbors(v);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            assert_eq!(list.len(), net.degree(v));
+            for &w in list {
                 assert!(net.has_edge(w, v), "asymmetry {v}-{w}");
             }
         }
@@ -321,11 +727,143 @@ mod tests {
     }
 
     #[test]
+    fn replace_with_all_active_adopts_the_snapshot() {
+        let mut net = MutableGraph::from_graph(&generators::cycle(6));
+        net.remove_edge(0, 1);
+        let k6 = generators::complete(6);
+        net.replace_edges_with(&k6);
+        assert_eq!(net.edge_count(), 15);
+        assert_eq!(net.to_graph(), k6);
+    }
+
+    #[test]
     fn empty_graph_accumulates_edges() {
         let mut net = MutableGraph::empty(4);
         assert_eq!(net.edge_count(), 0);
         assert!(net.add_edge(0, 1));
         assert!(net.add_edge(2, 3));
         assert_eq!(net.to_graph().edge_count(), 2);
+    }
+
+    /// Regression (flat-memory refactor): the overlay view must stay
+    /// consistent with `active` under the `empty` + node-churn
+    /// interplay — a deactivated node's `degree()`/`neighbors()` must
+    /// never leak stale adjacency, whatever the storage holds.
+    #[test]
+    fn deactivated_views_are_empty_even_from_empty_construction() {
+        let mut net = MutableGraph::empty(5);
+        net.add_edge(0, 1);
+        net.add_edge(0, 2);
+        net.add_edge(1, 2);
+        assert_eq!(net.deactivate(0), 2);
+        assert_eq!(net.degree(0), 0, "stale degree on a deactivated node");
+        assert_eq!(net.neighbors(0), &[] as &[Node], "stale adjacency on a deactivated node");
+        assert!(!net.has_edge(0, 1) && !net.has_edge(1, 0));
+        assert_eq!(net.neighbors(1), &[2]);
+        // Reactivate, churn again: views stay coherent.
+        net.activate(0);
+        assert_eq!(net.degree(0), 0);
+        assert!(net.add_edge(0, 3));
+        assert_eq!(net.neighbors(0), &[3]);
+        assert_eq!(net.edge_count(), 2);
+    }
+
+    /// Compaction is logically invisible: same views, same draws.
+    #[test]
+    fn compaction_preserves_views_and_draws() {
+        let g = generators::gnp_connected(24, 0.3, &mut Xoshiro256PlusPlus::seed_from(3), 100);
+        let mut eager = MutableGraph::from_graph(&g);
+        eager.set_compaction_threshold(0); // compact after every mutation
+        let mut lazy = MutableGraph::from_graph(&g);
+        lazy.set_compaction_threshold(usize::MAX); // never compact
+        let mut rng = Xoshiro256PlusPlus::seed_from(17);
+        for _ in 0..300 {
+            let u = rng.range_usize(24) as Node;
+            let w = rng.range_usize(24) as Node;
+            if u == w {
+                continue;
+            }
+            if rng.range_usize(2) == 0 {
+                assert_eq!(eager.add_edge(u, w), lazy.add_edge(u, w));
+            } else {
+                assert_eq!(eager.remove_edge(u, w), lazy.remove_edge(u, w));
+            }
+        }
+        assert_eq!(eager, lazy, "divergent views");
+        assert_eq!(eager.edge_count(), lazy.edge_count());
+        let mut a = Xoshiro256PlusPlus::seed_from(29);
+        let mut b = Xoshiro256PlusPlus::seed_from(29);
+        for v in 0..24u32 {
+            assert_eq!(eager.neighbors(v), lazy.neighbors(v));
+            if eager.degree(v) > 0 {
+                for _ in 0..8 {
+                    assert_eq!(eager.random_neighbor(v, &mut a), lazy.random_neighbor(v, &mut b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn change_journal_records_effective_mutations_only() {
+        let mut net = MutableGraph::from_graph(&generators::cycle(4));
+        net.track_changes(true);
+        assert!(net.add_edge(0, 2));
+        assert!(!net.add_edge(2, 0), "duplicate insert journals nothing");
+        assert!(net.remove_edge(1, 2));
+        assert!(!net.remove_edge(1, 2));
+        net.deactivate(0);
+        net.deactivate(0);
+        net.activate(0);
+        assert_eq!(
+            net.changes(),
+            &[
+                GraphChange::EdgeAdded(0, 2),
+                GraphChange::EdgeRemoved(1, 2),
+                GraphChange::EdgeRemoved(0, 1),
+                GraphChange::EdgeRemoved(0, 2),
+                GraphChange::EdgeRemoved(0, 3),
+                GraphChange::NodeDeactivated(0),
+                GraphChange::NodeActivated(0),
+            ]
+        );
+        net.clear_changes();
+        assert!(net.changes().is_empty());
+        // Compaction journals nothing: it is a layout change.
+        net.set_compaction_threshold(0);
+        assert!(net.changes().is_empty());
+    }
+
+    #[test]
+    fn journal_covers_replace_edges_with() {
+        let mut net = MutableGraph::from_graph(&generators::path(4)); // 0-1, 1-2, 2-3
+        net.track_changes(true);
+        net.replace_edges_with(&generators::cycle(4)); // 0-1, 1-2, 2-3, 0-3
+        assert_eq!(net.changes(), &[GraphChange::EdgeAdded(0, 3)]);
+    }
+
+    #[test]
+    fn clone_is_independent_and_equal() {
+        let g = generators::gnp_connected(16, 0.3, &mut Xoshiro256PlusPlus::seed_from(8), 100);
+        let mut net = MutableGraph::from_graph(&g);
+        net.remove_edge(net.neighbors(0)[0], 0);
+        let mut copy = net.clone();
+        assert_eq!(copy, net);
+        copy.deactivate(1);
+        assert_ne!(copy, net, "clones must not share mutable state");
+        assert!(net.is_active(1));
+    }
+
+    #[test]
+    fn equality_is_logical_not_representational() {
+        let g = generators::cycle(8);
+        let mut a = MutableGraph::from_graph(&g);
+        let mut b = MutableGraph::from_graph(&g);
+        a.remove_edge(0, 1);
+        a.add_edge(0, 1); // overlay round-trip: back to the start state
+        b.set_compaction_threshold(0);
+        b.remove_edge(2, 3);
+        b.add_edge(2, 3); // compacted round-trip
+        assert_eq!(a, b);
+        assert_eq!(a, MutableGraph::from_graph(&g));
     }
 }

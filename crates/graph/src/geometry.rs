@@ -11,7 +11,13 @@
 //!
 //! The index is deterministic: cell membership follows insertion and
 //! move order, so simulations driven by a seeded RNG replay identically.
+//!
+//! The cell table and position buffer cycle through the thread-local
+//! [`crate::arena`] pool: building one index per trial reuses the
+//! previous trial's allocations (outer table *and* per-cell vectors)
+//! instead of reallocating `Vec<Vec<Node>>` every realization.
 
+use crate::arena;
 use crate::csr::Node;
 
 /// A uniform-grid spatial index over points in the unit square.
@@ -57,7 +63,14 @@ impl GridIndex {
         let by_radius = (1.0 / radius).floor().max(1.0) as usize;
         let by_count = ((n as f64).sqrt().ceil() as usize).max(1);
         let cols = by_radius.min(by_count).max(1);
-        let mut index = Self { radius, cols, pos: positions, cells: vec![Vec::new(); cols * cols] };
+        let mut cells = arena::take_cells();
+        let want = cols * cols;
+        if cells.len() > want {
+            cells.truncate(want);
+        } else {
+            cells.resize_with(want, Vec::new);
+        }
+        let mut index = Self { radius, cols, pos: positions, cells };
         for v in 0..index.pos.len() {
             let c = index.cell_index(index.pos[v]);
             index.cells[c].push(v as Node);
@@ -161,6 +174,13 @@ impl GridIndex {
     }
 }
 
+impl Drop for GridIndex {
+    fn drop(&mut self) {
+        arena::give_cells(std::mem::take(&mut self.cells));
+        arena::give_positions(std::mem::take(&mut self.pos));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +258,19 @@ mod tests {
         let mut near = Vec::new();
         grid.within_radius(0, &mut near);
         assert!(near.is_empty());
+    }
+
+    #[test]
+    fn rebuilt_index_recycles_its_cell_table() {
+        let pos = scatter(32, 11);
+        let first = GridIndex::new(pos.clone(), 0.2);
+        let table_ptr = first.cells.as_ptr();
+        let edges = first.proximity_edges();
+        drop(first);
+        // Next trial: same shape, same allocation, same answers.
+        let second = GridIndex::new(pos, 0.2);
+        assert_eq!(second.cells.as_ptr(), table_ptr, "cell table came from the pool");
+        assert_eq!(second.proximity_edges(), edges);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! PODC 2016 paper (see [`generators`]), structural properties
 //! ([`props`]), plain-text edge-list I/O ([`io`]), a mutable
 //! adjacency adapter for temporal-graph simulation ([`dynamic`]), shard
-//! partitions for parallel simulation engines ([`partition`]), and a
-//! grid spatial index for geometric mobility models ([`geometry`]).
+//! partitions for parallel simulation engines ([`partition`]), a grid
+//! spatial index for geometric mobility models ([`geometry`]), and a
+//! thread-local scratch pool that recycles per-trial buffers
+//! ([`arena`]).
 //!
 //! The paper's protocols only ever ask two things of a graph: *“what is
 //! `deg(v)`?”* and *“give me a uniformly random neighbor of `v`”*. CSR
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod builder;
 mod csr;
 pub mod dynamic;

@@ -40,8 +40,12 @@ pub struct Partition {
     shard: Vec<ShardId>,
     /// Per node: index within `nodes(shard_of(v))`.
     local: Vec<u32>,
-    /// Per shard: the nodes it owns, in ascending order.
-    members: Vec<Vec<Node>>,
+    /// `member_offsets[s]..member_offsets[s + 1]` indexes
+    /// `member_nodes` for shard `s` — the same flat offsets+array
+    /// layout as the CSR graph, replacing a `Vec<Vec<Node>>`.
+    member_offsets: Vec<usize>,
+    /// Concatenated per-shard member lists, each ascending.
+    member_nodes: Vec<Node>,
 }
 
 impl Partition {
@@ -77,22 +81,34 @@ impl Partition {
     /// members.
     pub fn from_assignment(assignment: Vec<ShardId>) -> Self {
         assert!(!assignment.is_empty(), "partition of an empty node set");
+        let n = assignment.len();
         let k = assignment.iter().copied().max().expect("non-empty") as usize + 1;
-        let mut members: Vec<Vec<Node>> = vec![Vec::new(); k];
-        let mut local = vec![0u32; assignment.len()];
+        // Counting sort into the flat layout: sizes → prefix offsets →
+        // placement (node order within a shard stays ascending because
+        // nodes are visited in ascending order).
+        let mut member_offsets = vec![0usize; k + 1];
+        for &s in &assignment {
+            member_offsets[s as usize + 1] += 1;
+        }
+        for s in 0..k {
+            assert!(member_offsets[s + 1] > 0, "shard {s} has no nodes");
+            member_offsets[s + 1] += member_offsets[s];
+        }
+        let mut local = vec![0u32; n];
+        let mut member_nodes = vec![0 as Node; n];
+        let mut cursor = member_offsets.clone();
         for (v, &s) in assignment.iter().enumerate() {
-            local[v] = members[s as usize].len() as u32;
-            members[s as usize].push(v as Node);
+            let at = cursor[s as usize];
+            local[v] = (at - member_offsets[s as usize]) as u32;
+            member_nodes[at] = v as Node;
+            cursor[s as usize] += 1;
         }
-        for (s, m) in members.iter().enumerate() {
-            assert!(!m.is_empty(), "shard {s} has no nodes");
-        }
-        Self { shard: assignment, local, members }
+        Self { shard: assignment, local, member_offsets, member_nodes }
     }
 
     /// Number of shards `k`.
     pub fn shard_count(&self) -> usize {
-        self.members.len()
+        self.member_offsets.len() - 1
     }
 
     /// Number of nodes across all shards.
@@ -127,7 +143,8 @@ impl Partition {
     /// Panics if `s` is out of range.
     #[inline]
     pub fn nodes(&self, s: ShardId) -> &[Node] {
-        &self.members[s as usize]
+        let s = s as usize;
+        &self.member_nodes[self.member_offsets[s]..self.member_offsets[s + 1]]
     }
 
     /// Whether `v` and `w` live in the same shard.
@@ -171,7 +188,8 @@ impl Partition {
     /// Panics if `net` has a different node count.
     pub fn shard_rates(&self, net: &MutableGraph) -> (Vec<f64>, f64) {
         assert_eq!(net.node_count(), self.node_count(), "partition/graph node count mismatch");
-        let mut local: Vec<f64> = self.members.iter().map(|m| m.len() as f64).collect();
+        let mut local: Vec<f64> =
+            self.member_offsets.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
         let mut cross_total = 0.0;
         for v in 0..self.shard.len() as Node {
             let r = self.node_cross_rate(net, v);

@@ -86,6 +86,8 @@ impl<T> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest event pops
         // first, breaking time ties by insertion order (deterministic).
+        // The (time, seq) order is strict — no two entries compare
+        // equal — so the pop sequence is independent of heap layout.
         other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -340,6 +342,38 @@ mod tests {
         assert_eq!(q.peek_time(), Some(4.0));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    /// The queue pops exactly the strict `(time, seq)` order on a
+    /// long interleaved push/pop workload — the property that makes the
+    /// queue's replay independent of its internal layout.
+    #[test]
+    fn queue_pops_total_order_under_interleaved_churn() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(99);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(f64, u64)> = Vec::new();
+        for (seq, round) in (0u64..).zip(0..2_000) {
+            // Quantized times force plenty of exact ties.
+            let t = (rng.range_usize(64) as f64) * 0.125;
+            q.push(t, seq);
+            reference.push((t, seq));
+            if round % 3 == 0 {
+                let got = q.pop().expect("non-empty");
+                let (min, _) = reference
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+                    .expect("non-empty");
+                assert_eq!(got, reference.swap_remove(min), "pop at round {round}");
+            }
+        }
+        reference.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop() {
+            drained.push(e);
+        }
+        assert_eq!(drained, reference, "tail drain in strict (time, seq) order");
     }
 
     #[test]
