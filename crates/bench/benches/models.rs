@@ -3,7 +3,13 @@
 //! (`m·ν` edge changes per unit time, the E22 parameterization), so
 //! regressions in any model's event scheduling or apply path — or in
 //! the trait dispatch the engines now route every model through — show
-//! up as per-model wall-clock drift against BENCH_PR3.json.
+//! up as per-model wall-clock drift against the committed baseline.
+//!
+//! Since PR 8 the full-run groups execute under `RngContract::V2` (the
+//! superposition scheduler — the default contract for new specs), so
+//! the committed BENCH_PR8.json baseline prices the engine as shipped;
+//! compare against BENCH_PR7.json for the eager-queue (v1) numbers on
+//! identical labels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 // The benched suite IS the E22 suite: importing it keeps the committed
@@ -11,7 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 // measures, parameter drift included.
 use rumor_analysis::experiments::e22_models::matched_models;
 use rumor_core::Mode;
-use rumor_core::{run_dynamic, run_dynamic_sharded};
+use rumor_core::{run_dynamic_sharded_under, run_dynamic_under, RngContract};
 use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::{generators, Node};
 use rumor_sim::rng::Xoshiro256PlusPlus;
@@ -25,7 +31,17 @@ fn bench_models_sequential(c: &mut Criterion) {
     for (name, model) in matched_models(&g) {
         let mut rng = Xoshiro256PlusPlus::seed_from(7);
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
-            b.iter(|| run_dynamic(&g, 0, Mode::PushPull, model, &mut rng, 100_000_000))
+            b.iter(|| {
+                run_dynamic_under(
+                    RngContract::V2,
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    model,
+                    &mut rng,
+                    100_000_000,
+                )
+            })
         });
     }
     group.finish();
@@ -43,7 +59,18 @@ fn bench_models_sharded(c: &mut Criterion) {
     for (name, model) in matched_models(&g) {
         let mut rng = Xoshiro256PlusPlus::seed_from(9);
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
-            b.iter(|| run_dynamic_sharded(&g, 0, Mode::PushPull, model, 4, &mut rng, 100_000_000))
+            b.iter(|| {
+                run_dynamic_sharded_under(
+                    RngContract::V2,
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    model,
+                    4,
+                    &mut rng,
+                    100_000_000,
+                )
+            })
         });
     }
     group.finish();
@@ -54,14 +81,27 @@ fn bench_models_sequential_1024(c: &mut Criterion) {
     // edges of the 256 group. Per-trial setup (graph adoption, model
     // buffers) is pooled, so this prices the steady-state hot path.
     let mut group = c.benchmark_group("topology_models_gnp_1024");
-    group.sample_size(10);
+    // 40 samples (the 3s shim budget still bounds slow rows): medians
+    // on this group feed the BENCH_PR* baselines, and 10 samples let a
+    // single scheduler-noise spike drag the median by tens of percent.
+    group.sample_size(40);
     let n = 1024;
     let p = 2.0 * (n as f64).ln() / n as f64;
     let g = generators::gnp_connected(n, p, &mut Xoshiro256PlusPlus::seed_from(42), 200);
     for (name, model) in matched_models(&g) {
         let mut rng = Xoshiro256PlusPlus::seed_from(7);
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
-            b.iter(|| run_dynamic(&g, 0, Mode::PushPull, model, &mut rng, 100_000_000))
+            b.iter(|| {
+                run_dynamic_under(
+                    RngContract::V2,
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    model,
+                    &mut rng,
+                    100_000_000,
+                )
+            })
         });
     }
     group.finish();
@@ -179,6 +219,44 @@ fn bench_hotpath_components(c: &mut Criterion) {
                 let (t, i) = q.pop().expect("queue stays full");
                 acc ^= i;
                 q.push(t + rng.exp(1.0), i);
+            }
+            acc
+        })
+    });
+
+    group.bench_function("superposition", |b| {
+        // The v2 counterpart of the `queue` row: one Exp(total) draw +
+        // one thinning draw + a markov-shaped two-channel reweight per
+        // event, with no per-edge pending state at all. The gap between
+        // this row and `queue` is the per-event scheduling win the
+        // full-run groups realize under `RngContract::V2`.
+        use rumor_sim::events::{Fired, Superposition};
+        let mut rng = Xoshiro256PlusPlus::seed_from(19);
+        let m = edges.len() as f64;
+        b.iter(|| {
+            let mut sup: Superposition<u32> = Superposition::new(2);
+            let (mut off_pop, mut on_pop) = (m, 0.0);
+            sup.set_weight(0.0, 0, off_pop);
+            sup.set_weight(0.0, 1, on_pop);
+            let mut acc = 0usize;
+            for _ in 0..20_000 {
+                let (t, fired) = sup.pop(&mut rng).expect("populations stay live");
+                let ch = match fired {
+                    Fired::Channel(ch) => ch,
+                    Fired::Event(_) => unreachable!("no queued events"),
+                };
+                // One edge migrates between the off/on populations,
+                // moving both channel weights — the markov fire shape.
+                if ch == 0 {
+                    off_pop -= 1.0;
+                    on_pop += 1.0;
+                } else {
+                    off_pop += 1.0;
+                    on_pop -= 1.0;
+                }
+                sup.set_weight(t, 0, off_pop);
+                sup.set_weight(t, 1, on_pop);
+                acc ^= ch;
             }
             acc
         })

@@ -57,10 +57,13 @@
 
 use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::{generators, Graph, Node};
+use rumor_sim::events::RngContract;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::engine::topology::TopologyModel;
-use crate::engine::{drive, Control, Either, Merged, QueueSource, TickSource};
+use crate::engine::{
+    drive, Control, Either, EventSource, Merged, QueueSource, TickSource, TopoDriver,
+};
 use crate::mode::Mode;
 use crate::obs::{NoProbe, Probe, ProbeEvent};
 use crate::outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
@@ -464,8 +467,7 @@ pub fn run_dynamic_probed<P: Probe>(
     max_steps: u64,
     probe: &mut P,
 ) -> DynamicOutcome {
-    let mut state = model.build_state();
-    run_dynamic_inner(g, source, mode, state.as_mut(), rng, max_steps, probe)
+    run_dynamic_probed_under(RngContract::V1, g, source, mode, model, rng, max_steps, probe)
 }
 
 /// Like [`run_dynamic_model`], with an instrumentation [`Probe`]
@@ -481,6 +483,97 @@ pub fn run_dynamic_model_probed<P: Probe>(
     probe: &mut P,
 ) -> DynamicOutcome {
     run_dynamic_inner(g, source, mode, state, rng, max_steps, probe)
+}
+
+/// Like [`run_dynamic`], under an explicit [`RngContract`]:
+/// `RngContract::V1` routes to the pinned legacy path (the eager
+/// per-event queue every pre-v2 golden records — [`run_dynamic`] itself
+/// is that path), `RngContract::V2` to the superposition scheduler
+/// (one `Exp(total_rate)` arrival thinned to a model channel; fewer
+/// draws, O(1) pending events, its own golden set).
+pub fn run_dynamic_under(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> DynamicOutcome {
+    run_dynamic_probed_under(contract, g, source, mode, model, rng, max_steps, &mut NoProbe)
+}
+
+/// Contract-explicit variant of [`run_dynamic_probed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_probed_under<P: Probe>(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> DynamicOutcome {
+    use crate::engine::topology::{
+        AdversaryState, EdgeMarkovState, MobilityState, NodeChurnState, RandomWalkState,
+        RewireState, StaticState,
+    };
+    // Dispatch on the model variant HERE, so the engine loops
+    // monomorphize over the concrete state: the per-event `fire` /
+    // `channel_weight` calls inline instead of going through the
+    // vtable, which is worth ~10% on the event-dense models. Same
+    // computation, same draws — goldens are dispatch-blind. Callers
+    // holding a state the enum doesn't know (trace replayers,
+    // recorders) come in through [`run_dynamic_model_probed_under`]
+    // and pay the virtual calls.
+    macro_rules! mono {
+        ($state:expr) => {
+            run_dynamic_model_probed_under(contract, g, source, mode, $state, rng, max_steps, probe)
+        };
+    }
+    match *model {
+        DynamicModel::Static => mono!(&mut StaticState),
+        DynamicModel::EdgeMarkov(m) => mono!(&mut EdgeMarkovState::new(m)),
+        DynamicModel::Rewire(m) => mono!(&mut RewireState::new(m)),
+        DynamicModel::NodeChurn(m) => mono!(&mut NodeChurnState::new(m)),
+        DynamicModel::RandomWalk(m) => mono!(&mut RandomWalkState::new(m)),
+        DynamicModel::Mobility(m) => mono!(&mut MobilityState::new(m)),
+        DynamicModel::Adversary(m) => mono!(&mut AdversaryState::new(m)),
+    }
+}
+
+/// Contract-explicit variant of [`run_dynamic_model`].
+pub fn run_dynamic_model_under(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> DynamicOutcome {
+    run_dynamic_model_probed_under(contract, g, source, mode, state, rng, max_steps, &mut NoProbe)
+}
+
+/// Contract-explicit variant of [`run_dynamic_model_probed`]; the one
+/// dispatch point between the pinned v1 loop and the v2 superposition
+/// loop.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_model_probed_under<P: Probe, M: TopologyModel + ?Sized>(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut M,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> DynamicOutcome {
+    match contract {
+        RngContract::V1 => run_dynamic_inner(g, source, mode, state, rng, max_steps, probe),
+        RngContract::V2 => run_dynamic_inner_v2(g, source, mode, state, rng, max_steps, probe),
+    }
 }
 
 /// Records the execution-order trace by listening at the probe hooks.
@@ -514,11 +607,11 @@ pub fn run_dynamic_traced(
     (out, probe.trace)
 }
 
-fn run_dynamic_inner<P: Probe>(
+fn run_dynamic_inner<P: Probe, M: TopologyModel + ?Sized>(
     g: &Graph,
     source: Node,
     mode: Mode,
-    state: &mut dyn TopologyModel,
+    state: &mut M,
     rng: &mut Xoshiro256PlusPlus,
     max_steps: u64,
     probe: &mut P,
@@ -619,6 +712,132 @@ fn run_dynamic_inner<P: Probe>(
     DynamicOutcome { time: t, steps, topology_events, completed, informed_time }
 }
 
+/// The v2 sequential loop: topology events from a [`TopoDriver`] in
+/// superposition mode, protocol ticks from the same rate-`n` clock as
+/// v1, merged topology-first by hand.
+///
+/// The merge is hand-written (not [`Merged`]) because the draw order is
+/// part of the contract: the topology arrival is peeked — and possibly
+/// drawn — *before* the tick on every iteration, exactly as the sharded
+/// coordinator computes its horizon before its windows draw their
+/// ticks. That is what keeps the v2 K = 1 replay invariant
+/// (`tests/replay_golden.rs`).
+fn run_dynamic_inner_v2<P: Probe, M: TopologyModel + ?Sized>(
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut M,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> DynamicOutcome {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source out of range");
+    assert!(n == 1 || !g.has_isolated_nodes(), "graph has isolated nodes");
+
+    let mut informed_time = vec![f64::INFINITY; n];
+    informed_time[source as usize] = 0.0;
+    let mut informed_count = 1usize;
+    if P::ENABLED {
+        probe.trial_start(n, source);
+        probe.informed(0.0, informed_count);
+    }
+    if n == 1 {
+        if P::ENABLED {
+            probe.trial_end(0.0, true);
+        }
+        return DynamicOutcome {
+            time: 0.0,
+            steps: 0,
+            topology_events: 0,
+            completed: true,
+            informed_time,
+        };
+    }
+
+    let mut net = MutableGraph::from_graph(g);
+    // v2 goldens are minted in order-relaxed adjacency mode: same
+    // neighbor sets, cheaper mutations, a different (but equally
+    // pinned) draw stream than v1's sorted lists.
+    net.relax_neighbor_order();
+    let mut driver = TopoDriver::new(RngContract::V2, g, &mut net, state, rng);
+    // Informed-delta feed (only the sequential engine has per-node
+    // identities at exchange time): the adversary uses it to maintain
+    // its frontier boundary incrementally.
+    let tracking = state.enable_informed_tracking();
+    if tracking {
+        state.note_informed(source, &net);
+    }
+    let mut ticks = TickSource::new(n as f64);
+
+    let mut t = 0.0;
+    let mut steps = 0u64;
+    let mut topology_events = 0u64;
+    let mut completed = false;
+
+    if max_steps > 0 {
+        loop {
+            let next_topo = driver.next_time(rng);
+            let next_tick = ticks.peek(rng).expect("the rate-n tick stream never ends");
+            if next_topo <= next_tick {
+                // Topology wins ties, as in the v1 merge.
+                let informed = &informed_time;
+                let (te, _impact) =
+                    driver.step(state, &mut net, &|v| informed[v as usize].is_finite(), rng);
+                // `t` is not updated here: the loop only exits from the
+                // tick branch, so the reported time is always a tick's
+                // (as in v1, where the last processed event is a tick).
+                topology_events += 1;
+                if P::ENABLED {
+                    probe.event(te, ProbeEvent::Topology);
+                    probe.topology_changed(te);
+                }
+            } else {
+                let (te, ()) = ticks.pop(rng).expect("peeked a pending tick");
+                t = te;
+                steps += 1;
+                if P::ENABLED {
+                    probe.event(te, ProbeEvent::Tick);
+                }
+                let v = rng.range_usize(n) as Node;
+                if net.is_active(v) && net.degree(v) > 0 {
+                    let w = net.random_neighbor(v, rng);
+                    let grew = crate::asynchronous::exchange(
+                        mode,
+                        &mut informed_time,
+                        &mut informed_count,
+                        v,
+                        w,
+                        te,
+                    );
+                    if grew {
+                        if P::ENABLED {
+                            probe.informed(te, informed_count);
+                        }
+                        if tracking {
+                            // An exchange informs at most one endpoint;
+                            // its informed time is this tick's.
+                            let newly = if informed_time[v as usize] == te { v } else { w };
+                            state.note_informed(newly, &net);
+                        }
+                    }
+                }
+                if informed_count == n {
+                    completed = true;
+                    break;
+                }
+                if steps >= max_steps {
+                    break;
+                }
+            }
+        }
+    }
+    if P::ENABLED {
+        probe.trial_end(t, completed);
+    }
+    DynamicOutcome { time: t, steps, topology_events, completed, informed_time }
+}
+
 /// Synchronous push/pull/push–pull on a periodically rewired topology:
 /// the round structure of [`crate::run_sync`], with the graph replaced
 /// by a fresh [`SnapshotFamily`] sample every `rewire_rounds` rounds.
@@ -708,6 +927,110 @@ mod tests {
             assert_eq!(dynamic.to_async(), stat, "model {model}");
             assert_eq!(dynamic.topology_events, 0);
         }
+    }
+
+    /// Zero-channel (static-law) models consume the identical stream
+    /// under both contracts: no stochastic channels means the v2
+    /// scheduler draws exactly what the v1 merge drew.
+    #[test]
+    fn v2_contract_replays_v1_for_static_models() {
+        let g = generators::hypercube(5);
+        for model in [
+            DynamicModel::Static,
+            DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(0.0)),
+            DynamicModel::Rewire(Rewire {
+                period: f64::INFINITY,
+                family: SnapshotFamily::Gnp { p: 0.1 },
+            }),
+            DynamicModel::RandomWalk(RandomWalk::new(0.0)),
+            DynamicModel::Adversary(Adversary { rate: 0.0, budget: 4, heal_after: 1.0 }),
+        ] {
+            let v1 = run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(3), 1_000_000);
+            let v2 = run_dynamic_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                &mut rng(3),
+                1_000_000,
+            );
+            assert_eq!(v1, v2, "model {model}");
+        }
+    }
+
+    /// Finite-period rewiring is deterministic-schedule (snapshots at
+    /// fixed times, randomness only inside apply), so it too replays
+    /// across contracts bit-for-bit.
+    #[test]
+    fn v2_contract_replays_v1_for_rewiring() {
+        let g = generators::gnp_connected(48, 0.15, &mut rng(1), 100);
+        let model =
+            DynamicModel::Rewire(Rewire { period: 2.0, family: SnapshotFamily::Gnp { p: 0.2 } });
+        let mut r1 = rng(8);
+        let mut r2 = rng(8);
+        let v1 = run_dynamic(&g, 0, Mode::PushPull, &model, &mut r1, 10_000_000);
+        let v2 =
+            run_dynamic_under(RngContract::V2, &g, 0, Mode::PushPull, &model, &mut r2, 10_000_000);
+        assert_eq!(v1, v2);
+        assert_eq!(r1.next_u64(), r2.next_u64(), "RNG streams diverged");
+    }
+
+    /// Every stochastic model completes under the v2 scheduler.
+    #[test]
+    fn v2_contract_completes_for_all_models() {
+        let g = generators::gnp_connected(48, 0.15, &mut rng(1), 100);
+        for model in [
+            DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)),
+            DynamicModel::EdgeMarkov(EdgeMarkov { off_rate: 1.5, on_rate: 0.75 }),
+            DynamicModel::NodeChurn(NodeChurn::new(0.3, 1.2, 2)),
+            DynamicModel::RandomWalk(RandomWalk::new(1.0)),
+            DynamicModel::Mobility(Mobility { move_rate: 1.0, radius: 0.25, step: 0.1 }),
+            DynamicModel::Adversary(Adversary { rate: 0.5, budget: 2, heal_after: 1.0 }),
+        ] {
+            let out = run_dynamic_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                &mut rng(9),
+                10_000_000,
+            );
+            assert!(out.completed, "model {model}");
+            assert!(out.topology_events > 0, "model {model}");
+            assert!(out.informed_time.iter().all(|t| t.is_finite()), "model {model}");
+        }
+    }
+
+    /// The contracts agree in law: mean spreading times under matched
+    /// seeds land within a loose band of each other (the exact
+    /// equivalence is property-tested in `tests/scheduler_equivalence.rs`).
+    #[test]
+    fn v2_contract_agrees_in_law_with_v1() {
+        let g = generators::gnp_connected(48, 0.15, &mut rng(1), 100);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0));
+        let mut v1 = OnlineStats::new();
+        let mut v2 = OnlineStats::new();
+        for seed in 0..30 {
+            v1.push(
+                run_dynamic(&g, 0, Mode::PushPull, &model, &mut rng(700 + seed), 10_000_000).time,
+            );
+            v2.push(
+                run_dynamic_under(
+                    RngContract::V2,
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    &model,
+                    &mut rng(700 + seed),
+                    10_000_000,
+                )
+                .time,
+            );
+        }
+        let (a, b) = (v1.mean(), v2.mean());
+        assert!((a - b).abs() < 0.25 * a.max(b), "v1 mean {a} vs v2 mean {b}");
     }
 
     #[test]

@@ -30,11 +30,11 @@
 use std::collections::HashMap;
 
 use rumor_graph::{Graph, Node};
-use rumor_sim::events::LazyMarkovClock;
+use rumor_sim::events::{LazyMarkovClock, Superposition};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::dynamic::{DynamicModel, EdgeMarkov};
-use crate::engine::{drive, Control, TickSource};
+use crate::engine::{drive, Control};
 use crate::mode::Mode;
 use crate::obs::{NoProbe, Probe, ProbeEvent};
 use crate::outcome::AsyncOutcome;
@@ -208,8 +208,13 @@ pub fn run_edge_markov_lazy_probed<P: Probe>(
     let mut time = 0.0;
     let mut completed = false;
     let mut live: Vec<Node> = Vec::new();
-    let mut src = TickSource::new(n as f64);
-    drive(&mut src, rng, |_, rng, t, ()| {
+    // The tick stream is a 1-channel superposition (weight n, nothing
+    // in the side queue): bit-identical to the TickSource the engine
+    // used before — one Exp(n) draw per tick, no selection draw — so
+    // this engine is contract-independent and its streams are pinned.
+    let mut src: Superposition<()> = Superposition::new(1);
+    src.set_weight(0.0, 0, n as f64);
+    drive(&mut src, rng, |_, rng, t, _tick| {
         time = t;
         steps += 1;
         if P::ENABLED {

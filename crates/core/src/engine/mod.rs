@@ -13,10 +13,16 @@
 //!   PR 1 still hold and are still property-tested).
 //! * [`topology`] — the pluggable topology-model layer: the
 //!   [`TopologyModel`] trait (next-event draw, apply, incremental rate
-//!   delta) every engine consumes models through, with six
-//!   implementations (edge-Markov flips, periodic rewiring, node
-//!   churn, random-walk edge dynamics, geometric mobility, frontier
-//!   adversary).
+//!   delta, and the v2 channel interface) every engine consumes models
+//!   through, with six implementations (edge-Markov flips, periodic
+//!   rewiring, node churn, random-walk edge dynamics, geometric
+//!   mobility, frontier adversary).
+//! * [`scheduler`] — the [`TopoDriver`] contract dispatcher: one place
+//!   where [`RngContract::V1`](rumor_sim::events::RngContract) routes
+//!   to the pinned eager queue and `V2` to the superposition
+//!   single-clock scheduler; the sequential engine, the sharded
+//!   coordinator, and the trace recorder all consume topology events
+//!   through it.
 //! * [`lazy`] — an edge-Markov engine with **lazy per-edge clocks**:
 //!   no pending-flip queue at all, each edge's on/off chain resolved
 //!   only when a contact touches it. Memory for topology bookkeeping is
@@ -36,18 +42,23 @@
 //!   boundaries, [`run_trace_lazy`] is a queue-free async cursor).
 
 pub mod lazy;
+pub mod scheduler;
 pub mod sharded;
 pub mod source;
 pub mod topology;
 pub mod trace;
 
 pub use lazy::{run_dynamic_lazy, run_edge_markov_lazy, run_edge_markov_lazy_probed, LazyOutcome};
+pub use scheduler::TopoDriver;
 pub use sharded::{
     run_dynamic_sharded, run_dynamic_sharded_model, run_dynamic_sharded_model_probed,
-    run_dynamic_sharded_probed, run_dynamic_sharded_with, ShardedOutcome,
+    run_dynamic_sharded_model_probed_under, run_dynamic_sharded_model_under,
+    run_dynamic_sharded_probed, run_dynamic_sharded_probed_under, run_dynamic_sharded_under,
+    run_dynamic_sharded_with, ShardedOutcome,
 };
 pub use source::{drive, Control, Either, EventSource, Merged, QueueSource, TickSource};
 pub use topology::{InformedView, RateImpact, TopoEvent, TopologyModel};
 pub use trace::{
-    run_sync_dynamic, run_trace_lazy, TopologyTrace, TraceRecorder, TraceReplayer, TraceStep,
+    run_sync_dynamic, run_trace_lazy, run_trace_lazy_under, TopologyTrace, TraceRecorder,
+    TraceReplayer, TraceStep,
 };

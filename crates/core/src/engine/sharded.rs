@@ -54,11 +54,12 @@ use std::sync::{Mutex, RwLock};
 use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::partition::{Partition, ShardId};
 use rumor_graph::{Graph, Node};
-use rumor_sim::events::EventQueue;
+use rumor_sim::events::RngContract;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::dynamic::{DynamicModel, DynamicOutcome};
-use crate::engine::topology::{TopoEvent, TopologyModel};
+use crate::engine::scheduler::TopoDriver;
+use crate::engine::topology::TopologyModel;
 use crate::mode::Mode;
 use crate::obs::{NoProbe, Probe, ProbeEvent, ShardTimers};
 
@@ -261,7 +262,7 @@ fn coordinate<P: Probe>(
     max_steps: u64,
     net: &RwLock<MutableGraph>,
     states: &[Mutex<ShardState>],
-    topo_queue: &mut EventQueue<TopoEvent>,
+    driver: &mut TopoDriver,
     mstate: &mut dyn TopologyModel,
     rng: &mut Xoshiro256PlusPlus,
     mut shard0_rng: Option<Xoshiro256PlusPlus>,
@@ -307,7 +308,7 @@ fn coordinate<P: Probe>(
         if totals.steps >= max_steps {
             break;
         }
-        let next_topo = topo_queue.peek_time().unwrap_or(f64::INFINITY);
+        let next_topo = driver.next_time(rng);
         let next_cross = if cross_rate > 0.0 {
             let (cc, cr) = (cross_clock, cross_rate);
             *pending_cross.get_or_insert_with(|| cc + rng.exp(cr))
@@ -379,7 +380,7 @@ fn coordinate<P: Probe>(
         // The single global event at the horizon; topology wins ties,
         // like the sequential engine's merged stream.
         if next_topo <= next_cross {
-            let (te, ev) = topo_queue.pop().expect("peeked event exists");
+            let te = next_topo;
             totals.topology_events += 1;
             if P::ENABLED {
                 probe.event(te, ProbeEvent::Topology);
@@ -396,7 +397,7 @@ fn coordinate<P: Probe>(
                         .expect("engine never poisons a shard lock");
                     st.informed[part.local_index(v) as usize].is_finite()
                 };
-                mstate.apply(ev, te, &mut netw, &informed, topo_queue, rng)
+                driver.step(mstate, &mut netw, &informed, rng).1
             };
             match impact.touched() {
                 Some(touched) => {
@@ -539,7 +540,17 @@ pub fn run_dynamic_sharded_probed<P: Probe>(
 ) -> ShardedOutcome {
     let part = Partition::contiguous(g.node_count(), shards);
     let mut state = model.build_state();
-    run_dynamic_sharded_state(g, source, mode, state.as_mut(), &part, rng, max_steps, probe)
+    run_dynamic_sharded_state(
+        RngContract::V1,
+        g,
+        source,
+        mode,
+        state.as_mut(),
+        &part,
+        rng,
+        max_steps,
+        probe,
+    )
 }
 
 /// Like [`run_dynamic_sharded_model`], with an instrumentation
@@ -560,7 +571,7 @@ pub fn run_dynamic_sharded_model_probed<P: Probe>(
     probe: &mut P,
 ) -> ShardedOutcome {
     let part = Partition::contiguous(g.node_count(), shards);
-    run_dynamic_sharded_state(g, source, mode, state, &part, rng, max_steps, probe)
+    run_dynamic_sharded_state(RngContract::V1, g, source, mode, state, &part, rng, max_steps, probe)
 }
 
 /// Like [`run_dynamic_sharded`], but over an already-built
@@ -583,7 +594,17 @@ pub fn run_dynamic_sharded_model(
     max_steps: u64,
 ) -> ShardedOutcome {
     let part = Partition::contiguous(g.node_count(), shards);
-    run_dynamic_sharded_state(g, source, mode, state, &part, rng, max_steps, &mut NoProbe)
+    run_dynamic_sharded_state(
+        RngContract::V1,
+        g,
+        source,
+        mode,
+        state,
+        &part,
+        rng,
+        max_steps,
+        &mut NoProbe,
+    )
 }
 
 /// Runs the asynchronous push/pull/push–pull protocol on a dynamic
@@ -619,6 +640,7 @@ pub fn run_dynamic_sharded_with(
 ) -> ShardedOutcome {
     let mut state = model.build_state();
     run_dynamic_sharded_state(
+        RngContract::V1,
         g,
         source,
         mode,
@@ -630,10 +652,120 @@ pub fn run_dynamic_sharded_with(
     )
 }
 
+/// [`run_dynamic_sharded`] under an explicit [`RngContract`]: `V1` is
+/// the pinned eager-queue path (identical to [`run_dynamic_sharded`]),
+/// `V2` schedules topology events through the superposition scheduler.
+/// At `K = 1` a `V2` run replays the sequential v2 engine
+/// ([`crate::run_dynamic_under`]) seed-for-seed.
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_sharded_under(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    let mut state = model.build_state();
+    run_dynamic_sharded_state(
+        contract,
+        g,
+        source,
+        mode,
+        state.as_mut(),
+        &part,
+        rng,
+        max_steps,
+        &mut NoProbe,
+    )
+}
+
+/// [`run_dynamic_sharded_probed`] under an explicit [`RngContract`].
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_sharded_probed_under<P: Probe>(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    model: &DynamicModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    let mut state = model.build_state();
+    run_dynamic_sharded_state(
+        contract,
+        g,
+        source,
+        mode,
+        state.as_mut(),
+        &part,
+        rng,
+        max_steps,
+        probe,
+    )
+}
+
+/// [`run_dynamic_sharded_model_probed`] under an explicit
+/// [`RngContract`].
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_sharded_model_probed_under<P: Probe>(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+    probe: &mut P,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    run_dynamic_sharded_state(contract, g, source, mode, state, &part, rng, max_steps, probe)
+}
+
+/// [`run_dynamic_sharded_model`] under an explicit [`RngContract`].
+///
+/// # Panics
+///
+/// As [`run_dynamic_sharded`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_dynamic_sharded_model_under(
+    contract: RngContract,
+    g: &Graph,
+    source: Node,
+    mode: Mode,
+    state: &mut dyn TopologyModel,
+    shards: usize,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> ShardedOutcome {
+    let part = Partition::contiguous(g.node_count(), shards);
+    run_dynamic_sharded_state(contract, g, source, mode, state, &part, rng, max_steps, &mut NoProbe)
+}
+
 /// [`run_dynamic_sharded_with`] over an already-built model state; the
 /// common core of the descriptor- and state-based entry points.
 #[allow(clippy::too_many_arguments)]
 fn run_dynamic_sharded_state<P: Probe>(
+    contract: RngContract,
     g: &Graph,
     source: Node,
     mode: Mode,
@@ -676,10 +808,15 @@ fn run_dynamic_sharded_state<P: Probe>(
     // Model init first, from the caller's stream — the sequential
     // engine's order, which the K = 1 replay depends on. Init may
     // replace the starting topology (mobility), so it precedes the
-    // rate derivation below.
-    let mut topo_queue = EventQueue::new();
+    // rate derivation below. The driver dispatches on the contract:
+    // v1 eager queue, v2 superposition channels.
     let mut net = MutableGraph::from_graph(g);
-    mstate.init(g, &mut net, &mut topo_queue, rng);
+    if contract == RngContract::V2 {
+        // Matches the sequential v2 engine (the K = 1 replay contract):
+        // v2 goldens are minted in order-relaxed adjacency mode.
+        net.relax_neighbor_order();
+    }
+    let mut driver = TopoDriver::new(contract, g, &mut net, mstate, rng);
 
     // K = 1: the lone shard shares the caller's stream. K > 1: one
     // derivation draw, then well-separated child streams per shard; the
@@ -727,7 +864,7 @@ fn run_dynamic_sharded_state<P: Probe>(
             max_steps,
             &net,
             &states,
-            &mut topo_queue,
+            &mut driver,
             mstate,
             rng,
             shard0_rng,
@@ -760,7 +897,7 @@ fn run_dynamic_sharded_state<P: Probe>(
                 max_steps,
                 &net,
                 &states,
-                &mut topo_queue,
+                &mut driver,
                 mstate,
                 rng,
                 shard0_rng,
@@ -853,6 +990,45 @@ mod tests {
                 assert_eq!(sharded.outcome, sequential, "model {model} seed {seed}");
                 assert_eq!(sharded.cross_events, 0);
                 // Final RNG state: the engines consumed identical draws.
+                assert_eq!(a.next_u64(), b.next_u64(), "model {model} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_replays_sequential_v2_seed_for_seed() {
+        // The K = 1 invariant holds under the v2 contract too: the
+        // coordinator computes the horizon (which may draw the
+        // superposition arrival) before the window draws its tick,
+        // exactly the sequential v2 loop's peek order. The adversary
+        // exercises the scan-fallback strike law against the sequential
+        // engine's incremental boundary — same cut sets, zero draws.
+        let g = generators::gnp_connected(48, 0.15, &mut rng(1), 100);
+        for model in models() {
+            for seed in 0..5 {
+                let mut a = rng(100 + seed);
+                let sequential = crate::dynamic::run_dynamic_under(
+                    RngContract::V2,
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    &model,
+                    &mut a,
+                    10_000_000,
+                );
+                let mut b = rng(100 + seed);
+                let sharded = run_dynamic_sharded_under(
+                    RngContract::V2,
+                    &g,
+                    0,
+                    Mode::PushPull,
+                    &model,
+                    1,
+                    &mut b,
+                    10_000_000,
+                );
+                assert_eq!(sharded.outcome, sequential, "model {model} seed {seed}");
+                assert_eq!(sharded.cross_events, 0);
                 assert_eq!(a.next_u64(), b.next_u64(), "model {model} seed {seed}");
             }
         }

@@ -14,7 +14,7 @@
 //! describe the same process — the property the dynamic engine's
 //! churn-0 invariant and the sharded engine's K = 1 invariant rest on.
 
-use rumor_sim::events::EventQueue;
+use rumor_sim::events::{EventQueue, Fired, Superposition};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 /// Whether [`drive`] keeps pumping events.
@@ -164,6 +164,25 @@ impl<T> EventSource for QueueSource<T> {
 
     fn pop(&mut self, _rng: &mut Xoshiro256PlusPlus) -> Option<(f64, T)> {
         self.queue.pop()
+    }
+}
+
+/// A [`Superposition`] scheduler is itself an event source: stochastic
+/// arrivals thin to [`Fired::Channel`], deterministic side-queue events
+/// surface as [`Fired::Event`]. With a single positive-weight channel
+/// and an empty queue the stream is bit-identical to a [`TickSource`]
+/// of the same rate (one `Exp(rate)` draw per tick, no selection draw),
+/// which is how the lazy engine consumes the v2 scheduler without
+/// touching its golden streams.
+impl<T> EventSource for Superposition<T> {
+    type Event = Fired<T>;
+
+    fn peek(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        Superposition::peek(self, rng)
+    }
+
+    fn pop(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<(f64, Fired<T>)> {
+        Superposition::pop(self, rng)
     }
 }
 

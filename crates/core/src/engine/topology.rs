@@ -23,6 +23,8 @@
 //! on a [`GridIndex`], and budget-limited adversarial removal of the
 //! informed/uninformed frontier.
 
+use std::collections::BTreeSet;
+
 use rumor_graph::arena;
 use rumor_graph::dynamic::MutableGraph;
 use rumor_graph::geometry::GridIndex;
@@ -144,6 +146,71 @@ pub trait TopologyModel {
     fn memoryless_edge_rates(&self) -> Option<(f64, f64)> {
         None
     }
+
+    /// v2 ([`rumor_sim::events::RngContract::V2`]) initialization:
+    /// applies any initial topology, schedules only *deterministic*
+    /// events into `queue`, and returns how many stochastic channels
+    /// the model drives through [`channel_weight`](Self::channel_weight)
+    /// and [`fire`](Self::fire). The default routes to [`init`](Self::init)
+    /// and reports zero channels — correct for models whose events are
+    /// all deterministic (static, periodic rewiring, trace replay),
+    /// which therefore consume the identical stream under both
+    /// contracts.
+    fn init_channels(
+        &mut self,
+        g: &Graph,
+        net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        self.init(g, net, queue, rng);
+        0
+    }
+
+    /// Current total rate of stochastic channel `ch` (e.g. *number of
+    /// present edges × off-rate*). The scheduler re-reads every channel
+    /// after each event it delivers, so implementations just compute
+    /// the exact value from model state — no delta bookkeeping at this
+    /// boundary.
+    fn channel_weight(&self, ch: usize) -> f64 {
+        let _ = ch;
+        0.0
+    }
+
+    /// Applies one stochastic arrival thinned to channel `ch` at time
+    /// `t`: the model draws *which* member of the channel fires
+    /// (uniform over its flat member table), mutates the topology, and
+    /// schedules any deterministic follow-ups into `queue`. Only
+    /// called for `ch < init_channels(..)`.
+    fn fire(
+        &mut self,
+        ch: usize,
+        t: f64,
+        net: &mut MutableGraph,
+        informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let _ = (ch, t, net, informed, queue, rng);
+        unreachable!("model reported no stochastic channels")
+    }
+
+    /// Opt-in to incremental informed-set deltas: a model that returns
+    /// `true` receives [`note_informed`](Self::note_informed) for the
+    /// source and every node the protocol informs, instead of
+    /// re-deriving informed state from the [`InformedView`] on each
+    /// event. Only the v2 sequential engine offers the feed (the
+    /// sharded engine's windows report counts, not identities);
+    /// models must stay correct without it.
+    fn enable_informed_tracking(&mut self) -> bool {
+        false
+    }
+
+    /// Delta feed for [`enable_informed_tracking`](Self::enable_informed_tracking):
+    /// `v` just became informed, under the topology currently in `net`.
+    fn note_informed(&mut self, v: Node, net: &MutableGraph) {
+        let _ = (v, net);
+    }
 }
 
 impl DynamicModel {
@@ -163,7 +230,7 @@ impl DynamicModel {
 }
 
 /// The no-op model: no events, no randomness, the static process.
-struct StaticState;
+pub(crate) struct StaticState;
 
 impl TopologyModel for StaticState {
     fn init(
@@ -194,22 +261,32 @@ impl TopologyModel for StaticState {
 }
 
 /// Edge-Markov churn: independent on/off chains per base edge.
-struct EdgeMarkovState {
+pub(crate) struct EdgeMarkovState {
     base: Vec<(Node, Node)>,
     present: Vec<bool>,
     off: f64,
     on: f64,
+    /// v2 channel-member table: a flat swap-partition of the edge
+    /// pairs themselves, the present edges in `members[..n_present]`
+    /// and the absent ones after — O(1) to move an edge across the
+    /// boundary when it flips, O(1) to draw a uniform member of either
+    /// side, and no indirection through `base` on the hot path.
+    members: Vec<(Node, Node)>,
+    n_present: usize,
 }
 
 impl EdgeMarkovState {
-    fn new(m: EdgeMarkov) -> Self {
+    pub(crate) fn new(m: EdgeMarkov) -> Self {
         // Pooled: one state is built per realization, and the base edge
-        // list + presence bitmap are the run's largest model buffers.
+        // list + presence bitmap + member table are the run's largest
+        // model buffers.
         Self {
             base: arena::take_pairs(),
             present: arena::take_flags(),
             off: m.off_rate,
             on: m.on_rate,
+            members: arena::take_pairs(),
+            n_present: 0,
         }
     }
 }
@@ -217,6 +294,7 @@ impl EdgeMarkovState {
 impl Drop for EdgeMarkovState {
     fn drop(&mut self) {
         arena::give_pairs(std::mem::take(&mut self.base));
+        arena::give_pairs(std::mem::take(&mut self.members));
         arena::give_flags(std::mem::take(&mut self.present));
     }
 }
@@ -271,16 +349,67 @@ impl TopologyModel for EdgeMarkovState {
     fn memoryless_edge_rates(&self) -> Option<(f64, f64)> {
         Some((self.off, self.on))
     }
+
+    fn init_channels(
+        &mut self,
+        g: &Graph,
+        _net: &mut MutableGraph,
+        _queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        // `base` and `present` stay empty: the v2 path's edge state IS
+        // the swap partition (pairs in `members[..n_present]` are
+        // present, the rest absent); only the v1 `apply` path reads the
+        // bitmap or indexes `base`.
+        self.members.extend(g.edges());
+        self.n_present = self.members.len();
+        2
+    }
+
+    fn channel_weight(&self, ch: usize) -> f64 {
+        match ch {
+            0 => self.n_present as f64 * self.off,
+            _ => (self.members.len() - self.n_present) as f64 * self.on,
+        }
+    }
+
+    fn fire(
+        &mut self,
+        ch: usize,
+        _t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        _queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let slot = if ch == 0 {
+            rng.range_usize(self.n_present)
+        } else {
+            self.n_present + rng.range_usize(self.members.len() - self.n_present)
+        };
+        let (u, v) = self.members[slot];
+        if ch == 0 {
+            net.remove_edge(u, v);
+            self.n_present -= 1;
+            self.members.swap(slot, self.n_present);
+        } else {
+            // The swap partition is the proof of absence.
+            net.add_edge_unchecked(u, v);
+            self.members.swap(slot, self.n_present);
+            self.n_present += 1;
+        }
+        RateImpact::nodes(&[u, v])
+    }
 }
 
 /// Periodic full rewiring from a snapshot family.
-struct RewireState {
+pub(crate) struct RewireState {
     period: f64,
     family: SnapshotFamily,
 }
 
 impl RewireState {
-    fn new(m: Rewire) -> Self {
+    pub(crate) fn new(m: Rewire) -> Self {
         Self { period: m.period, family: m.family }
     }
 }
@@ -318,15 +447,31 @@ impl TopologyModel for RewireState {
 }
 
 /// Poisson node leave/join with rumor retention.
-struct NodeChurnState {
+pub(crate) struct NodeChurnState {
     leave: f64,
     join: f64,
     attach: usize,
+    /// v2 channel-member table: swap-partition of node ids, active
+    /// nodes in `members[..n_active]`, departed nodes after.
+    members: Vec<Node>,
+    n_active: usize,
 }
 
 impl NodeChurnState {
-    fn new(m: NodeChurn) -> Self {
-        Self { leave: m.leave_rate, join: m.join_rate, attach: m.attach_degree }
+    pub(crate) fn new(m: NodeChurn) -> Self {
+        Self {
+            leave: m.leave_rate,
+            join: m.join_rate,
+            attach: m.attach_degree,
+            members: arena::take_nodes(),
+            n_active: 0,
+        }
+    }
+}
+
+impl Drop for NodeChurnState {
+    fn drop(&mut self) {
+        arena::give_nodes(std::mem::take(&mut self.members));
     }
 }
 
@@ -372,6 +517,51 @@ impl TopologyModel for NodeChurnState {
         // A toggle re-rates the node's whole (former) neighborhood.
         RateImpact::Global
     }
+
+    fn init_channels(
+        &mut self,
+        g: &Graph,
+        _net: &mut MutableGraph,
+        _queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        self.members.extend(0..g.node_count() as Node);
+        self.n_active = g.node_count();
+        2
+    }
+
+    fn channel_weight(&self, ch: usize) -> f64 {
+        match ch {
+            0 => self.n_active as f64 * self.leave,
+            _ => (self.members.len() - self.n_active) as f64 * self.join,
+        }
+    }
+
+    fn fire(
+        &mut self,
+        ch: usize,
+        _t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        _queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        if ch == 0 {
+            let slot = rng.range_usize(self.n_active);
+            let v = self.members[slot];
+            net.deactivate(v);
+            self.n_active -= 1;
+            self.members.swap(slot, self.n_active);
+        } else {
+            let slot = self.n_active + rng.range_usize(self.members.len() - self.n_active);
+            let v = self.members[slot];
+            net.activate(v);
+            attach_node(net, v, self.attach, rng);
+            self.members.swap(slot, self.n_active);
+            self.n_active += 1;
+        }
+        RateImpact::Global
+    }
 }
 
 /// Random-walk edge dynamics: every live edge is a walker; at its
@@ -379,7 +569,7 @@ impl TopologyModel for NodeChurnState {
 /// of its current position. Walkers occupy distinct vertex pairs by
 /// construction (a step into an occupied pair is rejected), so the live
 /// edge count is conserved.
-struct RandomWalkState {
+pub(crate) struct RandomWalkState {
     base: Option<Graph>,
     rate: f64,
     /// Current endpoints of walker `i` (initially the base edges).
@@ -387,7 +577,7 @@ struct RandomWalkState {
 }
 
 impl RandomWalkState {
-    fn new(m: RandomWalk) -> Self {
+    pub(crate) fn new(m: RandomWalk) -> Self {
         Self { base: None, rate: m.rate, edges: arena::take_pairs() }
     }
 }
@@ -443,23 +633,106 @@ impl TopologyModel for RandomWalkState {
         self.edges[i as usize] = (anchor, target);
         RateImpact::nodes(&[anchor, mover, target])
     }
+
+    fn init_channels(
+        &mut self,
+        g: &Graph,
+        _net: &mut MutableGraph,
+        _queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        self.base = Some(g.clone()); // O(1): CSR arrays are Arc-shared
+        self.edges.extend(g.edges());
+        1
+    }
+
+    fn channel_weight(&self, _ch: usize) -> f64 {
+        self.edges.len() as f64 * self.rate
+    }
+
+    fn fire(
+        &mut self,
+        _ch: usize,
+        _t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        _queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        // All walkers share one rate, so the arrival thins uniformly.
+        // One draw over `2m` outcomes picks the walker AND which
+        // endpoint anchors — (i, dir) are independent and uniform.
+        let x = rng.range_usize(2 * self.edges.len());
+        let i = x >> 1;
+        let (u, v) = self.edges[i];
+        let (anchor, mover) = if x & 1 == 0 { (u, v) } else { (v, u) };
+        let target = self.base.as_ref().expect("init ran").random_neighbor(mover, rng);
+        // `slide_edge` fuses the occupied-pair probe with the move —
+        // one scan of the anchor's list instead of three.
+        if target == anchor || !net.slide_edge(anchor, mover, target) {
+            return RateImpact::nodes(&[]);
+        }
+        self.edges[i] = (anchor, target);
+        RateImpact::nodes(&[anchor, mover, target])
+    }
 }
 
 /// Geometric mobility: nodes live in the unit square, edges connect
 /// pairs within the connection radius, and nodes take bounded random
 /// steps at Poisson times. Positions are indexed by a [`GridIndex`] so
 /// each move costs O(neighborhood occupancy).
-struct MobilityState {
+pub(crate) struct MobilityState {
     cfg: Mobility,
     grid: Option<GridIndex>,
+    n: usize,
     scratch: Vec<Node>,
     /// Pre-move adjacency of the moving node (reused across events).
     old: Vec<Node>,
 }
 
 impl MobilityState {
-    fn new(m: Mobility) -> Self {
-        Self { cfg: m, grid: None, scratch: arena::take_nodes(), old: arena::take_nodes() }
+    pub(crate) fn new(m: Mobility) -> Self {
+        Self { cfg: m, grid: None, n: 0, scratch: arena::take_nodes(), old: arena::take_nodes() }
+    }
+
+    /// Draws positions, indexes them, and installs the proximity graph
+    /// — the placement phase shared by both contracts' inits.
+    fn place_nodes(&mut self, g: &Graph, net: &mut MutableGraph, rng: &mut Xoshiro256PlusPlus) {
+        let n = g.node_count();
+        self.n = n;
+        let mut positions = arena::take_positions();
+        positions.extend((0..n).map(|_| (rng.f64_unit(), rng.f64_unit())));
+        let grid = GridIndex::new(positions, self.cfg.radius);
+        // The starting topology is the proximity graph of the drawn
+        // positions, not the caller's base graph (which only fixes n).
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in grid.proximity_edges() {
+            b.add_edge(u, v);
+        }
+        net.replace_edges_with(&b.build().expect("proximity edges are simple"));
+        self.grid = Some(grid);
+    }
+
+    /// One bounded random step of node `v` plus the proximity-edge diff
+    /// — everything a move event does except its rescheduling.
+    fn step_node(&mut self, v: Node, net: &mut MutableGraph, rng: &mut Xoshiro256PlusPlus) {
+        let grid = self.grid.as_mut().expect("init ran");
+        let (x, y) = grid.position(v);
+        let step = self.cfg.step;
+        let nx = (x + (2.0 * rng.f64_unit() - 1.0) * step).clamp(0.0, 1.0);
+        let ny = (y + (2.0 * rng.f64_unit() - 1.0) * step).clamp(0.0, 1.0);
+        grid.move_to(v, nx, ny);
+        grid.within_radius(v, &mut self.scratch);
+        // Diff the sorted current adjacency against the sorted radius
+        // query: drop edges that fell out of range, add the newcomers.
+        self.old.clear();
+        self.old.extend(net.neighbors(v));
+        for &w in self.old.iter().filter(|w| !self.scratch.contains(w)) {
+            net.remove_edge(v, w);
+        }
+        for &w in self.scratch.iter().filter(|w| !self.old.contains(w)) {
+            net.add_edge(v, w);
+        }
     }
 }
 
@@ -478,20 +751,9 @@ impl TopologyModel for MobilityState {
         queue: &mut EventQueue<TopoEvent>,
         rng: &mut Xoshiro256PlusPlus,
     ) {
-        let n = g.node_count();
-        let mut positions = arena::take_positions();
-        positions.extend((0..n).map(|_| (rng.f64_unit(), rng.f64_unit())));
-        let grid = GridIndex::new(positions, self.cfg.radius);
-        // The starting topology is the proximity graph of the drawn
-        // positions, not the caller's base graph (which only fixes n).
-        let mut b = GraphBuilder::new(n);
-        for (u, v) in grid.proximity_edges() {
-            b.add_edge(u, v);
-        }
-        net.replace_edges_with(&b.build().expect("proximity edges are simple"));
-        self.grid = Some(grid);
+        self.place_nodes(g, net, rng);
         if self.cfg.move_rate > 0.0 {
-            for v in 0..n as Node {
+            for v in 0..self.n as Node {
                 queue.push(rng.exp(self.cfg.move_rate), TopoEvent::Move(v));
             }
         }
@@ -509,25 +771,39 @@ impl TopologyModel for MobilityState {
         let TopoEvent::Move(v) = event else {
             unreachable!("mobility schedules only moves");
         };
-        let grid = self.grid.as_mut().expect("init ran");
-        let (x, y) = grid.position(v);
-        let step = self.cfg.step;
-        let nx = (x + (2.0 * rng.f64_unit() - 1.0) * step).clamp(0.0, 1.0);
-        let ny = (y + (2.0 * rng.f64_unit() - 1.0) * step).clamp(0.0, 1.0);
-        grid.move_to(v, nx, ny);
-        grid.within_radius(v, &mut self.scratch);
-        // Diff the sorted current adjacency against the sorted radius
-        // query: drop edges that fell out of range, add the newcomers.
-        self.old.clear();
-        self.old.extend(net.neighbors(v));
-        for &w in self.old.iter().filter(|w| !self.scratch.contains(w)) {
-            net.remove_edge(v, w);
-        }
-        for &w in self.scratch.iter().filter(|w| !self.old.contains(w)) {
-            net.add_edge(v, w);
-        }
+        self.step_node(v, net, rng);
         queue.push(t + rng.exp(self.cfg.move_rate), TopoEvent::Move(v));
         // The gained/lost neighbors' degrees changed too.
+        RateImpact::Global
+    }
+
+    fn init_channels(
+        &mut self,
+        g: &Graph,
+        net: &mut MutableGraph,
+        _queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        self.place_nodes(g, net, rng);
+        1
+    }
+
+    fn channel_weight(&self, _ch: usize) -> f64 {
+        self.n as f64 * self.cfg.move_rate
+    }
+
+    fn fire(
+        &mut self,
+        _ch: usize,
+        _t: f64,
+        net: &mut MutableGraph,
+        _informed: InformedView<'_>,
+        _queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        // Every node moves at the same rate: thin uniformly.
+        let v = rng.range_usize(self.n) as Node;
+        self.step_node(v, net, rng);
         RateImpact::Global
     }
 }
@@ -537,7 +813,7 @@ impl TopologyModel for MobilityState {
 /// with exactly one informed endpoint — the worst-case dynamics the
 /// paper's lower bounds gesture at. Cut edges heal after a fixed delay
 /// (never, if the delay is infinite).
-struct AdversaryState {
+pub(crate) struct AdversaryState {
     cfg: Adversary,
     /// Slab of cut edges awaiting their heal event; slots are recycled
     /// through `free` once healed, so memory is bounded by the number
@@ -547,11 +823,58 @@ struct AdversaryState {
     free: Vec<u32>,
     /// Edges selected by the current strike (reused across strikes).
     cut: Vec<(Node, Node)>,
+    /// Whether the engine feeds informed-set deltas (v2 sequential).
+    tracking: bool,
+    /// Informed bitmap mirrored from [`TopologyModel::note_informed`].
+    informed: Vec<bool>,
+    /// The live frontier, maintained incrementally: every present edge
+    /// with exactly one informed endpoint, keyed `(informed,
+    /// uninformed)`. Strikes cut the lexicographically smallest
+    /// entries — a deterministic order, like the v1 scan's, just a
+    /// different one (each contract pins its own golden stream).
+    boundary: BTreeSet<(Node, Node)>,
 }
 
 impl AdversaryState {
-    fn new(m: Adversary) -> Self {
-        Self { cfg: m, healing: Vec::new(), free: Vec::new(), cut: arena::take_pairs() }
+    pub(crate) fn new(m: Adversary) -> Self {
+        Self {
+            cfg: m,
+            healing: Vec::new(),
+            free: Vec::new(),
+            cut: arena::take_pairs(),
+            tracking: false,
+            informed: Vec::new(),
+            boundary: BTreeSet::new(),
+        }
+    }
+
+    fn is_informed(&self, v: Node) -> bool {
+        self.informed.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Cuts `edge`, scheduling its heal if healing is configured.
+    fn cut_edge(
+        &mut self,
+        edge: (Node, Node),
+        t: f64,
+        net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+    ) {
+        let (u, w) = edge;
+        net.remove_edge(u, w);
+        if self.cfg.heal_after.is_finite() {
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    self.healing[slot as usize] = (u, w);
+                    slot
+                }
+                None => {
+                    self.healing.push((u, w));
+                    (self.healing.len() - 1) as u32
+                }
+            };
+            queue.push(t + self.cfg.heal_after, TopoEvent::Heal(slot));
+        }
     }
 }
 
@@ -599,21 +922,9 @@ impl TopologyModel for AdversaryState {
                         }
                     }
                 }
-                for &(u, w) in &self.cut {
-                    net.remove_edge(u, w);
-                    if self.cfg.heal_after.is_finite() {
-                        let slot = match self.free.pop() {
-                            Some(slot) => {
-                                self.healing[slot as usize] = (u, w);
-                                slot
-                            }
-                            None => {
-                                self.healing.push((u, w));
-                                (self.healing.len() - 1) as u32
-                            }
-                        };
-                        queue.push(t + self.cfg.heal_after, TopoEvent::Heal(slot));
-                    }
+                for k in 0..self.cut.len() {
+                    let edge = self.cut[k];
+                    self.cut_edge(edge, t, net, queue);
                 }
                 queue.push(t + rng.exp(self.cfg.rate), TopoEvent::Strike);
                 RateImpact::Global
@@ -623,10 +934,105 @@ impl TopologyModel for AdversaryState {
                 self.free.push(i);
                 if net.is_active(u) && net.is_active(w) {
                     net.add_edge(u, w);
+                    // Under delta tracking the healed edge rejoins the
+                    // frontier if it still has exactly one informed
+                    // endpoint. (No-op on the v1 path: tracking stays
+                    // false there.)
+                    if self.tracking && self.is_informed(u) != self.is_informed(w) {
+                        self.boundary.insert(if self.is_informed(u) { (u, w) } else { (w, u) });
+                    }
                 }
                 RateImpact::nodes(&[u, w])
             }
             _ => unreachable!("the adversary schedules only strikes and heals"),
+        }
+    }
+
+    fn init_channels(
+        &mut self,
+        _g: &Graph,
+        _net: &mut MutableGraph,
+        _queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        // Strikes are the one stochastic channel; heals stay
+        // deterministic side-queue events.
+        1
+    }
+
+    fn channel_weight(&self, _ch: usize) -> f64 {
+        self.cfg.rate
+    }
+
+    fn fire(
+        &mut self,
+        _ch: usize,
+        t: f64,
+        net: &mut MutableGraph,
+        informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        _rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        // The v2 strike law: cut the `budget` lexicographically
+        // smallest `(informed, uninformed)` frontier edges. With delta
+        // tracking those come straight off the incrementally maintained
+        // boundary — O(budget · log F) instead of the v1 path's
+        // O(frontier) informed-set rescan. Engines that cannot feed
+        // deltas (the sharded coordinator's windows report counts, not
+        // identities) recompute the same set from the view, so both
+        // paths produce the identical event stream.
+        self.cut.clear();
+        if self.tracking {
+            while self.cut.len() < self.cfg.budget {
+                let Some(edge) = self.boundary.pop_first() else {
+                    break;
+                };
+                self.cut.push(edge);
+            }
+        } else {
+            for v in 0..net.node_count() as Node {
+                if !informed(v) {
+                    continue;
+                }
+                for &w in net.neighbors(v) {
+                    if !informed(w) {
+                        self.cut.push((v, w));
+                    }
+                }
+            }
+            self.cut.sort_unstable();
+            self.cut.truncate(self.cfg.budget);
+        }
+        for k in 0..self.cut.len() {
+            let edge = self.cut[k];
+            self.cut_edge(edge, t, net, queue);
+        }
+        RateImpact::Global
+    }
+
+    fn enable_informed_tracking(&mut self) -> bool {
+        self.tracking = true;
+        true
+    }
+
+    fn note_informed(&mut self, v: Node, net: &MutableGraph) {
+        if !self.tracking {
+            return;
+        }
+        if self.informed.len() < net.node_count() {
+            self.informed.resize(net.node_count(), false);
+        }
+        if std::mem::replace(&mut self.informed[v as usize], true) {
+            return;
+        }
+        // v crossed the frontier: edges into the informed set leave the
+        // boundary, edges to still-uninformed neighbors join it.
+        for &w in net.neighbors(v) {
+            if self.informed[w as usize] {
+                self.boundary.remove(&(w, v));
+            } else {
+                self.boundary.insert((v, w));
+            }
         }
     }
 }
@@ -648,5 +1054,108 @@ fn attach_node(net: &mut MutableGraph, v: Node, attach: usize, rng: &mut Xoshiro
         if u != v && net.is_active(u) && net.add_edge(v, u) {
             added += 1;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_graph::generators;
+
+    /// The adversary's incremental boundary equals a brute-force
+    /// frontier recomputation after an arbitrary interleaving of
+    /// informs, strikes, and heals (satellite of the v2 scheduler PR:
+    /// the per-strike O(frontier) rescan is gone from the v2 path).
+    #[test]
+    fn adversary_incremental_boundary_matches_rescan() {
+        for seed in 0..8u64 {
+            let mut rng = Xoshiro256PlusPlus::seed_from(900 + seed);
+            let g = generators::gnp_connected(40, 0.12, &mut rng, 100);
+            let mut net = MutableGraph::from_graph(&g);
+            let mut state =
+                AdversaryState::new(Adversary { rate: 1.0, budget: 3, heal_after: 0.5 });
+            assert!(state.enable_informed_tracking());
+            let mut queue = EventQueue::new();
+            let channels = state.init_channels(&g, &mut net, &mut queue, &mut rng);
+            assert_eq!(channels, 1);
+
+            state.note_informed(0, &net);
+            let mut t = 0.0;
+            for round in 0..200 {
+                t += 0.1;
+                match rng.range_usize(3) {
+                    0 => {
+                        let v = rng.range_usize(net.node_count()) as Node;
+                        state.note_informed(v, &net);
+                    }
+                    1 => {
+                        let informed = state.informed.clone();
+                        state.fire(
+                            0,
+                            t,
+                            &mut net,
+                            &|v| informed.get(v as usize).copied().unwrap_or(false),
+                            &mut queue,
+                            &mut rng,
+                        );
+                    }
+                    _ => {
+                        if let Some((ht, ev)) = queue.pop() {
+                            let informed = state.informed.clone();
+                            state.apply(
+                                ev,
+                                ht.max(t),
+                                &mut net,
+                                &|v| informed.get(v as usize).copied().unwrap_or(false),
+                                &mut queue,
+                                &mut rng,
+                            );
+                        }
+                    }
+                }
+                // Brute-force frontier from the bitmap + live topology.
+                let mut expect = BTreeSet::new();
+                for v in 0..net.node_count() as Node {
+                    if !state.is_informed(v) {
+                        continue;
+                    }
+                    for &w in net.neighbors(v) {
+                        if !state.is_informed(w) {
+                            expect.insert((v, w));
+                        }
+                    }
+                }
+                assert_eq!(
+                    state.boundary, expect,
+                    "seed {seed} round {round}: boundary diverged from rescan"
+                );
+            }
+        }
+    }
+
+    /// Channel weights track the swap-partition boundaries exactly.
+    #[test]
+    fn edge_markov_channel_weights_track_flips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(21);
+        let g = generators::gnp_connected(32, 0.2, &mut rng, 100);
+        let mut net = MutableGraph::from_graph(&g);
+        let mut state = EdgeMarkovState::new(EdgeMarkov { off_rate: 2.0, on_rate: 0.5 });
+        let mut queue = EventQueue::new();
+        assert_eq!(state.init_channels(&g, &mut net, &mut queue, &mut rng), 2);
+        assert!(queue.is_empty(), "edge-Markov v2 schedules nothing eagerly");
+        let e = g.edge_count() as f64;
+        assert_eq!(state.channel_weight(0), e * 2.0);
+        assert_eq!(state.channel_weight(1), 0.0);
+        let informed = |_: Node| false;
+        for _ in 0..50 {
+            state.fire(0, 1.0, &mut net, &informed, &mut queue, &mut rng);
+        }
+        assert_eq!(state.channel_weight(0), (e - 50.0) * 2.0);
+        assert_eq!(state.channel_weight(1), 50.0 * 0.5);
+        for _ in 0..50 {
+            state.fire(1, 2.0, &mut net, &informed, &mut queue, &mut rng);
+        }
+        assert_eq!(net.to_graph().edge_count(), g.edge_count());
+        assert_eq!(state.channel_weight(1), 0.0);
     }
 }

@@ -43,10 +43,11 @@
 
 use rumor_graph::dynamic::{GraphChange, MutableGraph};
 use rumor_graph::{Graph, Node};
-use rumor_sim::events::EventQueue;
+use rumor_sim::events::{EventQueue, RngContract};
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::dynamic::{DynamicModel, DynamicOutcome};
+use crate::engine::scheduler::TopoDriver;
 use crate::engine::source::EventSource;
 use crate::engine::topology::{InformedView, RateImpact, TopoEvent, TopologyModel};
 use crate::engine::TickSource;
@@ -192,8 +193,27 @@ impl TopologyTrace {
         rng: &mut Xoshiro256PlusPlus,
         horizon: f64,
     ) -> TopologyTrace {
+        Self::record_under(RngContract::V1, g, source, model, rng, horizon)
+    }
+
+    /// [`record`](Self::record) under an explicit [`RngContract`]: `V1`
+    /// drives the model's eager event queue (identical to `record`),
+    /// `V2` draws the realization through the superposition scheduler —
+    /// a different, contract-pinned stream of the same law.
+    ///
+    /// # Panics
+    ///
+    /// As [`record`](Self::record).
+    pub fn record_under(
+        contract: RngContract,
+        g: &Graph,
+        source: Node,
+        model: &DynamicModel,
+        rng: &mut Xoshiro256PlusPlus,
+        horizon: f64,
+    ) -> TopologyTrace {
         let mut state = model.build_state();
-        Self::record_state(g, source, state.as_mut(), rng, horizon)
+        Self::record_state_under(contract, g, source, state.as_mut(), rng, horizon)
     }
 
     /// [`record`](Self::record) over an already-built
@@ -207,23 +227,40 @@ impl TopologyTrace {
         rng: &mut Xoshiro256PlusPlus,
         horizon: f64,
     ) -> TopologyTrace {
+        Self::record_state_under(RngContract::V1, g, source, state, rng, horizon)
+    }
+
+    /// [`record_state`](Self::record_state) under an explicit
+    /// [`RngContract`] (see [`record_under`](Self::record_under)).
+    pub fn record_state_under(
+        contract: RngContract,
+        g: &Graph,
+        source: Node,
+        state: &mut dyn TopologyModel,
+        rng: &mut Xoshiro256PlusPlus,
+        horizon: f64,
+    ) -> TopologyTrace {
         let n = g.node_count();
         assert!((source as usize) < n, "source out of range");
         assert!(horizon >= 0.0 && horizon.is_finite(), "horizon must be finite and >= 0");
         let mut net = MutableGraph::from_graph(g);
-        let mut queue = EventQueue::new();
-        state.init(g, &mut net, &mut queue, rng);
+        let mut driver = TopoDriver::new(contract, g, &mut net, state, rng);
+        if state.enable_informed_tracking() {
+            // Oblivious recording: the informed set is frozen to the
+            // source for the whole realization.
+            state.note_informed(source, &net);
+        }
         let initial = net.to_graph();
         debug_assert_eq!(net.active_count(), n, "models do not deactivate during init");
         net.track_changes(true);
         let mut steps = Vec::new();
         let informed = |v: Node| v == source;
-        while let Some(t) = queue.peek_time() {
-            if t > horizon {
+        loop {
+            let t = driver.next_time(rng);
+            if !t.is_finite() || t > horizon {
                 break;
             }
-            let (te, ev) = queue.pop().expect("peeked event exists");
-            let _ = state.apply(ev, te, &mut net, &informed, &mut queue, rng);
+            let (te, _impact) = driver.step(state, &mut net, &informed, rng);
             let step = step_from_changes(net.changes(), te);
             net.clear_changes();
             if !step.is_empty() {
@@ -383,6 +420,17 @@ impl<'a> TraceRecorder<'a> {
         let initial = self.initial.expect("recorder was never run through an engine");
         TopologyTrace { initial, steps: self.steps, horizon: self.last_time }
     }
+
+    /// Reads the effective step of one applied/fired event off the
+    /// graph's change journal.
+    fn journal(&mut self, t: f64, net: &mut MutableGraph) {
+        let step = step_from_changes(net.changes(), t);
+        net.clear_changes();
+        if !step.is_empty() {
+            self.steps.push(step);
+        }
+        self.last_time = t;
+    }
 }
 
 impl TopologyModel for TraceRecorder<'_> {
@@ -410,13 +458,47 @@ impl TopologyModel for TraceRecorder<'_> {
         rng: &mut Xoshiro256PlusPlus,
     ) -> RateImpact {
         let impact = self.inner.apply(event, t, net, informed, queue, rng);
-        let step = step_from_changes(net.changes(), t);
-        net.clear_changes();
-        if !step.is_empty() {
-            self.steps.push(step);
-        }
-        self.last_time = t;
+        self.journal(t, net);
         impact
+    }
+
+    fn init_channels(
+        &mut self,
+        g: &Graph,
+        net: &mut MutableGraph,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> usize {
+        let channels = self.inner.init_channels(g, net, queue, rng);
+        self.initial = Some(net.to_graph());
+        net.track_changes(true);
+        channels
+    }
+
+    fn channel_weight(&self, channel: usize) -> f64 {
+        self.inner.channel_weight(channel)
+    }
+
+    fn fire(
+        &mut self,
+        channel: usize,
+        t: f64,
+        net: &mut MutableGraph,
+        informed: InformedView<'_>,
+        queue: &mut EventQueue<TopoEvent>,
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> RateImpact {
+        let impact = self.inner.fire(channel, t, net, informed, queue, rng);
+        self.journal(t, net);
+        impact
+    }
+
+    fn enable_informed_tracking(&mut self) -> bool {
+        self.inner.enable_informed_tracking()
+    }
+
+    fn note_informed(&mut self, v: Node, net: &MutableGraph) {
+        self.inner.note_informed(v, net);
     }
 }
 
@@ -432,6 +514,22 @@ impl TopologyModel for TraceRecorder<'_> {
 ///
 /// Panics if `source` is out of range for the trace.
 pub fn run_trace_lazy(
+    trace: &TopologyTrace,
+    source: Node,
+    mode: Mode,
+    rng: &mut Xoshiro256PlusPlus,
+    max_steps: u64,
+) -> DynamicOutcome {
+    run_trace_lazy_under(crate::RngContract::V1, trace, source, mode, rng, max_steps)
+}
+
+/// [`run_trace_lazy`] under an explicit RNG contract. A replayed trace
+/// has no stochastic topology channels, so the scheduler half of the
+/// contract is moot here — but v2 also pins the adjacency to
+/// order-relaxed mode, and the neighbor draws must read the same
+/// permuted rows the v2 sequential replay sees to stay seed-for-seed.
+pub fn run_trace_lazy_under(
+    contract: crate::RngContract,
     trace: &TopologyTrace,
     source: Node,
     mode: Mode,
@@ -454,6 +552,9 @@ pub fn run_trace_lazy(
         };
     }
     let mut net = MutableGraph::from_graph(&trace.initial);
+    if contract == crate::RngContract::V2 {
+        net.relax_neighbor_order();
+    }
     let mut cursor = 0usize;
     let mut ticks = TickSource::new(n as f64);
     let mut t = 0.0;
@@ -712,6 +813,68 @@ mod tests {
         let b = run_dynamic_model(&g, 0, Mode::PushPull, &mut replay, &mut rng(28), 1_000_000);
         assert_eq!(a, b);
         assert_eq!(replay.applied() as u64, b.topology_events);
+    }
+
+    #[test]
+    fn v2_record_of_a_replay_reproduces_the_trace() {
+        // A replayer consumes no randomness and reports no stochastic
+        // channels, so recording it under the v2 contract walks the
+        // same side-queue events as v1: the fixed point holds across
+        // contracts.
+        let g = generators::gnp_connected(32, 0.2, &mut rng(30), 100);
+        for (name, model) in all_models() {
+            let t1 = TopologyTrace::record(&g, 0, &model, &mut rng(31), 15.0);
+            let t2 = TopologyTrace::record_state_under(
+                RngContract::V2,
+                &g,
+                0,
+                &mut t1.replayer(),
+                &mut rng(99),
+                t1.horizon(),
+            );
+            assert_eq!(t2, t1, "{name}: v2 replay of a replay drifted");
+        }
+    }
+
+    #[test]
+    fn v2_record_produces_time_ordered_effective_steps() {
+        let g = generators::gnp_connected(32, 0.2, &mut rng(33), 100);
+        for (name, model) in all_models() {
+            let trace =
+                TopologyTrace::record_under(RngContract::V2, &g, 0, &model, &mut rng(34), 12.0);
+            assert!(!trace.is_empty(), "{name}: no steps recorded");
+            assert!(
+                trace.steps().windows(2).all(|w| w[0].time <= w[1].time),
+                "{name}: out-of-order steps"
+            );
+            for step in trace.steps() {
+                assert!(!step.is_empty(), "{name}: no-op step recorded");
+                assert!(step.time > 0.0 && step.time <= trace.horizon(), "{name}: bad time");
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_captures_a_v2_engine_run() {
+        // The recorder journals channel fires like queue events: under
+        // edge-Markov every fire is one effective flip, so the trace
+        // length equals the run's topology-event count.
+        let g = generators::gnp_connected(32, 0.2, &mut rng(35), 100);
+        let model = DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(2.0));
+        let mut recorder = TraceRecorder::new(&model);
+        let out = crate::dynamic::run_dynamic_model_under(
+            RngContract::V2,
+            &g,
+            0,
+            Mode::PushPull,
+            &mut recorder,
+            &mut rng(36),
+            1_000_000,
+        );
+        assert!(out.completed);
+        let trace = recorder.into_trace();
+        assert_eq!(trace.len() as u64, out.topology_events);
+        assert!(trace.steps().windows(2).all(|w| w[0].time <= w[1].time));
     }
 
     #[test]

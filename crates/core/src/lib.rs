@@ -85,14 +85,17 @@ pub mod trace;
 
 pub use asynchronous::{run_async, run_async_probed, AsyncView};
 pub use dynamic::{
-    run_dynamic, run_dynamic_model, run_dynamic_model_probed, run_dynamic_probed,
-    run_dynamic_traced, DynamicModel, DynamicOutcome,
+    run_dynamic, run_dynamic_model, run_dynamic_model_probed, run_dynamic_model_probed_under,
+    run_dynamic_model_under, run_dynamic_probed, run_dynamic_probed_under, run_dynamic_traced,
+    run_dynamic_under, DynamicModel, DynamicOutcome,
 };
 pub use engine::{
     run_dynamic_lazy, run_dynamic_sharded, run_dynamic_sharded_model,
-    run_dynamic_sharded_model_probed, run_dynamic_sharded_probed, run_edge_markov_lazy,
-    run_edge_markov_lazy_probed, run_sync_dynamic, run_trace_lazy, LazyOutcome, ShardedOutcome,
-    TopologyModel, TopologyTrace,
+    run_dynamic_sharded_model_probed, run_dynamic_sharded_model_probed_under,
+    run_dynamic_sharded_model_under, run_dynamic_sharded_probed, run_dynamic_sharded_probed_under,
+    run_dynamic_sharded_under, run_edge_markov_lazy, run_edge_markov_lazy_probed, run_sync_dynamic,
+    run_trace_lazy, run_trace_lazy_under, LazyOutcome, ShardedOutcome, TopologyModel,
+    TopologyTrace,
 };
 pub use informed::InformedSet;
 pub use mode::Mode;
@@ -101,6 +104,7 @@ pub use obs::{
     RunMetrics, SpreadingCurve,
 };
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
+pub use rumor_sim::events::RngContract;
 pub use spec::{
     CoupledEngine, CoupledOutcome, Engine, GraphSpec, Protocol, RunReport, SimSpec, Simulation,
     SpecError, Topology, TopologyModelFactory, TrialPlan,

@@ -64,18 +64,19 @@ use std::fmt;
 use std::sync::Arc;
 
 use rumor_graph::{generators, io, Graph, Node};
+use rumor_sim::events::RngContract;
 use rumor_sim::rng::Xoshiro256PlusPlus;
 
 use crate::asynchronous::{run_async, AsyncView};
 use crate::dynamic::{
-    run_dynamic, run_dynamic_model, run_dynamic_model_probed, run_dynamic_probed, run_sync_rewire,
-    Adversary, DynamicModel, DynamicOutcome, EdgeMarkov, Mobility, NodeChurn, RandomWalk, Rewire,
-    SnapshotFamily,
+    run_dynamic_model_probed_under, run_dynamic_model_under, run_dynamic_probed_under,
+    run_dynamic_under, run_sync_rewire, Adversary, DynamicModel, DynamicOutcome, EdgeMarkov,
+    Mobility, NodeChurn, RandomWalk, Rewire, SnapshotFamily,
 };
 use crate::engine::{
-    run_dynamic_sharded, run_dynamic_sharded_model, run_dynamic_sharded_model_probed,
-    run_dynamic_sharded_probed, run_edge_markov_lazy, run_sync_dynamic, run_trace_lazy,
-    TopologyModel, TopologyTrace,
+    run_dynamic_sharded_model_probed_under, run_dynamic_sharded_model_under,
+    run_dynamic_sharded_probed_under, run_dynamic_sharded_under, run_edge_markov_lazy,
+    run_sync_dynamic, run_trace_lazy_under, TopologyModel, TopologyTrace,
 };
 use crate::mode::Mode;
 use crate::obs::{
@@ -313,6 +314,12 @@ pub struct TrialPlan {
     /// seed, and report the pair averages — protocol-clock noise is
     /// halved while the trace realization is reused.
     pub antithetic: bool,
+    /// Which versioned RNG stream the run's engines draw: `V1` pins the
+    /// eager per-event legacy path (what every pre-v2 golden and
+    /// committed artifact records — a `.spec` without an
+    /// `rng_contract` line parses as `V1`), `V2` — the default for new
+    /// specs — the superposition scheduler.
+    pub rng_contract: RngContract,
 }
 
 impl Default for TrialPlan {
@@ -326,6 +333,7 @@ impl Default for TrialPlan {
             coupled: false,
             horizon: None,
             antithetic: false,
+            rng_contract: RngContract::V2,
         }
     }
 }
@@ -537,6 +545,14 @@ pub enum SpecError {
     HorizonNeedsCoupling,
     /// Antithetic pairing is only defined for coupled runs.
     AntitheticNeedsCoupling,
+    /// An option that is only defined under the v2 RNG contract was
+    /// combined with `rng_contract = v1` (the pinned legacy streams
+    /// predate it; accepting the combination would silently diverge
+    /// from every v1 golden).
+    ContractV1Conflict {
+        /// The v2-only option.
+        option: &'static str,
+    },
     /// A trace topology whose node count differs from the graph's.
     TraceNodeMismatch {
         /// Node count of the recorded trace.
@@ -614,6 +630,13 @@ impl fmt::Display for SpecError {
             }
             SpecError::AntitheticNeedsCoupling => {
                 write!(f, "antithetic pairing is only defined for coupled runs")
+            }
+            SpecError::ContractV1Conflict { option } => {
+                write!(
+                    f,
+                    "`{option}` is only defined under the v2 RNG contract; the v1 legacy \
+                     streams predate it (drop `rng_contract = v1` or `{option}`)"
+                )
             }
             SpecError::TraceNodeMismatch { trace, nodes } => {
                 write!(f, "trace records {trace} nodes but the graph has {nodes}")
@@ -776,6 +799,14 @@ impl SimSpec {
         self
     }
 
+    /// Pins the versioned RNG contract (defaults to
+    /// [`RngContract::V2`]; `V1` replays the pre-superposition streams
+    /// bit-for-bit).
+    pub fn rng_contract(mut self, contract: RngContract) -> Self {
+        self.plan.rng_contract = contract;
+        self
+    }
+
     /// Sets the per-exchange message-loss probability.
     pub fn loss(mut self, loss: f64) -> Self {
         self.loss = loss;
@@ -813,6 +844,12 @@ impl SimSpec {
             if plan.antithetic {
                 return Err(SpecError::AntitheticNeedsCoupling);
             }
+        }
+        if plan.rng_contract == RngContract::V1 && plan.antithetic {
+            // Antithetic pairing is pinned as a v2-path feature: no v1
+            // golden records it, and accepting it would silently fork
+            // the legacy streams.
+            return Err(SpecError::ContractV1Conflict { option: "antithetic" });
         }
         if let Some(h) = plan.horizon {
             if !(h > 0.0 && h.is_finite()) {
@@ -1199,6 +1236,7 @@ impl Simulation {
         let source = self.spec.source;
         let max_steps = self.max_steps;
         let capture = self.spec.metrics.is_enabled();
+        let contract = self.spec.plan.rng_contract;
         // Builds the record for one asynchronous outcome; the optional
         // ring dump carries the tail of a censored trial's event stream.
         let async_rec = |out: &AsyncOutcome| {
@@ -1238,19 +1276,24 @@ impl Simulation {
             (Engine::Sequential, Topology::Model(model)) => self.fan_out(|_, rng| {
                 if capture {
                     let mut probe = RingProbe::new(RING_CAP);
-                    let out =
-                        run_dynamic_probed(g, source, mode, model, rng, max_steps, &mut probe);
+                    let out = run_dynamic_probed_under(
+                        contract, g, source, mode, model, rng, max_steps, &mut probe,
+                    );
                     let dump = (!out.completed).then(|| probe.into_events());
                     dynamic_rec(&out, dump)
                 } else {
-                    dynamic_rec(&run_dynamic(g, source, mode, model, rng, max_steps), None)
+                    dynamic_rec(
+                        &run_dynamic_under(contract, g, source, mode, model, rng, max_steps),
+                        None,
+                    )
                 }
             }),
             (Engine::Sequential, Topology::Custom(factory)) => self.fan_out(|_, rng| {
                 let mut state = factory.build(g);
                 if capture {
                     let mut probe = RingProbe::new(RING_CAP);
-                    let out = run_dynamic_model_probed(
+                    let out = run_dynamic_model_probed_under(
+                        contract,
                         g,
                         source,
                         mode,
@@ -1263,7 +1306,15 @@ impl Simulation {
                     dynamic_rec(&out, dump)
                 } else {
                     dynamic_rec(
-                        &run_dynamic_model(g, source, mode, state.as_mut(), rng, max_steps),
+                        &run_dynamic_model_under(
+                            contract,
+                            g,
+                            source,
+                            mode,
+                            state.as_mut(),
+                            rng,
+                            max_steps,
+                        ),
                         None,
                     )
                 }
@@ -1271,7 +1322,8 @@ impl Simulation {
             (Engine::Sequential, Topology::Trace(trace)) => self.fan_out(|_, rng| {
                 if capture {
                     let mut probe = RingProbe::new(RING_CAP);
-                    let out = run_dynamic_model_probed(
+                    let out = run_dynamic_model_probed_under(
+                        contract,
                         g,
                         source,
                         mode,
@@ -1284,7 +1336,15 @@ impl Simulation {
                     dynamic_rec(&out, dump)
                 } else {
                     dynamic_rec(
-                        &run_dynamic_model(g, source, mode, &mut trace.replayer(), rng, max_steps),
+                        &run_dynamic_model_under(
+                            contract,
+                            g,
+                            source,
+                            mode,
+                            &mut trace.replayer(),
+                            rng,
+                            max_steps,
+                        ),
                         None,
                     )
                 }
@@ -1305,13 +1365,14 @@ impl Simulation {
                         let model = DynamicModel::Static;
                         if capture {
                             let mut probe = UtilProbe::default();
-                            let out = run_dynamic_sharded_probed(
-                                g, source, mode, &model, shards, rng, max_steps, &mut probe,
+                            let out = run_dynamic_sharded_probed_under(
+                                contract, g, source, mode, &model, shards, rng, max_steps,
+                                &mut probe,
                             );
                             sharded_rec(&out, probe.utilization)
                         } else {
-                            let out = run_dynamic_sharded(
-                                g, source, mode, &model, shards, rng, max_steps,
+                            let out = run_dynamic_sharded_under(
+                                contract, g, source, mode, &model, shards, rng, max_steps,
                             );
                             sharded_rec(&out, Vec::new())
                         }
@@ -1319,13 +1380,15 @@ impl Simulation {
                     Topology::Model(model) => self.fan_out(|_, rng| {
                         if capture {
                             let mut probe = UtilProbe::default();
-                            let out = run_dynamic_sharded_probed(
-                                g, source, mode, model, shards, rng, max_steps, &mut probe,
+                            let out = run_dynamic_sharded_probed_under(
+                                contract, g, source, mode, model, shards, rng, max_steps,
+                                &mut probe,
                             );
                             sharded_rec(&out, probe.utilization)
                         } else {
-                            let out =
-                                run_dynamic_sharded(g, source, mode, model, shards, rng, max_steps);
+                            let out = run_dynamic_sharded_under(
+                                contract, g, source, mode, model, shards, rng, max_steps,
+                            );
                             sharded_rec(&out, Vec::new())
                         }
                     }),
@@ -1333,7 +1396,8 @@ impl Simulation {
                         let mut state = factory.build(g);
                         if capture {
                             let mut probe = UtilProbe::default();
-                            let out = run_dynamic_sharded_model_probed(
+                            let out = run_dynamic_sharded_model_probed_under(
+                                contract,
                                 g,
                                 source,
                                 mode,
@@ -1345,7 +1409,8 @@ impl Simulation {
                             );
                             sharded_rec(&out, probe.utilization)
                         } else {
-                            let out = run_dynamic_sharded_model(
+                            let out = run_dynamic_sharded_model_under(
+                                contract,
                                 g,
                                 source,
                                 mode,
@@ -1360,7 +1425,8 @@ impl Simulation {
                     Topology::Trace(trace) => self.fan_out(|_, rng| {
                         if capture {
                             let mut probe = UtilProbe::default();
-                            let out = run_dynamic_sharded_model_probed(
+                            let out = run_dynamic_sharded_model_probed_under(
+                                contract,
                                 g,
                                 source,
                                 mode,
@@ -1372,7 +1438,8 @@ impl Simulation {
                             );
                             sharded_rec(&out, probe.utilization)
                         } else {
-                            let out = run_dynamic_sharded_model(
+                            let out = run_dynamic_sharded_model_under(
+                                contract,
                                 g,
                                 source,
                                 mode,
@@ -1387,7 +1454,10 @@ impl Simulation {
                 }
             }
             (Engine::Lazy, Topology::Trace(trace)) => self.fan_out(|_, rng| {
-                dynamic_rec(&run_trace_lazy(trace, source, mode, rng, max_steps), None)
+                dynamic_rec(
+                    &run_trace_lazy_under(contract, trace, source, mode, rng, max_steps),
+                    None,
+                )
             }),
             (Engine::Lazy, topology) => {
                 let (off_rate, on_rate) =
@@ -1458,7 +1528,8 @@ impl Simulation {
                 let proto_seed = rng.next_u64();
                 let mut trace_rng = Xoshiro256PlusPlus::seed_from(trace_seed);
                 let mut state = factory.build(g);
-                let trace = TopologyTrace::record_state(
+                let trace = TopologyTrace::record_state_under(
+                    self.spec.plan.rng_contract,
                     g,
                     source,
                     state.as_mut(),
@@ -1476,7 +1547,14 @@ impl Simulation {
                 let trace_seed = rng.next_u64();
                 let proto_seed = rng.next_u64();
                 let mut trace_rng = Xoshiro256PlusPlus::seed_from(trace_seed);
-                let trace = TopologyTrace::record(g, source, &model, &mut trace_rng, self.horizon);
+                let trace = TopologyTrace::record_under(
+                    self.spec.plan.rng_contract,
+                    g,
+                    source,
+                    &model,
+                    &mut trace_rng,
+                    self.horizon,
+                );
                 self.coupled_on_trace(&trace, proto_seed)
             }
         }
@@ -1523,8 +1601,14 @@ impl Simulation {
             self.max_rounds,
         );
         let mut proto_rng = Xoshiro256PlusPlus::seed_from(proto_seed);
+        // A replayer reports no stochastic channels, so the scheduler
+        // half of the contract is moot — but v2 also pins the adjacency
+        // to order-relaxed mode, which permutes neighbor draws, so the
+        // contract must reach every engine here all the same.
+        let contract = self.spec.plan.rng_contract;
         let asy = match self.coupled_engine() {
-            CoupledEngine::Sequential => run_dynamic_model(
+            CoupledEngine::Sequential => run_dynamic_model_under(
+                contract,
                 g,
                 source,
                 mode,
@@ -1533,7 +1617,8 @@ impl Simulation {
                 self.max_steps,
             ),
             CoupledEngine::Sharded(k) => {
-                run_dynamic_sharded_model(
+                run_dynamic_sharded_model_under(
+                    contract,
                     g,
                     source,
                     mode,
@@ -1545,7 +1630,7 @@ impl Simulation {
                 .outcome
             }
             CoupledEngine::Lazy => {
-                run_trace_lazy(trace, source, mode, &mut proto_rng, self.max_steps)
+                run_trace_lazy_under(contract, trace, source, mode, &mut proto_rng, self.max_steps)
             }
         };
         let curves = if self.spec.metrics.is_enabled() {
@@ -1772,6 +1857,12 @@ impl SimSpec {
             self.plan.horizon.map_or_else(|| "auto".to_owned(), fmt_f64)
         ));
         s.push_str(&format!("antithetic = {}\n", self.plan.antithetic));
+        // Absence of the line IS the v1 declaration (legacy artifacts
+        // predate the key), so v1 specs serialize without it and stay
+        // byte-identical to their committed pre-v2 form.
+        if self.plan.rng_contract != RngContract::V1 {
+            s.push_str(&format!("rng_contract = {}\n", self.plan.rng_contract));
+        }
         s.push_str(&format!("metrics = {}\n", self.metrics));
         Ok(s)
     }
@@ -1784,6 +1875,10 @@ impl SimSpec {
     pub fn parse(text: &str) -> Result<SimSpec, SpecError> {
         let mut graph: Option<GraphSpec> = None;
         let mut spec = SimSpec::new(GraphSpec::Complete { n: 2 });
+        // Contract-less spec texts predate the v2 scheduler: they pin
+        // the streams they were recorded under. An explicit
+        // `rng_contract` line overrides this.
+        spec.plan.rng_contract = RngContract::V1;
         let mut version_seen = false;
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -1830,6 +1925,9 @@ impl SimSpec {
                     }
                 }
                 "antithetic" => spec.plan.antithetic = parse_bool(value, "antithetic", lineno)?,
+                "rng_contract" => {
+                    spec.plan.rng_contract = value.parse::<RngContract>().map_err(err)?;
+                }
                 "metrics" => {
                     spec.metrics = value.parse::<MetricsLevel>().map_err(err)?;
                 }

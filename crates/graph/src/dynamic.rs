@@ -6,16 +6,31 @@
 //! [`MutableGraph`] bridges the two worlds without abandoning flat
 //! memory: it aliases the CSR arrays of its starting snapshot (O(1)
 //! construction, no per-trial deep copy) and gives a node its own
-//! **overlay** list the first time churn touches it — a copy of its
-//! base row that later edits mutate in place. Untouched nodes read the
-//! base arrays directly; touched nodes read their overlay list. Either
-//! way the view is one plain sorted slice, so
+//! **overlay row** the first time churn touches it — a copy of its base
+//! row that later edits mutate in place. Overlay rows live in one flat
+//! slab (a single `Vec<Node>` with per-row bounds), so list accesses
+//! stay inside one contiguous buffer instead of chasing per-node heap
+//! cells. Untouched nodes read the base arrays directly; touched nodes
+//! read their slab row. Either way the view is one plain sorted slice,
+//! so
 //! [`degree`](MutableGraph::degree), [`neighbors`](MutableGraph::neighbors),
 //! and [`random_neighbor`](MutableGraph::random_neighbor) — one
 //! `range_usize(deg)` draw indexing the k-th sorted neighbor — consume
 //! the RNG **and** pick the neighbor exactly like
 //! [`Graph::random_neighbor`] on an equal topology. That is the replay
 //! contract every golden test rests on.
+//!
+//! Keeping every list sorted costs a binary search plus a memmove per
+//! mutation — the right trade only when the *draw order* is pinned (the
+//! v1 replay contract indexes the k-th **sorted** neighbor). Engines on
+//! the v2 RNG contract mint their own goldens, so they opt into
+//! **order-relaxed adjacency** ([`relax_neighbor_order`]
+//! (MutableGraph::relax_neighbor_order)): lists keep the same *set* of
+//! neighbors but drop the ordering invariant, turning every mutation
+//! into a short scan plus `push`/`swap_remove` — no memmove, no binary
+//! search. Still fully deterministic (the order is a pure function of
+//! the mutation history), just a different — and cheaper — pinned
+//! stream.
 //!
 //! Once the overlay outgrows a threshold the graph **compacts**: the
 //! current view is flushed into a fresh flat base (staged in pooled
@@ -33,8 +48,30 @@ use crate::arena;
 use crate::builder::GraphBuilder;
 use crate::csr::{Graph, Node};
 
-/// Sentinel in `overlay_idx`: the node has no overlay list.
-const NO_OVERLAY: u32 = u32::MAX;
+/// Bounds of one overlay row inside the flat slab: the row occupies
+/// `slab[start..start + cap]` with the live prefix `[start..start +
+/// len]`. Rows that outgrow their capacity relocate to the slab's end
+/// with doubled headroom (the old region becomes waste, reclaimed by
+/// the next compaction) — `Vec` growth, flattened into one allocation
+/// shared by every row so list accesses stay inside a single
+/// contiguous, cache-dense buffer instead of chasing per-node heap
+/// cells.
+///
+/// The metas themselves are indexed **by node**, with `cap == 0` as the
+/// "never touched, read the base row" sentinel (a real overlay row
+/// always has `cap >= 4`), so a hot-path access is one meta load and
+/// one slab load — no slot indirection in between.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+impl RowMeta {
+    /// The untouched-node sentinel (`cap == 0`).
+    const NONE: RowMeta = RowMeta { start: 0, len: 0, cap: 0 };
+}
 
 /// Default compaction threshold for a base with `base_len` adjacency
 /// entries: compact once the overlay lists hold more than **twice** the
@@ -125,14 +162,14 @@ pub enum GraphChange {
 #[derive(Debug)]
 pub struct MutableGraph {
     base: BaseStore,
-    /// Per node: slab slot of its overlay list, or [`NO_OVERLAY`].
-    overlay_idx: Vec<u32>,
-    /// Overlay slab; only the first `overlay_used` slots are live. Each
-    /// live slot holds the **full current adjacency** of its node
-    /// (sorted ascending) — a copy of the base row taken on first
-    /// touch, edited in place afterwards.
-    overlay: Vec<Vec<Node>>,
-    overlay_used: usize,
+    /// Overlay row bounds, indexed by node ([`RowMeta::NONE`] until the
+    /// node's first touch). Each row holds the **full current
+    /// adjacency** of its node — a copy of the base row taken on first
+    /// touch, edited in place afterwards (sorted ascending unless order
+    /// was relaxed).
+    rows: Vec<RowMeta>,
+    /// One contiguous buffer backing every overlay row.
+    slab: Vec<Node>,
     /// Total entries across live overlay lists (compaction trigger).
     overlay_entries: usize,
     /// Compact once `overlay_entries` exceeds this.
@@ -145,6 +182,10 @@ pub struct MutableGraph {
     /// Change journal; appended to only while `tracking`.
     journal: Vec<GraphChange>,
     tracking: bool,
+    /// `true`: adjacency lists stay sorted ascending (the v1 replay
+    /// contract). `false`: order-relaxed — same sets, insertion-order
+    /// lists, O(scan) mutations with no memmove.
+    sorted: bool,
 }
 
 impl MutableGraph {
@@ -165,16 +206,13 @@ impl MutableGraph {
 
     /// Shared construction: pooled side arrays around `base`.
     fn with_base(n: usize, base: BaseStore, edge_count: usize) -> Self {
-        let mut overlay_idx = arena::take_nodes();
-        overlay_idx.resize(n, NO_OVERLAY);
         let mut active = arena::take_flags();
         active.resize(n, true);
         let base_len = base.slices().1.len();
         Self {
             base,
-            overlay_idx,
-            overlay: arena::take_cells(),
-            overlay_used: 0,
+            rows: vec![RowMeta::NONE; n],
+            slab: arena::take_nodes(),
             overlay_entries: 0,
             compact_threshold: default_threshold(base_len),
             auto_threshold: true,
@@ -183,12 +221,29 @@ impl MutableGraph {
             active_count: n,
             journal: Vec::new(),
             tracking: false,
+            sorted: true,
         }
+    }
+
+    /// Drops the sorted-adjacency invariant for all *future* mutations:
+    /// lists keep the same neighbor sets but are maintained by
+    /// `push`/`swap_remove` instead of sorted insert/remove, making
+    /// every edge mutation a short scan with no memmove.
+    ///
+    /// [`random_neighbor`](Self::random_neighbor) still draws uniformly
+    /// (one `range_usize(deg)` index into the list), and the order —
+    /// hence the draw stream — is still a pure function of the mutation
+    /// history, so runs remain bit-for-bit reproducible. But the stream
+    /// *differs* from sorted mode's, so this is only for engines whose
+    /// goldens were minted in relaxed mode (the v2 RNG contract); the
+    /// v1 replay contract requires the default sorted mode.
+    pub fn relax_neighbor_order(&mut self) {
+        self.sorted = false;
     }
 
     /// Number of nodes (stable under all mutations).
     pub fn node_count(&self) -> usize {
-        self.overlay_idx.len()
+        self.rows.len()
     }
 
     /// Number of undirected edges currently present.
@@ -206,9 +261,10 @@ impl MutableGraph {
         self.neighbors(v).len()
     }
 
-    /// The current neighbors of `v`, sorted ascending: the node's
-    /// overlay list if churn has touched it, its row of the flat base
-    /// otherwise. Empty for an inactive node.
+    /// The current neighbors of `v` (sorted ascending unless
+    /// [`relax_neighbor_order`](Self::relax_neighbor_order) was called):
+    /// the node's overlay list if churn has touched it, its row of the
+    /// flat base otherwise. Empty for an inactive node.
     ///
     /// # Panics
     ///
@@ -216,19 +272,21 @@ impl MutableGraph {
     #[inline]
     pub fn neighbors(&self, v: Node) -> &[Node] {
         let vi = v as usize;
-        match self.overlay_idx[vi] {
-            _ if !self.active[vi] => &[],
-            NO_OVERLAY => {
-                let (off, nb) = self.base.slices();
-                &nb[off[vi]..off[vi + 1]]
-            }
-            idx => &self.overlay[idx as usize],
+        let m = self.rows[vi];
+        if !self.active[vi] {
+            &[]
+        } else if m.cap == 0 {
+            let (off, nb) = self.base.slices();
+            &nb[off[vi]..off[vi + 1]]
+        } else {
+            &self.slab[m.start as usize..(m.start + m.len) as usize]
         }
     }
 
     /// A uniformly random current neighbor of `v`, drawn exactly like
     /// [`Graph::random_neighbor`]: one `range_usize(deg)` call indexing
-    /// the k-th sorted neighbor, O(1) whether or not `v` has an overlay.
+    /// the k-th stored neighbor (the k-th *sorted* neighbor unless
+    /// order was relaxed), O(1) whether or not `v` has an overlay.
     ///
     /// # Panics
     ///
@@ -246,7 +304,12 @@ impl MutableGraph {
     ///
     /// Panics if `u` is out of range.
     pub fn has_edge(&self, u: Node, v: Node) -> bool {
-        self.neighbors(u).binary_search(&v).is_ok()
+        let nbrs = self.neighbors(u);
+        if self.sorted {
+            nbrs.binary_search(&v).is_ok()
+        } else {
+            nbrs.contains(&v)
+        }
     }
 
     /// Inserts the undirected edge `{u, v}`; returns `false` if it was
@@ -267,20 +330,138 @@ impl MutableGraph {
             self.active[u as usize] && self.active[v as usize],
             "edge ({u}, {v}) touches an inactive node"
         );
-        let lu = self.list_mut(u);
-        match lu.binary_search(&v) {
-            Ok(_) => return false,
-            Err(i) => lu.insert(i, v),
+        let su = self.touch(u);
+        if self.sorted {
+            match self.row(su).binary_search(&v) {
+                Ok(_) => return false,
+                Err(i) => self.row_insert(su, i, v),
+            }
+            let sv = self.touch(v);
+            let j = self.row(sv).binary_search(&u).expect_err("adjacency is symmetric");
+            self.row_insert(sv, j, u);
+        } else {
+            if self.row(su).contains(&v) {
+                return false;
+            }
+            self.row_push(su, v);
+            let sv = self.touch(v);
+            self.row_push(sv, u);
         }
-        let lv = self.list_mut(v);
-        let j = lv.binary_search(&u).expect_err("adjacency is symmetric");
-        lv.insert(j, u);
         self.overlay_entries += 2;
         self.edge_count += 1;
         if self.tracking {
             self.journal.push(GraphChange::EdgeAdded(u.min(v), u.max(v)));
         }
         self.maybe_compact();
+        true
+    }
+
+    /// Inserts the undirected edge `{u, v}` the caller has already
+    /// established to be absent, skipping the presence probe of
+    /// [`add_edge`](Self::add_edge) — the fast path for models that
+    /// track edge presence themselves (edge-Markov's swap partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or inactive
+    /// endpoints; debug builds also panic if the edge was present
+    /// (release builds would corrupt the adjacency — callers carry the
+    /// proof of absence).
+    pub fn add_edge_unchecked(&mut self, u: Node, v: Node) {
+        assert!(u != v, "self-loop at node {u}");
+        assert!(
+            (u as usize) < self.node_count() && (v as usize) < self.node_count(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.node_count()
+        );
+        assert!(
+            self.active[u as usize] && self.active[v as usize],
+            "edge ({u}, {v}) touches an inactive node"
+        );
+        let su = self.touch(u);
+        if self.sorted {
+            let i =
+                self.row(su).binary_search(&v).expect_err("add_edge_unchecked on a present edge");
+            self.row_insert(su, i, v);
+            let sv = self.touch(v);
+            let j = self.row(sv).binary_search(&u).expect_err("adjacency is symmetric");
+            self.row_insert(sv, j, u);
+        } else {
+            debug_assert!(!self.row(su).contains(&v), "add_edge_unchecked on a present edge");
+            self.row_push(su, v);
+            let sv = self.touch(v);
+            self.row_push(sv, u);
+        }
+        self.overlay_entries += 2;
+        self.edge_count += 1;
+        if self.tracking {
+            self.journal.push(GraphChange::EdgeAdded(u.min(v), u.max(v)));
+        }
+        self.maybe_compact();
+    }
+
+    /// Slides the edge `{anchor, from}` to `{anchor, to}` — the
+    /// random-walk step — in one fused operation: if `{anchor, to}` is
+    /// already present nothing changes and `false` is returned (the
+    /// walk's occupied-pair rejection); otherwise `from` is rewritten to
+    /// `to` in `anchor`'s list in place, the reverse entries are fixed
+    /// up, and `true` is returned. One scan of `anchor`'s list serves as
+    /// both the rejection probe and the position lookup, where the
+    /// equivalent `has_edge` + `remove_edge` + `add_edge` sequence scans
+    /// it three times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to == anchor` or `to == from`, any node is out of
+    /// range, `to` is inactive, or the edge `{anchor, from}` is absent.
+    pub fn slide_edge(&mut self, anchor: Node, from: Node, to: Node) -> bool {
+        assert!(to != anchor && to != from, "slide target {to} collides with the edge");
+        assert!(
+            (anchor as usize) < self.node_count()
+                && (from as usize) < self.node_count()
+                && (to as usize) < self.node_count(),
+            "slide ({anchor}, {from} -> {to}) out of range for {} nodes",
+            self.node_count()
+        );
+        assert!(self.active[to as usize], "slide target {to} is inactive");
+        let sa = self.touch(anchor);
+        if self.sorted {
+            if self.row(sa).binary_search(&to).is_ok() {
+                return false;
+            }
+            let i = self.row(sa).binary_search(&from).expect("slide of an absent edge");
+            self.row_remove(sa, i);
+            let j = self.row(sa).binary_search(&to).expect_err("checked absent above");
+            self.row_insert(sa, j, to);
+            let sf = self.touch(from);
+            let k = self.row(sf).binary_search(&anchor).expect("adjacency is symmetric");
+            self.row_remove(sf, k);
+            let st = self.touch(to);
+            let m = self.row(st).binary_search(&anchor).expect_err("adjacency is symmetric");
+            self.row_insert(st, m, anchor);
+        } else {
+            let m = self.rows[sa];
+            let row = &mut self.slab[m.start as usize..(m.start + m.len) as usize];
+            let mut pos_from = usize::MAX;
+            for (k, &w) in row.iter().enumerate() {
+                if w == to {
+                    return false;
+                }
+                if w == from {
+                    pos_from = k;
+                }
+            }
+            assert!(pos_from != usize::MAX, "slide of an absent edge");
+            row[pos_from] = to;
+            let sf = self.touch(from);
+            assert!(self.row_find_swap_remove(sf, anchor), "adjacency is symmetric");
+            let st = self.touch(to);
+            self.row_push(st, anchor);
+        }
+        if self.tracking {
+            self.journal.push(GraphChange::EdgeRemoved(anchor.min(from), anchor.max(from)));
+            self.journal.push(GraphChange::EdgeAdded(anchor.min(to), anchor.max(to)));
+        }
         true
     }
 
@@ -299,14 +480,22 @@ impl MutableGraph {
         if !self.active[u as usize] {
             return false;
         }
-        let lu = self.list_mut(u);
-        match lu.binary_search(&v) {
-            Err(_) => return false,
-            Ok(i) => lu.remove(i),
-        };
-        let lv = self.list_mut(v);
-        let j = lv.binary_search(&u).expect("adjacency is symmetric");
-        lv.remove(j);
+        let su = self.touch(u);
+        if self.sorted {
+            match self.row(su).binary_search(&v) {
+                Err(_) => return false,
+                Ok(i) => self.row_remove(su, i),
+            };
+            let sv = self.touch(v);
+            let j = self.row(sv).binary_search(&u).expect("adjacency is symmetric");
+            self.row_remove(sv, j);
+        } else {
+            if !self.row_find_swap_remove(su, v) {
+                return false;
+            }
+            let sv = self.touch(v);
+            assert!(self.row_find_swap_remove(sv, u), "adjacency is symmetric");
+        }
         self.overlay_entries -= 2;
         self.edge_count -= 1;
         if self.tracking {
@@ -336,16 +525,21 @@ impl MutableGraph {
         let mut nbrs = arena::take_nodes();
         nbrs.extend_from_slice(self.neighbors(v));
         for &w in &nbrs {
-            let lw = self.list_mut(w);
-            let j = lw.binary_search(&v).expect("adjacency is symmetric");
-            lw.remove(j);
+            let sw = self.touch(w);
+            if self.sorted {
+                let j = self.row(sw).binary_search(&v).expect("adjacency is symmetric");
+                self.row_remove(sw, j);
+            } else {
+                assert!(self.row_find_swap_remove(sw, v), "adjacency is symmetric");
+            }
             if self.tracking {
                 self.journal.push(GraphChange::EdgeRemoved(v.min(w), v.max(w)));
             }
         }
         let stripped = nbrs.len();
         arena::give_nodes(nbrs);
-        self.list_mut(v).clear();
+        let sv = self.touch(v);
+        self.row_clear(sv);
         self.overlay_entries -= 2 * stripped;
         self.edge_count -= stripped;
         self.active[v as usize] = false;
@@ -467,32 +661,126 @@ impl MutableGraph {
 
     // ---- internals ----------------------------------------------------
 
-    /// The mutable adjacency list of `v`, copying its base row into the
-    /// overlay slab (recycled slot, retained capacity) on first touch.
+    /// The overlay row index of `v` (its node index), copying the base
+    /// row into the slab on first touch. Row contents are then read
+    /// through [`row`](Self::row) and edited through the `row_*`
+    /// primitives — all index-addressed, so interleaved touches (which
+    /// may relocate rows inside the slab) never invalidate a held
+    /// index.
     #[inline]
-    fn list_mut(&mut self, v: Node) -> &mut Vec<Node> {
+    fn touch(&mut self, v: Node) -> usize {
         let vi = v as usize;
-        let mut idx = self.overlay_idx[vi] as usize;
-        if idx == NO_OVERLAY as usize {
-            idx = self.overlay_used;
-            if idx == self.overlay.len() {
-                self.overlay.push(Vec::new());
-            }
-            self.overlay_used += 1;
-            self.overlay_idx[vi] = idx as u32;
-            let (off, nb) = self.base.slices();
-            let row = if self.active[vi] { &nb[off[vi]..off[vi + 1]] } else { &[] };
-            self.overlay_entries += row.len();
-            let list = &mut self.overlay[idx];
-            list.clear();
-            list.extend_from_slice(row);
+        if self.rows[vi].cap != 0 {
+            vi
+        } else {
+            self.copy_row_to_overlay(v)
         }
-        &mut self.overlay[idx]
+    }
+
+    /// First-touch path of [`touch`](Self::touch): appends a slab row
+    /// holding `v`'s current adjacency with growth headroom.
+    fn copy_row_to_overlay(&mut self, v: Node) -> usize {
+        let vi = v as usize;
+        let start = self.slab.len();
+        let (off, nb) = self.base.slices();
+        let row: &[Node] = if self.active[vi] { &nb[off[vi]..off[vi + 1]] } else { &[] };
+        let len = row.len();
+        // ~1.25x headroom: degree-stable churn (the common case) almost
+        // never relocates, while the slab stays dense enough that the
+        // hot rows share cache lines. Relocation doubles, so outliers
+        // converge in O(log) moves anyway.
+        let cap = (len + (len >> 2) + 2).max(4);
+        assert!(start + cap <= u32::MAX as usize, "overlay slab exceeds u32 indexing");
+        self.slab.extend_from_slice(row);
+        self.slab.resize(start + cap, 0);
+        self.rows[vi] = RowMeta { start: start as u32, len: len as u32, cap: cap as u32 };
+        self.overlay_entries += len;
+        vi
+    }
+
+    /// The live entries of overlay row `idx`.
+    #[inline]
+    fn row(&self, idx: usize) -> &[Node] {
+        let m = self.rows[idx];
+        &self.slab[m.start as usize..(m.start + m.len) as usize]
+    }
+
+    /// Relocates row `idx` to the slab's end with doubled capacity (the
+    /// old region becomes waste until the next compaction).
+    fn grow_row(&mut self, idx: usize) {
+        let m = self.rows[idx];
+        let new_cap = (2 * m.cap).max(4) as usize;
+        let start = self.slab.len();
+        assert!(start + new_cap <= u32::MAX as usize, "overlay slab exceeds u32 indexing");
+        self.slab.extend_from_within(m.start as usize..(m.start + m.len) as usize);
+        self.slab.resize(start + new_cap, 0);
+        self.rows[idx] = RowMeta { start: start as u32, len: m.len, cap: new_cap as u32 };
+    }
+
+    #[inline]
+    fn row_push(&mut self, idx: usize, x: Node) {
+        let mut m = self.rows[idx];
+        if m.len == m.cap {
+            self.grow_row(idx);
+            m = self.rows[idx];
+        }
+        self.slab[(m.start + m.len) as usize] = x;
+        self.rows[idx].len = m.len + 1;
+    }
+
+    #[inline]
+    fn row_insert(&mut self, idx: usize, i: usize, x: Node) {
+        if self.rows[idx].len == self.rows[idx].cap {
+            self.grow_row(idx);
+        }
+        let m = self.rows[idx];
+        let (s, l) = (m.start as usize, m.len as usize);
+        self.slab.copy_within(s + i..s + l, s + i + 1);
+        self.slab[s + i] = x;
+        self.rows[idx].len += 1;
+    }
+
+    #[inline]
+    fn row_remove(&mut self, idx: usize, i: usize) {
+        let m = self.rows[idx];
+        let (s, l) = (m.start as usize, m.len as usize);
+        self.slab.copy_within(s + i + 1..s + l, s + i);
+        self.rows[idx].len -= 1;
+    }
+
+    /// Scans row `idx` for `x` and swap-removes the first occurrence in
+    /// the same pass (one slice borrow, one meta load); returns whether
+    /// `x` was found. The relaxed-mode mutation workhorse.
+    #[inline]
+    fn row_find_swap_remove(&mut self, idx: usize, x: Node) -> bool {
+        let m = self.rows[idx];
+        let (s, l) = (m.start as usize, m.len as usize);
+        let row = &mut self.slab[s..s + l];
+        match row.iter().position(|&w| w == x) {
+            Some(i) => {
+                row[i] = row[l - 1];
+                self.rows[idx].len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn row_clear(&mut self, idx: usize) {
+        self.rows[idx].len = 0;
     }
 
     #[inline]
     fn maybe_compact(&mut self) {
-        if self.overlay_entries > self.compact_threshold {
+        // Second disjunct: slab *waste* (growth-headroom pads plus
+        // regions abandoned by row relocation) is also bounded, so
+        // disabling it requires `set_compaction_threshold(usize::MAX)`
+        // just like the live-entry bound (`saturating_mul` keeps MAX
+        // meaning "never").
+        if self.overlay_entries > self.compact_threshold
+            || self.slab.len() > self.compact_threshold.saturating_mul(4)
+        {
             self.compact();
         }
     }
@@ -519,22 +807,30 @@ impl MutableGraph {
         }
     }
 
-    /// Empties the overlay; slab slots keep their capacity for reuse.
+    /// Empties the overlay; the slab keeps its allocation for reuse.
     fn clear_overlay(&mut self) {
-        for list in &mut self.overlay[..self.overlay_used] {
-            list.clear();
-        }
-        self.overlay_used = 0;
+        self.rows.fill(RowMeta::NONE);
+        self.slab.clear();
         self.overlay_entries = 0;
-        self.overlay_idx.fill(NO_OVERLAY);
     }
 
     /// Journals the edge diff `self → snapshot-filtered-by-activation`
     /// (called before [`Self::replace_edges_with`] rewrites storage).
     fn journal_replace_diff(&mut self, snapshot: &Graph) {
         let mut j = std::mem::take(&mut self.journal);
+        let mut scratch = arena::take_nodes();
         for v in 0..self.node_count() as Node {
-            let old = self.neighbors(v);
+            // The merge below walks both sides in ascending order; in
+            // relaxed mode the live row must be sorted into scratch
+            // first (the snapshot side is CSR, always sorted).
+            let old: &[Node] = if self.sorted {
+                self.neighbors(v)
+            } else {
+                scratch.clear();
+                scratch.extend_from_slice(self.neighbors(v));
+                scratch.sort_unstable();
+                &scratch
+            };
             let mut oi = 0usize;
             let active_v = self.active[v as usize];
             let mut new_it = snapshot
@@ -566,6 +862,7 @@ impl MutableGraph {
                 }
             }
         }
+        arena::give_nodes(scratch);
         self.journal = j;
     }
 }
@@ -584,24 +881,14 @@ impl Clone for MutableGraph {
                 BaseStore::Owned { offsets: o, neighbors: nb }
             }
         };
-        let mut overlay_idx = arena::take_nodes();
-        overlay_idx.extend_from_slice(&self.overlay_idx);
         let mut active = arena::take_flags();
         active.extend_from_slice(&self.active);
-        let mut overlay = arena::take_cells();
-        for (i, src) in self.overlay[..self.overlay_used].iter().enumerate() {
-            if i == overlay.len() {
-                overlay.push(src.clone());
-            } else {
-                overlay[i].clear();
-                overlay[i].extend_from_slice(src);
-            }
-        }
+        let mut slab = arena::take_nodes();
+        slab.extend_from_slice(&self.slab);
         Self {
             base,
-            overlay_idx,
-            overlay,
-            overlay_used: self.overlay_used,
+            rows: self.rows.clone(),
+            slab,
             overlay_entries: self.overlay_entries,
             compact_threshold: self.compact_threshold,
             auto_threshold: self.auto_threshold,
@@ -610,15 +897,15 @@ impl Clone for MutableGraph {
             active_count: self.active_count,
             journal: self.journal.clone(),
             tracking: self.tracking,
+            sorted: self.sorted,
         }
     }
 }
 
 impl Drop for MutableGraph {
     fn drop(&mut self) {
-        arena::give_nodes(std::mem::take(&mut self.overlay_idx));
         arena::give_flags(std::mem::take(&mut self.active));
-        arena::give_cells(std::mem::take(&mut self.overlay));
+        arena::give_nodes(std::mem::take(&mut self.slab));
         std::mem::replace(&mut self.base, BaseStore::hollow()).recycle();
     }
 }
@@ -686,6 +973,111 @@ mod tests {
                 assert!(net.has_edge(w, v), "asymmetry {v}-{w}");
             }
         }
+    }
+
+    #[test]
+    fn relaxed_order_preserves_sets_counts_and_symmetry() {
+        let g = generators::gnp_connected(24, 0.25, &mut Xoshiro256PlusPlus::seed_from(3), 100);
+        let mut relaxed = MutableGraph::from_graph(&g);
+        relaxed.relax_neighbor_order();
+        let mut sorted = MutableGraph::from_graph(&g);
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        for _ in 0..400 {
+            let u = rng.range_usize(24) as Node;
+            let v = rng.range_usize(24) as Node;
+            if u == v {
+                continue;
+            }
+            if relaxed.has_edge(u, v) {
+                assert!(relaxed.remove_edge(u, v) && sorted.remove_edge(u, v));
+            } else {
+                assert!(relaxed.add_edge(u, v) && sorted.add_edge(u, v));
+            }
+        }
+        assert_eq!(relaxed.edge_count(), sorted.edge_count());
+        for v in 0..24u32 {
+            let mut a = relaxed.neighbors(v).to_vec();
+            a.sort_unstable();
+            assert_eq!(a, sorted.neighbors(v), "neighbor set diverged at {v}");
+            for &w in relaxed.neighbors(v) {
+                assert!(relaxed.has_edge(w, v), "asymmetry {v}-{w}");
+            }
+        }
+        // Freezing canonicalizes: both modes yield the same CSR.
+        assert_eq!(relaxed.to_graph(), sorted.to_graph());
+        // Deactivation strips via the relaxed path too.
+        let d = relaxed.degree(5);
+        assert_eq!(relaxed.deactivate(5), d);
+        assert_eq!(sorted.deactivate(5), d);
+        assert_eq!(relaxed.to_graph(), sorted.to_graph());
+    }
+
+    #[test]
+    fn slide_edge_moves_rejects_and_journals_in_both_modes() {
+        for relax in [false, true] {
+            let mut net = MutableGraph::from_graph(&generators::cycle(6));
+            if relax {
+                net.relax_neighbor_order();
+            }
+            net.track_changes(true);
+            // 0-1 slides to 0-3: present edge moves, symmetry holds.
+            assert!(net.slide_edge(0, 1, 3), "mode relax={relax}");
+            assert!(!net.has_edge(0, 1) && net.has_edge(0, 3) && net.has_edge(3, 0));
+            assert_eq!(net.edge_count(), 6);
+            assert_eq!(
+                net.changes(),
+                &[GraphChange::EdgeRemoved(0, 1), GraphChange::EdgeAdded(0, 3)]
+            );
+            // Occupied-pair rejection: 0-5 exists, so 0-3 cannot slide
+            // onto it — and nothing changes.
+            net.clear_changes();
+            assert!(!net.slide_edge(0, 3, 5), "mode relax={relax}");
+            assert!(net.has_edge(0, 3) && net.has_edge(0, 5));
+            assert!(net.changes().is_empty());
+            // The result is the same topology in either mode.
+            let mut nbrs = net.neighbors(0).to_vec();
+            nbrs.sort_unstable();
+            assert_eq!(nbrs, vec![3, 5]);
+        }
+    }
+
+    #[test]
+    fn add_edge_unchecked_matches_checked_add() {
+        for relax in [false, true] {
+            let mut a = MutableGraph::from_graph(&generators::cycle(5));
+            let mut b = a.clone();
+            if relax {
+                a.relax_neighbor_order();
+                b.relax_neighbor_order();
+            }
+            assert!(a.add_edge(0, 2));
+            b.add_edge_unchecked(0, 2);
+            assert_eq!(a, b, "mode relax={relax}");
+        }
+    }
+
+    #[test]
+    fn relaxed_order_journal_matches_sorted_mode_as_sets() {
+        let g = generators::cycle(8);
+        let run = |relax: bool| {
+            let mut net = MutableGraph::from_graph(&g);
+            if relax {
+                net.relax_neighbor_order();
+            }
+            net.track_changes(true);
+            net.remove_edge(0, 1);
+            net.add_edge(0, 4);
+            net.replace_edges_with(&generators::star(8));
+            let mut j = net.changes().to_vec();
+            j.sort_unstable_by_key(|c| match *c {
+                GraphChange::EdgeAdded(u, v) => (0, u, v),
+                GraphChange::EdgeRemoved(u, v) => (1, u, v),
+                GraphChange::NodeDeactivated(v) => (2, v, 0),
+                GraphChange::NodeActivated(v) => (3, v, 0),
+            });
+            j
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Discrete-event scheduling: time-ordered queues, Poisson clocks, and
-//! lazy two-state Markov clocks.
+//! Discrete-event scheduling: time-ordered queues, Poisson clocks,
+//! lazy two-state Markov clocks, and the superposition scheduler.
 //!
 //! The asynchronous protocol of the paper is driven by `n` independent
 //! rate-1 Poisson clocks. [`EventQueue`] provides the classic
@@ -7,12 +7,79 @@
 //! exponential inter-arrival logic; [`LazyMarkovClock`] resolves a
 //! continuous-time on/off chain only at the instants something observes
 //! it, so simulations with millions of such chains pay only for the ones
-//! they touch.
+//! they touch; [`Superposition`] collapses a population of competing
+//! exponential clocks into one total-rate clock plus a thinned
+//! categorical draw, so the engines keep O(1) pending events instead of
+//! one per edge. Which scheduler an engine uses is pinned by
+//! [`RngContract`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::str::FromStr;
 
 use crate::rng::{SplitMix64, Xoshiro256PlusPlus};
+
+/// Version of the engines' random-number consumption contract.
+///
+/// Every simulation consumes one seeded RNG stream, and the *order* of
+/// draws is part of the reproducibility contract: replay goldens,
+/// committed `.spec` artifacts, and recorded traces all pin exact
+/// streams. Changing how events are scheduled changes that order, so
+/// scheduler generations are explicit:
+///
+/// - **`V1`** — eager per-edge scheduling: every stochastic topology
+///   event owns a pending [`EventQueue`] entry, holding times drawn at
+///   `init`/re-push time. This is the stream every pre-v2 golden and
+///   `.spec` artifact records; the code paths are pinned and never
+///   change behavior.
+/// - **`V2`** — superposition scheduling (the default): one
+///   [`Superposition`] clock per model draws a single `Exp(total_rate)`
+///   inter-event time and thins to a channel at pop time. Fewer draws,
+///   O(1) pending events, a different — but equally deterministic —
+///   stream with its own golden set.
+///
+/// The two contracts are *equal in law* (same event-set distribution;
+/// see `tests/scheduler_equivalence.rs`) but not bit-equal. Specs
+/// serialize the field as `rng_contract = v1 | v2`; specs written
+/// before the field existed parse as `V1`, because that is the stream
+/// they recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RngContract {
+    /// Eager per-edge event queue (legacy pinned stream).
+    V1,
+    /// Superposition single-clock scheduler with thinning.
+    #[default]
+    V2,
+}
+
+impl RngContract {
+    /// The serialized spelling (`"v1"` / `"v2"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RngContract::V1 => "v1",
+            RngContract::V2 => "v2",
+        }
+    }
+}
+
+impl fmt::Display for RngContract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for RngContract {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "v1" => Ok(RngContract::V1),
+            "v2" => Ok(RngContract::V2),
+            other => Err(format!("unknown rng contract {other:?} (expected v1 or v2)")),
+        }
+    }
+}
 
 /// A finite simulation timestamp with a total order.
 ///
@@ -305,6 +372,197 @@ impl LazyMarkovClock {
     }
 }
 
+/// What a [`Superposition`] pop produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fired<T> {
+    /// A stochastic arrival, thinned to the channel with this index.
+    Channel(usize),
+    /// A deterministic event scheduled through the side queue.
+    Event(T),
+}
+
+/// The v2 scheduler: a superposition of competing exponential clocks.
+///
+/// Where the v1 engines keep one pending [`EventQueue`] entry per edge
+/// (E entries, ~100 ns per pop-reschedule-push heap cycle), this
+/// scheduler maintains only the **total rate** of a small number of
+/// *channels* — weighted classes of identical exponential clocks, e.g.
+/// "present edges flipping off at rate `off`" — draws a single
+/// `Exp(total)` inter-arrival time, and selects the firing channel by a
+/// thinned categorical draw over the weight prefix sums at pop time.
+/// (The per-channel flat member tables that map a channel hit to a
+/// concrete edge or node live in the models and are pooled in the
+/// per-trial arena.) By the superposition property of Poisson
+/// processes the resulting marked event stream is *equal in law* to
+/// the eager construction; the RNG stream differs, which is why this
+/// ships behind [`RngContract::V2`].
+///
+/// Deterministic follow-ups (heal timers, rewire snapshots, trace
+/// replay cursors) still need absolute-time scheduling; they go through
+/// the public side [`queue`](Self::queue), which is merged with the
+/// stochastic arrival stream — the queue winning ties, which occur with
+/// probability zero against a continuous arrival time.
+///
+/// Draw discipline (the replay contract):
+///
+/// - [`peek`](Self::peek) draws the pending arrival if none is held;
+///   a drawn-but-unconsumed arrival is retained and never redrawn.
+/// - [`pop`](Self::pop) consumes the arrival and, **only if more than
+///   one channel has positive weight**, spends one selection draw. A
+///   single-channel scheduler therefore consumes exactly the draws of
+///   a plain [`PoissonClock`] loop — the property that lets engines
+///   route single-rate tick streams through `Superposition` without
+///   moving their RNG stream.
+/// - [`set_weight`](Self::set_weight) with a *changed* weight discards
+///   the pending arrival and restarts the clock at `now`; by
+///   memorylessness the redrawn arrival is exact. An unchanged weight
+///   is a no-op, retaining the pending arrival.
+#[derive(Debug)]
+pub struct Superposition<T> {
+    weights: Vec<f64>,
+    total: f64,
+    clock: f64,
+    pending: Option<f64>,
+    /// Deterministic side events, merged ahead of stochastic arrivals
+    /// on (probability-zero) time ties.
+    pub queue: EventQueue<T>,
+}
+
+impl<T> Superposition<T> {
+    /// A scheduler with `channels` channels, all at weight 0, starting
+    /// at time 0.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            weights: vec![0.0; channels],
+            total: 0.0,
+            clock: 0.0,
+            pending: None,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current weight (total rate) of channel `ch`.
+    pub fn weight(&self, ch: usize) -> f64 {
+        self.weights[ch]
+    }
+
+    /// Sum of all channel weights.
+    pub fn total_rate(&self) -> f64 {
+        self.total
+    }
+
+    /// The pending (already drawn) stochastic arrival, if one is held;
+    /// test hook mirroring [`LazyMarkovClock::pending_flip`].
+    pub fn pending_arrival(&self) -> Option<f64> {
+        self.pending
+    }
+
+    /// Sets channel `ch` to weight `w` as of time `now`.
+    ///
+    /// A changed total discards the pending arrival and restarts the
+    /// clock at `now` (exact by memorylessness); an unchanged weight
+    /// retains it, so resyncing weights after an event that did not
+    /// move them costs no draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative or non-finite.
+    pub fn set_weight(&mut self, now: f64, ch: usize, w: f64) {
+        assert!(w >= 0.0 && w.is_finite(), "channel weight must be finite and >= 0, got {w}");
+        if self.weights[ch] == w {
+            return;
+        }
+        self.weights[ch] = w;
+        // Re-sum the (small) channel vector instead of accumulating
+        // deltas: the total stays exactly reproducible, with no
+        // floating-point drift across millions of events.
+        self.total = self.weights.iter().sum();
+        self.pending = None;
+        self.clock = now;
+    }
+
+    /// Time of the next event — stochastic arrival or queued — drawing
+    /// (and retaining) the arrival if none is pending. `None` when all
+    /// weights are zero and the queue is empty.
+    pub fn peek(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        let arrival = self.arrival_time(rng);
+        match (self.queue.peek_time(), arrival) {
+            (Some(q), Some(a)) => Some(if q <= a { q } else { a }),
+            (Some(q), None) => Some(q),
+            (None, a) => a,
+        }
+    }
+
+    /// Removes and returns the next event. Stochastic pops consume the
+    /// pending arrival and thin to a channel (one selection draw,
+    /// skipped when exactly one channel is live); queued pops consume
+    /// no randomness and retain the pending arrival.
+    pub fn pop(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<(f64, Fired<T>)> {
+        let arrival = self.arrival_time(rng);
+        let queue_first = match (self.queue.peek_time(), arrival) {
+            (Some(q), Some(a)) => q <= a,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if queue_first {
+            let (t, payload) = self.queue.pop().expect("peeked non-empty");
+            return Some((t, Fired::Event(payload)));
+        }
+        let t = self.pending.take().expect("arrival_time held a pending draw");
+        self.clock = t;
+        Some((t, Fired::Channel(self.select_channel(rng))))
+    }
+
+    /// Draws (or returns the retained) next stochastic arrival; `None`
+    /// when the total rate is zero.
+    fn arrival_time(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<f64> {
+        if self.total > 0.0 {
+            Some(*self.pending.get_or_insert_with(|| self.clock + rng.exp(self.total)))
+        } else {
+            None
+        }
+    }
+
+    /// Thins an arrival to a channel: proportional to weight, via one
+    /// uniform draw over the prefix sums — skipped entirely when only
+    /// one channel is live (a deterministic predicate of the weight
+    /// history, so replay cannot diverge on the skip).
+    fn select_channel(&self, rng: &mut Xoshiro256PlusPlus) -> usize {
+        // Two live channels is the workhorse case (edge-Markov's
+        // present/absent pair): same draw, same prefix rule as the
+        // general walk below, hand-unrolled.
+        if let [w0, w1] = self.weights[..] {
+            if w0 > 0.0 && w1 > 0.0 {
+                return usize::from(rng.f64_unit() * self.total >= w0);
+            }
+        }
+        let mut live = self.weights.iter().enumerate().filter(|(_, &w)| w > 0.0);
+        let first = live.next().expect("pop with zero total rate").0;
+        let Some(second) = live.next().map(|(i, _)| i) else {
+            return first;
+        };
+        let mut x = rng.f64_unit() * self.total;
+        let mut chosen = self.weights.iter().rposition(|&w| w > 0.0).unwrap_or(second);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                chosen = i;
+                break;
+            }
+            x -= w;
+        }
+        chosen
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +750,113 @@ mod tests {
         }
         let frac = f64::from(on_time) / f64::from(samples);
         assert!((frac - 0.5).abs() < 0.02, "stationary on-fraction {frac}");
+    }
+
+    #[test]
+    fn rng_contract_round_trips_and_defaults_to_v2() {
+        assert_eq!(RngContract::default(), RngContract::V2);
+        for c in [RngContract::V1, RngContract::V2] {
+            assert_eq!(c.as_str().parse::<RngContract>(), Ok(c));
+            assert_eq!(format!("{c}"), c.as_str());
+        }
+        assert!("v3".parse::<RngContract>().is_err());
+    }
+
+    /// A single-channel superposition consumes exactly the draws of a
+    /// plain Poisson clock: same arrival times, same final RNG state.
+    /// This is what lets engines route their rate-n tick stream through
+    /// the scheduler without moving the replay stream.
+    #[test]
+    fn single_channel_superposition_matches_poisson_clock_bit_for_bit() {
+        let rate = 3.5;
+        let mut eager_rng = Xoshiro256PlusPlus::seed_from(17);
+        let mut clock = PoissonClock::new(rate);
+        let reference: Vec<f64> = (0..200).map(|_| clock.next_tick(&mut eager_rng)).collect();
+
+        let mut rng = Xoshiro256PlusPlus::seed_from(17);
+        let mut sup: Superposition<()> = Superposition::new(1);
+        sup.set_weight(0.0, 0, rate);
+        for (i, &expect) in reference.iter().enumerate() {
+            // Peek must retain: double-peek draws nothing extra.
+            assert_eq!(sup.peek(&mut rng), Some(expect));
+            assert_eq!(sup.peek(&mut rng), Some(expect));
+            let (t, fired) = sup.pop(&mut rng).expect("live channel");
+            assert_eq!((t, fired), (expect, Fired::Channel(0)), "arrival {i}");
+        }
+        assert_eq!(rng.next_u64(), eager_rng.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn superposition_channel_frequencies_match_weights() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(5);
+        let mut sup: Superposition<()> = Superposition::new(3);
+        sup.set_weight(0.0, 0, 1.0);
+        sup.set_weight(0.0, 1, 3.0);
+        sup.set_weight(0.0, 2, 0.0); // dead channel must never fire
+        let mut hits = [0u64; 3];
+        let trials = 40_000;
+        for _ in 0..trials {
+            match sup.pop(&mut rng) {
+                Some((_, Fired::Channel(c))) => hits[c] += 1,
+                other => panic!("expected channel fire, got {other:?}"),
+            }
+        }
+        assert_eq!(hits[2], 0);
+        let frac = hits[1] as f64 / trials as f64;
+        assert!((frac - 0.75).abs() < 0.02, "channel-1 fraction {frac}");
+    }
+
+    /// Reweighting discards the pending arrival and restarts the clock
+    /// (memorylessness); an unchanged weight is a no-op that retains it.
+    #[test]
+    fn superposition_reweight_invalidates_only_on_change() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(9);
+        let mut sup: Superposition<()> = Superposition::new(2);
+        sup.set_weight(0.0, 0, 2.0);
+        let first = sup.peek(&mut rng).expect("live");
+        sup.set_weight(0.5, 0, 2.0); // unchanged: retained
+        assert_eq!(sup.pending_arrival(), Some(first));
+        sup.set_weight(0.5, 1, 1.0); // changed: discarded, clock = 0.5
+        assert_eq!(sup.pending_arrival(), None);
+        assert_eq!(sup.total_rate(), 3.0);
+        let redrawn = sup.peek(&mut rng).expect("live");
+        assert!(redrawn > 0.5, "redrawn arrival {redrawn} must start at the reweight time");
+    }
+
+    /// Queued (deterministic) events merge ahead of stochastic arrivals
+    /// and consume no randomness; the pending arrival survives them.
+    #[test]
+    fn superposition_queue_merges_without_consuming_arrival() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(11);
+        let mut sup: Superposition<&str> = Superposition::new(1);
+        sup.set_weight(0.0, 0, 1e-6); // arrival far in the future w.h.p.
+        let arrival = sup.peek(&mut rng).expect("live");
+        sup.queue.push(arrival.min(1.0) * 0.5, "deterministic");
+        let (t, fired) = sup.pop(&mut rng).expect("queued event");
+        assert_eq!(fired, Fired::Event("deterministic"));
+        assert!(t < arrival);
+        assert_eq!(sup.pending_arrival(), Some(arrival), "arrival retained across queue pop");
+    }
+
+    #[test]
+    fn superposition_zero_rate_is_queue_only() {
+        let mut rng = Xoshiro256PlusPlus::seed_from(13);
+        let mut sup: Superposition<u8> = Superposition::new(2);
+        assert_eq!(sup.peek(&mut rng), None);
+        assert_eq!(sup.pop(&mut rng), None);
+        sup.queue.push(4.0, 7);
+        assert_eq!(sup.pop(&mut rng), Some((4.0, Fired::Event(7))));
+        // Raising a weight from zero restarts the clock at `now`.
+        sup.set_weight(4.0, 0, 1.0);
+        let t = sup.peek(&mut rng).expect("live");
+        assert!(t > 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn superposition_rejects_negative_weight() {
+        let mut sup: Superposition<()> = Superposition::new(1);
+        sup.set_weight(0.0, 0, -1.0);
     }
 
     /// Superposition: merging the ticks of n rate-1 clocks in [0, T] looks

@@ -127,3 +127,59 @@ fn geometric_one_minus_inv_e_tail() {
         assert!((g.cdf(j) - expected).abs() < 1e-12, "tail mismatch at {j}");
     }
 }
+
+/// The v2 scheduler's law, not just its stream: superposed channel
+/// weights `w_i` produce inter-arrival times that are `Exp(Σw_i)` (KS
+/// smoke test against the exact CDF) and channel marks with the right
+/// categorical frequencies `w_i / Σw_i` — the two halves of the
+/// superposition/thinning theorem the `RngContract::V2` engines rely
+/// on.
+#[test]
+fn superposition_interarrivals_are_exponential_and_marks_categorical() {
+    use rumor_spreading::sim::events::{Fired, Superposition};
+
+    let weights = [0.5f64, 2.0, 0.25, 1.25];
+    let total: f64 = weights.iter().sum();
+    let mut rng = Xoshiro256PlusPlus::seed_from(2016);
+    let mut sup: Superposition<()> = Superposition::new(weights.len());
+    for (i, &w) in weights.iter().enumerate() {
+        sup.set_weight(0.0, i, w);
+    }
+
+    let trials = 60_000usize;
+    let mut gaps = Vec::with_capacity(trials);
+    let mut hits = vec![0u64; weights.len()];
+    let mut prev = 0.0;
+    for _ in 0..trials {
+        let (t, fired) = sup.pop(&mut rng).expect("live channels");
+        gaps.push(t - prev);
+        prev = t;
+        match fired {
+            Fired::Channel(ch) => hits[ch] += 1,
+            Fired::Event(()) => unreachable!("no queued events"),
+        }
+    }
+
+    // KS distance between the empirical inter-arrival law and
+    // Exp(total). With n = 60k the null KS statistic concentrates
+    // around 1.36/sqrt(n) ≈ 0.006; 0.02 is a loose smoke bound.
+    let target = Exponential::new(total);
+    let ecdf = Ecdf::new(&gaps);
+    let mut ks: f64 = 0.0;
+    for k in 0..400 {
+        let t = 4.0 * (k as f64 + 0.5) / (400.0 * total);
+        ks = ks.max((ecdf.eval(t) - target.cdf(t)).abs());
+    }
+    assert!(ks < 0.02, "inter-arrival KS distance {ks} exceeds the smoke bound");
+
+    // Channel frequencies: each within 3 binomial sigma of w_i/total.
+    for (i, &w) in weights.iter().enumerate() {
+        let p = w / total;
+        let freq = hits[i] as f64 / trials as f64;
+        let sigma = (p * (1.0 - p) / trials as f64).sqrt();
+        assert!(
+            (freq - p).abs() < 3.0 * sigma + 1e-9,
+            "channel {i}: frequency {freq:.4} vs expected {p:.4}"
+        );
+    }
+}

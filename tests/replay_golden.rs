@@ -122,3 +122,214 @@ fn sharded_engine_replays_pre_refactor_runs() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// The v2 (superposition scheduler) golden set
+// ---------------------------------------------------------------------------
+
+/// Per model, per seed: the sequential pin under `RngContract::V2`.
+///
+/// Captured at the introduction of the superposition scheduler (PR 8).
+/// The rewire rows equal the v1 pins bit-for-bit — a model with no
+/// stochastic topology channel draws nothing from the superposition,
+/// and its snapshot rebuilds leave the adjacency in canonical order, so
+/// its stream is contract-independent. The markov/churn rows differ
+/// twice over: v2 spends one `Exp(total)`+thinning pair where v1 spent
+/// per-edge queue draws, and v2 engines run the adjacency in
+/// order-relaxed mode (push/swap-remove instead of sorted insertion),
+/// which permutes protocol neighbor draws after the first mutation.
+/// These constants may only be regenerated in a change that touches
+/// [`RngContract`] itself (see the CI golden guard); rerun
+/// `print_v2_goldens` below to do so.
+const SEQ_V2: [[SeqGolden; 2]; 4] = [
+    // markov-sym
+    [
+        (0x4019ea1f54050bd4, 284, 1182, 0x05dafbe346f7d4ca),
+        (0x4011e8cd905349ea, 209, 841, 0xd7b57ab94539a234),
+    ],
+    // markov-asym
+    [
+        (0x40162bbc78babf22, 231, 1034, 0xda3b413df787c6fa),
+        (0x4019ac6d30b6650e, 282, 1224, 0x06ea9f8fb745cf2a),
+    ],
+    // rewire
+    [
+        (0x4010783225e53393, 192, 2, 0xe9f09ae8fc7378e7),
+        (0x400d2e15f1a1c374, 164, 1, 0x4813e3fa1d29fadb),
+    ],
+    // churn
+    [
+        (0x402058e5a9925dd2, 384, 180, 0x5aeb9363a9fe8772),
+        (0x401f2e0b7e982d4c, 388, 180, 0xee2e7338fc620c03),
+    ],
+];
+
+/// Per model, per seed: the K = 3 sharded pin under `RngContract::V2`
+/// (K = 1 is checked against the sequential v2 run directly).
+const SHARD3_V2: [[ShardGolden; 2]; 4] = [
+    // markov-sym
+    [
+        (0x4012c48ae38463fe, 233, 835, 995, 159, 0xbf46a61e2a3d9f8e),
+        (0x401628a7a5f17f12, 239, 989, 1152, 163, 0x7daefd63a3311f84),
+    ],
+    // markov-asym
+    [
+        (0x40174e7cf3adf8eb, 255, 1130, 1291, 161, 0x30fd7e79d8edd694),
+        (0x401b9485f95d0781, 337, 1293, 1530, 236, 0xc905e7ea8b874572),
+    ],
+    // rewire
+    [
+        (0x4010f122fdf91173, 185, 2, 121, 118, 0xab892e6e35566e3e),
+        (0x4010b07225dd5c50, 196, 2, 138, 136, 0xc6d40b3220563836),
+    ],
+    // churn
+    [
+        (0x40224d36a6c6851f, 400, 207, 437, 230, 0x5560def188d169cd),
+        (0x4015f49379aa4c5b, 258, 136, 293, 156, 0x298d5d7c26a26077),
+    ],
+];
+
+#[test]
+fn sequential_engine_replays_v2_golden_runs() {
+    use rumor_spreading::core::{run_dynamic_under, RngContract};
+    let g = test_graph();
+    for (m, (name, model)) in models().into_iter().enumerate() {
+        for (s, seed) in [11u64, 12].into_iter().enumerate() {
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_dynamic_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                &mut rng,
+                10_000_000,
+            );
+            let (time_bits, steps, topo, rng_word) = SEQ_V2[m][s];
+            assert_eq!(out.time.to_bits(), time_bits, "{name} seed {seed}: v2 time drifted");
+            assert_eq!(out.steps, steps, "{name} seed {seed}: v2 steps drifted");
+            assert_eq!(out.topology_events, topo, "{name} seed {seed}: v2 topo events drifted");
+            assert_eq!(rng.next_u64(), rng_word, "{name} seed {seed}: v2 RNG state drifted");
+            assert!(out.completed);
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_replays_v2_golden_runs() {
+    use rumor_spreading::core::engine::run_dynamic_sharded_under;
+    use rumor_spreading::core::{run_dynamic_under, RngContract};
+    let g = test_graph();
+    for (m, (name, model)) in models().into_iter().enumerate() {
+        for (s, seed) in [11u64, 12].into_iter().enumerate() {
+            // K = 1 must equal the sequential v2 run bit-for-bit.
+            let mut a = Xoshiro256PlusPlus::seed_from(seed);
+            let seq = run_dynamic_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                &mut a,
+                10_000_000,
+            );
+            let mut b = Xoshiro256PlusPlus::seed_from(seed);
+            let k1 = run_dynamic_sharded_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                1,
+                &mut b,
+                10_000_000,
+            );
+            assert_eq!(k1.outcome, seq, "{name} seed {seed}: v2 K=1 diverged from sequential");
+            assert_eq!(a.next_u64(), b.next_u64(), "{name} seed {seed}: v2 K=1 RNG diverged");
+
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_dynamic_sharded_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                3,
+                &mut rng,
+                10_000_000,
+            );
+            let (time_bits, steps, topo, windows, cross, rng_word) = SHARD3_V2[m][s];
+            assert_eq!(out.outcome.time.to_bits(), time_bits, "{name} seed {seed}: v2 K=3 time");
+            assert_eq!(out.outcome.steps, steps, "{name} seed {seed}: v2 K=3 steps");
+            assert_eq!(out.outcome.topology_events, topo, "{name} seed {seed}: v2 K=3 topo");
+            assert_eq!(out.windows, windows, "{name} seed {seed}: v2 K=3 windows");
+            assert_eq!(out.cross_events, cross, "{name} seed {seed}: v2 K=3 cross events");
+            assert_eq!(rng.next_u64(), rng_word, "{name} seed {seed}: v2 K=3 RNG state");
+        }
+    }
+}
+
+/// Regeneration helper for the v2 constants above (`cargo test --test
+/// replay_golden print_v2_goldens -- --ignored --nocapture`). Only
+/// legitimate in a change that touches the contract enum itself.
+#[test]
+#[ignore]
+fn print_v2_goldens() {
+    use rumor_spreading::core::engine::run_dynamic_sharded_under;
+    use rumor_spreading::core::{run_dynamic_under, RngContract};
+    let g = test_graph();
+    println!("SEQ_V2:");
+    for (name, model) in models() {
+        println!("    // {name}");
+        println!("    [");
+        for seed in [11u64, 12] {
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_dynamic_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                &mut rng,
+                10_000_000,
+            );
+            assert!(out.completed);
+            println!(
+                "        (0x{:016x}, {}, {}, 0x{:016x}),",
+                out.time.to_bits(),
+                out.steps,
+                out.topology_events,
+                rng.next_u64()
+            );
+        }
+        println!("    ],");
+    }
+    println!("SHARD3_V2:");
+    for (name, model) in models() {
+        println!("    // {name}");
+        println!("    [");
+        for seed in [11u64, 12] {
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let out = run_dynamic_sharded_under(
+                RngContract::V2,
+                &g,
+                0,
+                Mode::PushPull,
+                &model,
+                3,
+                &mut rng,
+                10_000_000,
+            );
+            println!(
+                "        (0x{:016x}, {}, {}, {}, {}, 0x{:016x}),",
+                out.outcome.time.to_bits(),
+                out.outcome.steps,
+                out.outcome.topology_events,
+                out.windows,
+                out.cross_events,
+                rng.next_u64()
+            );
+        }
+        println!("    ],");
+    }
+}

@@ -1,0 +1,228 @@
+//! The v2 scheduler's replay contract, pinned against independent
+//! reference constructions: a single-channel [`Superposition`] consumes
+//! exactly the draws of the eager pop-reschedule-push queue loop
+//! (bit-for-bit, final RNG word included), and a multi-channel
+//! superposition produces the same marked event sequence as a raw
+//! `Exp(total)` clock thinned by a test-local prefix scan — including
+//! across reweights, which restart the clock by memorylessness.
+
+use proptest::prelude::*;
+use rumor_spreading::sim::events::{EventQueue, Fired, Superposition};
+use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
+
+// ---------------------------------------------------------------------------
+// Single channel ≡ eager queue loop, bit for bit
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One live channel at rate `r` is the degenerate superposition: no
+    /// thinning draw is spent, so the event times — and the RNG stream
+    /// behind them — match the v1 eager construction (hold one queue
+    /// entry, pop it, reschedule at `t + Exp(r)`) exactly.
+    #[test]
+    fn single_channel_matches_eager_queue_loop(
+        seed in 0u64..1_000_000,
+        rate in 0.01f64..50.0,
+        events in 1usize..200,
+    ) {
+        // v2: one-channel superposition.
+        let mut rng_v2 = Xoshiro256PlusPlus::seed_from(seed);
+        let mut sup: Superposition<()> = Superposition::new(1);
+        sup.set_weight(0.0, 0, rate);
+        let v2: Vec<f64> = (0..events)
+            .map(|_| {
+                let (t, fired) = sup.pop(&mut rng_v2).expect("positive rate");
+                prop_assert_eq!(fired, Fired::Channel(0));
+                Ok(t)
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+
+        // v1: the eager loop — one pending entry, pop, reschedule.
+        let mut rng_v1 = Xoshiro256PlusPlus::seed_from(seed);
+        let mut queue: EventQueue<()> = EventQueue::new();
+        queue.push(rng_v1.exp(rate), ());
+        let v1: Vec<f64> = (0..events)
+            .map(|_| {
+                let (t, ()) = queue.pop().expect("rescheduled");
+                queue.push(t + rng_v1.exp(rate), ());
+                t
+            })
+            .collect();
+
+        prop_assert_eq!(&v2, &v1, "event times diverged");
+        // The eager loop draws reschedules at pop time, the
+        // superposition lazily at the next peek — so after N pops the
+        // queue holds one already-drawn arrival. Peeking the
+        // superposition spends that draw on the *same* arrival, which
+        // realigns the streams exactly.
+        prop_assert_eq!(
+            sup.peek(&mut rng_v2),
+            queue.peek_time(),
+            "the pending arrivals diverged"
+        );
+        prop_assert_eq!(
+            rng_v2.next_u64(),
+            rng_v1.next_u64(),
+            "RNG streams diverged after {} events",
+            events
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi channel ≡ Exp(total) clock + reference prefix-scan thinning
+// ---------------------------------------------------------------------------
+
+/// A test-local reference thinning: cumulative prefix sums over the
+/// weight vector, one uniform draw in `[0, total)` — written
+/// independently of `Superposition::select_channel` (which walks with
+/// subtraction and skips dead channels) so a shared bug cannot hide.
+fn reference_thin(weights: &[f64], x: f64) -> usize {
+    let mut cum = 0.0;
+    let mut last_live = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        cum += w;
+        last_live = i;
+        if x < cum {
+            return i;
+        }
+    }
+    last_live // x landed on the float-roundoff boundary
+}
+
+/// One step of the reference construction: advance a raw `Exp(total)`
+/// clock, then thin — spending the selection draw only when more than
+/// one channel is live, mirroring the contract's draw discipline.
+fn reference_step(t: &mut f64, weights: &[f64], rng: &mut Xoshiro256PlusPlus) -> (f64, usize) {
+    let total: f64 = weights.iter().sum();
+    *t += rng.exp(total);
+    let live: Vec<usize> = (0..weights.len()).filter(|&i| weights[i] > 0.0).collect();
+    let ch = if live.len() == 1 {
+        live[0]
+    } else {
+        let x = rng.f64_unit() * total;
+        reference_thin(weights, x)
+    };
+    (*t, ch)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frozen rates: with the weight vector held fixed, the marked
+    /// event sequence (time, channel) of the superposition equals the
+    /// reference construction draw for draw.
+    #[test]
+    fn frozen_rates_match_reference_thinning(
+        seed in 0u64..1_000_000,
+        raw_weights in proptest::collection::vec(0.0f64..10.0, 2..6),
+        events in 1usize..150,
+    ) {
+        // Ensure at least one live channel.
+        let mut weights = raw_weights.clone();
+        if weights.iter().all(|&w| w <= 0.0) {
+            weights[0] = 1.0;
+        }
+
+        let mut rng_sup = Xoshiro256PlusPlus::seed_from(seed);
+        let mut sup: Superposition<()> = Superposition::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            sup.set_weight(0.0, i, w);
+        }
+
+        let mut rng_ref = Xoshiro256PlusPlus::seed_from(seed);
+        let mut t_ref = 0.0;
+        for step in 0..events {
+            let (t, fired) = sup.pop(&mut rng_sup).expect("live channel");
+            let (te, ch) = reference_step(&mut t_ref, &weights, &mut rng_ref);
+            prop_assert_eq!(t, te, "time diverged at step {}", step);
+            prop_assert_eq!(fired, Fired::Channel(ch), "channel diverged at step {}", step);
+        }
+        prop_assert_eq!(rng_sup.next_u64(), rng_ref.next_u64(), "RNG streams diverged");
+    }
+
+    /// Reweights: a random schedule of weight updates interleaved with
+    /// pops. A *changed* total restarts the clock at the current time
+    /// (exact by memorylessness — the reference redraws from `now`
+    /// too); an unchanged weight must cost nothing, retaining the
+    /// pending arrival.
+    #[test]
+    fn reweights_match_reference_thinning(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(
+            (0u8..4, 0usize..4, 0.0f64..8.0), 1..80
+        ),
+    ) {
+        let channels = 4;
+        let mut weights = vec![1.0f64; channels];
+
+        let mut rng_sup = Xoshiro256PlusPlus::seed_from(seed);
+        let mut sup: Superposition<()> = Superposition::new(channels);
+        for (i, &w) in weights.iter().enumerate() {
+            sup.set_weight(0.0, i, w);
+        }
+
+        let mut rng_ref = Xoshiro256PlusPlus::seed_from(seed);
+        let mut t = 0.0;
+
+        for (step, &(op, ch, w)) in ops.iter().enumerate() {
+            if op == 0 {
+                // Reweight as of the current time. The superposition
+                // discards its pending arrival only if the weight
+                // actually moved; the reference never holds one.
+                sup.set_weight(t, ch, w);
+                weights[ch] = w;
+                if weights.iter().all(|&x| x <= 0.0) {
+                    // Keep a live channel so pops terminate.
+                    sup.set_weight(t, 0, 1.0);
+                    weights[0] = 1.0;
+                }
+            } else {
+                let (ts, fired) = sup.pop(&mut rng_sup).expect("live channel");
+                let (te, che) = reference_step(&mut t, &weights, &mut rng_ref);
+                prop_assert_eq!(ts, te, "time diverged at op {}", step);
+                prop_assert_eq!(fired, Fired::Channel(che), "channel diverged at op {}", step);
+            }
+        }
+        prop_assert_eq!(rng_sup.next_u64(), rng_ref.next_u64(), "RNG streams diverged");
+    }
+
+    /// Deterministic side-queue events merge ahead of stochastic
+    /// arrivals without spending randomness: a run with queued events
+    /// interleaved yields the same stochastic (time, channel) stream —
+    /// and the same final RNG state — as the run without them.
+    #[test]
+    fn queued_events_consume_no_randomness(
+        seed in 0u64..1_000_000,
+        weights in proptest::collection::vec(0.1f64..5.0, 2..5),
+        events in 1usize..60,
+        queue_times in proptest::collection::vec(0.0f64..20.0, 0..10),
+    ) {
+        let run = |with_queue: bool| {
+            let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+            let mut sup: Superposition<u32> = Superposition::new(weights.len());
+            for (i, &w) in weights.iter().enumerate() {
+                sup.set_weight(0.0, i, w);
+            }
+            if with_queue {
+                for (k, &qt) in queue_times.iter().enumerate() {
+                    sup.queue.push(qt, k as u32);
+                }
+            }
+            let mut stochastic = Vec::new();
+            while stochastic.len() < events {
+                match sup.pop(&mut rng).expect("live channels") {
+                    (t, Fired::Channel(ch)) => stochastic.push((t, ch)),
+                    (_, Fired::Event(_)) => {}
+                }
+            }
+            (stochastic, rng.next_u64())
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

@@ -12,7 +12,7 @@ use rumor_spreading::core::dynamic::{
 use rumor_spreading::core::spec::{
     Engine, GraphSpec, Protocol, SimSpec, SpecError, Topology, TrialPlan,
 };
-use rumor_spreading::core::{AsyncView, MetricsLevel, Mode, TopologyTrace};
+use rumor_spreading::core::{AsyncView, MetricsLevel, Mode, RngContract, TopologyTrace};
 use rumor_spreading::graph::generators;
 use rumor_spreading::sim::rng::Xoshiro256PlusPlus;
 
@@ -103,6 +103,7 @@ fn spec_from_seed(seed: u64) -> SimSpec {
         _ => Engine::Lazy,
     };
     let coupled = rng.next_u64() % 2 == 0;
+    let antithetic = coupled && rng.next_u64() % 2 == 0;
     let plan = TrialPlan {
         trials: 1 + (rng.next_u64() % 1_000) as usize,
         master_seed: rng.next_u64(),
@@ -111,7 +112,14 @@ fn spec_from_seed(seed: u64) -> SimSpec {
         max_rounds: (rng.next_u64() % 2 == 0).then(|| rng.next_u64() % 1_000_000),
         coupled,
         horizon: (coupled && rng.next_u64() % 2 == 0).then(|| 1.0 + 200.0 * f(rng)),
-        antithetic: coupled && rng.next_u64() % 2 == 0,
+        antithetic,
+        // Antithetic streams only exist under v2; keep the generated
+        // point inside the legal combination space.
+        rng_contract: if antithetic || rng.next_u64() % 2 == 0 {
+            RngContract::V2
+        } else {
+            RngContract::V1
+        },
     };
     let loss = if rng.next_u64() % 4 == 0 { 0.999 * f(rng) } else { 0.0 };
     let metrics = [MetricsLevel::Off, MetricsLevel::Summary, MetricsLevel::Json]
@@ -291,6 +299,42 @@ fn horizon_and_antithetic_are_coupled_only_and_range_checked() {
     );
     assert_eq!(coupled.clone().horizon(10.0).build().unwrap_err(), SpecError::HorizonNeedsCoupling);
     assert_eq!(coupled.antithetic(true).build().unwrap_err(), SpecError::AntitheticNeedsCoupling);
+}
+
+#[test]
+fn v1_contract_rejects_v2_only_options() {
+    // Antithetic coupling draws from streams the v1 contract never
+    // defined, so pinning v1 alongside it is a contradiction, not a
+    // silent fallback.
+    let markov = Topology::Model(DynamicModel::EdgeMarkov(EdgeMarkov::symmetric(1.0)));
+    let err = valid()
+        .protocol(async_pp())
+        .topology(markov)
+        .coupled(true)
+        .antithetic(true)
+        .rng_contract(RngContract::V1)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, SpecError::ContractV1Conflict { option: "antithetic" });
+}
+
+#[test]
+fn contract_lines_parse_and_default_to_v1_when_absent() {
+    // A `.spec` with no `rng_contract` line predates the v2 scheduler:
+    // it pins the legacy streams its recorded results were drawn from.
+    let absent = SimSpec::parse("spec = v1\ngraph = complete n=4\n").unwrap();
+    assert_eq!(absent.plan.rng_contract, RngContract::V1);
+    for (line, want) in
+        [("rng_contract = v1\n", RngContract::V1), ("rng_contract = v2\n", RngContract::V2)]
+    {
+        let text = format!("spec = v1\ngraph = complete n=4\n{line}");
+        assert_eq!(SimSpec::parse(&text).unwrap().plan.rng_contract, want, "{line}");
+    }
+    let err = SimSpec::parse("spec = v1\ngraph = complete n=4\nrng_contract = v3\n").unwrap_err();
+    assert!(matches!(err, SpecError::Parse { .. }), "{err}");
+    // New specs default to v2 and always serialize their contract.
+    assert_eq!(TrialPlan::default().rng_contract, RngContract::V2);
+    assert!(valid().to_spec_string().unwrap().contains("rng_contract = v2"));
 }
 
 #[test]

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Golden guard: replay pins and committed run artifacts may only change
+# in a diff that also touches the RNG contract enum itself.
+#
+# The replay goldens (tests/replay_golden.rs) and the committed
+# `specs/*.spec` / `specs/*.metrics.json` artifacts are the repo's
+# bit-for-bit reproducibility contract: they pin the exact RNG streams
+# of both scheduler generations (v1 eager queue, v2 superposition). A
+# diff that rewrites them *without* changing the versioned contract
+# (`RngContract` in crates/sim/src/events.rs) is, with overwhelming
+# likelihood, silently breaking replay rather than legitimately
+# introducing a new stream generation — so CI fails it.
+#
+# Usage: tools/golden_guard.sh [<base-ref>]   (default: origin/main)
+
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+base="${1:-origin/main}"
+if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+    echo "golden-guard: base ref '$base' not found; skipping (shallow clone?)" >&2
+    exit 0
+fi
+
+range="$base...HEAD"
+changed="$(git diff --name-only "$range")"
+
+# Files whose bytes are replay pins.
+guarded="$(grep -E '^(tests/replay_golden\.rs|specs/.*\.(spec|metrics\.json))$' <<<"$changed" || true)"
+if [[ -z "$guarded" ]]; then
+    echo "golden-guard: no golden fixtures touched in $range"
+    exit 0
+fi
+
+# The one legitimate reason to regenerate goldens: the diff changes the
+# contract-version enum's home (a new stream generation is being
+# introduced or an old one retired).
+if grep -qx 'crates/sim/src/events.rs' <<<"$changed"; then
+    echo "golden-guard: goldens changed alongside the RNG contract enum — allowed:"
+    sed 's/^/  /' <<<"$guarded"
+    exit 0
+fi
+
+echo "golden-guard: FAIL — replay goldens changed without touching the RNG contract" >&2
+echo "(crates/sim/src/events.rs). Changed fixtures:" >&2
+sed 's/^/  /' <<<"$guarded" >&2
+echo "If this really is a new stream generation, version it through RngContract." >&2
+exit 1
