@@ -1,0 +1,146 @@
+//! Summary tables for merged `FleetReport` artifacts.
+//!
+//! The fleet artifact is a JSON document (schema `rumor-fleet v1`);
+//! this module renders the per-grid-point aggregation the `rumor
+//! sweep` and `rumor stats` commands print. Aggregation happens here,
+//! on the artifact, not in the dispatcher — the artifact stays raw
+//! per-trial data, and any summary can be recomputed from it later.
+
+use rumor_core::obs::json::Json;
+
+use crate::table::Table;
+
+/// Builds the per-child summary table of a fleet document: one row per
+/// grid point with its trial count, censored count, and mean outcome
+/// (paired sync/async means for coupled children).
+///
+/// # Errors
+///
+/// A message naming the malformed field.
+pub fn fleet_summary_table(doc: &Json) -> Result<Table, String> {
+    let children =
+        doc.get("children").and_then(Json::as_arr).ok_or("fleet document has no children")?;
+    let mut t = Table::new("fleet summary", &["point", "unit", "trials", "censored", "mean"]);
+    for child in children {
+        let point = child.get("point").and_then(Json::as_str).ok_or("child has no point")?;
+        let report = child.get("report").ok_or("child has no report")?;
+        let unit = report.get("unit").and_then(Json::as_str).ok_or("report has no unit")?;
+        let (trials, censored, mean) = child_row(report)?;
+        t.add_row(vec![
+            point.to_owned(),
+            unit.to_owned(),
+            trials.to_string(),
+            censored.to_string(),
+            mean,
+        ]);
+    }
+    if let Some(summary) = doc.get("summary") {
+        let num = |k: &str| summary.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
+        t.add_note(&format!(
+            "{} children, {} trials total, {} censored",
+            num("children"),
+            num("trials"),
+            num("censored")
+        ));
+    }
+    Ok(t)
+}
+
+/// One child's (trials, censored, mean-column text).
+fn child_row(report: &Json) -> Result<(usize, usize, String), String> {
+    if let Some(coupled) = report.get("coupled").and_then(Json::as_arr) {
+        let censored = coupled
+            .iter()
+            .filter(|o| !(bool_field(o, "sync_completed") && bool_field(o, "async_completed")))
+            .count();
+        let sync = mean(coupled, "sync_rounds")?;
+        let async_ = mean(coupled, "async_time")?;
+        return Ok((coupled.len(), censored, format!("sync {sync:.2} / async {async_:.2}")));
+    }
+    let outcomes = report.get("outcomes").and_then(Json::as_arr).ok_or("report has no outcomes")?;
+    let censored = outcomes.iter().filter(|o| !bool_field(o, "completed")).count();
+    Ok((outcomes.len(), censored, format!("{:.2}", mean(outcomes, "value")?)))
+}
+
+fn bool_field(j: &Json, key: &str) -> bool {
+    matches!(j.get(key), Some(Json::Bool(true)))
+}
+
+fn mean(items: &[Json], key: &str) -> Result<f64, String> {
+    if items.is_empty() {
+        return Ok(f64::NAN);
+    }
+    let mut sum = 0.0;
+    for item in items {
+        sum += item
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("outcome is missing `{key}`"))?;
+    }
+    Ok(sum / items.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(coupled: bool) -> Json {
+        let report = if coupled {
+            Json::parse(
+                r#"{"unit": "paired", "outcomes": [],
+                    "coupled": [
+                      {"sync_rounds": 4, "sync_completed": true,
+                       "async_time": 6, "async_completed": true, "trace_steps": 90},
+                      {"sync_rounds": 6, "sync_completed": true,
+                       "async_time": 8, "async_completed": false, "trace_steps": 90}]}"#,
+            )
+            .unwrap()
+        } else {
+            Json::parse(
+                r#"{"unit": "rounds", "outcomes": [
+                      {"value": 3, "completed": true},
+                      {"value": 5, "completed": true}]}"#,
+            )
+            .unwrap()
+        };
+        Json::Obj(vec![
+            (
+                "children".to_owned(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("point".to_owned(), Json::Str("graph.n=8".to_owned())),
+                    ("report".to_owned(), report),
+                ])]),
+            ),
+            (
+                "summary".to_owned(),
+                Json::Obj(vec![
+                    ("children".to_owned(), Json::Num(1.0)),
+                    ("trials".to_owned(), Json::Num(2.0)),
+                    ("censored".to_owned(), Json::Num(0.0)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn uncoupled_rows_show_the_mean() {
+        let text = fleet_summary_table(&doc(false)).unwrap().to_text();
+        assert!(text.contains("graph.n=8"), "{text}");
+        assert!(text.contains("4.00"), "{text}");
+        assert!(text.contains("1 children, 2 trials total"), "{text}");
+    }
+
+    #[test]
+    fn coupled_rows_show_both_means_and_count_pairs() {
+        let text = fleet_summary_table(&doc(true)).unwrap().to_text();
+        assert!(text.contains("sync 5.00 / async 7.00"), "{text}");
+        // One pair has async_completed=false → censored 1 of 2.
+        assert!(text.contains('1'), "{text}");
+    }
+
+    #[test]
+    fn malformed_documents_name_the_problem() {
+        let err = fleet_summary_table(&Json::Obj(vec![])).unwrap_err();
+        assert!(err.contains("children"), "{err}");
+    }
+}

@@ -37,11 +37,13 @@
 
 pub mod curves;
 pub mod experiments;
+pub mod fleet;
 pub mod paired;
 pub mod report;
 pub mod table;
 
 pub use curves::sync_async_fraction_table;
 pub use experiments::common::ExperimentConfig;
+pub use fleet::fleet_summary_table;
 pub use paired::PairedSamples;
 pub use table::Table;

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the fleet subsystem: dispatcher overhead on
+//! top of raw sequential execution, and the graph/topology-trace cache
+//! benefit on the `rumor serve` path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumor_core::spec::{GraphSpec, Protocol, SimSpec};
+use rumor_core::{RunCaches, SweepSpec};
+use rumor_fleet::{dispatch, DispatchOptions};
+
+fn quick_sweep() -> SweepSpec {
+    let base = SimSpec::new(GraphSpec::Complete { n: 16 })
+        .protocol(Protocol::push_pull_async())
+        .trials(4)
+        .seed(42);
+    SweepSpec::new(base).axis("graph.n", ["12", "16"]).unwrap().axis("trials", ["3", "4"]).unwrap()
+}
+
+/// `dispatch()` in-process vs the bare expand-build-run loop it wraps:
+/// the difference prices expansion bookkeeping, report serialization,
+/// and the merge — the overhead a one-process `rumor sweep` pays over a
+/// hand-rolled script.
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_dispatch");
+    group.sample_size(20);
+    let sweep = quick_sweep();
+    group.bench_function("raw_sequential", |b| {
+        b.iter(|| {
+            sweep
+                .expand()
+                .unwrap()
+                .iter()
+                .map(|child| child.spec.build().unwrap().run().telemetry.steps)
+                .sum::<u64>()
+        })
+    });
+    group.bench_function("dispatch_local", |b| {
+        b.iter(|| dispatch(&sweep, &DispatchOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+/// Coupled runs on the serve path: cold (fresh caches per request, so
+/// every trial records its own topology trace) vs warm (one shared
+/// `RunCaches`, so repeated requests replay cached traces). The gap is
+/// the per-request saving a long-running `rumor serve` buys.
+fn bench_cache_benefit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_serve_caches");
+    group.sample_size(20);
+    let spec = SimSpec::new(GraphSpec::Gnp { n: 48, p: 0.15, seed: 9, attempts: 200 })
+        .protocol(Protocol::push_pull_async())
+        .coupled(true)
+        .trials(4)
+        .seed(11);
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let caches = Arc::new(RunCaches::default());
+            spec.build_cached(&caches).unwrap().run().telemetry.trace_steps
+        })
+    });
+
+    let warm = Arc::new(RunCaches::default());
+    // Prime once so every measured iteration hits.
+    spec.build_cached(&warm).unwrap().run();
+    group.bench_function("warm", |b| {
+        b.iter(|| spec.build_cached(&warm).unwrap().run().telemetry.trace_steps)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch_overhead, bench_cache_benefit);
+criterion_main!(benches);

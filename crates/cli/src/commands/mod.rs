@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod fleet;
 pub mod gen;
 pub mod run;
 pub mod stats;

@@ -5,6 +5,9 @@
 //! * `stats run.metrics.json` — render the artifact's summary.
 //! * `stats a.metrics.json b.metrics.json` — field-by-field diff of two
 //!   artifacts (exit output `identical` when byte-equivalent).
+//! * `stats x.fleet.json [y.fleet.json]` — the same pair of readers for
+//!   merged `FleetReport` artifacts (summary table, or structural
+//!   diff).
 
 use rumor_core::obs::json::Json;
 use rumor_core::obs::METRICS_SCHEMA;
@@ -21,6 +24,9 @@ const DIAMETER_LIMIT: usize = 20_000;
 pub fn run(tokens: &[String]) -> Result<String, CliError> {
     let args = Args::parse(tokens)?;
     let path = args.require(0, "file")?;
+    if path.ends_with(".fleet.json") {
+        return fleet_stats(args.positional());
+    }
     if path.ends_with(".metrics.json") || args.positional().len() == 2 {
         return metrics_stats(args.positional());
     }
@@ -78,6 +84,48 @@ fn metrics_stats(paths: &[String]) -> Result<String, CliError> {
         _ => Err(CliError::Usage(
             "stats takes one .metrics.json artifact (summary) or two (diff)".into(),
         )),
+    }
+}
+
+/// The `.fleet.json` reader: one artifact renders the per-grid-point
+/// summary table, two render a field-by-field diff (the same structural
+/// differ the metrics artifacts use).
+fn fleet_stats(paths: &[String]) -> Result<String, CliError> {
+    match paths {
+        [one] => {
+            let doc = load_artifact(one, rumor_fleet::FLEET_SCHEMA)?;
+            Ok(rumor_analysis::fleet_summary_table(&doc).map_err(CliError::Usage)?.to_text())
+        }
+        [a, b] => {
+            let da = load_artifact(a, rumor_fleet::FLEET_SCHEMA)?;
+            let db = load_artifact(b, rumor_fleet::FLEET_SCHEMA)?;
+            let mut lines = Vec::new();
+            diff_json("", &da, &db, &mut lines);
+            if lines.is_empty() {
+                return Ok("identical\n".to_owned());
+            }
+            let mut out = format!("{} differences ({a} vs {b})\n", lines.len());
+            for line in lines {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        _ => Err(CliError::Usage(
+            "stats takes one .fleet.json artifact (summary) or two (diff)".into(),
+        )),
+    }
+}
+
+/// Loads a JSON artifact and checks its `schema` field.
+fn load_artifact(path: &str, schema: &str) -> Result<Json, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let doc = Json::parse(&text)
+        .map_err(|e| CliError::Usage(format!("{path}: not a JSON artifact: {e}")))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == schema => Ok(doc),
+        Some(other) => Err(CliError::Usage(format!("{path}: unsupported schema `{other}`"))),
+        None => Err(CliError::Usage(format!("{path}: missing `schema` field"))),
     }
 }
 

@@ -16,6 +16,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// A run spec failed to parse, validate, or serialize.
     Spec(rumor_core::SpecError),
+    /// A sweep dispatch failed (worker crash, transport problem, or a
+    /// rejected child spec).
+    Fleet(rumor_fleet::FleetError),
 }
 
 impl fmt::Display for CliError {
@@ -25,6 +28,7 @@ impl fmt::Display for CliError {
             CliError::Graph(e) => write!(f, "invalid graph: {e}"),
             CliError::Io(e) => write!(f, "cannot read input: {e}"),
             CliError::Spec(e) => write!(f, "{e}"),
+            CliError::Fleet(e) => write!(f, "{e}"),
         }
     }
 }
@@ -36,6 +40,18 @@ impl Error for CliError {
             CliError::Graph(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::Spec(e) => Some(e),
+            CliError::Fleet(e) => Some(e),
+        }
+    }
+}
+
+impl From<rumor_fleet::FleetError> for CliError {
+    fn from(e: rumor_fleet::FleetError) -> Self {
+        // A sweep that failed to expand is a spec problem, same as a
+        // bad `--spec` replay; keep the error category the user sees.
+        match e {
+            rumor_fleet::FleetError::Spec(s) => CliError::Spec(s),
+            other => CliError::Fleet(other),
         }
     }
 }

@@ -45,6 +45,9 @@ pub fn execute(argv: &[String]) -> Result<String, CliError> {
         "gen" => commands::gen::run(rest),
         "stats" => commands::stats::run(rest),
         "run" => commands::run::run(rest),
+        "sweep" => commands::fleet::sweep(rest),
+        "worker" => commands::fleet::worker(rest),
+        "serve" => commands::fleet::serve(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -59,6 +62,8 @@ USAGE:
     rumor gen <family> <params…> [--seed S]
     rumor stats <file|->
     rumor run <file|-> [options]
+    rumor sweep <file.spec> [--workers N] [--pilot true] [--out PATH]
+    rumor serve [--socket PATH] [--max-conn N]
     rumor help
 
 FAMILIES (rumor gen):
@@ -90,6 +95,20 @@ DYNAMIC NETWORKS (rumor run --dynamic …):
     --dynamic node-churn    node leave/join           (--leave R --join R --attach K)
     edge-markov and node-churn need --model async; rewire supports both
     models (snapshots are drawn at matching edge density).
+
+FLEET (rumor sweep / worker / serve):
+    sweep expands `sweep.<key> = [v1, v2, …]` axis lines in the spec
+    into a parameter grid, executes every grid point (in-process by
+    default, across N worker processes with --workers N), and writes
+    the merged FleetReport artifact next to the spec (or to --out).
+    --pilot true        shrink `auto` budgets with a short pilot pass
+    --pilot-trials K    trials per child in the pilot pass [default: 4]
+    --worker-cmd CMD    override the worker command line (testing)
+    worker and serve speak length-prefixed JSON frames; serve keeps
+    graph/topology-trace caches warm across requests (--socket binds a
+    unix socket instead of stdin/stdout).
+    `rumor stats x.fleet.json [y.fleet.json]` summarizes or diffs
+    fleet artifacts.
 
 Graphs are edge-list text: a `n m` header line, then one `u v` edge per
 line; `#` starts a comment. `-` reads from stdin.

@@ -105,6 +105,8 @@ pub use obs::{
 };
 pub use outcome::{AsyncOutcome, SyncOutcome, NEVER_ROUND};
 pub use rumor_sim::events::RngContract;
+pub use spec::cache::RunCaches;
+pub use spec::sweep::{SweepAxis, SweepChild, SweepSpec};
 pub use spec::{
     CoupledEngine, CoupledOutcome, Engine, GraphSpec, Protocol, RunReport, SimSpec, Simulation,
     SpecError, Topology, TopologyModelFactory, TrialPlan,

@@ -75,6 +75,10 @@ pub struct RunMetrics {
     pub histograms: Vec<(String, LogHistogram)>,
     /// Named aggregated spreading curves, artifact-ordered.
     pub curves: Vec<(String, CurveSummary)>,
+    /// Named monotone counters (cache hits/misses from cache-bound
+    /// runs). Rendered into the artifact only when non-empty, so
+    /// cache-free runs keep their pre-existing byte-identical form.
+    pub counters: Vec<(String, u64)>,
     /// Engine-health diagnostics (summary display only).
     pub health: EngineHealth,
 }
@@ -88,6 +92,7 @@ impl RunMetrics {
             censored: 0,
             histograms: Vec::new(),
             curves: Vec::new(),
+            counters: Vec::new(),
             health: EngineHealth::default(),
         }
     }
@@ -127,6 +132,11 @@ impl RunMetrics {
         let curves: Vec<(String, Json)> =
             self.curves.iter().map(|(n, c)| (n.clone(), curve_json(c))).collect();
         fields.push(("curves".to_owned(), Json::Obj(curves)));
+        if !self.counters.is_empty() {
+            let counters: Vec<(String, Json)> =
+                self.counters.iter().map(|(n, v)| (n.clone(), Json::Num(*v as f64))).collect();
+            fields.push(("counters".to_owned(), Json::Obj(counters)));
+        }
         Json::Obj(fields)
     }
 
@@ -155,6 +165,11 @@ impl RunMetrics {
                 fmt_t(ph.saturation_start),
                 c.points.len()
             ));
+        }
+        if !self.counters.is_empty() {
+            let rendered: Vec<String> =
+                self.counters.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            out.push(format!("  counters: {}", rendered.join(", ")));
         }
         let h = &self.health;
         if !h.windows.is_empty() || !h.cross_events.is_empty() {
@@ -297,5 +312,18 @@ mod tests {
         let doc = Json::parse(&m.render_json()).unwrap();
         assert_eq!(doc.get("health"), None);
         assert_eq!(doc.as_obj().map(<[(String, Json)]>::len), Some(6));
+    }
+
+    #[test]
+    fn counters_render_only_when_present() {
+        let mut m = sample_metrics();
+        // Counter-free artifacts keep the historical 6-field form.
+        assert_eq!(Json::parse(&m.render_json()).unwrap().get("counters"), None);
+        m.counters = vec![("trace_cache_hits".to_owned(), 3), ("trace_cache_misses".to_owned(), 1)];
+        let doc = Json::parse(&m.render_json()).unwrap();
+        let counters = doc.get("counters").expect("counters rendered");
+        assert_eq!(counters.get("trace_cache_hits").and_then(Json::as_num), Some(3.0));
+        assert_eq!(doc.as_obj().map(<[(String, Json)]>::len), Some(7));
+        assert!(m.summary_lines().iter().any(|l| l.contains("trace_cache_hits=3")));
     }
 }

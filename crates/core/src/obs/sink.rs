@@ -22,6 +22,15 @@ pub struct Warning {
     pub message: String,
 }
 
+impl Warning {
+    /// A plain diagnostic with no censoring statistics — the shape the
+    /// CLI front end and the fleet dispatcher emit. The stderr sink
+    /// prints `message` verbatim.
+    pub fn note(what: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { what: what.into(), censored: 0, trials: 0, message: message.into() }
+    }
+}
+
 /// Where library warnings go.
 pub enum WarningSink {
     /// Print each warning's message to stderr (the default).

@@ -63,6 +63,9 @@
 use std::fmt;
 use std::sync::Arc;
 
+pub mod cache;
+pub mod sweep;
+
 use rumor_graph::{generators, io, Graph, Node};
 use rumor_sim::events::RngContract;
 use rumor_sim::rng::Xoshiro256PlusPlus;
@@ -580,6 +583,28 @@ pub enum SpecError {
         /// What was wrong.
         message: String,
     },
+    /// A `sweep.<key> = [...]` axis line is malformed (bad list syntax,
+    /// empty or illegal values, duplicate key).
+    SweepAxis {
+        /// 1-based line number (0 for axes built programmatically).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A sweep axis targets a key that names no line or field of the
+    /// base spec (e.g. `graph.p` on a `complete` graph).
+    SweepUnknownKey {
+        /// The offending axis key.
+        key: String,
+    },
+    /// A sweep grid point produced an invalid child spec; `point` names
+    /// the offending axis assignment.
+    SweepPoint {
+        /// The grid point, e.g. `graph.n=32 trials=20`.
+        point: String,
+        /// What was wrong with the child spec.
+        error: Box<SpecError>,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -648,6 +673,15 @@ impl fmt::Display for SpecError {
                 write!(f, "{what} has no spec text representation")
             }
             SpecError::Parse { line, message } => write!(f, "spec line {line}: {message}"),
+            SpecError::SweepAxis { line, message } => {
+                write!(f, "sweep line {line}: {message}")
+            }
+            SpecError::SweepUnknownKey { key } => {
+                write!(f, "sweep axis `{key}` names no line or field of the base spec")
+            }
+            SpecError::SweepPoint { point, error } => {
+                write!(f, "sweep point [{point}]: {error}")
+            }
         }
     }
 }
@@ -827,6 +861,26 @@ impl SimSpec {
     /// Every illegal combination maps to one [`SpecError`] variant; see
     /// the enum docs.
     pub fn build(&self) -> Result<Simulation, SpecError> {
+        self.build_inner(None)
+    }
+
+    /// Like [`build`](Self::build), but resolves the graph through — and
+    /// binds coupled trace recording to — the given cross-run caches
+    /// (the `rumor serve` path). Runs from a cached simulation report
+    /// cache hit/miss counters in their metrics when metrics are
+    /// enabled; results are otherwise identical to an uncached build.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](Self::build).
+    pub fn build_cached(&self, caches: &Arc<cache::RunCaches>) -> Result<Simulation, SpecError> {
+        self.build_inner(Some(caches))
+    }
+
+    fn build_inner(&self, caches: Option<&Arc<cache::RunCaches>>) -> Result<Simulation, SpecError> {
+        // Taken before the build consults the caches, so the metrics
+        // deltas include the graph-resolution hit or miss.
+        let counter_baseline = caches.map(|c| c.counters());
         let plan = &self.plan;
         if plan.trials == 0 {
             return Err(SpecError::ZeroTrials);
@@ -856,7 +910,10 @@ impl SimSpec {
                 return Err(SpecError::InvalidHorizon { horizon: h });
             }
         }
-        let g = self.graph.resolve()?;
+        let g = match caches {
+            Some(c) => c.resolve_graph(&self.graph)?,
+            None => self.graph.resolve()?,
+        };
         let nodes = g.node_count();
         if self.source as usize >= nodes {
             return Err(SpecError::SourceOutOfRange { source: self.source, nodes });
@@ -960,7 +1017,10 @@ impl SimSpec {
             max_rounds = plan.max_rounds.unwrap_or_else(|| default_sync_rounds(&g));
             horizon = f64::NAN;
         }
-        Ok(Simulation { spec: self.clone(), graph: g, max_steps, max_rounds, horizon })
+        let caches = caches.map(|c| {
+            cache::CacheBinding::bind(c, counter_baseline.unwrap_or_default(), self, horizon)
+        });
+        Ok(Simulation { spec: self.clone(), graph: g, max_steps, max_rounds, horizon, caches })
     }
 }
 
@@ -977,6 +1037,7 @@ pub struct Simulation {
     max_steps: u64,
     max_rounds: u64,
     horizon: f64,
+    caches: Option<cache::CacheBinding>,
 }
 
 /// Which unit the report's `value` column is measured in.
@@ -1178,13 +1239,29 @@ impl Simulation {
     /// Runs the plan and returns the unified report. Identical output
     /// for any thread count (per-trial seeding).
     pub fn run(&self) -> RunReport {
-        if self.spec.plan.coupled {
-            return self.run_coupled();
+        let mut report = if self.spec.plan.coupled {
+            self.run_coupled()
+        } else {
+            match self.spec.protocol {
+                Protocol::Sync { mode } => self.run_sync_trials(mode),
+                Protocol::Async { mode, view } => self.run_async_trials(mode, view),
+            }
+        };
+        // Cache-bound runs surface their cache activity since build
+        // (graph resolution included) through the metrics; the
+        // spreading payload itself is identical with or without caches.
+        if let Some(binding) = &self.caches {
+            if let Some(m) = report.metrics.as_mut() {
+                m.counters = binding
+                    .caches
+                    .counters()
+                    .into_iter()
+                    .zip(&binding.baseline)
+                    .map(|((name, after), (_, b4))| (name, after.saturating_sub(*b4)))
+                    .collect();
+            }
         }
-        match self.spec.protocol {
-            Protocol::Sync { mode } => self.run_sync_trials(mode),
-            Protocol::Async { mode, view } => self.run_async_trials(mode, view),
-        }
+        report
     }
 
     fn fan_out<T: Send>(&self, f: impl Fn(usize, &mut Xoshiro256PlusPlus) -> T + Sync) -> Vec<T> {
@@ -1546,15 +1623,25 @@ impl Simulation {
                 };
                 let trace_seed = rng.next_u64();
                 let proto_seed = rng.next_u64();
-                let mut trace_rng = Xoshiro256PlusPlus::seed_from(trace_seed);
-                let trace = TopologyTrace::record_under(
-                    self.spec.plan.rng_contract,
-                    g,
-                    source,
-                    &model,
-                    &mut trace_rng,
-                    self.horizon,
-                );
+                let record = || {
+                    let mut trace_rng = Xoshiro256PlusPlus::seed_from(trace_seed);
+                    TopologyTrace::record_under(
+                        self.spec.plan.rng_contract,
+                        g,
+                        source,
+                        &model,
+                        &mut trace_rng,
+                        self.horizon,
+                    )
+                };
+                // The recording is a pure function of (spec axes, trace
+                // seed): cache-bound simulations reuse it across runs.
+                // The trial RNG is not consumed by the recording, so a
+                // hit replays the miss path bit-for-bit.
+                let trace = match self.caches.as_ref().and_then(cache::CacheBinding::trace_key) {
+                    Some((caches, prefix)) => caches.trace_or_record(prefix, trace_seed, record),
+                    None => record(),
+                };
                 self.coupled_on_trace(&trace, proto_seed)
             }
         }

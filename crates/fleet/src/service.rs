@@ -1,0 +1,239 @@
+//! The frame-request loop behind `rumor worker` and `rumor serve`.
+//!
+//! Both modes speak the same protocol: each request is one
+//! [`frame`](crate::frame) holding a JSON object, each response one
+//! frame with the matching `id` echoed back.
+//!
+//! | request                  | response                               |
+//! |--------------------------|----------------------------------------|
+//! | `{id, spec: "<text>"}`   | `{id, report: {...}}` or `{id, error}` |
+//! | `{id, stats: true}`      | `{id, counters: {...}}`                |
+//!
+//! The two modes differ only in configuration: a worker runs each spec
+//! uncached (so its reports carry no cache counters and stay
+//! byte-identical to an in-process run), while `rumor serve` binds a
+//! shared [`RunCaches`] so repeated specs hit the graph and
+//! topology-trace caches.
+
+use std::io::{self, Read, Write};
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::Arc;
+
+use rumor_core::obs::json::Json;
+use rumor_core::spec::SimSpec;
+use rumor_core::RunCaches;
+
+use crate::frame::{read_frame, write_frame};
+use crate::report::report_to_json;
+
+/// How a [`run_frames`] loop behaves.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceConfig {
+    /// Cross-request graph/trace caches (`rumor serve`); `None` runs
+    /// every spec cold (`rumor worker`).
+    pub caches: Option<Arc<RunCaches>>,
+    /// Abort (without responding) when about to serve request number
+    /// `n+1` — the crash-injection hook behind `rumor worker
+    /// --exit-after n` and the dispatcher's retry tests.
+    pub exit_after: Option<u64>,
+}
+
+/// Why a [`run_frames`] loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceExit {
+    /// The input stream ended cleanly after serving this many requests.
+    Eof(u64),
+    /// The configured `exit_after` limit was hit after serving this
+    /// many requests; the pending request got no response. The caller
+    /// should exit nonzero to complete the simulated crash.
+    Aborted(u64),
+}
+
+/// Serves frame requests from `input` until end-of-stream.
+///
+/// Every request gets exactly one response frame (malformed requests
+/// get an `{id: null, error}` response rather than killing the loop),
+/// flushed before the next read.
+///
+/// # Errors
+///
+/// Only transport errors: a truncated or oversized frame, or a failed
+/// write. Bad requests and failed runs are reported in-band.
+pub fn run_frames(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    config: &ServiceConfig,
+) -> io::Result<ServiceExit> {
+    let mut served = 0u64;
+    while let Some(payload) = read_frame(input)? {
+        if config.exit_after == Some(served) {
+            return Ok(ServiceExit::Aborted(served));
+        }
+        let response = respond(&payload, config);
+        write_frame(output, response.render().as_bytes())?;
+        served += 1;
+    }
+    Ok(ServiceExit::Eof(served))
+}
+
+fn respond(payload: &[u8], config: &ServiceConfig) -> Json {
+    let (id, result) = match parse_request(payload) {
+        Ok((id, request)) => (id, handle(request, config)),
+        Err(e) => (Json::Null, Err(e)),
+    };
+    let body = match result {
+        Ok(body) => body,
+        Err(message) => ("error".to_owned(), Json::Str(message)),
+    };
+    Json::Obj(vec![("id".to_owned(), id), body])
+}
+
+enum Request {
+    Run(Box<SimSpec>),
+    Stats,
+}
+
+fn parse_request(payload: &[u8]) -> Result<(Json, Request), String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_owned())?;
+    let doc = Json::parse(text).map_err(|e| format!("bad request JSON: {e}"))?;
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    if let Some(spec_text) = doc.get("spec").and_then(Json::as_str) {
+        let spec = SimSpec::parse(spec_text).map_err(|e| format!("bad spec: {e}"))?;
+        return Ok((id, Request::Run(Box::new(spec))));
+    }
+    if matches!(doc.get("stats"), Some(Json::Bool(true))) {
+        return Ok((id, Request::Stats));
+    }
+    Err("request has neither `spec` nor `stats: true`".to_owned())
+}
+
+fn handle(request: Request, config: &ServiceConfig) -> Result<(String, Json), String> {
+    match request {
+        Request::Run(spec) => {
+            let sim = match &config.caches {
+                Some(caches) => spec.build_cached(caches),
+                None => spec.build(),
+            }
+            .map_err(|e| format!("bad spec: {e}"))?;
+            Ok(("report".to_owned(), report_to_json(&sim.run())))
+        }
+        Request::Stats => {
+            let counters = match &config.caches {
+                Some(caches) => caches.counters(),
+                None => Vec::new(),
+            };
+            let fields =
+                counters.into_iter().map(|(name, v)| (name, Json::Num(v as f64))).collect();
+            Ok(("counters".to_owned(), Json::Obj(fields)))
+        }
+    }
+}
+
+/// Binds a unix socket at `path` and serves connections sequentially,
+/// all sharing one [`RunCaches`] — the `rumor serve --socket` mode.
+///
+/// A pre-existing socket file at `path` is removed first (the stale
+/// leftover of a previous service). `max_connections` bounds how many
+/// connections are accepted before returning (`None` serves forever).
+///
+/// # Errors
+///
+/// Bind/accept errors, or a transport error on a connection.
+pub fn serve_socket(
+    path: &Path,
+    caches: Arc<RunCaches>,
+    max_connections: Option<u64>,
+) -> io::Result<()> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    let config = ServiceConfig { caches: Some(caches), exit_after: None };
+    let mut accepted = 0u64;
+    while max_connections.is_none_or(|cap| accepted < cap) {
+        let (stream, _) = listener.accept()?;
+        let mut reader = io::BufReader::new(stream.try_clone()?);
+        let mut writer = io::BufWriter::new(stream);
+        run_frames(&mut reader, &mut writer, &config)?;
+        accepted += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumor_core::spec::{GraphSpec, Protocol};
+
+    fn quick_spec() -> SimSpec {
+        SimSpec::new(GraphSpec::Complete { n: 8 }).protocol(Protocol::push_pull_async()).trials(3)
+    }
+
+    fn request(id: f64, spec: &SimSpec) -> Vec<u8> {
+        let doc = Json::Obj(vec![
+            ("id".to_owned(), Json::Num(id)),
+            ("spec".to_owned(), Json::Str(spec.to_spec_string().unwrap())),
+        ]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, doc.render().as_bytes()).unwrap();
+        buf
+    }
+
+    fn responses(output: &[u8]) -> Vec<Json> {
+        let mut r = output;
+        let mut docs = Vec::new();
+        while let Some(frame) = read_frame(&mut r).unwrap() {
+            docs.push(Json::parse(std::str::from_utf8(&frame).unwrap()).unwrap());
+        }
+        docs
+    }
+
+    #[test]
+    fn serves_runs_and_matches_direct_execution() {
+        let mut input = request(1.0, &quick_spec());
+        input.extend(request(2.0, &quick_spec().trials(2)));
+        let mut output = Vec::new();
+        let exit =
+            run_frames(&mut input.as_slice(), &mut output, &ServiceConfig::default()).unwrap();
+        assert_eq!(exit, ServiceExit::Eof(2));
+        let docs = responses(&output);
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].get("id").unwrap(), &Json::Num(1.0));
+        let direct = report_to_json(&quick_spec().build().unwrap().run());
+        assert_eq!(docs[0].get("report").unwrap(), &direct);
+    }
+
+    #[test]
+    fn caches_warm_across_requests_and_stats_reports_them() {
+        let caches = Arc::new(RunCaches::default());
+        let config = ServiceConfig { caches: Some(caches), exit_after: None };
+        let mut input = request(1.0, &quick_spec());
+        input.extend(request(2.0, &quick_spec()));
+        let stats = Json::Obj(vec![
+            ("id".to_owned(), Json::Num(3.0)),
+            ("stats".to_owned(), Json::Bool(true)),
+        ]);
+        write_frame(&mut input, stats.render().as_bytes()).unwrap();
+        let mut output = Vec::new();
+        run_frames(&mut input.as_slice(), &mut output, &config).unwrap();
+        let docs = responses(&output);
+        let counters = docs[2].get("counters").unwrap();
+        assert_eq!(counters.get("graph_cache_misses").unwrap(), &Json::Num(1.0));
+        assert_eq!(counters.get("graph_cache_hits").unwrap(), &Json::Num(1.0));
+    }
+
+    #[test]
+    fn bad_requests_answer_in_band_and_exit_after_aborts() {
+        let mut input = Vec::new();
+        write_frame(&mut input, b"{\"id\": 9}").unwrap();
+        input.extend(request(1.0, &quick_spec()));
+        let mut output = Vec::new();
+        let config = ServiceConfig { caches: None, exit_after: Some(1) };
+        let exit = run_frames(&mut input.as_slice(), &mut output, &config).unwrap();
+        assert_eq!(exit, ServiceExit::Aborted(1));
+        let docs = responses(&output);
+        assert_eq!(docs.len(), 1);
+        assert!(docs[0].get("error").is_some());
+    }
+}

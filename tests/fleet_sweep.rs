@@ -1,0 +1,170 @@
+//! The sweep grammar and expansion contract, property-tested:
+//! `parse ∘ to_spec_string = id` over seeded random sweeps, expansion
+//! determinism under axis reordering, seed derivation, and the
+//! per-grid-point diagnostics.
+
+use proptest::prelude::*;
+use rumor_spreading::core::spec::{GraphSpec, Protocol, SimSpec, SpecError};
+use rumor_spreading::core::{SweepAxis, SweepSpec};
+use rumor_spreading::sim::rng::{SeedStream, Xoshiro256PlusPlus};
+
+// ---------------------------------------------------------------------------
+// Seed-indexed sweep generator
+// ---------------------------------------------------------------------------
+
+/// A deterministic, seed-indexed sweep: a small base spec plus 0–4 axes
+/// drawn from the legal key palette with syntactically legal values.
+/// (Expansion validity is not required for the round-trip property —
+/// the grammar round-trips whether or not the grid points build.)
+fn sweep_from_seed(seed: u64) -> SweepSpec {
+    let rng = &mut Xoshiro256PlusPlus::seed_from(seed);
+    let base = SimSpec::new(GraphSpec::Complete { n: 4 + (rng.next_u64() % 29) as usize })
+        .protocol(Protocol::push_pull_async())
+        .trials(1 + (rng.next_u64() % 8) as usize)
+        .seed(rng.next_u64());
+    let palette: &[(&str, &[&str])] = &[
+        ("graph.n", &["8", "12", "16", "24"]),
+        ("protocol.mode", &["push", "pull", "push-pull"]),
+        ("trials", &["2", "3", "5"]),
+        ("seed", &["1", "99", "12345"]),
+        ("threads", &["1", "2"]),
+        ("loss", &["0", "0.1"]),
+        ("graph", &["complete n=8", "cycle n=12", "star n=9"]),
+    ];
+    let mut picks: Vec<usize> = (0..palette.len()).collect();
+    let axes = (rng.next_u64() % 5) as usize;
+    let mut sweep = SweepSpec::new(base);
+    for _ in 0..axes {
+        let at = (rng.next_u64() as usize) % picks.len();
+        let (key, values) = palette[picks.swap_remove(at)];
+        let take = 1 + (rng.next_u64() as usize) % values.len();
+        sweep = sweep.axis(key, values.iter().take(take).copied()).unwrap();
+    }
+    sweep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The grammar round-trips: serializing a sweep and re-parsing the
+    /// text recovers the identical sweep, axes and all.
+    #[test]
+    fn parse_inverts_to_spec_string(seed in 0u64..1_000_000) {
+        let sweep = sweep_from_seed(seed);
+        let text = sweep.to_spec_string().unwrap();
+        let reparsed = SweepSpec::parse(&text).unwrap();
+        prop_assert_eq!(&reparsed, &sweep);
+        // And the serialization is a fixed point.
+        prop_assert_eq!(reparsed.to_spec_string().unwrap(), text);
+    }
+
+    /// Axis declaration order is irrelevant: any permutation of the
+    /// axis lines expands to the identical child list.
+    #[test]
+    fn expansion_ignores_axis_order(seed in 0u64..1_000_000) {
+        let sweep = sweep_from_seed(seed);
+        if sweep.axes().len() < 2 {
+            return Ok(()); // nothing to permute
+        }
+        let mut reversed = SweepSpec::new(sweep.base().clone());
+        for axis in sweep.axes().iter().rev() {
+            reversed = reversed.axis(axis.key.clone(), axis.values.clone()).unwrap();
+        }
+        match (sweep.expand(), reversed.expand()) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // Invalid grids must fail identically too.
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "one order expanded, the other failed: {a:?} {b:?}"),
+        }
+    }
+
+    /// Expansion is a pure function of the sweep: two expansions of the
+    /// same sweep agree child-for-child (specs, texts, and seeds).
+    #[test]
+    fn expansion_is_deterministic(seed in 0u64..1_000_000) {
+        let sweep = sweep_from_seed(seed);
+        if let (Ok(a), Ok(b)) = (sweep.expand(), sweep.expand()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seed derivation and diagnostics
+// ---------------------------------------------------------------------------
+
+fn quick_base() -> SimSpec {
+    SimSpec::new(GraphSpec::Complete { n: 8 })
+        .protocol(Protocol::push_pull_async())
+        .trials(2)
+        .seed(4242)
+}
+
+#[test]
+fn child_seeds_are_the_seed_stream_of_the_master() {
+    let sweep = SweepSpec::new(quick_base())
+        .axis("graph.n", ["8", "10", "12"])
+        .unwrap()
+        .axis("trials", ["2", "3"])
+        .unwrap();
+    let children = sweep.expand().unwrap();
+    assert_eq!(children.len(), 6);
+    let mut stream = SeedStream::new(4242);
+    for child in &children {
+        assert_eq!(child.spec.plan.master_seed, stream.next().unwrap());
+    }
+}
+
+#[test]
+fn sweeping_seed_disables_derivation() {
+    let sweep = SweepSpec::new(quick_base()).axis("seed", ["5", "6"]).unwrap();
+    let seeds: Vec<u64> = sweep.expand().unwrap().iter().map(|c| c.spec.plan.master_seed).collect();
+    assert_eq!(seeds, [5, 6]);
+}
+
+#[test]
+fn bad_grid_points_are_named_in_the_error() {
+    let sweep = SweepSpec::new(quick_base()).axis("trials", ["2", "0"]).unwrap();
+    let err = sweep.expand().unwrap_err();
+    let SpecError::SweepPoint { point, .. } = &err else {
+        panic!("expected SweepPoint, got {err}");
+    };
+    assert_eq!(point, "trials=0");
+}
+
+#[test]
+fn unknown_axis_keys_are_rejected_at_declaration() {
+    let err = SweepSpec::new(quick_base()).axis("graph.bogus_field", ["1"]);
+    // Dotted keys under a structured line are checked per point (the
+    // field set depends on the swept kind), so declaration succeeds…
+    let sweep = err.unwrap();
+    // …and expansion names both the point and the unknown field.
+    let err = sweep.expand().unwrap_err();
+    assert!(err.to_string().contains("graph.bogus_field"), "{err}");
+
+    // Whole-line keys are checked immediately.
+    let err = SweepSpec::new(quick_base()).axis("bogus", ["1"]).unwrap_err();
+    assert!(err.to_string().contains("bogus"), "{err}");
+}
+
+#[test]
+fn axis_values_reject_grammar_breaking_characters() {
+    for bad in ["a,b", "a[b", "a]b"] {
+        let err = SweepSpec::new(quick_base()).axis("trials", [bad]).unwrap_err();
+        assert!(err.to_string().contains("comma, bracket, or newline"), "{err}");
+    }
+    let err = SweepSpec::new(quick_base()).axis("trials", Vec::<String>::new()).unwrap_err();
+    assert!(err.to_string().contains("no values"), "{err}");
+}
+
+#[test]
+fn axes_are_visible_in_sorted_order() {
+    let sweep =
+        SweepSpec::new(quick_base()).axis("trials", ["2"]).unwrap().axis("graph.n", ["8"]).unwrap();
+    let keys: Vec<&str> = sweep.axes().iter().map(|a| a.key.as_str()).collect();
+    assert_eq!(keys, ["graph.n", "trials"]);
+    assert!(sweep.is_swept("trials"));
+    assert!(!sweep.is_swept("seed"));
+    assert_eq!(sweep.points(), 1);
+    let _: &SweepAxis = &sweep.axes()[0];
+}

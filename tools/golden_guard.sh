@@ -3,13 +3,15 @@
 # in a diff that also touches the RNG contract enum itself.
 #
 # The replay goldens (tests/replay_golden.rs) and the committed
-# `specs/*.spec` / `specs/*.metrics.json` artifacts are the repo's
-# bit-for-bit reproducibility contract: they pin the exact RNG streams
-# of both scheduler generations (v1 eager queue, v2 superposition). A
-# diff that rewrites them *without* changing the versioned contract
-# (`RngContract` in crates/sim/src/events.rs) is, with overwhelming
-# likelihood, silently breaking replay rather than legitimately
-# introducing a new stream generation — so CI fails it.
+# `specs/*.spec` / `specs/*.metrics.json` / `specs/*.fleet.json`
+# artifacts are the repo's bit-for-bit reproducibility contract: they
+# pin the exact RNG streams of both scheduler generations (v1 eager
+# queue, v2 superposition). A diff that rewrites or deletes them
+# *without* changing the versioned contract (`RngContract` in
+# crates/sim/src/events.rs) is, with overwhelming likelihood, silently
+# breaking replay rather than legitimately introducing a new stream
+# generation — so CI fails it. Newly added fixtures are fine: a fresh
+# golden pins a new surface without touching an existing stream.
 #
 # Usage: tools/golden_guard.sh [<base-ref>]   (default: origin/main)
 
@@ -24,9 +26,12 @@ fi
 
 range="$base...HEAD"
 changed="$(git diff --name-only "$range")"
+# Only modifications and deletions of existing pins are suspect;
+# additions introduce new fixtures and are always allowed.
+touched="$(git diff --name-only --diff-filter=MD "$range")"
 
 # Files whose bytes are replay pins.
-guarded="$(grep -E '^(tests/replay_golden\.rs|specs/.*\.(spec|metrics\.json))$' <<<"$changed" || true)"
+guarded="$(grep -E '^(tests/replay_golden\.rs|specs/.*\.(spec|metrics\.json|fleet\.json))$' <<<"$touched" || true)"
 if [[ -z "$guarded" ]]; then
     echo "golden-guard: no golden fixtures touched in $range"
     exit 0
